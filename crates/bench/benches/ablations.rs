@@ -1,0 +1,108 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **RB vs direct k-way** on the augmented repartitioning hypergraph
+//!   (Section 4.4 vs the direct scheme; Zoltan ships RB, we default the
+//!   repartitioning driver to k-way — this bench justifies that choice).
+//! * **Scaled vs unscaled IPM** (PaToH's 1/(|n|−1) net scaling in the
+//!   coarsening inner products).
+//! * **Best-of-N coarse attempts** (1 vs 8).
+//!
+//! Criterion reports throughput; quality deltas print to stderr once per
+//! bench so both dimensions are visible in `cargo bench` output.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dlb_core::RepartitionHypergraph;
+use dlb_graphpart::{partition_kway, GraphConfig};
+use dlb_partitioner::{partition_hypergraph_fixed, Config, Scheme};
+use dlb_workloads::{Dataset, DatasetKind, EpochStream, Perturbation};
+
+struct Instance {
+    model: RepartitionHypergraph,
+    k: usize,
+}
+
+fn instance() -> Instance {
+    let seed = 11;
+    let dataset = Dataset::generate(DatasetKind::Auto, 0.002, seed);
+    let k = 8;
+    let initial = partition_kway(&dataset.graph, k, &GraphConfig::seeded(seed)).part;
+    let mut stream = EpochStream::new(
+        dataset.graph,
+        Perturbation::structure(),
+        k,
+        initial,
+        seed,
+    );
+    let snapshot = stream.next_epoch();
+    let model = RepartitionHypergraph::build(&snapshot.hypergraph, &snapshot.old_part, k, 10.0);
+    Instance { model, k }
+}
+
+fn report_quality(label: &str, inst: &Instance, cfg: &Config) {
+    let r = partition_hypergraph_fixed(&inst.model.augmented, inst.k, &inst.model.fixed, cfg);
+    let obj = inst.model.objective(&inst.model.decode(&r.part));
+    eprintln!("[ablation quality] {label}: objective {obj:.1}, imbalance {:.3}", r.imbalance);
+}
+
+fn ablation_rb_vs_kway(c: &mut Criterion) {
+    let inst = instance();
+    let mut group = c.benchmark_group("ablation/scheme");
+    group.sample_size(10);
+    for (label, scheme) in [
+        ("recursive_bisection", Scheme::RecursiveBisection),
+        ("direct_kway", Scheme::DirectKway),
+    ] {
+        let mut cfg = Config::seeded(1);
+        cfg.scheme = scheme;
+        report_quality(label, &inst, &cfg);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                partition_hypergraph_fixed(&inst.model.augmented, inst.k, &inst.model.fixed, &cfg)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablation_ipm_scaling(c: &mut Criterion) {
+    let inst = instance();
+    let mut group = c.benchmark_group("ablation/ipm_scaling");
+    group.sample_size(10);
+    for (label, scaled) in [("scaled", true), ("unscaled", false)] {
+        let mut cfg = Config::seeded(1);
+        cfg.coarsening.scaled_ipm = scaled;
+        report_quality(label, &inst, &cfg);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                partition_hypergraph_fixed(&inst.model.augmented, inst.k, &inst.model.fixed, &cfg)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablation_initial_attempts(c: &mut Criterion) {
+    let inst = instance();
+    let mut group = c.benchmark_group("ablation/initial_attempts");
+    group.sample_size(10);
+    for attempts in [1usize, 8] {
+        let mut cfg = Config::seeded(1);
+        cfg.initial.num_attempts = attempts;
+        let label = format!("attempts_{attempts}");
+        report_quality(&label, &inst, &cfg);
+        group.bench_function(&label, |b| {
+            b.iter(|| {
+                partition_hypergraph_fixed(&inst.model.augmented, inst.k, &inst.model.fixed, &cfg)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_rb_vs_kway,
+    ablation_ipm_scaling,
+    ablation_initial_attempts
+);
+criterion_main!(benches);

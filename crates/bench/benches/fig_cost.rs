@@ -1,0 +1,64 @@
+//! Criterion benches for the cost figures (Figures 2–6): one benchmark
+//! per dataset, measuring a single Zoltan-repart epoch (the operation
+//! whose output the figures aggregate). Full figure regeneration (all
+//! algorithms × k × α, with averaging) is done by the `figures` binary;
+//! these benches track the per-epoch cost of the headline algorithm on
+//! each dataset regime so regressions show up in `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlb_core::{repartition, Algorithm, RepartConfig, RepartProblem};
+use dlb_graphpart::{partition_kway, GraphConfig};
+use dlb_workloads::{Dataset, DatasetKind, EpochStream, Perturbation};
+
+fn bench_dataset(c: &mut Criterion, kind: DatasetKind, scale: f64) {
+    let seed = 42;
+    let dataset = Dataset::generate(kind, scale, seed);
+    let k = 8;
+    let initial = partition_kway(&dataset.graph, k, &GraphConfig::seeded(seed)).part;
+    let mut stream = EpochStream::new(
+        dataset.graph,
+        Perturbation::structure(),
+        k,
+        initial,
+        seed,
+    );
+    let snapshot = stream.next_epoch();
+    let cfg = RepartConfig::seeded(seed);
+
+    let mut group = c.benchmark_group(format!("fig_cost/{}", kind.name()));
+    group.sample_size(10);
+    for alpha in [1.0, 100.0] {
+        group.bench_with_input(BenchmarkId::new("zoltan_repart", alpha), &alpha, |b, &alpha| {
+            b.iter(|| {
+                let problem = RepartProblem {
+                    hypergraph: &snapshot.hypergraph,
+                    graph: &snapshot.graph,
+                    old_part: &snapshot.old_part,
+                    k,
+                    alpha,
+                };
+                repartition(&problem, Algorithm::ZoltanRepart, &cfg)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fig2_xyce(c: &mut Criterion) {
+    bench_dataset(c, DatasetKind::Xyce680s, 0.002);
+}
+fn fig3_lipid(c: &mut Criterion) {
+    bench_dataset(c, DatasetKind::Lipid2D, 0.1);
+}
+fn fig4_auto(c: &mut Criterion) {
+    bench_dataset(c, DatasetKind::Auto, 0.002);
+}
+fn fig5_apoa(c: &mut Criterion) {
+    bench_dataset(c, DatasetKind::Apoa1_10, 0.005);
+}
+fn fig6_cage(c: &mut Criterion) {
+    bench_dataset(c, DatasetKind::Cage14, 0.0006);
+}
+
+criterion_group!(benches, fig2_xyce, fig3_lipid, fig4_auto, fig5_apoa, fig6_cage);
+criterion_main!(benches);

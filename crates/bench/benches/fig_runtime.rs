@@ -1,0 +1,60 @@
+//! Criterion benches for the runtime figures (Figures 7–8): the
+//! hypergraph-based methods against the graph-based methods on the three
+//! datasets the paper uses for timing (xyce680s sparse, 2DLipid dense,
+//! auto medium-dense). The paper's observations to look for:
+//!
+//! * sparse (xyce680s-like): hypergraph ≈ graph runtime;
+//! * medium-dense (auto-like): graph ~an order of magnitude faster;
+//! * dense (2DLipid-like): the gap narrows again.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlb_core::{repartition, Algorithm, RepartConfig, RepartProblem};
+use dlb_graphpart::{partition_kway, GraphConfig};
+use dlb_workloads::{Dataset, DatasetKind, EpochStream, Perturbation};
+
+fn bench_runtimes(c: &mut Criterion, kind: DatasetKind, scale: f64) {
+    let seed = 7;
+    let dataset = Dataset::generate(kind, scale, seed);
+    let k = 8;
+    let initial = partition_kway(&dataset.graph, k, &GraphConfig::seeded(seed)).part;
+    let mut stream = EpochStream::new(
+        dataset.graph,
+        Perturbation::structure(),
+        k,
+        initial,
+        seed,
+    );
+    let snapshot = stream.next_epoch();
+    let cfg = RepartConfig::seeded(seed);
+
+    let mut group = c.benchmark_group(format!("fig_runtime/{}", kind.name()));
+    group.sample_size(10);
+    for alg in Algorithm::ALL {
+        group.bench_with_input(BenchmarkId::new(alg.name(), k), &alg, |b, &alg| {
+            b.iter(|| {
+                let problem = RepartProblem {
+                    hypergraph: &snapshot.hypergraph,
+                    graph: &snapshot.graph,
+                    old_part: &snapshot.old_part,
+                    k,
+                    alpha: 100.0,
+                };
+                repartition(&problem, alg, &cfg)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fig7_xyce(c: &mut Criterion) {
+    bench_runtimes(c, DatasetKind::Xyce680s, 0.002);
+}
+fn fig8a_lipid(c: &mut Criterion) {
+    bench_runtimes(c, DatasetKind::Lipid2D, 0.1);
+}
+fn fig8b_auto(c: &mut Criterion) {
+    bench_runtimes(c, DatasetKind::Auto, 0.002);
+}
+
+criterion_group!(benches, fig7_xyce, fig8a_lipid, fig8b_auto);
+criterion_main!(benches);

@@ -1,0 +1,179 @@
+//! Text renderers for the figures: grouped stacked bars (the paper's
+//! format — communication on the bottom, migration/α on top, four bars
+//! per configuration) and CSV export.
+
+use std::fmt::Write as _;
+
+use crate::experiment::Row;
+
+const BAR_WIDTH: usize = 44;
+
+/// Renders a cost figure (Figures 2–6 style): one stacked horizontal bar
+/// per (k, α, algorithm), grouped by (k, α), scaled to the largest total.
+pub fn render_cost_chart(title: &str, rows: &[Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let _ = writeln!(
+        out,
+        "   (normalized total cost = comm + mig/alpha; '#' comm, '%' migration)"
+    );
+    let max_total = rows.iter().map(|r| r.total_norm).fold(0.0, f64::max);
+    if max_total <= 0.0 {
+        let _ = writeln!(out, "   (no data)");
+        return out;
+    }
+    let mut last_group = None;
+    for row in rows {
+        let group = (row.k, row.alpha.to_bits());
+        if last_group != Some(group) {
+            let _ = writeln!(out, "-- k={:<3} alpha={} --", row.k, row.alpha);
+            last_group = Some(group);
+        }
+        let comm_cells = ((row.comm / max_total) * BAR_WIDTH as f64).round() as usize;
+        let mig_cells = ((row.mig_norm / max_total) * BAR_WIDTH as f64).round() as usize;
+        let bar: String = "#".repeat(comm_cells) + &"%".repeat(mig_cells);
+        let _ = writeln!(
+            out,
+            "  {:<17} |{:<w$}| {:>10.1} (comm {:>9.1} + mig/a {:>8.1})",
+            row.algorithm.name(),
+            bar,
+            row.total_norm,
+            row.comm,
+            row.mig_norm,
+            w = BAR_WIDTH
+        );
+    }
+    out
+}
+
+/// Renders a runtime figure (Figures 7–8 style): one bar per
+/// (k, α, algorithm) scaled to the slowest.
+pub fn render_runtime_chart(title: &str, rows: &[Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let _ = writeln!(out, "   (mean repartitioning wall-clock per epoch)");
+    let max_time = rows.iter().map(|r| r.time_ms).fold(0.0, f64::max);
+    if max_time <= 0.0 {
+        let _ = writeln!(out, "   (no data)");
+        return out;
+    }
+    let mut last_group = None;
+    for row in rows {
+        let group = (row.k, row.alpha.to_bits());
+        if last_group != Some(group) {
+            let _ = writeln!(out, "-- k={:<3} alpha={} --", row.k, row.alpha);
+            last_group = Some(group);
+        }
+        let cells = ((row.time_ms / max_time) * BAR_WIDTH as f64).round() as usize;
+        let _ = writeln!(
+            out,
+            "  {:<17} |{:<w$}| {:>9.2} ms",
+            row.algorithm.name(),
+            "#".repeat(cells),
+            row.time_ms,
+            w = BAR_WIDTH
+        );
+    }
+    out
+}
+
+/// CSV header matching [`to_csv_line`].
+pub fn csv_header() -> &'static str {
+    "dataset,perturb,k,alpha,algorithm,comm,mig_norm,total_norm,time_ms,max_imbalance"
+}
+
+/// One CSV line per row.
+pub fn to_csv_line(row: &Row) -> String {
+    format!(
+        "{},{},{},{},{},{:.4},{:.4},{:.4},{:.4},{:.4}",
+        row.dataset,
+        row.perturb,
+        row.k,
+        row.alpha,
+        row.algorithm.name(),
+        row.comm,
+        row.mig_norm,
+        row.total_norm,
+        row.time_ms,
+        row.max_imbalance
+    )
+}
+
+/// Renders all rows to a CSV document.
+pub fn to_csv(rows: &[Row]) -> String {
+    let mut out = String::from(csv_header());
+    out.push('\n');
+    for row in rows {
+        out.push_str(&to_csv_line(row));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlb_core::Algorithm;
+
+    fn sample_rows() -> Vec<Row> {
+        vec![
+            Row {
+                dataset: "auto",
+                perturb: "structure",
+                k: 16,
+                alpha: 1.0,
+                algorithm: Algorithm::ZoltanRepart,
+                comm: 100.0,
+                mig_norm: 20.0,
+                total_norm: 120.0,
+                time_ms: 5.0,
+                max_imbalance: 1.04,
+            },
+            Row {
+                dataset: "auto",
+                perturb: "structure",
+                k: 16,
+                alpha: 1.0,
+                algorithm: Algorithm::ZoltanScratch,
+                comm: 80.0,
+                mig_norm: 300.0,
+                total_norm: 380.0,
+                time_ms: 4.0,
+                max_imbalance: 1.02,
+            },
+        ]
+    }
+
+    #[test]
+    fn cost_chart_contains_all_bars() {
+        let s = render_cost_chart("Fig test", &sample_rows());
+        assert!(s.contains("Zoltan-repart"));
+        assert!(s.contains("Zoltan-scratch"));
+        assert!(s.contains("k=16"));
+        assert!(s.contains('#') && s.contains('%'));
+    }
+
+    #[test]
+    fn runtime_chart_renders() {
+        let s = render_runtime_chart("Fig time", &sample_rows());
+        assert!(s.contains("ms"));
+        assert!(s.contains("Zoltan-repart"));
+    }
+
+    #[test]
+    fn csv_roundtrip_fields() {
+        let rows = sample_rows();
+        let csv = to_csv(&rows);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], csv_header());
+        assert!(lines[1].starts_with("auto,structure,16,1,Zoltan-repart,"));
+        assert_eq!(lines[0].split(',').count(), lines[1].split(',').count());
+    }
+
+    #[test]
+    fn empty_rows_are_handled() {
+        let s = render_cost_chart("empty", &[]);
+        assert!(s.contains("no data"));
+    }
+}

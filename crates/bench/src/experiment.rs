@@ -1,0 +1,247 @@
+//! The parameter sweep behind Figures 2–8.
+
+use dlb_core::{
+    simulate_epochs, simulate_epochs_parallel, Algorithm, RepartConfig, SimulationSummary,
+};
+use dlb_graphpart::{partition_kway, GraphConfig};
+use dlb_mpisim::run_spmd;
+use dlb_workloads::{Dataset, DatasetKind, EpochStream, PerturbKind, Perturbation};
+
+/// Whether repartitioners run serially or SPMD (for the runtime figures).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TimingMode {
+    /// Serial execution; timings reflect single-thread algorithmic work.
+    Serial,
+    /// SPMD over simulated ranks (`min(k, max_ranks)` — the host has far
+    /// fewer cores than the paper's 64-node cluster, so timings measure
+    /// algorithmic + communication-protocol work, not strong scaling).
+    Parallel {
+        /// Cap on simulated ranks.
+        max_ranks: usize,
+    },
+}
+
+/// One sweep: a dataset under one dynamic, across k × α × algorithms.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// Dataset regime.
+    pub dataset: DatasetKind,
+    /// Dynamic (structure or weights).
+    pub perturb: PerturbKind,
+    /// Part counts (the paper: 16, 32, 64).
+    pub ks: Vec<usize>,
+    /// Epoch lengths α (the paper: 1, 10, 100, 1000).
+    pub alphas: Vec<f64>,
+    /// Trials averaged per configuration (the paper: 20).
+    pub trials: usize,
+    /// Epochs simulated per trial.
+    pub epochs: usize,
+    /// Dataset scale in `(0, 1]`.
+    pub scale: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Serial or SPMD execution.
+    pub timing: TimingMode,
+}
+
+impl SweepConfig {
+    /// The paper's grid at a laptop-friendly scale: k ∈ {16,32,64},
+    /// α ∈ {1,10,100,1000}, few trials/epochs.
+    pub fn paper_grid(dataset: DatasetKind, perturb: PerturbKind, scale: f64) -> Self {
+        SweepConfig {
+            dataset,
+            perturb,
+            ks: vec![16, 32, 64],
+            alphas: vec![1.0, 10.0, 100.0, 1000.0],
+            trials: 3,
+            epochs: 3,
+            scale,
+            seed: 42,
+            timing: TimingMode::Serial,
+        }
+    }
+
+    /// A minutes-scale smoke grid for CI and Criterion.
+    pub fn quick(dataset: DatasetKind, perturb: PerturbKind, scale: f64) -> Self {
+        SweepConfig {
+            ks: vec![8],
+            alphas: vec![1.0, 100.0],
+            trials: 1,
+            epochs: 2,
+            ..SweepConfig::paper_grid(dataset, perturb, scale)
+        }
+    }
+}
+
+/// One averaged measurement: a single bar of a figure.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// `"structure"` or `"weights"`.
+    pub perturb: &'static str,
+    /// Parts.
+    pub k: usize,
+    /// Epoch length.
+    pub alpha: f64,
+    /// Algorithm.
+    pub algorithm: Algorithm,
+    /// Mean communication volume per epoch (bottom bar segment).
+    pub comm: f64,
+    /// Mean normalized migration `mig/α` per epoch (top bar segment).
+    pub mig_norm: f64,
+    /// Mean normalized total (`comm + mig/α`).
+    pub total_norm: f64,
+    /// Mean repartitioning wall-clock per epoch, in milliseconds.
+    pub time_ms: f64,
+    /// Worst imbalance observed.
+    pub max_imbalance: f64,
+}
+
+fn perturbation(kind: PerturbKind) -> Perturbation {
+    match kind {
+        PerturbKind::Structure => Perturbation::structure(),
+        PerturbKind::Weights => Perturbation::weights(),
+    }
+}
+
+fn perturb_name(kind: PerturbKind) -> &'static str {
+    match kind {
+        PerturbKind::Structure => "structure",
+        PerturbKind::Weights => "weights",
+    }
+}
+
+/// Runs one trial: fresh dataset + static initial partition + stream,
+/// then `epochs` repartitions.
+fn run_trial(
+    cfg: &SweepConfig,
+    k: usize,
+    alpha: f64,
+    algorithm: Algorithm,
+    trial: usize,
+) -> SimulationSummary {
+    let trial_seed = cfg.seed ^ (trial as u64).wrapping_mul(0x0123_4567_89AB_CDEF) ^ 0xFEED;
+    let dataset = Dataset::generate(cfg.dataset, cfg.scale, trial_seed);
+    // Static partition of epoch 1 (same start for every algorithm).
+    let initial = partition_kway(&dataset.graph, k, &GraphConfig::seeded(trial_seed)).part;
+    let repart_cfg = RepartConfig::seeded(trial_seed);
+    match cfg.timing {
+        TimingMode::Serial => {
+            let mut stream = EpochStream::new(
+                dataset.graph,
+                perturbation(cfg.perturb),
+                k,
+                initial,
+                trial_seed,
+            );
+            simulate_epochs(&mut stream, cfg.epochs, algorithm, alpha, &repart_cfg)
+        }
+        TimingMode::Parallel { max_ranks } => {
+            let ranks = k.min(max_ranks).max(1);
+            let graph = dataset.graph;
+            let mut results = run_spmd(ranks, |comm| {
+                let mut stream = EpochStream::new(
+                    graph.clone(),
+                    perturbation(cfg.perturb),
+                    k,
+                    initial.clone(),
+                    trial_seed,
+                );
+                simulate_epochs_parallel(comm, &mut stream, cfg.epochs, algorithm, alpha, &repart_cfg)
+            });
+            results.pop().expect("at least one rank")
+        }
+    }
+}
+
+/// Runs the full sweep, invoking `progress` once per completed bar.
+pub fn run_sweep(cfg: &SweepConfig, mut progress: impl FnMut(&Row)) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &k in &cfg.ks {
+        for &alpha in &cfg.alphas {
+            for algorithm in Algorithm::ALL {
+                let mut comm = 0.0;
+                let mut mig_norm = 0.0;
+                let mut total = 0.0;
+                let mut time_ms = 0.0;
+                let mut max_imb: f64 = 1.0;
+                for trial in 0..cfg.trials.max(1) {
+                    let summary = run_trial(cfg, k, alpha, algorithm, trial);
+                    comm += summary.mean_comm();
+                    mig_norm += summary.mean_normalized_migration();
+                    total += summary.mean_normalized_total();
+                    time_ms += summary.mean_elapsed().as_secs_f64() * 1e3;
+                    max_imb = max_imb.max(summary.max_imbalance());
+                }
+                let t = cfg.trials.max(1) as f64;
+                let row = Row {
+                    dataset: cfg.dataset.name(),
+                    perturb: perturb_name(cfg.perturb),
+                    k,
+                    alpha,
+                    algorithm,
+                    comm: comm / t,
+                    mig_norm: mig_norm / t,
+                    total_norm: total / t,
+                    time_ms: time_ms / t,
+                    max_imbalance: max_imb,
+                };
+                progress(&row);
+                rows.push(row);
+            }
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_produces_full_grid() {
+        let mut cfg = SweepConfig::quick(DatasetKind::Auto, PerturbKind::Structure, 0.0005);
+        cfg.ks = vec![4];
+        cfg.alphas = vec![1.0];
+        let rows = run_sweep(&cfg, |_| {});
+        assert_eq!(rows.len(), 4, "one row per algorithm");
+        for row in &rows {
+            assert!(row.total_norm > 0.0);
+            assert!((row.total_norm - (row.comm + row.mig_norm)).abs() < 1e-9);
+            assert!(row.time_ms >= 0.0);
+        }
+    }
+
+    #[test]
+    fn parallel_timing_mode_runs() {
+        let mut cfg = SweepConfig::quick(DatasetKind::Xyce680s, PerturbKind::Structure, 0.0005);
+        cfg.ks = vec![4];
+        cfg.alphas = vec![10.0];
+        cfg.timing = TimingMode::Parallel { max_ranks: 2 };
+        let rows = run_sweep(&cfg, |_| {});
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            assert!(row.total_norm > 0.0, "{:?}", row.algorithm);
+            assert!(row.time_ms > 0.0);
+        }
+    }
+
+    #[test]
+    fn scratch_methods_pay_migration_at_alpha_one() {
+        let mut cfg = SweepConfig::quick(DatasetKind::Auto, PerturbKind::Structure, 0.001);
+        cfg.ks = vec![4];
+        cfg.alphas = vec![1.0];
+        cfg.trials = 2;
+        let rows = run_sweep(&cfg, |_| {});
+        let get = |alg: Algorithm| rows.iter().find(|r| r.algorithm == alg).unwrap();
+        let zr = get(Algorithm::ZoltanRepart);
+        let zs = get(Algorithm::ZoltanScratch);
+        assert!(
+            zr.mig_norm <= zs.mig_norm + 1e-9,
+            "repart migration {} should not exceed scratch {}",
+            zr.mig_norm,
+            zs.mig_norm
+        );
+    }
+}

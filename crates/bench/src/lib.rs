@@ -1,0 +1,25 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation (Section 5).
+//!
+//! * [`experiment`] — the parameter-sweep runner behind Figures 2–8:
+//!   datasets × perturbations × k × α × the four algorithms, averaged
+//!   over trials.
+//! * [`chart`] — text renderers: the paper's grouped stacked bars
+//!   (communication bottom, migration top) as horizontal ASCII bars, and
+//!   CSV output for downstream plotting.
+//! * Binaries: `table1` prints Table 1 (paper values vs generated
+//!   datasets); `figures` regenerates any of Figures 2–8.
+//!
+//! Absolute numbers differ from the paper (synthetic datasets, simulated
+//! ranks on one host) — the *shapes* are the reproduction target; see
+//! EXPERIMENTS.md for the side-by-side reading.
+
+// Index-heavy kernels iterate several parallel arrays at once; classic
+// indexed loops read better there than zipped iterator chains.
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod experiment;
+
+pub use experiment::{run_sweep, Row, SweepConfig, TimingMode};

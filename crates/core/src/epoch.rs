@@ -1,0 +1,260 @@
+//! Multi-epoch simulation: the experiment loop behind Figures 2–8.
+//!
+//! Each trial starts from a static partition of the base dataset,
+//! streams perturbed epochs from [`dlb_workloads::EpochStream`], invokes
+//! one of the four algorithms per epoch, commits the new assignment back
+//! to the stream (so the next epoch's dynamics and old-parts see it),
+//! and accumulates per-epoch cost and timing.
+
+use std::time::Duration;
+
+use dlb_mpisim::Comm;
+use dlb_workloads::EpochStream;
+
+use crate::cost::CostBreakdown;
+use crate::driver::{repartition, repartition_parallel, Algorithm, RepartConfig, RepartProblem};
+
+/// Per-epoch measurements.
+#[derive(Clone, Debug)]
+pub struct EpochReport {
+    /// Epoch index (1-based; epoch 0 is the static partition).
+    pub epoch: usize,
+    /// Cost components under the chosen assignment.
+    pub cost: CostBreakdown,
+    /// Load imbalance after repartitioning.
+    pub imbalance: f64,
+    /// Vertices that changed parts.
+    pub moved: usize,
+    /// Epoch problem size.
+    pub num_vertices: usize,
+    /// Wall-clock repartitioning time.
+    pub elapsed: Duration,
+}
+
+/// Aggregate over a trial's epochs.
+#[derive(Clone, Debug)]
+pub struct SimulationSummary {
+    /// The algorithm simulated.
+    pub algorithm: Algorithm,
+    /// α used.
+    pub alpha: f64,
+    /// Number of parts.
+    pub k: usize,
+    /// Per-epoch reports, in order.
+    pub reports: Vec<EpochReport>,
+}
+
+impl SimulationSummary {
+    /// Mean communication volume per epoch.
+    pub fn mean_comm(&self) -> f64 {
+        mean(self.reports.iter().map(|r| r.cost.comm))
+    }
+
+    /// Mean migration volume per epoch.
+    pub fn mean_migration(&self) -> f64 {
+        mean(self.reports.iter().map(|r| r.cost.migration))
+    }
+
+    /// Mean normalized total cost (`comm + mig/α`) per epoch — the
+    /// quantity the paper's bar charts plot.
+    pub fn mean_normalized_total(&self) -> f64 {
+        mean(self.reports.iter().map(|r| r.cost.normalized_total()))
+    }
+
+    /// Mean normalized migration component (`mig/α`, the top bar).
+    pub fn mean_normalized_migration(&self) -> f64 {
+        mean(self.reports.iter().map(|r| r.cost.normalized_migration()))
+    }
+
+    /// Total repartitioning wall-clock across epochs.
+    pub fn total_elapsed(&self) -> Duration {
+        self.reports.iter().map(|r| r.elapsed).sum()
+    }
+
+    /// Mean repartitioning wall-clock per epoch.
+    pub fn mean_elapsed(&self) -> Duration {
+        let total = self.total_elapsed();
+        if self.reports.is_empty() {
+            Duration::ZERO
+        } else {
+            total / self.reports.len() as u32
+        }
+    }
+
+    /// Worst imbalance over the trial.
+    pub fn max_imbalance(&self) -> f64 {
+        self.reports.iter().map(|r| r.imbalance).fold(1.0, f64::max)
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let (mut sum, mut count) = (0.0, 0usize);
+    for v in values {
+        sum += v;
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum / count as f64
+    }
+}
+
+/// Runs `num_epochs` epochs of `algorithm` over `stream`.
+///
+/// The stream must be freshly constructed with the trial's initial
+/// static partition; the simulation mutates it (commits assignments).
+pub fn simulate_epochs(
+    stream: &mut EpochStream,
+    num_epochs: usize,
+    algorithm: Algorithm,
+    alpha: f64,
+    cfg: &RepartConfig,
+) -> SimulationSummary {
+    let k = stream.k();
+    let mut reports = Vec::with_capacity(num_epochs);
+    for epoch in 1..=num_epochs {
+        let snapshot = stream.next_epoch();
+        let problem = RepartProblem {
+            hypergraph: &snapshot.hypergraph,
+            graph: &snapshot.graph,
+            old_part: &snapshot.old_part,
+            k,
+            alpha,
+        };
+        let result = repartition(&problem, algorithm, cfg);
+        stream.commit_assignment(&snapshot, &result.new_part);
+        reports.push(EpochReport {
+            epoch,
+            cost: result.cost,
+            imbalance: result.imbalance,
+            moved: result.moved,
+            num_vertices: snapshot.graph.num_vertices(),
+            elapsed: result.elapsed,
+        });
+    }
+    SimulationSummary { algorithm, alpha, k, reports }
+}
+
+/// Parallel variant of [`simulate_epochs`]: the repartitioner runs
+/// collectively on `comm` (the hypergraph methods genuinely SPMD, the
+/// graph baselines replicated — see [`repartition_parallel`]). Every rank
+/// must drive an identically seeded stream; all ranks return identical
+/// summaries.
+pub fn simulate_epochs_parallel(
+    comm: &mut Comm,
+    stream: &mut EpochStream,
+    num_epochs: usize,
+    algorithm: Algorithm,
+    alpha: f64,
+    cfg: &RepartConfig,
+) -> SimulationSummary {
+    let k = stream.k();
+    let mut reports = Vec::with_capacity(num_epochs);
+    for epoch in 1..=num_epochs {
+        let snapshot = stream.next_epoch();
+        let problem = RepartProblem {
+            hypergraph: &snapshot.hypergraph,
+            graph: &snapshot.graph,
+            old_part: &snapshot.old_part,
+            k,
+            alpha,
+        };
+        let result = repartition_parallel(comm, &problem, algorithm, cfg);
+        stream.commit_assignment(&snapshot, &result.new_part);
+        reports.push(EpochReport {
+            epoch,
+            cost: result.cost,
+            imbalance: result.imbalance,
+            moved: result.moved,
+            num_vertices: snapshot.graph.num_vertices(),
+            elapsed: result.elapsed,
+        });
+    }
+    SimulationSummary { algorithm, alpha, k, reports }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlb_graphpart::{partition_kway, GraphConfig};
+    use dlb_workloads::{Dataset, DatasetKind, Perturbation};
+
+    fn make_stream(kind: DatasetKind, k: usize, perturbation: Perturbation, seed: u64) -> EpochStream {
+        let d = Dataset::generate(kind, 0.0005, seed);
+        let init = partition_kway(&d.graph, k, &GraphConfig::seeded(seed)).part;
+        EpochStream::new(d.graph, perturbation, k, init, seed)
+    }
+
+    #[test]
+    fn simulation_runs_all_algorithms() {
+        for alg in Algorithm::ALL {
+            let mut stream = make_stream(DatasetKind::Auto, 4, Perturbation::structure(), 3);
+            let summary =
+                simulate_epochs(&mut stream, 3, alg, 10.0, &RepartConfig::seeded(3));
+            assert_eq!(summary.reports.len(), 3, "{}", alg.name());
+            assert!(summary.mean_normalized_total() > 0.0);
+            assert!(summary.max_imbalance() < 1.5, "{}", alg.name());
+        }
+    }
+
+    #[test]
+    fn weight_perturbation_simulation() {
+        let mut stream = make_stream(DatasetKind::Cage14, 4, Perturbation::weights(), 5);
+        let summary = simulate_epochs(
+            &mut stream,
+            3,
+            Algorithm::ZoltanRepart,
+            100.0,
+            &RepartConfig::seeded(5),
+        );
+        assert_eq!(summary.reports.len(), 3);
+        // Weight growth must be rebalanced.
+        assert!(summary.max_imbalance() <= 1.3, "imbalance {}", summary.max_imbalance());
+    }
+
+    #[test]
+    fn repart_beats_scratch_on_total_cost_at_alpha_one() {
+        // The paper's headline observation at small alpha.
+        let seed = 11;
+        let mut s1 = make_stream(DatasetKind::Auto, 4, Perturbation::structure(), seed);
+        let repart = simulate_epochs(&mut s1, 3, Algorithm::ZoltanRepart, 1.0, &RepartConfig::seeded(seed));
+        let mut s2 = make_stream(DatasetKind::Auto, 4, Perturbation::structure(), seed);
+        let scratch =
+            simulate_epochs(&mut s2, 3, Algorithm::ZoltanScratch, 1.0, &RepartConfig::seeded(seed));
+        assert!(
+            repart.mean_normalized_total() < scratch.mean_normalized_total(),
+            "repart {} should beat scratch {} at alpha=1",
+            repart.mean_normalized_total(),
+            scratch.mean_normalized_total()
+        );
+    }
+
+    #[test]
+    fn parallel_simulation_matches_rank_consensus() {
+        use dlb_mpisim::run_spmd;
+        let results = run_spmd(2, |comm| {
+            let mut stream = make_stream(DatasetKind::Auto, 2, Perturbation::structure(), 13);
+            let s = simulate_epochs_parallel(
+                comm,
+                &mut stream,
+                2,
+                Algorithm::ZoltanRepart,
+                10.0,
+                &RepartConfig::seeded(13),
+            );
+            (s.mean_comm(), s.mean_migration())
+        });
+        assert_eq!(results[0], results[1], "ranks must agree on costs");
+    }
+
+    #[test]
+    fn summary_statistics_are_consistent() {
+        let mut stream = make_stream(DatasetKind::Auto, 2, Perturbation::structure(), 7);
+        let s = simulate_epochs(&mut stream, 4, Algorithm::ParmetisRepart, 10.0, &RepartConfig::seeded(7));
+        let manual: f64 =
+            s.reports.iter().map(|r| r.cost.normalized_total()).sum::<f64>() / 4.0;
+        assert!((s.mean_normalized_total() - manual).abs() < 1e-12);
+        assert!(s.total_elapsed() >= s.mean_elapsed());
+    }
+}

@@ -1,0 +1,190 @@
+//! Adaptive repartitioning (the ParMETIS `AdaptiveRepart` analog, after
+//! Schloegel, Karypis & Kumar's unified repartitioning algorithm).
+//!
+//! Structure, and how it contrasts with the paper's model:
+//!
+//! 1. **Local coarsening** — heavy-edge matching restricted to pairs in
+//!    the same *old* part, so the previous partition is exactly
+//!    representable at every level.
+//! 2. **Coarse solution = old partition** — projected down the hierarchy
+//!    and rebalanced by greedy diffusion (overweight parts drain into
+//!    underweight ones along the cheapest moves).
+//! 3. **Combined-objective refinement** — boundary FM on
+//!    `α·edgecut + migration` at every level, the only place migration
+//!    cost enters. `α` is the paper's iteration count (ParMETIS's `ITR`).
+//!
+//! Because migration is visible *only* to refinement (not to the
+//! coarsening that decides what can move together), this scheme trades
+//! migration against communication less globally than the paper's
+//! fixed-vertex hypergraph model — the behaviour the paper's experiments
+//! surface as growing migration cost at large `k`.
+
+use dlb_hypergraph::{CsrGraph, PartTargets, PartId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::coarsen::{contract_graph, project_labels_to_coarse, GraphLevel};
+use crate::config::GraphConfig;
+use crate::matching::heavy_edge_matching;
+use crate::refine::{refine_graph, Objective};
+use crate::GraphPartitionResult;
+
+/// Parameters for adaptive repartitioning.
+#[derive(Clone, Debug)]
+pub struct AdaptiveConfig {
+    /// Base multilevel knobs (ε, seed, coarsening limits, pass counts).
+    pub base: GraphConfig,
+    /// The communication-vs-migration trade-off: iterations per epoch
+    /// (paper's α, ParMETIS's ITR). Larger values emphasize edge cut.
+    pub alpha: f64,
+}
+
+impl AdaptiveConfig {
+    /// Adaptive configuration with the given α and default base knobs.
+    pub fn with_alpha(alpha: f64) -> Self {
+        AdaptiveConfig { base: GraphConfig::default(), alpha }
+    }
+
+    /// Same, with a specific seed.
+    pub fn seeded(alpha: f64, seed: u64) -> Self {
+        AdaptiveConfig { base: GraphConfig::seeded(seed), alpha }
+    }
+}
+
+/// Repartitions `g` into `k` parts, starting from `old_part`, minimizing
+/// `α·edgecut + migration` subject to the balance constraint.
+///
+/// # Panics
+/// Panics if `old_part` has the wrong length or contains parts `>= k`.
+pub fn adaptive_repart(
+    g: &CsrGraph,
+    k: usize,
+    old_part: &[PartId],
+    cfg: &AdaptiveConfig,
+) -> GraphPartitionResult {
+    assert!(k > 0, "k must be positive");
+    assert_eq!(old_part.len(), g.num_vertices(), "old partition length mismatch");
+    assert!(old_part.iter().all(|&p| p < k), "old partition references part >= k");
+
+    let mut rng = StdRng::seed_from_u64(cfg.base.seed);
+    let targets = PartTargets::uniform(g.total_vertex_weight(), k, cfg.base.epsilon);
+
+    // --- Local coarsening, carrying old-part labels down. ---
+    let coarse_target = (cfg.base.coarse_to_factor * k).max(cfg.base.min_coarse_vertices);
+    let mut levels: Vec<(GraphLevel, Vec<PartId>)> = Vec::new();
+    let mut current = g.clone();
+    let mut current_old = old_part.to_vec();
+    while current.num_vertices() > coarse_target && levels.len() < cfg.base.max_levels {
+        let m = heavy_edge_matching(&current, Some(&current_old), &mut rng);
+        let before = current.num_vertices();
+        if ((before - m.coarse_count()) as f64) < before as f64 * cfg.base.min_reduction {
+            break;
+        }
+        let level = contract_graph(&current, &m);
+        let coarse_old = project_labels_to_coarse(&level, &current_old);
+        current = level.coarse.clone();
+        current_old = coarse_old.clone();
+        levels.push((level, coarse_old));
+    }
+
+    // --- Coarse solution: the old partition, rebalanced + refined under
+    // the combined objective. ---
+    let (coarsest, coarsest_old): (&CsrGraph, &[PartId]) = match levels.last() {
+        Some((l, o)) => (&l.coarse, o),
+        None => (g, old_part),
+    };
+    let obj = Objective { alpha: cfg.alpha, old_part: Some(coarsest_old) };
+    let mut part = coarsest_old.to_vec();
+    refine_graph(coarsest, &targets, &obj, &mut part, cfg.base.max_refine_passes, &mut rng);
+
+    // --- Uncoarsen with combined-objective refinement per level. ---
+    for i in (0..levels.len()).rev() {
+        let (level, _) = &levels[i];
+        let (finer, finer_old): (&CsrGraph, &[PartId]) = if i == 0 {
+            (g, old_part)
+        } else {
+            (&levels[i - 1].0.coarse, &levels[i - 1].1)
+        };
+        let mut finer_part = vec![0usize; finer.num_vertices()];
+        for (v, &c) in level.fine_to_coarse.iter().enumerate() {
+            finer_part[v] = part[c];
+        }
+        let obj = Objective { alpha: cfg.alpha, old_part: Some(finer_old) };
+        refine_graph(finer, &targets, &obj, &mut finer_part, cfg.base.max_refine_passes, &mut rng);
+        part = finer_part;
+    }
+
+    GraphPartitionResult::evaluate(g, part, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlb_hypergraph::metrics;
+
+    #[test]
+    fn balanced_input_barely_moves() {
+        // A well-balanced, well-cut old partition should stay put when
+        // alpha is small (migration dominates).
+        let g = crate::tests::grid_graph(8, 8);
+        let old: Vec<usize> = (0..64).map(|v| if v % 8 < 4 { 0 } else { 1 }).collect();
+        let cfg = AdaptiveConfig::seeded(1.0, 3);
+        let r = adaptive_repart(&g, 2, &old, &cfg);
+        let moved = metrics::moved_vertex_count(&old, &r.part);
+        assert!(moved <= 4, "{moved} vertices moved from a good partition");
+    }
+
+    #[test]
+    fn rebalances_weight_growth() {
+        // Inflate weights in part 0 so it is badly overweight; the
+        // repartitioner must restore balance.
+        let mut g = crate::tests::grid_graph(8, 8);
+        let old: Vec<usize> = (0..64).map(|v| if v % 8 < 4 { 0 } else { 1 }).collect();
+        for v in 0..64 {
+            if old[v] == 0 {
+                g.set_vertex_weight(v, 3.0);
+            }
+        }
+        let cfg = AdaptiveConfig::seeded(10.0, 4);
+        let r = adaptive_repart(&g, 2, &old, &cfg);
+        assert!(r.imbalance <= 1.0 + cfg.base.epsilon + 0.05, "imbalance {}", r.imbalance);
+        // Migration should be moderate: far fewer than half the vertices.
+        let moved = metrics::moved_vertex_count(&old, &r.part);
+        assert!(moved < 32, "{moved} moved");
+    }
+
+    #[test]
+    fn high_alpha_tolerates_more_migration_for_cut() {
+        // A scrambled old partition: with high alpha the result should
+        // approach a good cut even at migration expense.
+        let g = crate::tests::grid_graph(10, 10);
+        let old: Vec<usize> = (0..100).map(|v| v % 2).collect(); // terrible cut
+        let lo = adaptive_repart(&g, 2, &old, &AdaptiveConfig::seeded(0.5, 5));
+        let hi = adaptive_repart(&g, 2, &old, &AdaptiveConfig::seeded(1000.0, 5));
+        let mig_lo = metrics::moved_vertex_count(&old, &lo.part);
+        let mig_hi = metrics::moved_vertex_count(&old, &hi.part);
+        assert!(
+            hi.edge_cut <= lo.edge_cut,
+            "high alpha cut {} should be <= low alpha cut {}",
+            hi.edge_cut,
+            lo.edge_cut
+        );
+        assert!(
+            mig_hi >= mig_lo,
+            "high alpha should migrate at least as much ({mig_hi} vs {mig_lo})"
+        );
+    }
+
+    #[test]
+    fn respects_old_partition_representability() {
+        // Local matching must never merge across old parts, so the old
+        // partition projects exactly; smoke-test via determinism + zero
+        // migration at alpha -> 0 on balanced input.
+        let g = crate::tests::random_graph(80, 200, 6);
+        let old: Vec<usize> = (0..80).map(|v| v % 4).collect();
+        let cfg = AdaptiveConfig::seeded(1e-9, 7);
+        let r = adaptive_repart(&g, 4, &old, &cfg);
+        // Weights are unit and old is perfectly balanced: nothing should move.
+        assert_eq!(metrics::moved_vertex_count(&old, &r.part), 0);
+    }
+}

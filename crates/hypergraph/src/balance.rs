@@ -1,0 +1,95 @@
+//! Per-part weight targets and balance caps.
+//!
+//! Both partitioners (hypergraph and graph) constrain part weights by
+//! Eq. (1) of the paper: `W_p ≤ W_avg (1+ε)`. Recursive bisection
+//! generalizes this to *proportional* targets — when `k` is odd, a side
+//! receiving `⌈k/2⌉` of the final parts targets that fraction of the
+//! total weight — so targets are absolute weights rather than `1/k`
+//! shares.
+
+/// Per-part target weights plus the allowed overshoot ε.
+#[derive(Clone, Debug)]
+pub struct PartTargets {
+    /// Target weight per part; `Σ target` should equal the total vertex
+    /// weight.
+    pub target: Vec<f64>,
+    /// Allowed relative overshoot: part `p` may weigh up to
+    /// `target[p] * (1 + epsilon)`.
+    pub epsilon: f64,
+}
+
+impl PartTargets {
+    /// Uniform targets: `total / k` per part.
+    pub fn uniform(total: f64, k: usize, epsilon: f64) -> Self {
+        PartTargets {
+            target: vec![total / k as f64; k],
+            epsilon,
+        }
+    }
+
+    /// Proportional targets: `total * shares[p] / Σ shares`.
+    pub fn proportional(total: f64, shares: &[usize], epsilon: f64) -> Self {
+        let sum: usize = shares.iter().sum();
+        assert!(sum > 0, "shares must be positive");
+        PartTargets {
+            target: shares
+                .iter()
+                .map(|&s| total * s as f64 / sum as f64)
+                .collect(),
+            epsilon,
+        }
+    }
+
+    /// Number of parts.
+    pub fn k(&self) -> usize {
+        self.target.len()
+    }
+
+    /// The hard cap for part `p`: `target[p] * (1 + ε)`.
+    #[inline]
+    pub fn cap(&self, p: usize) -> f64 {
+        self.target[p] * (1.0 + self.epsilon)
+    }
+
+    /// The largest relative overshoot of any part, `max_p W_p/target_p − 1`
+    /// (0 when every part is at or under target).
+    pub fn violation(&self, weights: &[f64]) -> f64 {
+        weights
+            .iter()
+            .zip(&self.target)
+            .map(|(&w, &t)| if t > 0.0 { w / t - 1.0 } else { 0.0 })
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_targets() {
+        let t = PartTargets::uniform(100.0, 4, 0.05);
+        assert_eq!(t.k(), 4);
+        assert_eq!(t.target, vec![25.0; 4]);
+        assert!((t.cap(0) - 26.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proportional_targets() {
+        let t = PartTargets::proportional(90.0, &[2, 1], 0.1);
+        assert_eq!(t.target, vec![60.0, 30.0]);
+    }
+
+    #[test]
+    fn violation_zero_when_under_target() {
+        let t = PartTargets::uniform(100.0, 2, 0.05);
+        assert_eq!(t.violation(&[50.0, 50.0]), 0.0);
+        assert!((t.violation(&[60.0, 40.0]) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "shares must be positive")]
+    fn zero_shares_panic() {
+        let _ = PartTargets::proportional(1.0, &[0, 0], 0.05);
+    }
+}

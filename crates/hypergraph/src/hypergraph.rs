@@ -1,0 +1,485 @@
+//! The compressed hypergraph representation.
+//!
+//! A hypergraph `H = (V, N)` is stored twice, CSR-style:
+//!
+//! * **net → pins**: `xpins`/`pins` arrays, so the pins of net `j` are
+//!   `pins[xpins[j]..xpins[j+1]]`;
+//! * **vertex → nets** (the *pin transpose*): `xnets`/`vnets` arrays, so
+//!   the nets incident to vertex `v` are `vnets[xnets[v]..xnets[v+1]]`.
+//!
+//! Each vertex carries a *weight* `w_i` (computational load used by the
+//! balance constraint, Eq. (1) of the paper) and a *size* (the amount of
+//! data that must move if the vertex migrates — the cost of its migration
+//! net in the repartitioning model of Section 3). Each net carries a
+//! *cost* `c_j` (communication data volume, the coefficient in the k-1
+//! cut, Eq. (2)).
+
+use std::fmt;
+
+/// A hypergraph with vertex weights, vertex sizes, and net costs.
+///
+/// Immutable after construction except for weights, sizes and costs,
+/// which the dynamic workloads mutate between epochs. The pin structure
+/// itself never changes; epoch-to-epoch structural change is expressed by
+/// building a new `Hypergraph` (see [`crate::subset`]).
+#[derive(Clone, PartialEq)]
+pub struct Hypergraph {
+    num_vertices: usize,
+    xpins: Vec<usize>,
+    pins: Vec<usize>,
+    xnets: Vec<usize>,
+    vnets: Vec<usize>,
+    vwgt: Vec<f64>,
+    vsize: Vec<f64>,
+    ncost: Vec<f64>,
+}
+
+impl Hypergraph {
+    /// Builds a hypergraph from a pin list.
+    ///
+    /// `nets[j]` is the pin list of net `j`; `ncost[j]` its cost. Vertex
+    /// weights and sizes default to `1.0`. Pins must be `< num_vertices`;
+    /// duplicate pins within a net are removed.
+    ///
+    /// # Panics
+    /// Panics if a pin index is out of range.
+    pub fn from_nets(num_vertices: usize, nets: &[Vec<usize>], ncost: Vec<f64>) -> Self {
+        assert_eq!(nets.len(), ncost.len(), "one cost per net");
+        let mut builder = HypergraphBuilder::new(num_vertices);
+        for (net, &c) in nets.iter().zip(&ncost) {
+            builder.add_net(c, net.iter().copied());
+        }
+        builder.build()
+    }
+
+    /// Builds a hypergraph with unit net costs.
+    pub fn from_nets_unit(num_vertices: usize, nets: &[Vec<usize>]) -> Self {
+        Self::from_nets(num_vertices, nets, vec![1.0; nets.len()])
+    }
+
+    /// Number of vertices `|V|`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of nets `|N|`.
+    #[inline]
+    pub fn num_nets(&self) -> usize {
+        self.xpins.len() - 1
+    }
+
+    /// Total number of pins (sum of net sizes).
+    #[inline]
+    pub fn num_pins(&self) -> usize {
+        self.pins.len()
+    }
+
+    /// The pins (vertices) of net `j`.
+    #[inline]
+    pub fn net(&self, j: usize) -> &[usize] {
+        &self.pins[self.xpins[j]..self.xpins[j + 1]]
+    }
+
+    /// The size (number of pins) of net `j`.
+    #[inline]
+    pub fn net_size(&self, j: usize) -> usize {
+        self.xpins[j + 1] - self.xpins[j]
+    }
+
+    /// The nets incident to vertex `v`.
+    #[inline]
+    pub fn vertex_nets(&self, v: usize) -> &[usize] {
+        &self.vnets[self.xnets[v]..self.xnets[v + 1]]
+    }
+
+    /// The degree (number of incident nets) of vertex `v`.
+    #[inline]
+    pub fn vertex_degree(&self, v: usize) -> usize {
+        self.xnets[v + 1] - self.xnets[v]
+    }
+
+    /// Computational weight of vertex `v` (balance constraint).
+    #[inline]
+    pub fn vertex_weight(&self, v: usize) -> f64 {
+        self.vwgt[v]
+    }
+
+    /// Migration data size of vertex `v` (cost of its migration net).
+    #[inline]
+    pub fn vertex_size(&self, v: usize) -> f64 {
+        self.vsize[v]
+    }
+
+    /// Communication cost of net `j` (coefficient in the k-1 cut).
+    #[inline]
+    pub fn net_cost(&self, j: usize) -> f64 {
+        self.ncost[j]
+    }
+
+    /// All vertex weights.
+    #[inline]
+    pub fn vertex_weights(&self) -> &[f64] {
+        &self.vwgt
+    }
+
+    /// All vertex sizes.
+    #[inline]
+    pub fn vertex_sizes(&self) -> &[f64] {
+        &self.vsize
+    }
+
+    /// All net costs.
+    #[inline]
+    pub fn net_costs(&self) -> &[f64] {
+        &self.ncost
+    }
+
+    /// Sum of all vertex weights.
+    pub fn total_vertex_weight(&self) -> f64 {
+        self.vwgt.iter().sum()
+    }
+
+    /// Sum of all vertex sizes.
+    pub fn total_vertex_size(&self) -> f64 {
+        self.vsize.iter().sum()
+    }
+
+    /// Sets the weight of vertex `v`.
+    pub fn set_vertex_weight(&mut self, v: usize, w: f64) {
+        assert!(w >= 0.0, "vertex weight must be non-negative");
+        self.vwgt[v] = w;
+    }
+
+    /// Sets the migration size of vertex `v`.
+    pub fn set_vertex_size(&mut self, v: usize, s: f64) {
+        assert!(s >= 0.0, "vertex size must be non-negative");
+        self.vsize[v] = s;
+    }
+
+    /// Sets the cost of net `j`.
+    pub fn set_net_cost(&mut self, j: usize, c: f64) {
+        assert!(c >= 0.0, "net cost must be non-negative");
+        self.ncost[j] = c;
+    }
+
+    /// Replaces all vertex weights.
+    pub fn set_vertex_weights(&mut self, w: Vec<f64>) {
+        assert_eq!(w.len(), self.num_vertices);
+        self.vwgt = w;
+    }
+
+    /// Replaces all vertex sizes.
+    pub fn set_vertex_sizes(&mut self, s: Vec<f64>) {
+        assert_eq!(s.len(), self.num_vertices);
+        self.vsize = s;
+    }
+
+    /// Returns a copy with every net cost multiplied by `factor`.
+    ///
+    /// The repartitioning model scales communication-net costs by the
+    /// epoch length `α` (Section 3 of the paper).
+    pub fn with_scaled_net_costs(&self, factor: f64) -> Self {
+        let mut h = self.clone();
+        for c in &mut h.ncost {
+            *c *= factor;
+        }
+        h
+    }
+
+    /// Checks structural invariants; returns a description of the first
+    /// violation, if any. Used by tests and debug assertions.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.xpins.len() != self.ncost.len() + 1 {
+            return Err("xpins length must be num_nets + 1".into());
+        }
+        if self.xnets.len() != self.num_vertices + 1 {
+            return Err("xnets length must be num_vertices + 1".into());
+        }
+        if self.vwgt.len() != self.num_vertices || self.vsize.len() != self.num_vertices {
+            return Err("weight/size arrays must have num_vertices entries".into());
+        }
+        if self.pins.len() != self.vnets.len() {
+            return Err("pin count must equal transpose pin count".into());
+        }
+        if self.xpins.windows(2).any(|w| w[0] > w[1]) {
+            return Err("xpins must be non-decreasing".into());
+        }
+        if self.xnets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("xnets must be non-decreasing".into());
+        }
+        for j in 0..self.num_nets() {
+            let net = self.net(j);
+            for &p in net {
+                if p >= self.num_vertices {
+                    return Err(format!("net {j} has out-of-range pin {p}"));
+                }
+            }
+            let mut sorted = net.to_vec();
+            sorted.sort_unstable();
+            if sorted.windows(2).any(|w| w[0] == w[1]) {
+                return Err(format!("net {j} has duplicate pins"));
+            }
+        }
+        // Transpose consistency: vertex v lists net j iff net j lists v.
+        let mut count = vec![0usize; self.num_vertices];
+        for &p in &self.pins {
+            count[p] += 1;
+        }
+        for v in 0..self.num_vertices {
+            if self.vertex_degree(v) != count[v] {
+                return Err(format!("vertex {v} transpose degree mismatch"));
+            }
+            for &j in self.vertex_nets(v) {
+                if !self.net(j).contains(&v) {
+                    return Err(format!("vertex {v} lists net {j} but net lacks the pin"));
+                }
+            }
+        }
+        if self.vwgt.iter().chain(&self.vsize).chain(&self.ncost).any(|&x| x < 0.0 || !x.is_finite()) {
+            return Err("weights, sizes and costs must be finite and non-negative".into());
+        }
+        Ok(())
+    }
+
+    /// Raw CSR access for partitioner internals: `(xpins, pins)`.
+    pub fn pin_csr(&self) -> (&[usize], &[usize]) {
+        (&self.xpins, &self.pins)
+    }
+
+    /// Raw transpose access for partitioner internals: `(xnets, vnets)`.
+    pub fn net_csr(&self) -> (&[usize], &[usize]) {
+        (&self.xnets, &self.vnets)
+    }
+
+    /// Average net size (pins per net); `0.0` for a net-less hypergraph.
+    pub fn avg_net_size(&self) -> f64 {
+        if self.num_nets() == 0 {
+            0.0
+        } else {
+            self.num_pins() as f64 / self.num_nets() as f64
+        }
+    }
+}
+
+impl fmt::Debug for Hypergraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Hypergraph")
+            .field("num_vertices", &self.num_vertices)
+            .field("num_nets", &self.num_nets())
+            .field("num_pins", &self.num_pins())
+            .finish()
+    }
+}
+
+/// Incremental hypergraph constructor.
+///
+/// ```
+/// use dlb_hypergraph::HypergraphBuilder;
+/// let mut b = HypergraphBuilder::new(4);
+/// b.add_net(1.0, [0, 1, 2]);
+/// b.add_net(2.5, [2, 3]);
+/// b.set_vertex_weight(3, 4.0);
+/// let h = b.build();
+/// assert_eq!(h.num_nets(), 2);
+/// assert_eq!(h.net(1), &[2, 3]);
+/// assert_eq!(h.vertex_weight(3), 4.0);
+/// ```
+pub struct HypergraphBuilder {
+    num_vertices: usize,
+    xpins: Vec<usize>,
+    pins: Vec<usize>,
+    ncost: Vec<f64>,
+    vwgt: Vec<f64>,
+    vsize: Vec<f64>,
+    seen: Vec<u64>,
+    stamp: u64,
+}
+
+impl HypergraphBuilder {
+    /// Creates a builder for a hypergraph on `num_vertices` vertices with
+    /// unit weights and sizes.
+    pub fn new(num_vertices: usize) -> Self {
+        HypergraphBuilder {
+            num_vertices,
+            xpins: vec![0],
+            pins: Vec::new(),
+            ncost: Vec::new(),
+            vwgt: vec![1.0; num_vertices],
+            vsize: vec![1.0; num_vertices],
+            seen: vec![0; num_vertices],
+            stamp: 0,
+        }
+    }
+
+    /// Adds a net with the given cost and pins; duplicate pins are
+    /// silently dropped. Returns the net index.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range pin or a negative cost.
+    pub fn add_net(&mut self, cost: f64, net: impl IntoIterator<Item = usize>) -> usize {
+        assert!(cost >= 0.0, "net cost must be non-negative");
+        self.stamp += 1;
+        for v in net {
+            assert!(v < self.num_vertices, "pin {v} out of range");
+            if self.seen[v] != self.stamp {
+                self.seen[v] = self.stamp;
+                self.pins.push(v);
+            }
+        }
+        self.xpins.push(self.pins.len());
+        self.ncost.push(cost);
+        self.ncost.len() - 1
+    }
+
+    /// Sets the computational weight of a vertex (default `1.0`).
+    pub fn set_vertex_weight(&mut self, v: usize, w: f64) {
+        assert!(w >= 0.0);
+        self.vwgt[v] = w;
+    }
+
+    /// Sets the migration size of a vertex (default `1.0`).
+    pub fn set_vertex_size(&mut self, v: usize, s: f64) {
+        assert!(s >= 0.0);
+        self.vsize[v] = s;
+    }
+
+    /// Number of nets added so far.
+    pub fn num_nets(&self) -> usize {
+        self.ncost.len()
+    }
+
+    /// Finalizes the hypergraph, computing the pin transpose.
+    pub fn build(self) -> Hypergraph {
+        let HypergraphBuilder {
+            num_vertices,
+            xpins,
+            pins,
+            ncost,
+            vwgt,
+            vsize,
+            ..
+        } = self;
+
+        // Build the transpose by counting sort over pins.
+        let mut xnets = vec![0usize; num_vertices + 1];
+        for &p in &pins {
+            xnets[p + 1] += 1;
+        }
+        for v in 0..num_vertices {
+            xnets[v + 1] += xnets[v];
+        }
+        let mut vnets = vec![0usize; pins.len()];
+        let mut cursor = xnets.clone();
+        for j in 0..ncost.len() {
+            for &p in &pins[xpins[j]..xpins[j + 1]] {
+                vnets[cursor[p]] = j;
+                cursor[p] += 1;
+            }
+        }
+
+        Hypergraph {
+            num_vertices,
+            xpins,
+            pins,
+            xnets,
+            vnets,
+            vwgt,
+            vsize,
+            ncost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Hypergraph {
+        // Nets: {0,1,2}, {1,3}, {2,3,4}, {4}
+        Hypergraph::from_nets(
+            5,
+            &[vec![0, 1, 2], vec![1, 3], vec![2, 3, 4], vec![4]],
+            vec![1.0, 2.0, 3.0, 4.0],
+        )
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let h = sample();
+        assert_eq!(h.num_vertices(), 5);
+        assert_eq!(h.num_nets(), 4);
+        assert_eq!(h.num_pins(), 9);
+        assert_eq!(h.net(0), &[0, 1, 2]);
+        assert_eq!(h.net(3), &[4]);
+        assert_eq!(h.net_size(2), 3);
+        assert_eq!(h.net_cost(1), 2.0);
+        assert_eq!(h.vertex_weight(0), 1.0);
+        h.validate().unwrap();
+    }
+
+    #[test]
+    fn transpose_is_consistent() {
+        let h = sample();
+        assert_eq!(h.vertex_nets(1), &[0, 1]);
+        assert_eq!(h.vertex_nets(4), &[2, 3]);
+        assert_eq!(h.vertex_degree(3), 2);
+        assert_eq!(h.vertex_degree(0), 1);
+    }
+
+    #[test]
+    fn duplicate_pins_are_dropped() {
+        let h = Hypergraph::from_nets(3, &[vec![0, 1, 1, 2, 0]], vec![1.0]);
+        assert_eq!(h.net(0), &[0, 1, 2]);
+        h.validate().unwrap();
+    }
+
+    #[test]
+    fn weight_mutation() {
+        let mut h = sample();
+        h.set_vertex_weight(2, 7.5);
+        h.set_vertex_size(2, 3.25);
+        h.set_net_cost(0, 9.0);
+        assert_eq!(h.vertex_weight(2), 7.5);
+        assert_eq!(h.vertex_size(2), 3.25);
+        assert_eq!(h.net_cost(0), 9.0);
+        assert_eq!(h.total_vertex_weight(), 4.0 + 7.5);
+    }
+
+    #[test]
+    fn scaled_net_costs() {
+        let h = sample().with_scaled_net_costs(10.0);
+        assert_eq!(h.net_cost(0), 10.0);
+        assert_eq!(h.net_cost(3), 40.0);
+    }
+
+    #[test]
+    fn empty_hypergraph() {
+        let h = Hypergraph::from_nets_unit(0, &[]);
+        assert_eq!(h.num_vertices(), 0);
+        assert_eq!(h.num_nets(), 0);
+        h.validate().unwrap();
+    }
+
+    #[test]
+    fn single_pin_net_allowed() {
+        let h = Hypergraph::from_nets_unit(2, &[vec![1]]);
+        assert_eq!(h.net_size(0), 1);
+        h.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_pin_panics() {
+        let mut b = HypergraphBuilder::new(2);
+        b.add_net(1.0, [0, 5]);
+    }
+
+    #[test]
+    fn builder_net_indices_are_sequential() {
+        let mut b = HypergraphBuilder::new(3);
+        assert_eq!(b.add_net(1.0, [0]), 0);
+        assert_eq!(b.add_net(1.0, [1, 2]), 1);
+        assert_eq!(b.num_nets(), 2);
+    }
+}

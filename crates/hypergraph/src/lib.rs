@@ -1,0 +1,49 @@
+//! Hypergraph and graph data structures for dynamic load balancing.
+//!
+//! This crate is the data-structure substrate of the IPDPS'07 reproduction
+//! *"Hypergraph-based Dynamic Load Balancing for Adaptive Scientific
+//! Computations"*. It provides:
+//!
+//! * [`Hypergraph`] — a compressed (CSR-like) hypergraph with vertex
+//!   weights (computational load), vertex sizes (migration data size) and
+//!   net costs (communication data size), plus the pin transpose needed by
+//!   partitioners.
+//! * [`CsrGraph`] — a symmetric weighted graph in compressed sparse row
+//!   form, used by the ParMETIS-like baseline partitioner.
+//! * [`metrics`] — partition-quality metrics: the connectivity-1 (*k-1*)
+//!   cut of Eq. (2) of the paper, the cut-net metric, edge cut, part
+//!   weights, imbalance, and migration volume.
+//! * [`convert`] — graph ⇄ hypergraph model conversions (column-net model,
+//!   edge-net model, clique expansion).
+//! * [`subset`] — induced sub(hyper)graphs, used by the structural
+//!   perturbation workload generator.
+//! * [`io`] — simple text formats (PaToH-like hypergraph files and a
+//!   MatrixMarket pattern reader).
+//!
+//! # Conventions
+//!
+//! Vertices, nets and parts are dense `usize` indices starting at zero.
+//! A *k*-way partition is a `&[usize]` of length `num_vertices` with
+//! entries in `0..k`. Weights, sizes and costs are `f64` because the
+//! paper's weight-perturbation experiment scales them by factors drawn
+//! from `U(1.5, 7.5)`.
+
+// Index-heavy kernels iterate several parallel arrays at once; classic
+// indexed loops read better there than zipped iterator chains.
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+pub mod balance;
+pub mod convert;
+pub mod graph;
+pub mod hypergraph;
+pub mod io;
+pub mod metrics;
+pub mod subset;
+
+pub use balance::PartTargets;
+pub use graph::{CsrGraph, DegreeStats, GraphBuilder};
+pub use hypergraph::{Hypergraph, HypergraphBuilder};
+
+/// A partition identifier. Parts are dense indices `0..k`.
+pub type PartId = usize;

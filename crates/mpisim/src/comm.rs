@@ -1,0 +1,420 @@
+//! Point-to-point messaging and collectives for one simulated rank.
+
+use std::any::Any;
+use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
+
+use crossbeam::channel::{Receiver, Sender};
+
+/// How long a blocking receive waits before declaring the program
+/// deadlocked. Simulated ranks share one machine, so any legitimate
+/// message arrives quickly; a long silence means mismatched send/recv
+/// calls, and panicking with context beats hanging the test suite.
+const RECV_TIMEOUT: Duration = Duration::from_secs(60);
+
+pub(crate) struct Envelope {
+    pub from: usize,
+    pub tag: u64,
+    pub payload: Box<dyn Any + Send>,
+}
+
+/// Message counters for one rank, useful for asserting communication
+/// patterns in tests and for reporting experiment statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Point-to-point messages sent (collectives count their internal
+    /// messages).
+    pub messages_sent: u64,
+    /// Point-to-point messages received.
+    pub messages_received: u64,
+}
+
+/// The communicator handle owned by one simulated rank.
+///
+/// Mirrors the subset of MPI that the parallel partitioners need. All
+/// collectives must be called by every rank in the same order (the usual
+/// SPMD contract); an internal sequence number keeps consecutive
+/// collectives from stealing each other's messages.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    txs: Vec<Sender<Envelope>>,
+    rx: Receiver<Envelope>,
+    stash: HashMap<(usize, u64), VecDeque<Box<dyn Any + Send>>>,
+    coll_seq: u64,
+    stats: CommStats,
+}
+
+/// Tags at or above this value are reserved for collectives.
+const COLL_TAG_BASE: u64 = 1 << 48;
+
+impl Comm {
+    pub(crate) fn new(rank: usize, txs: Vec<Sender<Envelope>>, rx: Receiver<Envelope>) -> Self {
+        Comm {
+            rank,
+            size: txs.len(),
+            txs,
+            rx,
+            stash: HashMap::new(),
+            coll_seq: 0,
+            stats: CommStats::default(),
+        }
+    }
+
+    /// This rank's id, `0..size`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Message counters so far.
+    pub fn stats(&self) -> CommStats {
+        self.stats
+    }
+
+    /// Sends `value` to rank `to` with a user `tag` (< 2^48).
+    ///
+    /// Non-blocking: the channel is unbounded, matching MPI's buffered
+    /// eager protocol for small messages.
+    pub fn send<T: Send + 'static>(&mut self, to: usize, tag: u64, value: T) {
+        assert!(tag < COLL_TAG_BASE, "user tags must be below 2^48");
+        self.send_raw(to, tag, value);
+    }
+
+    fn send_raw<T: Send + 'static>(&mut self, to: usize, tag: u64, value: T) {
+        assert!(to < self.size, "destination rank {to} out of range");
+        self.stats.messages_sent += 1;
+        self.txs[to]
+            .send(Envelope {
+                from: self.rank,
+                tag,
+                payload: Box::new(value),
+            })
+            .expect("peer rank hung up");
+    }
+
+    /// Receives a `T` sent by rank `from` with `tag`, blocking until it
+    /// arrives. Panics (deadlock guard) after a long timeout or if the
+    /// message has a different payload type.
+    pub fn recv<T: Send + 'static>(&mut self, from: usize, tag: u64) -> T {
+        assert!(tag < COLL_TAG_BASE, "user tags must be below 2^48");
+        self.recv_raw(from, tag)
+    }
+
+    fn recv_raw<T: Send + 'static>(&mut self, from: usize, tag: u64) -> T {
+        let key = (from, tag);
+        loop {
+            if let Some(queue) = self.stash.get_mut(&key) {
+                if let Some(payload) = queue.pop_front() {
+                    self.stats.messages_received += 1;
+                    return *payload.downcast::<T>().unwrap_or_else(|_| {
+                        panic!(
+                            "rank {}: message from {from} tag {tag} has unexpected payload type",
+                            self.rank
+                        )
+                    });
+                }
+            }
+            let env = self.rx.recv_timeout(RECV_TIMEOUT).unwrap_or_else(|_| {
+                panic!(
+                    "rank {}: deadlock waiting for message from {from} tag {tag}",
+                    self.rank
+                )
+            });
+            self.stash
+                .entry((env.from, env.tag))
+                .or_default()
+                .push_back(env.payload);
+        }
+    }
+
+    fn next_coll_tag(&mut self) -> u64 {
+        self.coll_seq += 1;
+        COLL_TAG_BASE + self.coll_seq
+    }
+
+    /// Synchronizes all ranks (flat gather-to-0 then release).
+    pub fn barrier(&mut self) {
+        let tag = self.next_coll_tag();
+        if self.rank == 0 {
+            for from in 1..self.size {
+                let () = self.recv_raw(from, tag);
+            }
+            for to in 1..self.size {
+                self.send_raw(to, tag, ());
+            }
+        } else {
+            self.send_raw(0, tag, ());
+            let () = self.recv_raw(0, tag);
+        }
+    }
+
+    /// Broadcasts `value` from `root` to all ranks. Non-root ranks pass
+    /// their (ignored) local value too, keeping the call SPMD-symmetric.
+    pub fn broadcast<T: Clone + Send + 'static>(&mut self, root: usize, value: T) -> T {
+        assert!(root < self.size);
+        let tag = self.next_coll_tag();
+        if self.rank == root {
+            for to in 0..self.size {
+                if to != root {
+                    self.send_raw(to, tag, value.clone());
+                }
+            }
+            value
+        } else {
+            self.recv_raw(root, tag)
+        }
+    }
+
+    /// Gathers one value per rank at `root`; returns `Some(values)` (rank
+    /// order) on the root and `None` elsewhere.
+    pub fn gather<T: Send + 'static>(&mut self, root: usize, value: T) -> Option<Vec<T>> {
+        assert!(root < self.size);
+        let tag = self.next_coll_tag();
+        if self.rank == root {
+            let mut out: Vec<Option<T>> = (0..self.size).map(|_| None).collect();
+            out[root] = Some(value);
+            for from in 0..self.size {
+                if from != root {
+                    out[from] = Some(self.recv_raw(from, tag));
+                }
+            }
+            Some(out.into_iter().map(Option::unwrap).collect())
+        } else {
+            self.send_raw(root, tag, value);
+            None
+        }
+    }
+
+    /// Gathers one value per rank on every rank (gather + broadcast).
+    pub fn allgather<T: Clone + Send + 'static>(&mut self, value: T) -> Vec<T> {
+        let gathered = self.gather(0, value);
+        self.broadcast(0, gathered.unwrap_or_default())
+    }
+
+    /// Reduces one value per rank at `root` with associative `op`;
+    /// returns `Some(result)` on the root.
+    pub fn reduce<T, F>(&mut self, root: usize, value: T, op: F) -> Option<T>
+    where
+        T: Send + 'static,
+        F: Fn(T, T) -> T,
+    {
+        self.gather(root, value)
+            .map(|vals| vals.into_iter().reduce(&op).expect("world is non-empty"))
+    }
+
+    /// All-reduce: every rank receives `op` folded over all ranks' values
+    /// in rank order.
+    pub fn allreduce<T, F>(&mut self, value: T, op: F) -> T
+    where
+        T: Clone + Send + 'static,
+        F: Fn(T, T) -> T,
+    {
+        let reduced = self.reduce(0, value, op);
+        self.broadcast(0, reduced).expect("root reduced")
+    }
+
+    /// Element-wise all-reduce over equally sized vectors.
+    ///
+    /// # Panics
+    /// Panics if ranks contribute vectors of different lengths.
+    pub fn allreduce_vec<T, F>(&mut self, value: Vec<T>, op: F) -> Vec<T>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        self.allreduce(value, |a, b| {
+            assert_eq!(a.len(), b.len(), "allreduce_vec length mismatch");
+            a.iter().zip(&b).map(|(x, y)| op(x, y)).collect()
+        })
+    }
+
+    /// Sum all-reduce for `f64`.
+    pub fn allreduce_sum(&mut self, value: f64) -> f64 {
+        self.allreduce(value, |a, b| a + b)
+    }
+
+    /// Inclusive prefix scan: rank `r` receives `op` folded over ranks
+    /// `0..=r`.
+    pub fn scan<T, F>(&mut self, value: T, op: F) -> T
+    where
+        T: Clone + Send + 'static,
+        F: Fn(T, T) -> T,
+    {
+        let all = self.allgather(value);
+        all.into_iter()
+            .take(self.rank + 1)
+            .reduce(&op)
+            .expect("scan includes own value")
+    }
+
+    /// Personalized all-to-all: `outgoing[r]` is delivered to rank `r`;
+    /// the return value holds one entry per source rank (rank order).
+    pub fn alltoall<T: Send + 'static>(&mut self, outgoing: Vec<T>) -> Vec<T> {
+        assert_eq!(outgoing.len(), self.size, "one payload per destination rank");
+        let tag = self.next_coll_tag();
+        let mut incoming: Vec<Option<T>> = (0..self.size).map(|_| None).collect();
+        for (to, value) in outgoing.into_iter().enumerate() {
+            if to == self.rank {
+                incoming[to] = Some(value);
+            } else {
+                self.send_raw(to, tag, value);
+            }
+        }
+        for from in 0..self.size {
+            if from != self.rank {
+                incoming[from] = Some(self.recv_raw(from, tag));
+            }
+        }
+        incoming.into_iter().map(Option::unwrap).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::run_spmd;
+
+    #[test]
+    fn point_to_point_ring() {
+        let results = run_spmd(4, |comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            comm.send(next, 7, comm.rank());
+            comm.recv::<usize>(prev, 7)
+        });
+        assert_eq!(results, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_stashed() {
+        let results = run_spmd(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, "first".to_string());
+                comm.send(1, 2, "second".to_string());
+                String::new()
+            } else {
+                // Receive tag 2 before tag 1; tag-1 message must be stashed.
+                let b = comm.recv::<String>(0, 2);
+                let a = comm.recv::<String>(0, 1);
+                format!("{a} {b}")
+            }
+        });
+        assert_eq!(results[1], "first second");
+    }
+
+    #[test]
+    fn broadcast_from_every_root() {
+        for root in 0..3 {
+            let results = run_spmd(3, move |comm| {
+                let v = if comm.rank() == root { 42u32 } else { 0 };
+                comm.broadcast(root, v)
+            });
+            assert_eq!(results, vec![42; 3]);
+        }
+    }
+
+    #[test]
+    fn gather_preserves_rank_order() {
+        let results = run_spmd(4, |comm| comm.gather(2, comm.rank() * 10));
+        assert_eq!(results[2], Some(vec![0, 10, 20, 30]));
+        assert_eq!(results[0], None);
+    }
+
+    #[test]
+    fn allgather_everywhere() {
+        let results = run_spmd(3, |comm| comm.allgather(comm.rank() as i64 - 1));
+        for r in results {
+            assert_eq!(r, vec![-1, 0, 1]);
+        }
+    }
+
+    #[test]
+    fn allreduce_max() {
+        let results = run_spmd(5, |comm| comm.allreduce(comm.rank(), |a, b| a.max(b)));
+        assert_eq!(results, vec![4; 5]);
+    }
+
+    #[test]
+    fn allreduce_vec_elementwise() {
+        let results = run_spmd(3, |comm| {
+            let v = vec![comm.rank() as f64, 1.0];
+            comm.allreduce_vec(v, |a, b| a + b)
+        });
+        for r in results {
+            assert_eq!(r, vec![3.0, 3.0]);
+        }
+    }
+
+    #[test]
+    fn scan_is_inclusive_prefix() {
+        let results = run_spmd(4, |comm| comm.scan(1u64, |a, b| a + b));
+        assert_eq!(results, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn alltoall_transposes() {
+        let results = run_spmd(3, |comm| {
+            let outgoing: Vec<String> =
+                (0..comm.size()).map(|to| format!("{}->{}", comm.rank(), to)).collect();
+            comm.alltoall(outgoing)
+        });
+        assert_eq!(results[1], vec!["0->1", "1->1", "2->1"]);
+        assert_eq!(results[2], vec!["0->2", "1->2", "2->2"]);
+    }
+
+    #[test]
+    fn barrier_completes() {
+        let results = run_spmd(6, |comm| {
+            for _ in 0..10 {
+                comm.barrier();
+            }
+            comm.rank()
+        });
+        assert_eq!(results.len(), 6);
+    }
+
+    #[test]
+    fn collectives_do_not_cross_talk() {
+        // Two different collectives back to back with the same shape must
+        // not steal each other's messages.
+        let results = run_spmd(4, |comm| {
+            let a = comm.allreduce(1u64, |x, y| x + y);
+            let b = comm.allreduce(2u64, |x, y| x + y);
+            (a, b)
+        });
+        for (a, b) in results {
+            assert_eq!((a, b), (4, 8));
+        }
+    }
+
+    #[test]
+    fn stats_count_messages() {
+        let results = run_spmd(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 3, 5u8);
+            } else {
+                let _ = comm.recv::<u8>(0, 3);
+            }
+            comm.stats()
+        });
+        assert_eq!(results[0].messages_sent, 1);
+        assert_eq!(results[1].messages_received, 1);
+    }
+
+    #[test]
+    fn single_rank_world() {
+        let results = run_spmd(1, |comm| {
+            comm.barrier();
+            let v = comm.allgather(9usize);
+            let s = comm.allreduce_sum(2.5);
+            (v, s)
+        });
+        assert_eq!(results[0], (vec![9], 2.5));
+    }
+}

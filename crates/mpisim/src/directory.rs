@@ -1,0 +1,183 @@
+//! A distributed directory: global-id → owner lookups without any rank
+//! holding the whole map.
+//!
+//! Zoltan ships exactly this service (`Zoltan_DD`): after data migrates,
+//! a rank that needs to message the owner of global id `g` asks the
+//! directory. Entries are sharded across ranks by `g % nranks`; updates
+//! and lookups are personalized all-to-alls against the shard owners.
+
+use std::collections::HashMap;
+
+use crate::comm::Comm;
+
+/// A sharded global-id → value directory. `V` is typically the owner
+/// rank plus application bookkeeping.
+pub struct DistDirectory<V> {
+    shard: HashMap<usize, V>,
+}
+
+impl<V: Clone + Send + 'static> DistDirectory<V> {
+    /// Creates an empty directory (collective: every rank participates).
+    pub fn new() -> Self {
+        DistDirectory { shard: HashMap::new() }
+    }
+
+    /// Which rank shards global id `g`.
+    #[inline]
+    pub fn shard_owner(g: usize, nranks: usize) -> usize {
+        g % nranks
+    }
+
+    /// Number of entries stored on this rank's shard.
+    pub fn local_len(&self) -> usize {
+        self.shard.len()
+    }
+
+    /// Registers or overwrites entries (collective). Each rank passes
+    /// the `(global_id, value)` pairs it knows; pairs travel to their
+    /// shard owner. Later writers win ties deterministically by sending
+    /// rank order.
+    pub fn update(&mut self, comm: &mut Comm, entries: Vec<(usize, V)>) {
+        let nranks = comm.size();
+        let mut outgoing: Vec<Vec<(usize, V)>> = (0..nranks).map(|_| Vec::new()).collect();
+        for (g, v) in entries {
+            outgoing[Self::shard_owner(g, nranks)].push((g, v));
+        }
+        let incoming = comm.alltoall(outgoing);
+        for batch in incoming {
+            for (g, v) in batch {
+                self.shard.insert(g, v);
+            }
+        }
+    }
+
+    /// Removes entries (collective).
+    pub fn remove(&mut self, comm: &mut Comm, ids: Vec<usize>) {
+        let nranks = comm.size();
+        let mut outgoing: Vec<Vec<usize>> = (0..nranks).map(|_| Vec::new()).collect();
+        for g in ids {
+            outgoing[Self::shard_owner(g, nranks)].push(g);
+        }
+        let incoming = comm.alltoall(outgoing);
+        for batch in incoming {
+            for g in batch {
+                self.shard.remove(&g);
+            }
+        }
+    }
+
+    /// Looks up many ids (collective). Returns, aligned with `ids`, the
+    /// stored value or `None` for unknown ids.
+    pub fn find(&self, comm: &mut Comm, ids: &[usize]) -> Vec<Option<V>> {
+        let nranks = comm.size();
+        // Send each id (tagged with its position) to its shard owner.
+        let mut outgoing: Vec<Vec<(usize, usize)>> = (0..nranks).map(|_| Vec::new()).collect();
+        for (pos, &g) in ids.iter().enumerate() {
+            outgoing[Self::shard_owner(g, nranks)].push((pos, g));
+        }
+        let queries = comm.alltoall(outgoing);
+        // Answer queries from the local shard.
+        let answers: Vec<Vec<(usize, Option<V>)>> = queries
+            .into_iter()
+            .map(|batch| {
+                batch
+                    .into_iter()
+                    .map(|(pos, g)| (pos, self.shard.get(&g).cloned()))
+                    .collect()
+            })
+            .collect();
+        let replies = comm.alltoall(answers);
+        let mut out: Vec<Option<V>> = (0..ids.len()).map(|_| None).collect();
+        for batch in replies {
+            for (pos, v) in batch {
+                out[pos] = v;
+            }
+        }
+        out
+    }
+}
+
+impl<V: Clone + Send + 'static> Default for DistDirectory<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_spmd;
+
+    #[test]
+    fn update_then_find_round_trips() {
+        let results = run_spmd(4, |comm| {
+            let mut dir: DistDirectory<usize> = DistDirectory::new();
+            // Rank r registers ids 100r..100r+10 with value = owner rank.
+            let entries: Vec<(usize, usize)> =
+                (0..10).map(|i| (comm.rank() * 100 + i, comm.rank())).collect();
+            dir.update(comm, entries);
+            // Everyone looks up a stride of everyone's ids.
+            let ids: Vec<usize> = (0..comm.size()).map(|r| r * 100 + comm.rank()).collect();
+            dir.find(comm, &ids)
+        });
+        for (rank, found) in results.iter().enumerate() {
+            for (r, v) in found.iter().enumerate() {
+                assert_eq!(*v, Some(r), "rank {rank} looking up rank {r}'s id");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_ids_return_none() {
+        let results = run_spmd(3, |comm| {
+            let mut dir: DistDirectory<u8> = DistDirectory::new();
+            dir.update(comm, vec![(7, 1u8)]);
+            dir.find(comm, &[7, 8, 9])
+        });
+        for found in results {
+            assert_eq!(found, vec![Some(1), None, None]);
+        }
+    }
+
+    #[test]
+    fn remove_deletes_everywhere() {
+        let results = run_spmd(2, |comm| {
+            let mut dir: DistDirectory<u8> = DistDirectory::new();
+            dir.update(comm, vec![(0, 1), (1, 2), (2, 3)]);
+            dir.remove(comm, vec![1]);
+            dir.find(comm, &[0, 1, 2])
+        });
+        for found in results {
+            assert_eq!(found, vec![Some(1), None, Some(3)]);
+        }
+    }
+
+    #[test]
+    fn entries_shard_across_ranks() {
+        let results = run_spmd(4, |comm| {
+            let mut dir: DistDirectory<()> = DistDirectory::new();
+            let entries: Vec<(usize, ())> = if comm.rank() == 0 {
+                (0..40).map(|g| (g, ())).collect()
+            } else {
+                Vec::new()
+            };
+            dir.update(comm, entries);
+            dir.local_len()
+        });
+        // 40 ids over 4 shards: 10 each.
+        assert_eq!(results, vec![10; 4]);
+    }
+
+    #[test]
+    fn later_update_wins() {
+        let results = run_spmd(2, |comm| {
+            let mut dir: DistDirectory<usize> = DistDirectory::new();
+            dir.update(comm, vec![(5, comm.rank())]);
+            // Both ranks wrote id 5; rank order makes rank 1 the winner.
+            dir.find(comm, &[5])
+        });
+        for found in results {
+            assert_eq!(found, vec![Some(1)]);
+        }
+    }
+}

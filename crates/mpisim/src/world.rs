@@ -1,0 +1,80 @@
+//! SPMD world launcher.
+
+use crossbeam::channel::unbounded;
+
+use crate::comm::{Comm, Envelope};
+
+/// Runs `f` as an SPMD program on `nranks` simulated ranks and returns
+/// each rank's result in rank order.
+///
+/// Every rank runs on its own OS thread (oversubscription is fine — the
+/// per-rank work in the partitioners is modest, mirroring strong scaling
+/// on the paper's cluster). A panic on any rank propagates to the caller.
+///
+/// # Panics
+/// Panics if `nranks == 0` or if any rank's closure panics.
+pub fn run_spmd<T, F>(nranks: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&mut Comm) -> T + Sync,
+{
+    assert!(nranks > 0, "world must have at least one rank");
+
+    let mut txs = Vec::with_capacity(nranks);
+    let mut rxs = Vec::with_capacity(nranks);
+    for _ in 0..nranks {
+        let (tx, rx) = unbounded::<Envelope>();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+
+    let f = &f;
+    let mut results: Vec<Option<T>> = (0..nranks).map(|_| None).collect();
+
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(nranks);
+        for (rank, rx) in rxs.into_iter().enumerate() {
+            let txs = txs.clone();
+            handles.push(scope.spawn(move |_| {
+                let mut comm = Comm::new(rank, txs, rx);
+                f(&mut comm)
+            }));
+        }
+        for (rank, handle) in handles.into_iter().enumerate() {
+            match handle.join() {
+                Ok(value) => results[rank] = Some(value),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+    })
+    .expect("spmd scope");
+
+    results.into_iter().map(Option::unwrap).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_rank_order() {
+        let r = run_spmd(8, |c| c.rank() * c.rank());
+        assert_eq!(r, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = run_spmd(0, |_| ());
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate")]
+    fn rank_panic_propagates() {
+        let _ = run_spmd(2, |c| {
+            if c.rank() == 1 {
+                panic!("deliberate");
+            }
+        });
+    }
+}

@@ -1,0 +1,281 @@
+//! Coarse-hypergraph construction (Section 4.1).
+//!
+//! Given a matching, merge each matched pair into one coarse vertex
+//! (weights and sizes sum; fixedness propagates per the three scenarios
+//! of Section 4.1), translate every net's pins to coarse ids, drop nets
+//! reduced below two pins (they can never be cut), and collapse identical
+//! nets into one net with the summed cost — the standard multilevel
+//! hygiene that keeps coarse hypergraphs faithful *and* small.
+
+use std::collections::HashMap;
+
+use dlb_hypergraph::{Hypergraph, HypergraphBuilder};
+use rand::rngs::StdRng;
+
+use crate::config::CoarseningConfig;
+use crate::fixed::FixedAssignment;
+use crate::matching::{ipm_matching, Matching};
+
+/// One coarsening level: the coarse hypergraph, the fine→coarse vertex
+/// map, and the coarse fixed assignment.
+#[derive(Clone, Debug)]
+pub struct CoarseLevel {
+    /// The coarse hypergraph.
+    pub coarse: Hypergraph,
+    /// `fine_to_coarse[fine_v] = coarse_v`.
+    pub fine_to_coarse: Vec<usize>,
+    /// Fixed constraint translated to coarse vertices.
+    pub coarse_fixed: FixedAssignment,
+}
+
+/// Contracts `h` along `matching`.
+pub fn contract(h: &Hypergraph, matching: &Matching, fixed: &FixedAssignment) -> CoarseLevel {
+    let n = h.num_vertices();
+    debug_assert!(matching.validate(fixed).is_ok());
+
+    // Assign coarse ids: the smaller endpoint of each pair (or a
+    // singleton) gets the next id, in fine-vertex order for determinism.
+    let mut fine_to_coarse = vec![usize::MAX; n];
+    let mut next = 0usize;
+    for v in 0..n {
+        let m = matching.mate[v];
+        if m >= v {
+            fine_to_coarse[v] = next;
+            if m != v {
+                fine_to_coarse[m] = next;
+            }
+            next += 1;
+        }
+    }
+    let nc = next;
+
+    // Coarse attributes and fixedness.
+    let mut cw = vec![0.0f64; nc];
+    let mut cs = vec![0.0f64; nc];
+    let mut cfixed_opts: Vec<Option<usize>> = vec![None; nc];
+    for v in 0..n {
+        let c = fine_to_coarse[v];
+        cw[c] += h.vertex_weight(v);
+        cs[c] += h.vertex_size(v);
+        if let Some(p) = fixed.get(v) {
+            debug_assert!(cfixed_opts[c].is_none_or(|q| q == p));
+            cfixed_opts[c] = Some(p);
+        }
+    }
+
+    // Translate nets, dropping sub-2-pin nets and collapsing duplicates.
+    let mut b = HypergraphBuilder::new(nc);
+    for (c, (&w, &s)) in cw.iter().zip(&cs).enumerate() {
+        b.set_vertex_weight(c, w);
+        b.set_vertex_size(c, s);
+    }
+    let mut dedup: HashMap<Box<[usize]>, usize> = HashMap::new();
+    let mut collapsed_costs: Vec<f64> = Vec::new();
+    let mut collapsed_pins: Vec<Box<[usize]>> = Vec::new();
+    let mut pins: Vec<usize> = Vec::new();
+    for j in 0..h.num_nets() {
+        pins.clear();
+        pins.extend(h.net(j).iter().map(|&v| fine_to_coarse[v]));
+        pins.sort_unstable();
+        pins.dedup();
+        if pins.len() < 2 {
+            continue;
+        }
+        let key: Box<[usize]> = pins.as_slice().into();
+        match dedup.get(&key) {
+            Some(&idx) => collapsed_costs[idx] += h.net_cost(j),
+            None => {
+                dedup.insert(key.clone(), collapsed_costs.len());
+                collapsed_costs.push(h.net_cost(j));
+                collapsed_pins.push(key);
+            }
+        }
+    }
+    for (pins, cost) in collapsed_pins.iter().zip(&collapsed_costs) {
+        b.add_net(*cost, pins.iter().copied());
+    }
+
+    CoarseLevel {
+        coarse: b.build(),
+        fine_to_coarse,
+        coarse_fixed: FixedAssignment::from_options(&cfixed_opts),
+    }
+}
+
+/// A full coarsening hierarchy, finest first. `levels[i]` maps level `i`'s
+/// hypergraph down to level `i+1`'s; the coarsest hypergraph is
+/// `levels.last().coarse` (or the original if no level was built).
+#[derive(Debug, Default)]
+pub struct Hierarchy {
+    /// Levels from finest contraction to coarsest.
+    pub levels: Vec<CoarseLevel>,
+}
+
+impl Hierarchy {
+    /// Projects a partition of the coarsest hypergraph up to the finest
+    /// (original) vertices, without refinement.
+    pub fn project_to_finest(&self, coarsest_part: &[usize]) -> Vec<usize> {
+        let mut part = coarsest_part.to_vec();
+        for level in self.levels.iter().rev() {
+            let mut finer = vec![0usize; level.fine_to_coarse.len()];
+            for (v, &c) in level.fine_to_coarse.iter().enumerate() {
+                finer[v] = part[c];
+            }
+            part = finer;
+        }
+        part
+    }
+}
+
+/// Repeatedly matches and contracts `h` until it has at most
+/// `target_vertices` vertices, a level shrinks by less than
+/// `cfg.min_reduction`, or `cfg.max_levels` is hit.
+pub fn coarsen_to(
+    h: &Hypergraph,
+    fixed: &FixedAssignment,
+    target_vertices: usize,
+    cfg: &CoarseningConfig,
+    rng: &mut StdRng,
+) -> Hierarchy {
+    let mut hierarchy = Hierarchy::default();
+    let mut current = h.clone();
+    let mut current_fixed = fixed.clone();
+
+    while current.num_vertices() > target_vertices && hierarchy.levels.len() < cfg.max_levels {
+        let matching = ipm_matching(&current, &current_fixed, cfg, rng);
+        let before = current.num_vertices();
+        let after = matching.coarse_count();
+        // Unsuccessful coarsening: the paper stops when a step fails to
+        // shrink the hypergraph by the threshold (typically 10%).
+        if ((before - after) as f64) < before as f64 * cfg.min_reduction {
+            break;
+        }
+        let level = contract(&current, &matching, &current_fixed);
+        current = level.coarse.clone();
+        current_fixed = level.coarse_fixed.clone();
+        hierarchy.levels.push(level);
+    }
+    hierarchy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn pair_matching(n: usize, pairs: &[(usize, usize)]) -> Matching {
+        let mut mate: Vec<usize> = (0..n).collect();
+        for &(u, v) in pairs {
+            mate[u] = v;
+            mate[v] = u;
+        }
+        Matching { mate, num_pairs: pairs.len() }
+    }
+
+    #[test]
+    fn contract_merges_weights_and_sizes() {
+        let mut h = Hypergraph::from_nets_unit(4, &[vec![0, 1], vec![1, 2], vec![2, 3]]);
+        h.set_vertex_weight(0, 2.0);
+        h.set_vertex_size(1, 3.0);
+        let m = pair_matching(4, &[(0, 1), (2, 3)]);
+        let fixed = FixedAssignment::free(4);
+        let lvl = contract(&h, &m, &fixed);
+        assert_eq!(lvl.coarse.num_vertices(), 2);
+        assert_eq!(lvl.coarse.vertex_weight(0), 3.0); // 2 + 1
+        assert_eq!(lvl.coarse.vertex_size(0), 4.0); // 1 + 3
+        lvl.coarse.validate().unwrap();
+    }
+
+    #[test]
+    fn contract_drops_internal_nets_and_keeps_cut_nets() {
+        let h = Hypergraph::from_nets_unit(4, &[vec![0, 1], vec![1, 2], vec![2, 3]]);
+        let m = pair_matching(4, &[(0, 1), (2, 3)]);
+        let lvl = contract(&h, &m, &FixedAssignment::free(4));
+        // Nets {0,1} and {2,3} become single-pin and vanish; {1,2} survives.
+        assert_eq!(lvl.coarse.num_nets(), 1);
+        assert_eq!(lvl.coarse.net(0), &[0, 1]);
+    }
+
+    #[test]
+    fn contract_collapses_identical_nets() {
+        let h = Hypergraph::from_nets(
+            6,
+            &[vec![0, 2], vec![1, 3], vec![4, 5]],
+            vec![1.0, 2.0, 5.0],
+        );
+        // Merge 0+1 and 2+3: nets {0,2} and {1,3} both become {c0, c1}.
+        let m = pair_matching(6, &[(0, 1), (2, 3)]);
+        let lvl = contract(&h, &m, &FixedAssignment::free(6));
+        assert_eq!(lvl.coarse.num_nets(), 2);
+        // The collapsed net carries the summed cost 3.0.
+        let costs: Vec<f64> = (0..2).map(|j| lvl.coarse.net_cost(j)).collect();
+        assert!(costs.contains(&3.0));
+        assert!(costs.contains(&5.0));
+    }
+
+    #[test]
+    fn fixedness_propagates() {
+        let h = Hypergraph::from_nets_unit(4, &[vec![0, 1], vec![2, 3]]);
+        let mut fixed = FixedAssignment::free(4);
+        fixed.fix(1, 2);
+        let m = pair_matching(4, &[(0, 1)]);
+        let lvl = contract(&h, &m, &fixed);
+        // Coarse vertex of {0,1} is fixed to 2; coarse singletons 2,3 free.
+        let c01 = lvl.fine_to_coarse[0];
+        assert_eq!(lvl.coarse_fixed.get(c01), Some(2));
+        assert_eq!(lvl.coarse_fixed.num_fixed(), 1);
+    }
+
+    #[test]
+    fn coarsen_to_reaches_target() {
+        let h = crate::tests::grid_hypergraph(12, 12);
+        let fixed = FixedAssignment::free(144);
+        let mut rng = StdRng::seed_from_u64(5);
+        let hier = coarsen_to(&h, &fixed, 20, &CoarseningConfig::default(), &mut rng);
+        assert!(!hier.levels.is_empty());
+        let coarsest = &hier.levels.last().unwrap().coarse;
+        assert!(coarsest.num_vertices() <= 40, "coarsest {}", coarsest.num_vertices());
+        // Weight conservation through the whole hierarchy.
+        assert!((coarsest.total_vertex_weight() - 144.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn projection_roundtrip() {
+        let h = crate::tests::grid_hypergraph(8, 8);
+        let fixed = FixedAssignment::free(64);
+        let mut rng = StdRng::seed_from_u64(6);
+        let hier = coarsen_to(&h, &fixed, 10, &CoarseningConfig::default(), &mut rng);
+        let coarsest = hier
+            .levels
+            .last()
+            .map(|l| l.coarse.clone())
+            .unwrap_or_else(|| h.clone());
+        // Assign coarse vertices alternately and project.
+        let cpart: Vec<usize> = (0..coarsest.num_vertices()).map(|v| v % 2).collect();
+        let fpart = hier.project_to_finest(&cpart);
+        assert_eq!(fpart.len(), 64);
+        // Every fine vertex inherits its coarse vertex's part.
+        let mut cur: Vec<usize> = fpart.clone();
+        for lvl in &hier.levels {
+            let mut coarse_seen: Vec<Option<usize>> = vec![None; lvl.coarse.num_vertices()];
+            for (v, &c) in lvl.fine_to_coarse.iter().enumerate() {
+                match coarse_seen[c] {
+                    None => coarse_seen[c] = Some(cur[v]),
+                    Some(p) => assert_eq!(p, cur[v], "siblings disagree"),
+                }
+            }
+            cur = coarse_seen.into_iter().map(Option::unwrap).collect();
+        }
+        assert_eq!(cur, cpart);
+    }
+
+    #[test]
+    fn stops_on_unsuccessful_coarsening() {
+        // A hypergraph with no nets can never match: zero levels.
+        let h = Hypergraph::from_nets_unit(50, &[]);
+        let fixed = FixedAssignment::free(50);
+        let mut rng = StdRng::seed_from_u64(7);
+        let hier = coarsen_to(&h, &fixed, 10, &CoarseningConfig::default(), &mut rng);
+        assert!(hier.levels.is_empty());
+    }
+}

@@ -1,0 +1,163 @@
+//! Partitioner configuration.
+
+/// How the k-way partition is produced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Scheme {
+    /// Repeated bisection with fixed-part relabeling (Section 4.4).
+    /// Zoltan's approach; the default.
+    #[default]
+    RecursiveBisection,
+    /// Direct k-way multilevel V-cycle.
+    DirectKway,
+}
+
+/// Coarsening-phase parameters (Section 4.1).
+#[derive(Clone, Debug)]
+pub struct CoarseningConfig {
+    /// Stop coarsening once the hypergraph has at most
+    /// `coarse_to_factor * k` vertices (the paper suggests `2k`; a larger
+    /// factor gives the coarse partitioner more room).
+    pub coarse_to_factor: usize,
+    /// Hard floor on coarse size regardless of `k`.
+    pub min_coarse_vertices: usize,
+    /// Abort coarsening when a level shrinks the vertex count by less
+    /// than this fraction (the paper's "typically 10%" threshold:
+    /// `0.10`).
+    pub min_reduction: f64,
+    /// Safety cap on the number of levels.
+    pub max_levels: usize,
+    /// Scale each net's contribution to the inner product by
+    /// `1/(|n|-1)` (PaToH-style heavy connectivity). Ablation toggle.
+    pub scaled_ipm: bool,
+    /// Nets with more pins than this are skipped when computing match
+    /// scores: huge nets make IPM quadratic and carry little similarity
+    /// signal (standard practice in PaToH/hMETIS/Zoltan).
+    pub max_net_size_for_matching: usize,
+    /// Parallel matching only: restrict each rank's candidates to
+    /// rank-local partners, skipping the global candidate broadcast and
+    /// best-match reduction. This is the speedup the paper proposes as
+    /// future work ("using local IPM instead of global IPM") — faster,
+    /// possibly slightly lower quality. Ignored by the serial matcher.
+    pub local_ipm: bool,
+}
+
+impl Default for CoarseningConfig {
+    fn default() -> Self {
+        CoarseningConfig {
+            coarse_to_factor: 20,
+            min_coarse_vertices: 80,
+            min_reduction: 0.10,
+            max_levels: 40,
+            scaled_ipm: true,
+            max_net_size_for_matching: 300,
+            local_ipm: false,
+        }
+    }
+}
+
+/// Coarse-partitioning parameters (Section 4.2).
+#[derive(Clone, Debug)]
+pub struct InitialConfig {
+    /// Number of randomized greedy-hypergraph-growing attempts; the best
+    /// (by cut, tie-broken by balance) wins. The parallel partitioner
+    /// uses one attempt per rank instead.
+    pub num_attempts: usize,
+}
+
+impl Default for InitialConfig {
+    fn default() -> Self {
+        InitialConfig { num_attempts: 8 }
+    }
+}
+
+/// Refinement-phase parameters (Section 4.3).
+#[derive(Clone, Debug)]
+pub struct RefinementConfig {
+    /// Maximum FM pass-pairs per level; passes stop early when a pass
+    /// yields no improvement.
+    pub max_passes: usize,
+    /// Stop a pass after this many consecutive non-improving moves
+    /// (limits tail wandering; `0` disables the limit).
+    pub max_negative_streak: usize,
+    /// Objective the FM gains optimize. The paper uses connectivity-1
+    /// (Eq. (2)), which models true communication volume; cut-net is
+    /// offered for VLSI-style workloads (PaToH supports both).
+    pub metric: dlb_hypergraph::metrics::CutMetric,
+}
+
+impl Default for RefinementConfig {
+    fn default() -> Self {
+        RefinementConfig {
+            max_passes: 4,
+            max_negative_streak: 200,
+            metric: dlb_hypergraph::metrics::CutMetric::Connectivity,
+        }
+    }
+}
+
+/// Top-level partitioner configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Allowed imbalance ε of Eq. (1): every part must satisfy
+    /// `W_p ≤ (1+ε) W_avg`.
+    pub epsilon: f64,
+    /// RNG seed; equal seeds give identical partitions.
+    pub seed: u64,
+    /// K-way scheme.
+    pub scheme: Scheme,
+    /// Coarsening parameters.
+    pub coarsening: CoarseningConfig,
+    /// Coarse-partitioning parameters.
+    pub initial: InitialConfig,
+    /// Refinement parameters.
+    pub refinement: RefinementConfig,
+    /// Total V-cycles. The first builds the partition from scratch;
+    /// each additional cycle re-coarsens *within* the current parts
+    /// (keeping the partition representable at every level) and refines
+    /// the projection — PaToH/Zoltan's iterated-V-cycle quality knob.
+    /// The result of an extra cycle is kept only if it improves the cut.
+    pub num_vcycles: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            epsilon: 0.05,
+            seed: 0,
+            scheme: Scheme::default(),
+            coarsening: CoarseningConfig::default(),
+            initial: InitialConfig::default(),
+            refinement: RefinementConfig::default(),
+            num_vcycles: 1,
+        }
+    }
+}
+
+impl Config {
+    /// The default configuration with a specific seed.
+    pub fn seeded(seed: u64) -> Self {
+        Config { seed, ..Config::default() }
+    }
+}
+
+pub use dlb_hypergraph::balance::PartTargets;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_parameters() {
+        let c = Config::default();
+        assert_eq!(c.scheme, Scheme::RecursiveBisection);
+        assert!((c.coarsening.min_reduction - 0.10).abs() < 1e-12);
+        assert!(c.epsilon > 0.0);
+    }
+
+    #[test]
+    fn seeded_only_changes_seed() {
+        let c = Config::seeded(99);
+        assert_eq!(c.seed, 99);
+        assert_eq!(c.epsilon, Config::default().epsilon);
+    }
+}

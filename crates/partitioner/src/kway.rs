@@ -1,0 +1,242 @@
+//! Direct k-way multilevel partitioning, and the shared V-cycle used by
+//! both k-way and recursive bisection.
+//!
+//! The V-cycle is the classic multilevel scheme of Section 2.2: coarsen
+//! until the hypergraph is small (or coarsening stalls), partition the
+//! coarsest hypergraph, then project back level by level, refining at
+//! each level. Fixed-vertex constraints ride along the hierarchy via
+//! [`crate::coarsen::CoarseLevel::coarse_fixed`].
+
+use dlb_hypergraph::{metrics, Hypergraph, PartId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::coarsen::{coarsen_to, contract, CoarseLevel};
+use crate::config::{Config, PartTargets};
+use crate::fixed::FixedAssignment;
+use crate::initial::initial_partition;
+use crate::matching::ipm_matching_restricted;
+use crate::refine::refine;
+
+/// Runs one multilevel V-cycle on `h` for the given targets (any number
+/// of parts), honoring `fixed`. Returns a complete assignment.
+pub(crate) fn multilevel(
+    h: &Hypergraph,
+    targets: &PartTargets,
+    fixed: &FixedAssignment,
+    cfg: &Config,
+    rng: &mut StdRng,
+) -> Vec<PartId> {
+    let k = targets.k();
+    if k == 1 {
+        return vec![0; h.num_vertices()];
+    }
+    if h.num_vertices() == 0 {
+        return Vec::new();
+    }
+
+    let coarse_target = (cfg.coarsening.coarse_to_factor * k).max(cfg.coarsening.min_coarse_vertices);
+    let hierarchy = coarsen_to(h, fixed, coarse_target, &cfg.coarsening, rng);
+
+    // Partition the coarsest hypergraph.
+    let (coarsest_h, coarsest_fixed): (&Hypergraph, &FixedAssignment) = match hierarchy.levels.last()
+    {
+        Some(level) => (&level.coarse, &level.coarse_fixed),
+        None => (h, fixed),
+    };
+    let mut part = initial_partition(coarsest_h, targets, coarsest_fixed, &cfg.initial, rng);
+    refine(coarsest_h, targets, coarsest_fixed, &mut part, &cfg.refinement, rng);
+
+    // Uncoarsen: project to each finer level and refine there.
+    for i in (0..hierarchy.levels.len()).rev() {
+        let level = &hierarchy.levels[i];
+        let (finer_h, finer_fixed): (&Hypergraph, &FixedAssignment) = if i == 0 {
+            (h, fixed)
+        } else {
+            (&hierarchy.levels[i - 1].coarse, &hierarchy.levels[i - 1].coarse_fixed)
+        };
+        let mut finer_part = vec![0usize; finer_h.num_vertices()];
+        for (v, &c) in level.fine_to_coarse.iter().enumerate() {
+            finer_part[v] = part[c];
+        }
+        refine(finer_h, targets, finer_fixed, &mut finer_part, &cfg.refinement, rng);
+        part = finer_part;
+    }
+    part
+}
+
+/// One *iterated* V-cycle: re-coarsens `h` with matching restricted to
+/// the current parts (so the partition stays exactly representable at
+/// every level), then refines the projection on the way back up.
+/// Returns the refined assignment; the caller decides whether to keep it.
+pub(crate) fn vcycle_refine(
+    h: &Hypergraph,
+    targets: &PartTargets,
+    fixed: &FixedAssignment,
+    part: &[PartId],
+    cfg: &Config,
+    rng: &mut StdRng,
+) -> Vec<PartId> {
+    let k = targets.k();
+    let coarse_target = (cfg.coarsening.coarse_to_factor * k).max(cfg.coarsening.min_coarse_vertices);
+
+    let mut levels: Vec<CoarseLevel> = Vec::new();
+    let mut cur_h = h.clone();
+    let mut cur_fixed = fixed.clone();
+    let mut cur_part = part.to_vec();
+    while cur_h.num_vertices() > coarse_target && levels.len() < cfg.coarsening.max_levels {
+        let m = ipm_matching_restricted(&cur_h, &cur_fixed, Some(&cur_part), &cfg.coarsening, rng);
+        let before = cur_h.num_vertices();
+        if ((before - m.coarse_count()) as f64) < before as f64 * cfg.coarsening.min_reduction {
+            break;
+        }
+        let level = contract(&cur_h, &m, &cur_fixed);
+        let mut coarse_part = vec![0usize; level.coarse.num_vertices()];
+        for (v, &c) in level.fine_to_coarse.iter().enumerate() {
+            coarse_part[c] = cur_part[v];
+        }
+        cur_h = level.coarse.clone();
+        cur_fixed = level.coarse_fixed.clone();
+        cur_part = coarse_part;
+        levels.push(level);
+    }
+
+    // Refine at the coarsest level, then project upward, refining at
+    // each level (same uncoarsening walk as the primary cycle).
+    {
+        let (coarsest_h, coarsest_fixed): (&Hypergraph, &FixedAssignment) = match levels.last() {
+            Some(level) => (&level.coarse, &level.coarse_fixed),
+            None => (h, fixed),
+        };
+        refine(coarsest_h, targets, coarsest_fixed, &mut cur_part, &cfg.refinement, rng);
+    }
+    for i in (0..levels.len()).rev() {
+        let level = &levels[i];
+        let (finer_h, finer_fixed): (&Hypergraph, &FixedAssignment) = if i == 0 {
+            (h, fixed)
+        } else {
+            (&levels[i - 1].coarse, &levels[i - 1].coarse_fixed)
+        };
+        let mut finer_part = vec![0usize; finer_h.num_vertices()];
+        for (v, &c) in level.fine_to_coarse.iter().enumerate() {
+            finer_part[v] = cur_part[c];
+        }
+        refine(finer_h, targets, finer_fixed, &mut finer_part, &cfg.refinement, rng);
+        cur_part = finer_part;
+    }
+    cur_part
+}
+
+/// Runs the configured number of extra V-cycles on `part`, keeping each
+/// cycle's result only when it improves the k-1 cut without worsening
+/// balance beyond the cap.
+pub(crate) fn iterate_vcycles(
+    h: &Hypergraph,
+    targets: &PartTargets,
+    fixed: &FixedAssignment,
+    mut part: Vec<PartId>,
+    cfg: &Config,
+    rng: &mut StdRng,
+) -> Vec<PartId> {
+    if cfg.num_vcycles <= 1 || h.num_vertices() == 0 || targets.k() < 2 {
+        return part;
+    }
+    let k = targets.k();
+    let mut best_cut = metrics::cutsize_connectivity(h, &part, k);
+    for _ in 1..cfg.num_vcycles {
+        let candidate = vcycle_refine(h, targets, fixed, &part, cfg, rng);
+        let cut = metrics::cutsize_connectivity(h, &candidate, k);
+        let w = metrics::part_weights(h, &candidate, k);
+        let feasible = (0..k).all(|p| w[p] <= targets.cap(p) + 1e-9);
+        if cut < best_cut && feasible {
+            best_cut = cut;
+            part = candidate;
+        }
+    }
+    part
+}
+
+/// Direct k-way multilevel partitioning with fixed vertices.
+pub fn partition_kway(
+    h: &Hypergraph,
+    k: usize,
+    fixed: &FixedAssignment,
+    cfg: &Config,
+) -> Vec<PartId> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let targets = PartTargets::uniform(h.total_vertex_weight(), k, cfg.epsilon);
+    multilevel(h, &targets, fixed, cfg, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlb_hypergraph::metrics;
+
+    #[test]
+    fn kway_direct_basics() {
+        let h = crate::tests::grid_hypergraph(10, 10);
+        let fixed = FixedAssignment::free(100);
+        let part = partition_kway(&h, 5, &fixed, &Config::seeded(3));
+        assert_eq!(part.len(), 100);
+        assert!(part.iter().all(|&p| p < 5));
+        let imb = metrics::imbalance(&h, &part, 5);
+        assert!(imb <= 1.12, "imbalance {imb}");
+    }
+
+    #[test]
+    fn kway_honors_fixed() {
+        let h = crate::tests::grid_hypergraph(6, 6);
+        let mut fixed = FixedAssignment::free(36);
+        fixed.fix(0, 1);
+        fixed.fix(35, 0);
+        let part = partition_kway(&h, 2, &fixed, &Config::seeded(4));
+        assert_eq!(part[0], 1);
+        assert_eq!(part[35], 0);
+    }
+
+    #[test]
+    fn extra_vcycles_never_hurt() {
+        let h = crate::tests::random_hypergraph(250, 500, 5, 31);
+        let fixed = FixedAssignment::free(250);
+        let mut base_cfg = Config::seeded(2);
+        base_cfg.scheme = crate::Scheme::DirectKway;
+        let one = crate::partition_hypergraph_fixed(&h, 4, &fixed, &base_cfg);
+        let mut cfg = base_cfg.clone();
+        cfg.num_vcycles = 3;
+        let three = crate::partition_hypergraph_fixed(&h, 4, &fixed, &cfg);
+        assert!(
+            three.cut <= one.cut + 1e-9,
+            "3 V-cycles ({}) must not be worse than 1 ({})",
+            three.cut,
+            one.cut
+        );
+        assert!(three.imbalance <= 1.0 + cfg.epsilon + 0.05);
+    }
+
+    #[test]
+    fn vcycle_respects_fixed_vertices() {
+        let h = crate::tests::grid_hypergraph(8, 8);
+        let mut fixed = FixedAssignment::free(64);
+        fixed.fix(0, 1);
+        fixed.fix(63, 0);
+        let mut cfg = Config::seeded(4);
+        cfg.num_vcycles = 3;
+        let r = crate::partition_hypergraph_fixed(&h, 2, &fixed, &cfg);
+        assert_eq!(r.part[0], 1);
+        assert_eq!(r.part[63], 0);
+    }
+
+    #[test]
+    fn multilevel_on_netless_hypergraph() {
+        // No nets → no coarsening possible, initial partition must still
+        // produce a balanced assignment.
+        let h = Hypergraph::from_nets_unit(40, &[]);
+        let fixed = FixedAssignment::free(40);
+        let part = partition_kway(&h, 4, &fixed, &Config::seeded(5));
+        let w = metrics::part_weights(&h, &part, 4);
+        for p in 0..4 {
+            assert!((w[p] - 10.0).abs() <= 2.0, "part {p} weight {}", w[p]);
+        }
+    }
+}

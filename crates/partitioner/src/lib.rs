@@ -1,0 +1,282 @@
+//! Multilevel hypergraph partitioning **with fixed vertices**, serial and
+//! parallel — the partitioning engine of Section 4 of the paper.
+//!
+//! The multilevel scheme has the classic three phases, each extended to
+//! honor fixed-vertex constraints:
+//!
+//! * **Coarsening** ([`matching`], [`coarsen`]): inner-product matching
+//!   (IPM, PaToH's *heavy-connectivity matching*) merges similar vertex
+//!   pairs. Two vertices fixed to *different* parts never match; a pair
+//!   with one fixed vertex produces a coarse vertex fixed to that part,
+//!   so fixedness propagates exactly as in Section 4.1.
+//! * **Coarse partitioning** ([`initial`]): randomized greedy hypergraph
+//!   growing computes several candidate partitions (different seeds) and
+//!   keeps the best; fixed coarse vertices are pre-assigned to their
+//!   parts and never reconsidered (Section 4.2).
+//! * **Refinement** ([`refine`]): a localized Fiduccia–Mattheyses pass
+//!   over boundary vertices improves the connectivity-1 cut while
+//!   maintaining balance; fixed vertices are never moved (Section 4.3).
+//!
+//! K-way partitions are produced by **recursive bisection** ([`rb`]) with
+//! the fixed-part relabeling of Section 4.4 (parts `0..⌈k/2⌉` fix to side
+//! 0, the rest to side 1), or by a **direct k-way** V-cycle ([`kway`]) —
+//! Zoltan uses recursive bisection, so that is the default.
+//!
+//! The [`par`] module runs the same scheme SPMD over
+//! [`dlb_mpisim`]: round-based candidate matching with global best-match
+//! selection, replicated coarse partitioning (each rank a different seed,
+//! best wins), and rank-localized FM with synchronized part weights.
+//!
+//! # Example
+//!
+//! ```
+//! use dlb_hypergraph::{Hypergraph, metrics};
+//! use dlb_partitioner::{partition_hypergraph, Config};
+//!
+//! // Two triangles joined by one net.
+//! let h = Hypergraph::from_nets_unit(
+//!     6,
+//!     &[vec![0,1,2], vec![3,4,5], vec![2,3]],
+//! );
+//! let result = partition_hypergraph(&h, 2, &Config::default());
+//! assert!(metrics::imbalance(&h, &result.part, 2) <= 1.0 + 0.05 + 1e-9);
+//! assert_eq!(result.cut, 1.0); // only the joining net is cut
+//! ```
+
+// Index-heavy kernels iterate several parallel arrays at once; classic
+// indexed loops read better there than zipped iterator chains.
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+pub mod coarsen;
+pub mod config;
+pub mod fixed;
+pub mod initial;
+pub mod kway;
+pub mod matching;
+pub mod par;
+pub mod rb;
+pub mod refine;
+
+pub use config::{CoarseningConfig, Config, InitialConfig, RefinementConfig, Scheme};
+pub use fixed::FixedAssignment;
+
+use dlb_hypergraph::{metrics, Hypergraph, PartId};
+
+/// The outcome of a partitioning call.
+#[derive(Clone, Debug)]
+pub struct PartitionResult {
+    /// Part assignment per vertex, entries in `0..k`.
+    pub part: Vec<PartId>,
+    /// Connectivity-1 cut (Eq. (2)) of the assignment.
+    pub cut: f64,
+    /// Load imbalance `max_p W_p / W_avg`.
+    pub imbalance: f64,
+}
+
+impl PartitionResult {
+    /// Computes cut and imbalance for `part` on `h`.
+    pub fn evaluate(h: &Hypergraph, part: Vec<PartId>, k: usize) -> Self {
+        let cut = metrics::cutsize_connectivity(h, &part, k);
+        let imbalance = metrics::imbalance(h, &part, k);
+        PartitionResult { part, cut, imbalance }
+    }
+}
+
+/// Partitions `h` into `k` parts with no fixed vertices.
+pub fn partition_hypergraph(h: &Hypergraph, k: usize, cfg: &Config) -> PartitionResult {
+    partition_hypergraph_fixed(h, k, &FixedAssignment::free(h.num_vertices()), cfg)
+}
+
+/// Partitions `h` into `k` parts under a fixed-vertex constraint: every
+/// vertex with `fixed.get(v) == Some(p)` ends in part `p`.
+///
+/// This is the operation the repartitioning model of Section 3 reduces
+/// to: partition vertices are fixed to their parts, ordinary vertices are
+/// free.
+///
+/// # Panics
+/// Panics if `k == 0`, if `fixed` has the wrong length, or if a fixed
+/// part id is `>= k`.
+pub fn partition_hypergraph_fixed(
+    h: &Hypergraph,
+    k: usize,
+    fixed: &FixedAssignment,
+    cfg: &Config,
+) -> PartitionResult {
+    assert!(k > 0, "k must be positive");
+    assert_eq!(fixed.len(), h.num_vertices(), "fixed assignment length mismatch");
+    if let Some(p) = fixed.max_part() {
+        assert!(p < k, "fixed part {p} out of range for k={k}");
+    }
+
+    let part = match cfg.scheme {
+        Scheme::RecursiveBisection => rb::partition_recursive(h, k, fixed, cfg),
+        Scheme::DirectKway => kway::partition_kway(h, k, fixed, cfg),
+    };
+    // Optional iterated V-cycles polish the result (kept only if better).
+    let part = {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed ^ 0x5EED_C1C1E);
+        let targets =
+            config::PartTargets::uniform(h.total_vertex_weight(), k, cfg.epsilon);
+        kway::iterate_vcycles(h, &targets, fixed, part, cfg, &mut rng)
+    };
+    debug_assert!(fixed.is_respected_by(&part));
+    PartitionResult::evaluate(h, part, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlb_hypergraph::HypergraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A 2D grid graph expressed as a hypergraph with one net per edge.
+    pub(crate) fn grid_hypergraph(rows: usize, cols: usize) -> Hypergraph {
+        let idx = |r: usize, c: usize| r * cols + c;
+        let mut b = HypergraphBuilder::new(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    b.add_net(1.0, [idx(r, c), idx(r, c + 1)]);
+                }
+                if r + 1 < rows {
+                    b.add_net(1.0, [idx(r, c), idx(r + 1, c)]);
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// A random hypergraph for smoke tests.
+    pub(crate) fn random_hypergraph(n: usize, m: usize, max_pins: usize, seed: u64) -> Hypergraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = HypergraphBuilder::new(n);
+        for _ in 0..m {
+            let s = rng.gen_range(2..=max_pins.max(2));
+            let pins: Vec<usize> = (0..s).map(|_| rng.gen_range(0..n)).collect();
+            b.add_net(rng.gen_range(1..4) as f64, pins);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn bisect_two_cliques() {
+        // Two 8-vertex cliques (as single nets of high cost) joined by a
+        // cheap net: optimal bisection cuts only the joiner.
+        let mut b = HypergraphBuilder::new(16);
+        b.add_net(10.0, 0..8);
+        b.add_net(10.0, 8..16);
+        b.add_net(1.0, [7, 8]);
+        // Give the partitioner edges inside the cliques to work with.
+        for i in 0..7 {
+            b.add_net(2.0, [i, i + 1]);
+            b.add_net(2.0, [8 + i, 9 + i]);
+        }
+        let h = b.build();
+        let r = partition_hypergraph(&h, 2, &Config::seeded(1));
+        assert_eq!(r.cut, 1.0, "only the cheap joiner net should be cut");
+        assert!(r.imbalance <= 1.05 + 1e-9);
+    }
+
+    #[test]
+    fn grid_four_way_is_balanced_and_reasonable() {
+        let h = grid_hypergraph(16, 16);
+        let cfg = Config::seeded(7);
+        let r = partition_hypergraph(&h, 4, &cfg);
+        assert!(r.imbalance <= 1.0 + cfg.epsilon + 1e-9, "imbalance {}", r.imbalance);
+        // The perfect 4-way cut of a 16x16 grid with quadrant blocks is 32;
+        // a decent multilevel partitioner should be in that neighborhood.
+        assert!(r.cut <= 64.0, "cut {} too high", r.cut);
+    }
+
+    #[test]
+    fn fixed_vertices_are_respected() {
+        let h = grid_hypergraph(8, 8);
+        let mut fixed = FixedAssignment::free(64);
+        fixed.fix(0, 0);
+        fixed.fix(63, 3);
+        fixed.fix(7, 1);
+        fixed.fix(56, 2);
+        let r = partition_hypergraph_fixed(&h, 4, &fixed, &Config::seeded(3));
+        assert_eq!(r.part[0], 0);
+        assert_eq!(r.part[63], 3);
+        assert_eq!(r.part[7], 1);
+        assert_eq!(r.part[56], 2);
+    }
+
+    #[test]
+    fn many_fixed_vertices_still_respected() {
+        let h = grid_hypergraph(10, 10);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut fixed = FixedAssignment::free(100);
+        for v in 0..100 {
+            if rng.gen_bool(0.3) {
+                fixed.fix(v, rng.gen_range(0..4));
+            }
+        }
+        let cfg = Config::seeded(11);
+        let r = partition_hypergraph_fixed(&h, 4, &fixed, &cfg);
+        for v in 0..100 {
+            if let Some(p) = fixed.get(v) {
+                assert_eq!(r.part[v], p, "vertex {v} escaped its fixed part");
+            }
+        }
+    }
+
+    #[test]
+    fn k_equals_one_trivial() {
+        let h = grid_hypergraph(4, 4);
+        let r = partition_hypergraph(&h, 1, &Config::default());
+        assert!(r.part.iter().all(|&p| p == 0));
+        assert_eq!(r.cut, 0.0);
+    }
+
+    #[test]
+    fn k_larger_than_vertices() {
+        let h = grid_hypergraph(2, 2);
+        let r = partition_hypergraph(&h, 8, &Config::seeded(2));
+        assert_eq!(r.part.len(), 4);
+        assert!(r.part.iter().all(|&p| p < 8));
+    }
+
+    #[test]
+    fn uneven_k_respects_balance() {
+        let h = grid_hypergraph(12, 12);
+        let cfg = Config::seeded(5);
+        let r = partition_hypergraph(&h, 3, &cfg);
+        assert!(r.imbalance <= 1.0 + cfg.epsilon + 0.02, "imbalance {}", r.imbalance);
+    }
+
+    #[test]
+    fn direct_kway_also_works() {
+        let h = grid_hypergraph(12, 12);
+        let mut cfg = Config::seeded(5);
+        cfg.scheme = Scheme::DirectKway;
+        let r = partition_hypergraph(&h, 4, &cfg);
+        assert!(r.imbalance <= 1.0 + cfg.epsilon + 0.05, "imbalance {}", r.imbalance);
+        assert!(r.cut > 0.0);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let h = random_hypergraph(200, 400, 5, 17);
+        let a = partition_hypergraph(&h, 4, &Config::seeded(42));
+        let b = partition_hypergraph(&h, 4, &Config::seeded(42));
+        assert_eq!(a.part, b.part);
+    }
+
+    #[test]
+    fn weighted_vertices_balance_by_weight() {
+        let mut h = grid_hypergraph(8, 8);
+        // Make one corner heavy.
+        h.set_vertex_weight(0, 20.0);
+        let cfg = Config::seeded(13);
+        let r = partition_hypergraph(&h, 2, &cfg);
+        let w = metrics::part_weights(&h, &r.part, 2);
+        let imb = metrics::imbalance_of_weights(&w);
+        assert!(imb <= 1.0 + cfg.epsilon + 0.25, "imbalance {imb} (heavy vertex)");
+    }
+}

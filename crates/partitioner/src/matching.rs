@@ -1,0 +1,258 @@
+//! Inner-product matching (IPM) with fixed-vertex constraints.
+//!
+//! IPM — PaToH's *heavy-connectivity matching*, later adopted by hMETIS
+//! and Mondriaan — scores a candidate pair `(u, v)` by the inner product
+//! of their net-incidence vectors: the sum over shared nets of the net's
+//! contribution. With `scaled_ipm` the contribution of net `n` is
+//! `c_n / (|n| − 1)`, favoring small tightly-coupled nets; unscaled it is
+//! plain `c_n`.
+//!
+//! Greedy first-choice matching visits vertices in random order; each
+//! unmatched vertex matches its best-scoring unmatched neighbor that is
+//! *compatible* (not fixed to a different part — Section 4.1's
+//! constraint). Scores for incompatible pairs are still computed and then
+//! discarded at selection time, mirroring the paper's "compute all match
+//! scores including infeasible ones, select a feasible best" strategy
+//! (which it reports adds only insignificant overhead).
+
+use dlb_hypergraph::Hypergraph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+use crate::config::CoarseningConfig;
+use crate::fixed::FixedAssignment;
+
+/// A matching: `mate[v] == v` for unmatched vertices, otherwise the
+/// partner (symmetric: `mate[mate[v]] == v`).
+#[derive(Clone, Debug)]
+pub struct Matching {
+    /// Partner per vertex (self for unmatched).
+    pub mate: Vec<usize>,
+    /// Number of matched pairs.
+    pub num_pairs: usize,
+}
+
+impl Matching {
+    /// Number of coarse vertices this matching produces.
+    pub fn coarse_count(&self) -> usize {
+        self.mate.len() - self.num_pairs
+    }
+
+    /// Validates symmetry and fixed-compatibility.
+    pub fn validate(&self, fixed: &FixedAssignment) -> Result<(), String> {
+        if self.mate.len() != fixed.len() {
+            return Err("matching length mismatch".into());
+        }
+        let mut pairs = 0;
+        for (v, &m) in self.mate.iter().enumerate() {
+            if m >= self.mate.len() {
+                return Err(format!("vertex {v} matched out of range"));
+            }
+            if self.mate[m] != v {
+                return Err(format!("matching not symmetric at {v}"));
+            }
+            if m != v {
+                pairs += 1;
+                if !fixed.compatible(v, m) {
+                    return Err(format!("vertices {v} and {m} fixed to different parts"));
+                }
+            }
+        }
+        if pairs != 2 * self.num_pairs {
+            return Err("pair count mismatch".into());
+        }
+        Ok(())
+    }
+}
+
+/// Computes a greedy first-choice IPM matching of `h` honoring `fixed`.
+///
+/// `rng` drives the visit order; equal seeds give identical matchings.
+pub fn ipm_matching(
+    h: &Hypergraph,
+    fixed: &FixedAssignment,
+    cfg: &CoarseningConfig,
+    rng: &mut StdRng,
+) -> Matching {
+    ipm_matching_restricted(h, fixed, None, cfg, rng)
+}
+
+/// [`ipm_matching`] with an optional part restriction: when `parts` is
+/// `Some`, two vertices may only match if they currently share a part.
+/// Used by V-cycle iterations (re-coarsening must keep the current
+/// partition representable, exactly like adaptive graph coarsening).
+pub fn ipm_matching_restricted(
+    h: &Hypergraph,
+    fixed: &FixedAssignment,
+    parts: Option<&[usize]>,
+    cfg: &CoarseningConfig,
+    rng: &mut StdRng,
+) -> Matching {
+    let n = h.num_vertices();
+    let mut mate: Vec<usize> = (0..n).collect();
+    let mut num_pairs = 0;
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+
+    // Sparse score accumulator: scores[w] for candidate partners w of the
+    // current vertex, reset via the touched list.
+    let mut scores = vec![0.0f64; n];
+    let mut touched: Vec<usize> = Vec::new();
+
+    for &u in &order {
+        if mate[u] != u {
+            continue;
+        }
+        touched.clear();
+        for &j in h.vertex_nets(u) {
+            let size = h.net_size(j);
+            if size < 2 || size > cfg.max_net_size_for_matching {
+                continue;
+            }
+            let contrib = if cfg.scaled_ipm {
+                h.net_cost(j) / (size - 1) as f64
+            } else {
+                h.net_cost(j)
+            };
+            if contrib <= 0.0 {
+                continue;
+            }
+            for &w in h.net(j) {
+                if w == u || mate[w] != w {
+                    continue;
+                }
+                if scores[w] == 0.0 {
+                    touched.push(w);
+                }
+                scores[w] += contrib;
+            }
+        }
+        // Select the best *compatible* candidate (infeasible scores were
+        // computed but are skipped here, as in the paper).
+        let mut best: Option<usize> = None;
+        let mut best_score = 0.0;
+        for &w in &touched {
+            let s = scores[w];
+            scores[w] = 0.0;
+            if s > best_score
+                && fixed.compatible(u, w)
+                && parts.is_none_or(|p| p[u] == p[w])
+            {
+                best_score = s;
+                best = Some(w);
+            }
+        }
+        if let Some(w) = best {
+            mate[u] = w;
+            mate[w] = u;
+            num_pairs += 1;
+        }
+    }
+
+    Matching { mate, num_pairs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn cfg() -> CoarseningConfig {
+        CoarseningConfig::default()
+    }
+
+    #[test]
+    fn matches_tightly_coupled_pairs() {
+        // Vertices 0,1 share two nets; 2,3 share two nets; one weak net
+        // crosses. IPM should pair (0,1) and (2,3).
+        let h = Hypergraph::from_nets_unit(
+            4,
+            &[vec![0, 1], vec![0, 1], vec![2, 3], vec![2, 3], vec![1, 2]],
+        );
+        let fixed = FixedAssignment::free(4);
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = ipm_matching(&h, &fixed, &cfg(), &mut rng);
+        m.validate(&fixed).unwrap();
+        assert_eq!(m.num_pairs, 2);
+        assert_eq!(m.mate[0], 1);
+        assert_eq!(m.mate[2], 3);
+    }
+
+    #[test]
+    fn incompatible_fixed_pairs_never_match() {
+        let h = Hypergraph::from_nets_unit(2, &[vec![0, 1], vec![0, 1]]);
+        let mut fixed = FixedAssignment::free(2);
+        fixed.fix(0, 0);
+        fixed.fix(1, 1);
+        for seed in 0..5 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let m = ipm_matching(&h, &fixed, &cfg(), &mut rng);
+            m.validate(&fixed).unwrap();
+            assert_eq!(m.num_pairs, 0, "fixed-to-different-parts pair matched");
+        }
+    }
+
+    #[test]
+    fn same_part_fixed_pairs_do_match() {
+        let h = Hypergraph::from_nets_unit(2, &[vec![0, 1]]);
+        let mut fixed = FixedAssignment::free(2);
+        fixed.fix(0, 3);
+        fixed.fix(1, 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = ipm_matching(&h, &fixed, &cfg(), &mut rng);
+        assert_eq!(m.num_pairs, 1);
+    }
+
+    #[test]
+    fn huge_nets_are_ignored_for_scores() {
+        let mut c = cfg();
+        c.max_net_size_for_matching = 3;
+        // Only a size-4 net connects anything: no matches possible.
+        let h = Hypergraph::from_nets_unit(4, &[vec![0, 1, 2, 3]]);
+        let fixed = FixedAssignment::free(4);
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = ipm_matching(&h, &fixed, &c, &mut rng);
+        assert_eq!(m.num_pairs, 0);
+    }
+
+    #[test]
+    fn scaled_ipm_prefers_small_nets() {
+        let mut c = cfg();
+        c.scaled_ipm = true;
+        // 0-1 share a 2-pin net (contrib 1.0); 0-2 share a 3-pin net
+        // (contrib 0.5); 2-3 share both a 2-pin and the 3-pin net
+        // (contrib 1.5), so every visit order pairs (0,1) and (2,3)
+        // under scaled IPM.
+        let h = Hypergraph::from_nets_unit(4, &[vec![0, 1], vec![0, 2, 3], vec![2, 3]]);
+        let fixed = FixedAssignment::free(4);
+        for seed in 0..8 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let m = ipm_matching(&h, &fixed, &c, &mut rng);
+            assert_eq!(m.mate[0], 1, "seed {seed}: scaled IPM should pick the 2-pin net");
+            assert_eq!(m.mate[2], 3, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_stay_unmatched() {
+        let h = Hypergraph::from_nets_unit(3, &[vec![0, 1]]);
+        let fixed = FixedAssignment::free(3);
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = ipm_matching(&h, &fixed, &cfg(), &mut rng);
+        assert_eq!(m.mate[2], 2);
+        assert!(m.coarse_count() >= 2);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let h = Hypergraph::from_nets_unit(
+            6,
+            &[vec![0, 1, 2], vec![2, 3], vec![3, 4, 5], vec![1, 4]],
+        );
+        let fixed = FixedAssignment::free(6);
+        let a = ipm_matching(&h, &fixed, &cfg(), &mut StdRng::seed_from_u64(7));
+        let b = ipm_matching(&h, &fixed, &cfg(), &mut StdRng::seed_from_u64(7));
+        assert_eq!(a.mate, b.mate);
+    }
+}

@@ -1,0 +1,140 @@
+//! The parallel multilevel V-cycle (Section 4, assembled).
+
+use dlb_hypergraph::{Hypergraph, PartId};
+use dlb_mpisim::Comm;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::coarsen::{contract, Hierarchy};
+use crate::config::{Config, PartTargets};
+use crate::fixed::FixedAssignment;
+use crate::initial::{initial_partition, score};
+use crate::par::matching::par_ipm_matching;
+use crate::par::refine::par_refine;
+use crate::refine::refine as serial_refine;
+
+/// One parallel multilevel V-cycle. Collective; every rank returns the
+/// identical assignment.
+pub fn par_multilevel(
+    comm: &mut Comm,
+    h: &Hypergraph,
+    targets: &PartTargets,
+    fixed: &FixedAssignment,
+    cfg: &Config,
+    rng: &mut StdRng,
+) -> Vec<PartId> {
+    let k = targets.k();
+    if k == 1 {
+        return vec![0; h.num_vertices()];
+    }
+    if h.num_vertices() == 0 {
+        return Vec::new();
+    }
+
+    // --- Parallel coarsening: candidate-round IPM per level. ---
+    let coarse_target =
+        (cfg.coarsening.coarse_to_factor * k).max(cfg.coarsening.min_coarse_vertices);
+    let mut hierarchy = Hierarchy::default();
+    let mut current = h.clone();
+    let mut current_fixed = fixed.clone();
+    while current.num_vertices() > coarse_target && hierarchy.levels.len() < cfg.coarsening.max_levels
+    {
+        let matching = par_ipm_matching(comm, &current, &current_fixed, &cfg.coarsening, rng);
+        let before = current.num_vertices();
+        let after = matching.coarse_count();
+        if ((before - after) as f64) < before as f64 * cfg.coarsening.min_reduction {
+            break; // unsuccessful coarsening (paper's 10% rule)
+        }
+        // Contraction is deterministic, so every rank builds the same
+        // coarse hypergraph without communication.
+        let level = contract(&current, &matching, &current_fixed);
+        current = level.coarse.clone();
+        current_fixed = level.coarse_fixed.clone();
+        hierarchy.levels.push(level);
+    }
+
+    // --- Coarse partitioning: one randomized attempt per rank (plus the
+    // configured serial attempts), globally best wins (Section 4.2). ---
+    let (coarsest_h, coarsest_fixed): (&Hypergraph, &FixedAssignment) = match hierarchy.levels.last()
+    {
+        Some(level) => (&level.coarse, &level.coarse_fixed),
+        None => (h, fixed),
+    };
+    let shared_draw: u64 = rng.gen();
+    let mut my_rng = StdRng::seed_from_u64(
+        shared_draw ^ (comm.rank() as u64).wrapping_mul(0x1357_9BDF_2468_ACE0),
+    );
+    let mut my_part =
+        initial_partition(coarsest_h, targets, coarsest_fixed, &cfg.initial, &mut my_rng);
+    serial_refine(
+        coarsest_h,
+        targets,
+        coarsest_fixed,
+        &mut my_part,
+        &cfg.refinement,
+        &mut my_rng,
+    );
+    let my_score = score(coarsest_h, &my_part, targets);
+    // Pick the winning rank, then broadcast its partition.
+    let (_, winner) = comm.allreduce((my_score, comm.rank()), |a, b| {
+        match a.0.total_cmp(&b.0) {
+            std::cmp::Ordering::Less => a,
+            std::cmp::Ordering::Greater => b,
+            std::cmp::Ordering::Equal => {
+                if a.1 <= b.1 {
+                    a
+                } else {
+                    b
+                }
+            }
+        }
+    });
+    let mut part = comm.broadcast(winner, my_part);
+
+    // --- Uncoarsening with localized parallel FM per level. ---
+    let nlevels = hierarchy.levels.len();
+    for i in (0..nlevels).rev() {
+        // Refine at the current (coarse) level, then project one level up.
+        let (level_h, level_fixed): (&Hypergraph, &FixedAssignment) = {
+            let l = &hierarchy.levels[i];
+            (&l.coarse, &l.coarse_fixed)
+        };
+        par_refine(comm, level_h, targets, level_fixed, &mut part, &cfg.refinement, rng);
+        let level = &hierarchy.levels[i];
+        let mut finer = vec![0usize; level.fine_to_coarse.len()];
+        for (v, &c) in level.fine_to_coarse.iter().enumerate() {
+            finer[v] = part[c];
+        }
+        part = finer;
+    }
+    // Final refinement at the finest level.
+    par_refine(comm, h, targets, fixed, &mut part, &cfg.refinement, rng);
+    part
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlb_hypergraph::metrics;
+    use dlb_mpisim::run_spmd;
+
+    #[test]
+    fn par_multilevel_bisection_quality() {
+        let h = crate::tests::grid_hypergraph(14, 14);
+        let targets = PartTargets::uniform(h.total_vertex_weight(), 2, 0.05);
+        let fixed = FixedAssignment::free(h.num_vertices());
+        let cfg = Config::seeded(17);
+        let results = run_spmd(4, |comm| {
+            let mut rng = StdRng::seed_from_u64(1);
+            par_multilevel(comm, &h, &targets, &fixed, &cfg, &mut rng)
+        });
+        for r in &results[1..] {
+            assert_eq!(*r, results[0]);
+        }
+        let part = &results[0];
+        let cut = metrics::cutsize_connectivity(&h, part, 2);
+        // Ideal vertical split of a 14x14 grid cuts 14 edges.
+        assert!(cut <= 32.0, "cut {cut}");
+        assert!(metrics::imbalance(&h, part, 2) <= 1.06);
+    }
+}

@@ -1,0 +1,360 @@
+//! Round-based parallel inner-product matching (Section 4.1, parallel).
+//!
+//! Mirrors the candidate protocol of Zoltan's parallel IPM: in each round
+//! every rank nominates a subset of its owned unmatched vertices as
+//! *candidates*, candidates travel to all ranks (all-gather), every rank
+//! computes its best owned partner for every candidate (computing scores
+//! for fixed-incompatible pairs too, discarding them only at selection —
+//! the paper notes this adds insignificant overhead), and a global
+//! all-reduce picks each candidate's best partner. All ranks then apply
+//! the winning matches identically, so the coarse hypergraph is built
+//! consistently everywhere without further communication.
+
+use dlb_hypergraph::Hypergraph;
+use dlb_mpisim::{BlockDist, Comm};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::config::CoarseningConfig;
+use crate::fixed::FixedAssignment;
+use crate::matching::Matching;
+
+/// Fraction of a rank's unmatched owned vertices nominated per round.
+const CANDIDATE_FRACTION: f64 = 0.5;
+/// Maximum candidate rounds per coarsening level.
+const MAX_ROUNDS: usize = 4;
+
+/// A rank's proposal for one candidate: (score, proposing rank, partner).
+/// Reduced by lexicographic max on (score, -rank) so ties resolve to the
+/// lowest rank deterministically.
+#[derive(Clone, Copy, Debug)]
+struct Proposal {
+    score: f64,
+    rank: usize,
+    partner: usize,
+}
+
+impl Proposal {
+    const NONE: Proposal = Proposal { score: 0.0, rank: usize::MAX, partner: usize::MAX };
+
+    fn better_of(a: &Proposal, b: &Proposal) -> Proposal {
+        match a.score.total_cmp(&b.score) {
+            std::cmp::Ordering::Greater => *a,
+            std::cmp::Ordering::Less => *b,
+            std::cmp::Ordering::Equal => {
+                if a.rank <= b.rank {
+                    *a
+                } else {
+                    *b
+                }
+            }
+        }
+    }
+}
+
+/// Computes IPM scores of `u` against all unmatched vertices in the
+/// owned range `range`, returning the best feasible partner.
+#[allow(clippy::too_many_arguments)]
+fn best_owned_partner(
+    h: &Hypergraph,
+    u: usize,
+    mate: &[usize],
+    taken: &[bool],
+    fixed: &FixedAssignment,
+    cfg: &CoarseningConfig,
+    range: &std::ops::Range<usize>,
+    scores: &mut [f64],
+    touched: &mut Vec<usize>,
+) -> Option<(usize, f64)> {
+    touched.clear();
+    for &j in h.vertex_nets(u) {
+        let size = h.net_size(j);
+        if size < 2 || size > cfg.max_net_size_for_matching {
+            continue;
+        }
+        let contrib = if cfg.scaled_ipm {
+            h.net_cost(j) / (size - 1) as f64
+        } else {
+            h.net_cost(j)
+        };
+        if contrib <= 0.0 {
+            continue;
+        }
+        for &w in h.net(j) {
+            if w == u || !range.contains(&w) || mate[w] != w || taken[w] {
+                continue;
+            }
+            if scores[w] == 0.0 {
+                touched.push(w);
+            }
+            scores[w] += contrib;
+        }
+    }
+    let mut best: Option<(usize, f64)> = None;
+    for &w in touched.iter() {
+        let s = scores[w];
+        scores[w] = 0.0;
+        // Feasibility check happens here, after scoring (Section 4.1).
+        if fixed.compatible(u, w) && best.is_none_or(|(_, bs)| s > bs) {
+            best = Some((w, s));
+        }
+    }
+    best
+}
+
+/// One level of parallel matching. Collective: all ranks must call with
+/// identical `h`, `fixed`, `cfg`; `rng` seeds may differ per rank only
+/// through `comm.rank()` (handled internally). Returns the same matching
+/// on every rank.
+pub fn par_ipm_matching(
+    comm: &mut Comm,
+    h: &Hypergraph,
+    fixed: &FixedAssignment,
+    cfg: &CoarseningConfig,
+    rng: &mut StdRng,
+) -> Matching {
+    if cfg.local_ipm {
+        return par_local_ipm_matching(comm, h, fixed, cfg, rng);
+    }
+    let n = h.num_vertices();
+    let dist = BlockDist::new(n, comm.size());
+    let my_range = dist.range(comm.rank());
+    // Per-rank decorrelated RNG derived from the shared stream so all
+    // ranks advance their shared `rng` identically.
+    let shared_draw: u64 = rng.gen();
+    let mut my_rng = StdRng::seed_from_u64(shared_draw ^ (comm.rank() as u64).wrapping_mul(0xA5A5_5A5A_DEAD_BEEF));
+
+    let mut mate: Vec<usize> = (0..n).collect();
+    let mut num_pairs = 0usize;
+    let mut scores = vec![0.0f64; n];
+    let mut touched: Vec<usize> = Vec::new();
+
+    for _round in 0..MAX_ROUNDS {
+        // Nominate candidates among owned unmatched vertices.
+        let mut my_unmatched: Vec<usize> =
+            my_range.clone().filter(|&v| mate[v] == v).collect();
+        my_unmatched.shuffle(&mut my_rng);
+        let ncand = ((my_unmatched.len() as f64 * CANDIDATE_FRACTION).ceil() as usize)
+            .min(my_unmatched.len());
+        let mut my_cands = my_unmatched[..ncand].to_vec();
+        my_cands.sort_unstable();
+
+        // Candidates travel to every rank.
+        let all_cands: Vec<usize> = comm
+            .allgather(my_cands)
+            .into_iter()
+            .flatten()
+            .collect();
+        if all_cands.is_empty() {
+            break;
+        }
+
+        // Every rank proposes its best owned partner per candidate.
+        // `taken` prevents one owned vertex from being proposed to two
+        // candidates in the same round.
+        let mut taken = vec![false; n];
+        let proposals: Vec<(f64, usize, usize)> = all_cands
+            .iter()
+            .map(|&u| {
+                // A candidate cannot partner itself; candidates owned by
+                // this rank may still be proposed as partners of others.
+                let best = best_owned_partner(
+                    h, u, &mate, &taken, fixed, cfg, &my_range, &mut scores, &mut touched,
+                );
+                match best {
+                    Some((w, s)) if !all_cands.contains(&w) || w > u => {
+                        taken[w] = true;
+                        (s, comm.rank(), w)
+                    }
+                    _ => (Proposal::NONE.score, Proposal::NONE.rank, Proposal::NONE.partner),
+                }
+            })
+            .collect();
+
+        // Global best proposal per candidate.
+        let winners = comm.allreduce_vec(proposals, |a, b| {
+            let pa = Proposal { score: a.0, rank: a.1, partner: a.2 };
+            let pb = Proposal { score: b.0, rank: b.1, partner: b.2 };
+            let w = Proposal::better_of(&pa, &pb);
+            (w.score, w.rank, w.partner)
+        });
+
+        // Apply winners in deterministic candidate order; identical on
+        // all ranks. Conflicts (partner matched earlier this loop) skip.
+        let mut matched_this_round = 0usize;
+        for (&u, &(score, rank, partner)) in all_cands.iter().zip(&winners) {
+            if rank == usize::MAX || score <= 0.0 {
+                continue;
+            }
+            if mate[u] != u || mate[partner] != partner || u == partner {
+                continue;
+            }
+            debug_assert!(fixed.compatible(u, partner));
+            mate[u] = partner;
+            mate[partner] = u;
+            num_pairs += 1;
+            matched_this_round += 1;
+        }
+        if matched_this_round == 0 {
+            break;
+        }
+    }
+
+    Matching { mate, num_pairs }
+}
+
+/// Local IPM (the paper's proposed speedup, Section 5/6: "using local
+/// IPM instead of global IPM"): every rank greedily matches its owned
+/// vertices against *owned* partners only — no candidate broadcast, no
+/// best-match reduction — then the disjoint per-rank matchings are
+/// merged with a single all-gather. Cross-rank pairs are lost (the
+/// quality trade), but per-level communication drops from `O(rounds)`
+/// collectives to one.
+fn par_local_ipm_matching(
+    comm: &mut Comm,
+    h: &Hypergraph,
+    fixed: &FixedAssignment,
+    cfg: &CoarseningConfig,
+    rng: &mut StdRng,
+) -> Matching {
+    let n = h.num_vertices();
+    let dist = BlockDist::new(n, comm.size());
+    let my_range = dist.range(comm.rank());
+    let shared_draw: u64 = rng.gen();
+    let mut my_rng = StdRng::seed_from_u64(
+        shared_draw ^ (comm.rank() as u64).wrapping_mul(0x0BAD_CAFE_F00D_BEEF),
+    );
+
+    let mut mate: Vec<usize> = (0..n).collect();
+    let mut scores = vec![0.0f64; n];
+    let mut touched: Vec<usize> = Vec::new();
+    let taken = vec![false; n];
+
+    let mut order: Vec<usize> = my_range.clone().collect();
+    order.shuffle(&mut my_rng);
+    let mut my_pairs: Vec<(usize, usize)> = Vec::new();
+    for &u in &order {
+        if mate[u] != u {
+            continue;
+        }
+        if let Some((w, _)) = best_owned_partner(
+            h, u, &mate, &taken, fixed, cfg, &my_range, &mut scores, &mut touched,
+        ) {
+            mate[u] = w;
+            mate[w] = u;
+            my_pairs.push((u.min(w), u.max(w)));
+        }
+    }
+
+    // Merge the per-rank matchings; ownership makes them disjoint.
+    let all_pairs: Vec<(usize, usize)> = comm.allgather(my_pairs).into_iter().flatten().collect();
+    let mut mate: Vec<usize> = (0..n).collect();
+    for &(u, w) in &all_pairs {
+        debug_assert!(mate[u] == u && mate[w] == w, "ranks produced overlapping pairs");
+        mate[u] = w;
+        mate[w] = u;
+    }
+    Matching { mate, num_pairs: all_pairs.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlb_mpisim::run_spmd;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_ranks_agree_on_matching() {
+        let h = crate::tests::grid_hypergraph(10, 10);
+        let fixed = FixedAssignment::free(100);
+        let cfg = CoarseningConfig::default();
+        let results = run_spmd(4, |comm| {
+            let mut rng = StdRng::seed_from_u64(7);
+            par_ipm_matching(comm, &h, &fixed, &cfg, &mut rng).mate
+        });
+        for r in &results[1..] {
+            assert_eq!(*r, results[0]);
+        }
+    }
+
+    #[test]
+    fn parallel_matching_is_valid_and_productive() {
+        let h = crate::tests::grid_hypergraph(12, 12);
+        let fixed = FixedAssignment::free(144);
+        let cfg = CoarseningConfig::default();
+        let results = run_spmd(3, |comm| {
+            let mut rng = StdRng::seed_from_u64(9);
+            par_ipm_matching(comm, &h, &fixed, &cfg, &mut rng)
+        });
+        let m = &results[0];
+        m.validate(&fixed).unwrap();
+        // A grid should match a decent fraction of vertices.
+        assert!(
+            m.num_pairs * 2 >= 144 / 3,
+            "only {} pairs matched",
+            m.num_pairs
+        );
+    }
+
+    #[test]
+    fn local_ipm_matches_only_within_blocks() {
+        let h = crate::tests::grid_hypergraph(10, 10);
+        let fixed = FixedAssignment::free(100);
+        let cfg = CoarseningConfig { local_ipm: true, ..Default::default() };
+        let results = run_spmd(4, |comm| {
+            let mut rng = StdRng::seed_from_u64(5);
+            let dist = BlockDist::new(100, comm.size());
+            let m = par_ipm_matching(comm, &h, &fixed, &cfg, &mut rng);
+            (m, dist)
+        });
+        let (m, dist) = &results[0];
+        m.validate(&fixed).unwrap();
+        assert!(m.num_pairs > 0, "local matching should find pairs");
+        for v in 0..100 {
+            let u = m.mate[v];
+            if u != v {
+                assert_eq!(
+                    dist.owner(v),
+                    dist.owner(u),
+                    "local IPM must not match across ranks ({v}-{u})"
+                );
+            }
+        }
+        // All ranks agree.
+        for r in &results[1..] {
+            assert_eq!(r.0.mate, m.mate);
+        }
+    }
+
+    #[test]
+    fn local_ipm_whole_partition_works() {
+        // End-to-end: the parallel partitioner with local IPM still
+        // produces a valid, reasonably balanced partition.
+        let h = crate::tests::grid_hypergraph(12, 12);
+        let mut cfg = crate::Config::seeded(3);
+        cfg.coarsening.local_ipm = true;
+        let results = run_spmd(3, |comm| {
+            crate::par::parallel_partition(comm, &h, 4, &cfg)
+        });
+        let r = &results[0];
+        assert!(r.part.iter().all(|&p| p < 4));
+        assert!(r.imbalance <= 1.12, "imbalance {}", r.imbalance);
+    }
+
+    #[test]
+    fn parallel_matching_respects_fixed_constraint() {
+        let h = crate::tests::grid_hypergraph(8, 8);
+        let mut fixed = FixedAssignment::free(64);
+        // Checkerboard of incompatible fixations on the left column pairs.
+        for v in 0..8 {
+            fixed.fix(v, v % 2);
+        }
+        let cfg = CoarseningConfig::default();
+        let results = run_spmd(2, |comm| {
+            let mut rng = StdRng::seed_from_u64(11);
+            par_ipm_matching(comm, &h, &fixed, &cfg, &mut rng)
+        });
+        results[0].validate(&fixed).unwrap();
+    }
+}

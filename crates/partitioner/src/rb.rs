@@ -1,0 +1,194 @@
+//! Recursive bisection with fixed vertices (Section 4.4).
+//!
+//! K-way partitioning by repeated two-way splits. At each bisection the
+//! fixed-vertex information is relabeled exactly as the paper describes:
+//! vertices fixed to parts `0..⌈k/2⌉` are fixed to side 0, vertices fixed
+//! to parts `⌈k/2⌉..k` to side 1 — then the two sides recurse with their
+//! own (shifted) fixed parts. Side weight targets are proportional to the
+//! number of final parts each side will receive, and the imbalance budget
+//! ε is spread geometrically across the `⌈log₂ k⌉` bisection levels so
+//! the final k-way partition meets the overall Eq. (1) bound.
+
+use dlb_hypergraph::subset::induced_subhypergraph;
+use dlb_hypergraph::{Hypergraph, PartId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::{Config, PartTargets};
+use crate::fixed::FixedAssignment;
+use crate::kway::multilevel;
+
+/// Per-bisection imbalance tolerance so that `depth` nested bisections
+/// compound to at most the overall `epsilon`.
+fn per_level_epsilon(epsilon: f64, k: usize) -> f64 {
+    let depth = (k.max(2) as f64).log2().ceil().max(1.0);
+    (1.0 + epsilon).powf(1.0 / depth) - 1.0
+}
+
+/// Partitions `h` into `k` parts by recursive bisection, honoring
+/// `fixed`.
+pub fn partition_recursive(
+    h: &Hypergraph,
+    k: usize,
+    fixed: &FixedAssignment,
+    cfg: &Config,
+) -> Vec<PartId> {
+    partition_recursive_shares(h, &vec![1; k], fixed, cfg)
+}
+
+/// Recursive bisection toward *non-uniform* part sizes: part `p` targets
+/// `shares[p] / Σ shares` of the total weight (e.g. processor speeds on
+/// a heterogeneous machine). Each bisection splits the share vector, so
+/// the side targets compose correctly at every level.
+pub fn partition_recursive_shares(
+    h: &Hypergraph,
+    shares: &[usize],
+    fixed: &FixedAssignment,
+    cfg: &Config,
+) -> Vec<PartId> {
+    let k = shares.len();
+    assert!(k > 0, "need at least one part");
+    assert!(shares.iter().all(|&s| s > 0), "shares must be positive");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let eps = per_level_epsilon(cfg.epsilon, k);
+    recurse(h, shares, fixed, cfg, eps, &mut rng)
+}
+
+fn recurse(
+    h: &Hypergraph,
+    shares: &[usize],
+    fixed: &FixedAssignment,
+    cfg: &Config,
+    eps: f64,
+    rng: &mut StdRng,
+) -> Vec<PartId> {
+    let k = shares.len();
+    if k == 1 {
+        return vec![0; h.num_vertices()];
+    }
+    if h.num_vertices() == 0 {
+        return Vec::new();
+    }
+
+    let k0 = k.div_ceil(2);
+
+    // Bisect with side targets proportional to the final part shares.
+    let side_fixed = fixed.bisection_sides(k0);
+    let share0: usize = shares[..k0].iter().sum();
+    let share1: usize = shares[k0..].iter().sum();
+    let targets = PartTargets::proportional(h.total_vertex_weight(), &[share0, share1], eps);
+    let sides = multilevel(h, &targets, &side_fixed, cfg, rng);
+    debug_assert_eq!(sides.len(), h.num_vertices());
+
+    // Split into the two induced sub-hypergraphs. Cut nets survive on
+    // each side restricted to that side's pins (if at least two remain),
+    // the standard way recursive bisection keeps accounting for them.
+    let keep0: Vec<bool> = sides.iter().map(|&s| s == 0).collect();
+    let keep1: Vec<bool> = sides.iter().map(|&s| s == 1).collect();
+    let side0 = induced_subhypergraph(h, &keep0);
+    let side1 = induced_subhypergraph(h, &keep1);
+
+    let fixed0 = FixedAssignment::from_options(
+        &side0.to_base.iter().map(|&v| fixed.get(v)).collect::<Vec<_>>(),
+    );
+    let fixed1 = FixedAssignment::from_options(
+        &side1
+            .to_base
+            .iter()
+            .map(|&v| fixed.get(v).map(|p| p - k0))
+            .collect::<Vec<_>>(),
+    );
+
+    let part0 = recurse(&side0.hypergraph, &shares[..k0], &fixed0, cfg, eps, rng);
+    let part1 = recurse(&side1.hypergraph, &shares[k0..], &fixed1, cfg, eps, rng);
+
+    let mut part = vec![0usize; h.num_vertices()];
+    for (new_v, &old_v) in side0.to_base.iter().enumerate() {
+        part[old_v] = part0[new_v];
+    }
+    for (new_v, &old_v) in side1.to_base.iter().enumerate() {
+        part[old_v] = k0 + part1[new_v];
+    }
+    part
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlb_hypergraph::metrics;
+
+    #[test]
+    fn per_level_epsilon_compounds_correctly() {
+        let eps = per_level_epsilon(0.05, 8);
+        // Three levels: (1+eps)^3 == 1.05.
+        assert!(((1.0 + eps).powi(3) - 1.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rb_eight_way_on_grid() {
+        let h = crate::tests::grid_hypergraph(16, 16);
+        let fixed = FixedAssignment::free(256);
+        let cfg = Config::seeded(9);
+        let part = partition_recursive(&h, 8, &fixed, &cfg);
+        assert!(part.iter().all(|&p| p < 8));
+        let imb = metrics::imbalance(&h, &part, 8);
+        assert!(imb <= 1.0 + cfg.epsilon + 0.02, "imbalance {imb}");
+        // All eight parts are nonempty.
+        let w = metrics::part_weights(&h, &part, 8);
+        assert!(w.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn rb_fixed_relabeling_lands_vertices_in_exact_parts() {
+        let h = crate::tests::grid_hypergraph(8, 8);
+        let mut fixed = FixedAssignment::free(64);
+        for p in 0..4 {
+            fixed.fix(p * 16, p); // fix one vertex into each final part
+        }
+        let part = partition_recursive(&h, 4, &fixed, &Config::seeded(10));
+        for p in 0..4 {
+            assert_eq!(part[p * 16], p, "fixed vertex for part {p}");
+        }
+    }
+
+    #[test]
+    fn rb_odd_k() {
+        let h = crate::tests::grid_hypergraph(9, 9);
+        let fixed = FixedAssignment::free(81);
+        let part = partition_recursive(&h, 3, &fixed, &Config::seeded(11));
+        let w = metrics::part_weights(&h, &part, 3);
+        let imb = metrics::imbalance_of_weights(&w);
+        assert!(imb <= 1.12, "imbalance {imb} for k=3: {w:?}");
+    }
+
+    #[test]
+    fn rb_heterogeneous_shares() {
+        // A 3:1 machine: part 0 should carry ~3/4 of the weight.
+        let h = crate::tests::grid_hypergraph(12, 12);
+        let fixed = FixedAssignment::free(144);
+        let part = partition_recursive_shares(&h, &[3, 1], &fixed, &Config::seeded(13));
+        let w = metrics::part_weights(&h, &part, 2);
+        assert!((w[0] - 108.0).abs() <= 10.0, "weights {w:?}");
+        assert!((w[1] - 36.0).abs() <= 10.0, "weights {w:?}");
+    }
+
+    #[test]
+    fn rb_shares_with_three_unequal_parts() {
+        let h = crate::tests::grid_hypergraph(10, 10);
+        let fixed = FixedAssignment::free(100);
+        let part = partition_recursive_shares(&h, &[2, 1, 1], &fixed, &Config::seeded(14));
+        let w = metrics::part_weights(&h, &part, 3);
+        assert!((w[0] - 50.0).abs() <= 8.0, "weights {w:?}");
+        assert!((w[1] - 25.0).abs() <= 8.0, "weights {w:?}");
+        assert!((w[2] - 25.0).abs() <= 8.0, "weights {w:?}");
+    }
+
+    #[test]
+    fn rb_k_exceeding_vertices_assigns_in_range() {
+        let h = crate::tests::grid_hypergraph(2, 3);
+        let fixed = FixedAssignment::free(6);
+        let part = partition_recursive(&h, 4, &fixed, &Config::seeded(12));
+        assert_eq!(part.len(), 6);
+        assert!(part.iter().all(|&p| p < 4));
+    }
+}

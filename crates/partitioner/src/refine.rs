@@ -1,0 +1,696 @@
+//! Fiduccia–Mattheyses refinement with fixed vertices (Section 4.3).
+//!
+//! The refiner improves the connectivity-1 cut of a k-way assignment by
+//! hill-climbing vertex moves with rollback: within a pass, boundary
+//! vertices move one at a time to their best-gain feasible target part
+//! (each vertex at most once per pass), the running cumulative gain is
+//! tracked, and at the end the pass is rolled back to its best prefix —
+//! so individual negative-gain moves are allowed as escapes from local
+//! minima, but a pass never ends worse than it started. Fixed vertices
+//! are never moved.
+//!
+//! Gains use the k-1 metric directly: moving `v` from `p` to `q` changes
+//! the cut by `Σ_{n ∋ v} c_n·([σ(n,p)=1] − [σ(n,q)=0])`, where `σ(n,p)`
+//! is the number of `n`'s pins in part `p`.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use dlb_hypergraph::metrics::CutMetric;
+use dlb_hypergraph::{Hypergraph, PartId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+use crate::config::{PartTargets, RefinementConfig};
+use crate::fixed::FixedAssignment;
+
+/// Nets larger than this do not trigger neighbor re-queues after a move;
+/// their pins' gains drift slightly until popped (and are then
+/// recomputed exactly). Keeps huge nets from making passes quadratic.
+const MAX_NET_SIZE_FOR_UPDATES: usize = 400;
+
+/// Incrementally maintained partition state: per-net-per-part pin counts
+/// and part weights.
+pub struct PartitionState<'a> {
+    h: &'a Hypergraph,
+    k: usize,
+    /// `sigma[j*k + p]` = number of net `j`'s pins in part `p`.
+    sigma: Vec<u32>,
+    /// Total vertex weight per part.
+    pub weights: Vec<f64>,
+    /// Current assignment.
+    pub part: Vec<PartId>,
+}
+
+impl<'a> PartitionState<'a> {
+    /// Builds the state for `part` on `h`.
+    pub fn new(h: &'a Hypergraph, k: usize, part: Vec<PartId>) -> Self {
+        assert_eq!(part.len(), h.num_vertices());
+        let mut sigma = vec![0u32; h.num_nets() * k];
+        for j in 0..h.num_nets() {
+            for &v in h.net(j) {
+                sigma[j * k + part[v]] += 1;
+            }
+        }
+        let mut weights = vec![0.0f64; k];
+        for (v, &p) in part.iter().enumerate() {
+            weights[p] += h.vertex_weight(v);
+        }
+        PartitionState { h, k, sigma, weights, part }
+    }
+
+    #[inline]
+    fn sigma(&self, j: usize, p: usize) -> u32 {
+        self.sigma[j * self.k + p]
+    }
+
+    /// Moves `v` to part `q`, updating pin counts and weights.
+    pub fn apply(&mut self, v: usize, q: PartId) {
+        let p = self.part[v];
+        if p == q {
+            return;
+        }
+        for &j in self.h.vertex_nets(v) {
+            self.sigma[j * self.k + p] -= 1;
+            self.sigma[j * self.k + q] += 1;
+        }
+        let w = self.h.vertex_weight(v);
+        self.weights[p] -= w;
+        self.weights[q] += w;
+        self.part[v] = q;
+    }
+
+    /// The gain (cut decrease) of moving `v` to `q` under the k-1 metric.
+    pub fn gain(&self, v: usize, q: PartId) -> f64 {
+        let p = self.part[v];
+        if p == q {
+            return 0.0;
+        }
+        let mut g = 0.0;
+        for &j in self.h.vertex_nets(v) {
+            let c = self.h.net_cost(j);
+            if self.sigma(j, p) == 1 {
+                g += c;
+            }
+            if self.sigma(j, q) == 0 {
+                g -= c;
+            }
+        }
+        g
+    }
+
+    /// The gain of moving `v` to `q` under the chosen metric. For
+    /// [`CutMetric::CutNet`], a net only contributes when the move makes
+    /// it entirely internal to `q` (+cost) or splits a net that was
+    /// entirely internal to `p` (−cost).
+    pub fn gain_metric(&self, v: usize, q: PartId, metric: CutMetric) -> f64 {
+        match metric {
+            CutMetric::Connectivity => self.gain(v, q),
+            CutMetric::CutNet => {
+                let p = self.part[v];
+                if p == q {
+                    return 0.0;
+                }
+                let mut g = 0.0;
+                for &j in self.h.vertex_nets(v) {
+                    let size = self.h.net_size(j) as u32;
+                    let c = self.h.net_cost(j);
+                    if self.sigma(j, q) == size - 1 {
+                        g += c; // net becomes internal to q
+                    }
+                    if self.sigma(j, p) == size {
+                        g -= c; // net was internal to p; move cuts it
+                    }
+                }
+                g
+            }
+        }
+    }
+
+    /// The best feasible move for `v`: the highest-gain target part among
+    /// the parts `v`'s nets already touch (ties → lighter part), subject
+    /// to the weight cap. `scratch` must be a `k`-length pair of arrays
+    /// used as a stamped accumulator.
+    pub fn best_move(
+        &self,
+        v: usize,
+        targets: &PartTargets,
+        scratch: &mut MoveScratch,
+    ) -> Option<(PartId, f64)> {
+        let p = self.part[v];
+        scratch.stamp += 1;
+        let stamp = scratch.stamp;
+
+        let mut base = 0.0; // gain component from leaving p
+        let mut total = 0.0;
+        for &j in self.h.vertex_nets(v) {
+            let c = self.h.net_cost(j);
+            total += c;
+            if self.sigma(j, p) == 1 {
+                base += c;
+            }
+            // Candidate targets: parts with pins on v's nets.
+            for q in 0..self.k {
+                if q != p && self.sigma(j, q) > 0 {
+                    if scratch.mark[q] != stamp {
+                        scratch.mark[q] = stamp;
+                        scratch.present[q] = 0.0;
+                        scratch.cands.push(q);
+                    }
+                    scratch.present[q] += c;
+                }
+            }
+        }
+
+        let w = self.h.vertex_weight(v);
+        let mut best: Option<(PartId, f64)> = None;
+        for &q in &scratch.cands {
+            if self.weights[q] + w > targets.cap(q) {
+                continue;
+            }
+            let gain = base - (total - scratch.present[q]);
+            match best {
+                Some((bq, bg)) => {
+                    if gain > bg + 1e-12
+                        || (gain > bg - 1e-12 && self.weights[q] < self.weights[bq])
+                    {
+                        best = Some((q, gain));
+                    }
+                }
+                None => best = Some((q, gain)),
+            }
+        }
+        scratch.cands.clear();
+        best
+    }
+
+    /// [`Self::best_move`] under the chosen metric (the k-1 path uses the
+    /// specialized decomposition; cut-net evaluates candidates directly).
+    pub fn best_move_metric(
+        &self,
+        v: usize,
+        targets: &PartTargets,
+        metric: CutMetric,
+        scratch: &mut MoveScratch,
+    ) -> Option<(PartId, f64)> {
+        if metric == CutMetric::Connectivity {
+            return self.best_move(v, targets, scratch);
+        }
+        let p = self.part[v];
+        scratch.stamp += 1;
+        let stamp = scratch.stamp;
+        scratch.cands.clear();
+        for &j in self.h.vertex_nets(v) {
+            for q in 0..self.k {
+                if q != p && self.sigma(j, q) > 0 && scratch.mark[q] != stamp {
+                    scratch.mark[q] = stamp;
+                    scratch.cands.push(q);
+                }
+            }
+        }
+        let w = self.h.vertex_weight(v);
+        let mut best: Option<(PartId, f64)> = None;
+        for &q in &scratch.cands {
+            if self.weights[q] + w > targets.cap(q) {
+                continue;
+            }
+            let gain = self.gain_metric(v, q, metric);
+            match best {
+                Some((bq, bg)) => {
+                    if gain > bg + 1e-12
+                        || (gain > bg - 1e-12 && self.weights[q] < self.weights[bq])
+                    {
+                        best = Some((q, gain));
+                    }
+                }
+                None => best = Some((q, gain)),
+            }
+        }
+        scratch.cands.clear();
+        best
+    }
+
+    /// Vertices on the cut boundary: incident to at least one net that
+    /// touches more than one part.
+    pub fn boundary_vertices(&self) -> Vec<usize> {
+        let mut boundary = vec![false; self.h.num_vertices()];
+        for j in 0..self.h.num_nets() {
+            let touched = (0..self.k).filter(|&p| self.sigma(j, p) > 0).count();
+            if touched > 1 {
+                for &v in self.h.net(j) {
+                    boundary[v] = true;
+                }
+            }
+        }
+        boundary
+            .iter()
+            .enumerate()
+            .filter_map(|(v, &b)| b.then_some(v))
+            .collect()
+    }
+
+    /// Current k-1 cut computed from the maintained pin counts.
+    pub fn cut(&self) -> f64 {
+        let mut cut = 0.0;
+        for j in 0..self.h.num_nets() {
+            let touched = (0..self.k).filter(|&p| self.sigma(j, p) > 0).count();
+            if touched > 1 {
+                cut += self.h.net_cost(j) * (touched - 1) as f64;
+            }
+        }
+        cut
+    }
+}
+
+/// Reusable per-call scratch for [`PartitionState::best_move`].
+pub struct MoveScratch {
+    mark: Vec<u64>,
+    present: Vec<f64>,
+    cands: Vec<usize>,
+    stamp: u64,
+}
+
+impl MoveScratch {
+    /// Scratch for `k` parts.
+    pub fn new(k: usize) -> Self {
+        MoveScratch {
+            mark: vec![0; k],
+            present: vec![0.0; k],
+            cands: Vec::new(),
+            stamp: 0,
+        }
+    }
+}
+
+struct Cand {
+    gain: f64,
+    v: usize,
+    to: PartId,
+}
+
+impl PartialEq for Cand {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Cand {}
+impl PartialOrd for Cand {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Cand {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.gain
+            .total_cmp(&other.gain)
+            .then_with(|| other.v.cmp(&self.v))
+    }
+}
+
+/// Restores balance greedily: while a part exceeds its cap, move the
+/// cheapest (highest-gain, i.e. least cut damage) movable vertex out of
+/// the most-overweight part into the part with the most spare capacity.
+///
+/// Needed when projection or fixed-vertex constraints leave the coarse
+/// partition overweight; plain FM cannot fix imbalance because it only
+/// makes cap-respecting moves.
+pub(crate) fn rebalance(
+    state: &mut PartitionState,
+    targets: &PartTargets,
+    fixed: &FixedAssignment,
+    scratch: &mut MoveScratch,
+) {
+    let n = state.h.num_vertices();
+    let max_moves = 2 * n + 16;
+    let total_violation = |weights: &[f64]| -> f64 {
+        weights
+            .iter()
+            .enumerate()
+            .map(|(p, &w)| (w - targets.cap(p)).max(0.0))
+            .sum()
+    };
+    for _ in 0..max_moves {
+        let violation_before = total_violation(&state.weights);
+        // Most-overweight part (relative to cap).
+        let over = (0..state.k)
+            .filter(|&p| state.weights[p] > targets.cap(p) + 1e-9)
+            .max_by(|&a, &b| {
+                (state.weights[a] - targets.cap(a)).total_cmp(&(state.weights[b] - targets.cap(b)))
+            });
+        let p = match over {
+            Some(p) => p,
+            None => return,
+        };
+        // Cheapest movable vertex in p: best gain to any part with spare
+        // capacity; fall back to the relatively lightest part.
+        let mut best: Option<(usize, PartId, f64)> = None;
+        for v in 0..n {
+            if state.part[v] != p || fixed.is_fixed(v) {
+                continue;
+            }
+            let w = state.h.vertex_weight(v);
+            let candidate = match state.best_move(v, targets, scratch) {
+                Some((q, g)) => Some((q, g)),
+                None => {
+                    // No adjacent feasible part: move toward the part with
+                    // the most spare relative capacity.
+                    let q = (0..state.k)
+                        .filter(|&q| q != p)
+                        .min_by(|&a, &b| {
+                            ((state.weights[a] + w) / targets.target[a].max(1e-12)).total_cmp(
+                                &((state.weights[b] + w) / targets.target[b].max(1e-12)),
+                            )
+                        })
+                        .unwrap();
+                    Some((q, state.gain(v, q)))
+                }
+            };
+            if let Some((q, g)) = candidate {
+                if best.is_none_or(|(_, _, bg)| g > bg) {
+                    best = Some((v, q, g));
+                }
+            }
+        }
+        match best {
+            Some((v, q, _)) => {
+                state.apply(v, q);
+                // Keep only moves that strictly reduce total violation;
+                // otherwise we are ping-ponging load between parts that
+                // can never fit under their caps — stop.
+                if total_violation(&state.weights) >= violation_before - 1e-12 {
+                    state.apply(v, p);
+                    return;
+                }
+            }
+            None => return, // only fixed vertices left in p; nothing to do
+        }
+    }
+}
+
+/// One FM pass with rollback. Returns the cut improvement kept.
+fn fm_pass(
+    state: &mut PartitionState,
+    targets: &PartTargets,
+    fixed: &FixedAssignment,
+    cfg: &RefinementConfig,
+    scratch: &mut MoveScratch,
+    rng: &mut StdRng,
+) -> f64 {
+    let n = state.h.num_vertices();
+    let mut locked = vec![false; n];
+    let mut heap: BinaryHeap<Cand> = BinaryHeap::new();
+    // At most one live heap entry per vertex: pops revalidate gains, so
+    // extra pushes only add churn. `queued` dedupes; it is cleared on pop
+    // so later gain changes can re-queue the vertex.
+    let mut queued = vec![false; n];
+
+    let mut boundary = state.boundary_vertices();
+    boundary.shuffle(rng);
+    for &v in &boundary {
+        if fixed.is_fixed(v) {
+            continue;
+        }
+        if let Some((to, gain)) = state.best_move_metric(v, targets, cfg.metric, scratch) {
+            heap.push(Cand { gain, v, to });
+            queued[v] = true;
+        }
+    }
+
+    let mut applied: Vec<(usize, PartId)> = Vec::new(); // (vertex, previous part)
+    let mut cum = 0.0;
+    let mut best_cum = 0.0;
+    let mut best_len = 0usize;
+    let mut neg_streak = 0usize;
+
+    while let Some(c) = heap.pop() {
+        queued[c.v] = false;
+        if locked[c.v] || fixed.is_fixed(c.v) {
+            continue;
+        }
+        // Lazy revalidation: the stored move may be stale.
+        let current = state.best_move_metric(c.v, targets, cfg.metric, scratch);
+        match current {
+            None => continue,
+            Some((to, gain)) => {
+                if to != c.to || (gain - c.gain).abs() > 1e-9 {
+                    heap.push(Cand { gain, v: c.v, to });
+                    queued[c.v] = true;
+                    continue;
+                }
+                let from = state.part[c.v];
+                state.apply(c.v, to);
+                locked[c.v] = true;
+                applied.push((c.v, from));
+                cum += gain;
+                if cum > best_cum + 1e-12 {
+                    best_cum = cum;
+                    best_len = applied.len();
+                    neg_streak = 0;
+                } else {
+                    neg_streak += 1;
+                    if cfg.max_negative_streak > 0 && neg_streak >= cfg.max_negative_streak {
+                        break;
+                    }
+                }
+                // Re-queue neighbors whose gains changed (deduped).
+                for &j in state.h.vertex_nets(c.v) {
+                    if state.h.net_size(j) > MAX_NET_SIZE_FOR_UPDATES {
+                        continue;
+                    }
+                    for &w in state.h.net(j) {
+                        if !locked[w] && !queued[w] && !fixed.is_fixed(w) {
+                            if let Some((to, gain)) =
+                                state.best_move_metric(w, targets, cfg.metric, scratch)
+                            {
+                                heap.push(Cand { gain, v: w, to });
+                                queued[w] = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Roll back past the best prefix.
+    for &(v, from) in applied[best_len..].iter().rev() {
+        state.apply(v, from);
+    }
+    best_cum
+}
+
+/// Refines `part` in place: first restores balance if violated, then runs
+/// FM passes until no pass improves the cut (or `cfg.max_passes`).
+/// Returns the total cut improvement from the FM passes.
+pub fn refine(
+    h: &Hypergraph,
+    targets: &PartTargets,
+    fixed: &FixedAssignment,
+    part: &mut Vec<PartId>,
+    cfg: &RefinementConfig,
+    rng: &mut StdRng,
+) -> f64 {
+    let k = targets.k();
+    if k < 2 || h.num_vertices() == 0 {
+        return 0.0;
+    }
+    let mut state = PartitionState::new(h, k, std::mem::take(part));
+    let mut scratch = MoveScratch::new(k);
+
+    rebalance(&mut state, targets, fixed, &mut scratch);
+
+    let mut total = 0.0;
+    for _ in 0..cfg.max_passes {
+        let improvement = fm_pass(&mut state, targets, fixed, cfg, &mut scratch, rng);
+        total += improvement;
+        if improvement <= 1e-12 {
+            break;
+        }
+    }
+    *part = state.part;
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlb_hypergraph::metrics;
+    use rand::SeedableRng;
+
+    fn uniform_targets(h: &Hypergraph, k: usize) -> PartTargets {
+        PartTargets::uniform(h.total_vertex_weight(), k, 0.05)
+    }
+
+    #[test]
+    fn state_tracks_cut_incrementally() {
+        let h = crate::tests::grid_hypergraph(4, 4);
+        let part: Vec<usize> = (0..16).map(|v| v % 2).collect();
+        let mut state = PartitionState::new(&h, 2, part.clone());
+        assert_eq!(state.cut(), metrics::cutsize_connectivity(&h, &part, 2));
+        state.apply(3, 0);
+        let mut moved = part;
+        moved[3] = 0;
+        assert_eq!(state.cut(), metrics::cutsize_connectivity(&h, &moved, 2));
+    }
+
+    #[test]
+    fn gain_matches_recomputed_cut_delta() {
+        let h = crate::tests::random_hypergraph(30, 60, 5, 11);
+        let part: Vec<usize> = (0..30).map(|v| v % 3).collect();
+        let mut state = PartitionState::new(&h, 3, part);
+        for v in [0usize, 7, 13, 29] {
+            for q in 0..3 {
+                if q == state.part[v] {
+                    continue;
+                }
+                let before = state.cut();
+                let gain = state.gain(v, q);
+                let from = state.part[v];
+                state.apply(v, q);
+                let after = state.cut();
+                assert!(
+                    (before - after - gain).abs() < 1e-9,
+                    "v={v} q={q}: predicted {gain}, actual {}",
+                    before - after
+                );
+                state.apply(v, from);
+            }
+        }
+    }
+
+    #[test]
+    fn cutnet_gain_matches_recomputed_delta() {
+        use dlb_hypergraph::metrics::cutsize;
+        let h = crate::tests::random_hypergraph(25, 50, 5, 19);
+        let part: Vec<usize> = (0..25).map(|v| v % 3).collect();
+        let mut state = PartitionState::new(&h, 3, part);
+        for v in [0usize, 6, 12, 24] {
+            for q in 0..3 {
+                if q == state.part[v] {
+                    continue;
+                }
+                let before = cutsize(&h, &state.part, 3, CutMetric::CutNet);
+                let gain = state.gain_metric(v, q, CutMetric::CutNet);
+                let from = state.part[v];
+                state.apply(v, q);
+                let after = cutsize(&h, &state.part, 3, CutMetric::CutNet);
+                assert!(
+                    (before - after - gain).abs() < 1e-9,
+                    "v={v} q={q}: predicted {gain}, actual {}",
+                    before - after
+                );
+                state.apply(v, from);
+            }
+        }
+    }
+
+    #[test]
+    fn refine_with_cutnet_objective_improves_cutnet() {
+        use dlb_hypergraph::metrics::cutsize;
+        let h = crate::tests::grid_hypergraph(8, 8);
+        let mut part: Vec<usize> = (0..64).map(|v| v % 2).collect();
+        let before = cutsize(&h, &part, 2, CutMetric::CutNet);
+        let t = uniform_targets(&h, 2);
+        let fixed = FixedAssignment::free(64);
+        let mut cfg = RefinementConfig::default();
+        cfg.metric = CutMetric::CutNet;
+        let mut rng = StdRng::seed_from_u64(8);
+        refine(&h, &t, &fixed, &mut part, &cfg, &mut rng);
+        let after = cutsize(&h, &part, 2, CutMetric::CutNet);
+        assert!(after < before, "cut-net {before} -> {after}");
+    }
+
+    #[test]
+    fn refine_improves_a_bad_partition() {
+        let h = crate::tests::grid_hypergraph(8, 8);
+        // Stripes by column parity: terrible cut.
+        let mut part: Vec<usize> = (0..64).map(|v| v % 2).collect();
+        let before = metrics::cutsize_connectivity(&h, &part, 2);
+        let t = uniform_targets(&h, 2);
+        let fixed = FixedAssignment::free(64);
+        let mut rng = StdRng::seed_from_u64(0);
+        let gain = refine(&h, &t, &fixed, &mut part, &RefinementConfig::default(), &mut rng);
+        let after = metrics::cutsize_connectivity(&h, &part, 2);
+        assert!((before - after - gain).abs() < 1e-9);
+        assert!(after < before / 2.0, "cut {before} -> {after}");
+        assert!(metrics::imbalance(&h, &part, 2) <= 1.05 + 1e-9);
+    }
+
+    #[test]
+    fn refine_never_moves_fixed_vertices() {
+        let h = crate::tests::grid_hypergraph(8, 8);
+        let mut part: Vec<usize> = (0..64).map(|v| v % 2).collect();
+        let mut fixed = FixedAssignment::free(64);
+        for v in (0..64).step_by(7) {
+            fixed.fix(v, part[v]);
+        }
+        let t = uniform_targets(&h, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        refine(&h, &t, &fixed, &mut part, &RefinementConfig::default(), &mut rng);
+        for v in (0..64).step_by(7) {
+            assert_eq!(part[v], v % 2, "fixed vertex {v} moved");
+        }
+    }
+
+    #[test]
+    fn refine_respects_caps() {
+        let h = crate::tests::random_hypergraph(80, 160, 4, 5);
+        let mut part: Vec<usize> = (0..80).map(|v| v % 4).collect();
+        let t = uniform_targets(&h, 4);
+        let fixed = FixedAssignment::free(80);
+        let mut rng = StdRng::seed_from_u64(2);
+        refine(&h, &t, &fixed, &mut part, &RefinementConfig::default(), &mut rng);
+        let w = metrics::part_weights(&h, &part, 4);
+        for p in 0..4 {
+            assert!(w[p] <= t.cap(p) + 1e-9, "part {p} weight {} > cap {}", w[p], t.cap(p));
+        }
+    }
+
+    #[test]
+    fn rebalance_fixes_gross_imbalance() {
+        let h = crate::tests::grid_hypergraph(8, 8);
+        // Everything in part 0.
+        let mut part = vec![0usize; 64];
+        let t = uniform_targets(&h, 2);
+        let fixed = FixedAssignment::free(64);
+        let mut rng = StdRng::seed_from_u64(3);
+        refine(&h, &t, &fixed, &mut part, &RefinementConfig::default(), &mut rng);
+        let imb = metrics::imbalance(&h, &part, 2);
+        assert!(imb <= 1.05 + 1e-9, "imbalance {imb} after rebalance+refine");
+    }
+
+    #[test]
+    fn boundary_detection() {
+        let h = crate::tests::grid_hypergraph(4, 4);
+        // Left half vs right half: boundary is columns 1 and 2.
+        let part: Vec<usize> = (0..16).map(|v| if v % 4 < 2 { 0 } else { 1 }).collect();
+        let state = PartitionState::new(&h, 2, part);
+        let boundary = state.boundary_vertices();
+        let expected: Vec<usize> = (0..16).filter(|v| v % 4 == 1 || v % 4 == 2).collect();
+        assert_eq!(boundary, expected);
+    }
+
+    #[test]
+    fn refine_with_all_fixed_is_a_noop() {
+        let h = crate::tests::grid_hypergraph(4, 4);
+        let orig: Vec<usize> = (0..16).map(|v| v % 2).collect();
+        let mut part = orig.clone();
+        let opts: Vec<Option<usize>> = orig.iter().map(|&p| Some(p)).collect();
+        let fixed = FixedAssignment::from_options(&opts);
+        let t = uniform_targets(&h, 2);
+        let mut rng = StdRng::seed_from_u64(4);
+        let gain = refine(&h, &t, &fixed, &mut part, &RefinementConfig::default(), &mut rng);
+        assert_eq!(part, orig);
+        assert_eq!(gain, 0.0);
+    }
+
+    #[test]
+    fn k_one_is_noop() {
+        let h = crate::tests::grid_hypergraph(3, 3);
+        let mut part = vec![0usize; 9];
+        let t = uniform_targets(&h, 1);
+        let fixed = FixedAssignment::free(9);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(refine(&h, &t, &fixed, &mut part, &RefinementConfig::default(), &mut rng), 0.0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Non-symmetric problems: where hypergraphs clearly beat graphs.
+//!
+//! The paper's conclusion: "The full benefit of hypergraph partitioning
+//! is realized on unsymmetric and non-square problems that cannot be
+//! represented easily with graph models." This example builds a
+//! directed circuit-like dependency structure, partitions it with the
+//! hypergraph partitioner (which sees the true communication volume via
+//! the column-net model) and with the graph partitioner (which must work
+//! on the symmetrized structure), and reports the *actual* directed
+//! communication volume both achieve.
+//!
+//! Run with: `cargo run --release --example nonsymmetric`
+
+use dlb::graphpart::{partition_kway, GraphConfig};
+use dlb::hypergraph::metrics;
+use dlb::partitioner::{partition_hypergraph, Config as HgConfig};
+use dlb::workloads::{directed_circuit, directed_comm_volume};
+
+fn main() {
+    let n = 3000;
+    let d = directed_circuit(n, 2.5, 11);
+    println!(
+        "directed circuit: {} vertices, {} nets, {} symmetrized edges\n",
+        n,
+        d.hypergraph.num_nets(),
+        d.symmetrized.num_edges()
+    );
+
+    println!(
+        "{:<6} {:>22} {:>22} {:>9}",
+        "k", "hypergraph (volume)", "graph (volume)", "saving"
+    );
+    for k in [4usize, 8, 16] {
+        let mut hg_vol = 0.0;
+        let mut g_vol = 0.0;
+        let trials = 3;
+        for seed in 0..trials {
+            let hg = partition_hypergraph(&d.hypergraph, k, &HgConfig::seeded(seed));
+            let g = partition_kway(&d.symmetrized, k, &GraphConfig::seeded(seed));
+            hg_vol += directed_comm_volume(&d, &hg.part, k);
+            g_vol += directed_comm_volume(&d, &g.part, k);
+            // Sanity: the hypergraph cut IS the directed volume.
+            let cut = metrics::cutsize_connectivity(&d.hypergraph, &hg.part, k);
+            assert!((cut - directed_comm_volume(&d, &hg.part, k)).abs() < 1e-9);
+        }
+        hg_vol /= trials as f64;
+        g_vol /= trials as f64;
+        println!(
+            "{:<6} {:>22.1} {:>22.1} {:>8.1}%",
+            k,
+            hg_vol,
+            g_vol,
+            100.0 * (1.0 - hg_vol / g_vol)
+        );
+    }
+
+    println!("\nthe hypergraph model counts each producer→part transfer once;");
+    println!("the symmetrized graph cannot see fan-out sharing or direction,");
+    println!("so it optimizes the wrong objective and ships more data.");
+}

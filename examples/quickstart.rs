@@ -1,0 +1,79 @@
+//! Quickstart: repartition one epoch of an adaptive computation.
+//!
+//! Builds a small mesh, partitions it statically, perturbs it, then asks
+//! the paper's repartitioning model (Zoltan-repart) for a new
+//! distribution and prints the cost breakdown next to the
+//! partition-from-scratch alternative.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use dlb::core::{repartition, Algorithm, RepartConfig, RepartProblem};
+use dlb::graphpart::{partition_kway, GraphConfig};
+use dlb::hypergraph::convert::column_net_model;
+use dlb::hypergraph::GraphBuilder;
+
+fn main() {
+    // A 32x32 grid mesh: the kind of structure an adaptive PDE solver
+    // partitions.
+    let (rows, cols) = (32, 32);
+    let idx = |r: usize, c: usize| r * cols + c;
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(idx(r, c), idx(r, c + 1), 1.0);
+            }
+            if r + 1 < rows {
+                b.add_edge(idx(r, c), idx(r + 1, c), 1.0);
+            }
+        }
+    }
+    let mut graph = b.build();
+
+    // Epoch 1: static partition into k parts.
+    let k = 4;
+    let old_part = partition_kway(&graph, k, &GraphConfig::seeded(1)).part;
+    println!("static partition: k={k}, {} vertices", graph.num_vertices());
+
+    // The mesh adapts: one region is refined, growing its weight and the
+    // size of the data that would have to move.
+    for r in 0..rows / 2 {
+        for c in 0..cols / 2 {
+            graph.set_vertex_weight(idx(r, c), 3.0);
+            graph.set_vertex_size(idx(r, c), 3.0);
+        }
+    }
+
+    // Epoch 2: repartition. alpha = iterations until the next rebalance;
+    // small alpha → migration matters as much as communication.
+    let hypergraph = column_net_model(&graph, |v| graph.vertex_size(v));
+    let alpha = 10.0;
+    let problem = RepartProblem {
+        hypergraph: &hypergraph,
+        graph: &graph,
+        old_part: &old_part,
+        k,
+        alpha,
+    };
+    let cfg = RepartConfig::seeded(1);
+
+    println!("\nafter refinement (alpha = {alpha}):");
+    println!(
+        "{:<17} {:>10} {:>10} {:>12} {:>8} {:>10}",
+        "algorithm", "comm", "migration", "total cost", "moved", "imbalance"
+    );
+    for alg in [Algorithm::ZoltanRepart, Algorithm::ZoltanScratch] {
+        let r = repartition(&problem, alg, &cfg);
+        println!(
+            "{:<17} {:>10.1} {:>10.1} {:>12.1} {:>8} {:>10.3}",
+            alg.name(),
+            r.cost.comm,
+            r.cost.migration,
+            r.cost.total(),
+            r.moved,
+            r.imbalance
+        );
+    }
+    println!("\nZoltan-repart minimizes alpha*comm + migration in one shot by");
+    println!("partitioning the repartitioning hypergraph with fixed vertices.");
+}

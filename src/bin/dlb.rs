@@ -1,0 +1,249 @@
+//! `dlb` — command-line partitioner / repartitioner.
+//!
+//! ```text
+//! dlb partition   -k K [options] INPUT             # static partitioning
+//! dlb repartition -k K --old PARTFILE [options] INPUT
+//!
+//! INPUT formats (by extension):
+//!   .mtx           MatrixMarket coordinate (symmetric graph)
+//!   .hg            PaToH-like hypergraph text (see dlb_hypergraph::io)
+//!
+//! Options:
+//!   -k K              number of parts (required)
+//!   --alpha A         iterations per epoch (repartition only; default 100)
+//!   --algorithm NAME  zoltan-repart | zoltan-scratch | parmetis-repart |
+//!                     parmetis-scratch (repartition only; default zoltan-repart)
+//!   --epsilon E       allowed imbalance (default 0.05)
+//!   --seed N          RNG seed (default 0)
+//!   --out FILE        output partition file (default: stdout)
+//! ```
+//!
+//! The output is one part id per line, one line per vertex; a summary
+//! (cut / communication volume, migration, imbalance) prints to stderr.
+
+use std::fs::File;
+use std::io::{BufReader, Write};
+use std::process::exit;
+
+use dlb::core::{repartition, Algorithm, RepartConfig, RepartProblem};
+use dlb::hypergraph::convert::{clique_expansion, column_net_model};
+use dlb::hypergraph::io::{read_hypergraph, read_matrix_market_graph};
+use dlb::hypergraph::{metrics, CsrGraph, Hypergraph};
+use dlb::partitioner::{partition_hypergraph, Config as HgConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  dlb partition   -k K [--epsilon E] [--seed N] [--out FILE] INPUT\n  \
+         dlb repartition -k K --old PARTFILE [--alpha A] [--algorithm NAME] \
+         [--epsilon E] [--seed N] [--out FILE] INPUT"
+    );
+    exit(2);
+}
+
+struct Cli {
+    command: String,
+    input: String,
+    k: usize,
+    alpha: f64,
+    algorithm: Algorithm,
+    epsilon: f64,
+    seed: u64,
+    out: Option<String>,
+    old: Option<String>,
+}
+
+fn parse_cli() -> Cli {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        usage();
+    }
+    let command = argv[0].clone();
+    let mut k = None;
+    let mut alpha = 100.0;
+    let mut algorithm = Algorithm::ZoltanRepart;
+    let mut epsilon = 0.05;
+    let mut seed = 0u64;
+    let mut out = None;
+    let mut old = None;
+    let mut input = None;
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "-k" => {
+                k = argv.get(i + 1).and_then(|v| v.parse().ok());
+                i += 2;
+            }
+            "--alpha" => {
+                alpha = argv.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--algorithm" => {
+                algorithm = match argv.get(i + 1).map(String::as_str) {
+                    Some("zoltan-repart") => Algorithm::ZoltanRepart,
+                    Some("zoltan-scratch") => Algorithm::ZoltanScratch,
+                    Some("parmetis-repart") => Algorithm::ParmetisRepart,
+                    Some("parmetis-scratch") => Algorithm::ParmetisScratch,
+                    other => {
+                        eprintln!("unknown algorithm {other:?}");
+                        usage();
+                    }
+                };
+                i += 2;
+            }
+            "--epsilon" => {
+                epsilon = argv.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--seed" => {
+                seed = argv.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--out" => {
+                out = argv.get(i + 1).cloned();
+                i += 2;
+            }
+            "--old" => {
+                old = argv.get(i + 1).cloned();
+                i += 2;
+            }
+            arg if !arg.starts_with('-') => {
+                input = Some(arg.to_string());
+                i += 1;
+            }
+            _ => usage(),
+        }
+    }
+    Cli {
+        command,
+        input: input.unwrap_or_else(|| usage()),
+        k: k.unwrap_or_else(|| usage()),
+        alpha,
+        algorithm,
+        epsilon,
+        seed,
+        out,
+        old,
+    }
+}
+
+/// Loads the input as (hypergraph, graph): `.mtx` gives a graph (column-
+/// net hypergraph derived); `.hg` gives a hypergraph (clique-expansion
+/// graph derived for the graph-based algorithms).
+fn load(input: &str) -> (Hypergraph, CsrGraph) {
+    let file = File::open(input).unwrap_or_else(|e| {
+        eprintln!("cannot open {input}: {e}");
+        exit(1);
+    });
+    let reader = BufReader::new(file);
+    if input.ends_with(".mtx") {
+        let graph = read_matrix_market_graph(reader).unwrap_or_else(|e| {
+            eprintln!("cannot parse {input}: {e}");
+            exit(1);
+        });
+        let hypergraph = column_net_model(&graph, |v| graph.vertex_size(v));
+        (hypergraph, graph)
+    } else if input.ends_with(".hg") {
+        let hypergraph = read_hypergraph(reader).unwrap_or_else(|e| {
+            eprintln!("cannot parse {input}: {e}");
+            exit(1);
+        });
+        let graph = clique_expansion(&hypergraph);
+        (hypergraph, graph)
+    } else {
+        eprintln!("unknown input extension (want .mtx or .hg): {input}");
+        exit(1);
+    }
+}
+
+fn read_partition(path: &str, n: usize, k: usize) -> Vec<usize> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1);
+    });
+    let parts: Vec<usize> = text
+        .split_whitespace()
+        .map(|t| {
+            t.parse().unwrap_or_else(|_| {
+                eprintln!("bad part id {t:?} in {path}");
+                exit(1);
+            })
+        })
+        .collect();
+    if parts.len() != n {
+        eprintln!("{path} has {} entries; input has {n} vertices", parts.len());
+        exit(1);
+    }
+    if parts.iter().any(|&p| p >= k) {
+        eprintln!("{path} references part >= k={k}");
+        exit(1);
+    }
+    parts
+}
+
+fn write_partition(out: &Option<String>, part: &[usize]) {
+    let body: String = part.iter().map(|p| format!("{p}\n")).collect();
+    match out {
+        Some(path) => std::fs::write(path, body).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            exit(1);
+        }),
+        None => {
+            let mut stdout = std::io::stdout().lock();
+            stdout.write_all(body.as_bytes()).expect("stdout");
+        }
+    }
+}
+
+fn main() {
+    let cli = parse_cli();
+    let (hypergraph, graph) = load(&cli.input);
+    eprintln!(
+        "loaded {}: {} vertices, {} nets / {} edges",
+        cli.input,
+        hypergraph.num_vertices(),
+        hypergraph.num_nets(),
+        graph.num_edges()
+    );
+
+    match cli.command.as_str() {
+        "partition" => {
+            let mut cfg = HgConfig::seeded(cli.seed);
+            cfg.epsilon = cli.epsilon;
+            let r = partition_hypergraph(&hypergraph, cli.k, &cfg);
+            eprintln!(
+                "k={}: comm volume {:.1}, imbalance {:.4}",
+                cli.k, r.cut, r.imbalance
+            );
+            write_partition(&cli.out, &r.part);
+        }
+        "repartition" => {
+            let old_path = cli.old.unwrap_or_else(|| {
+                eprintln!("repartition requires --old PARTFILE");
+                usage();
+            });
+            let old = read_partition(&old_path, hypergraph.num_vertices(), cli.k);
+            let problem = RepartProblem {
+                hypergraph: &hypergraph,
+                graph: &graph,
+                old_part: &old,
+                k: cli.k,
+                alpha: cli.alpha,
+            };
+            let cfg = RepartConfig::seeded(cli.seed).with_epsilon(cli.epsilon);
+            let r = repartition(&problem, cli.algorithm, &cfg);
+            eprintln!(
+                "{}: comm {:.1}, migration {:.1}, total {:.1} (alpha={}), moved {}, imbalance {:.4}",
+                cli.algorithm.name(),
+                r.cost.comm,
+                r.cost.migration,
+                r.cost.total(),
+                cli.alpha,
+                r.moved,
+                r.imbalance
+            );
+            let _ = metrics::imbalance(&hypergraph, &r.new_part, cli.k);
+            write_partition(&cli.out, &r.new_part);
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,138 @@
+//! Integration tests for the `dlb` command-line tool.
+
+use std::io::Write;
+use std::process::Command;
+
+fn dlb() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dlb"))
+}
+
+fn write_toy_mtx(dir: &std::path::Path) -> std::path::PathBuf {
+    let path = dir.join("toy.mtx");
+    let mut f = std::fs::File::create(&path).unwrap();
+    writeln!(f, "%%MatrixMarket matrix coordinate pattern symmetric").unwrap();
+    writeln!(f, "8 8 10").unwrap();
+    for (u, v) in [(1, 2), (2, 3), (3, 4), (1, 4), (5, 6), (6, 7), (7, 8), (5, 8), (4, 5), (1, 8)]
+    {
+        writeln!(f, "{u} {v}").unwrap();
+    }
+    path
+}
+
+fn write_toy_hg(dir: &std::path::Path) -> std::path::PathBuf {
+    let path = dir.join("toy.hg");
+    let mut f = std::fs::File::create(&path).unwrap();
+    // 4 vertices, 2 nets, 5 pins; then per-vertex weight/size lines.
+    writeln!(f, "4 2 5").unwrap();
+    writeln!(f, "1.0 0 1 2").unwrap();
+    writeln!(f, "2.0 2 3").unwrap();
+    for _ in 0..4 {
+        writeln!(f, "1 1").unwrap();
+    }
+    path
+}
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("dlb-cli-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn partition_mtx_roundtrip() {
+    let dir = tmpdir("mtx");
+    let input = write_toy_mtx(&dir);
+    let out = dir.join("toy.part");
+    let status = dlb()
+        .args(["partition", "-k", "2", "--out"])
+        .arg(&out)
+        .arg(&input)
+        .status()
+        .unwrap();
+    assert!(status.success());
+    let part: Vec<usize> = std::fs::read_to_string(&out)
+        .unwrap()
+        .split_whitespace()
+        .map(|t| t.parse().unwrap())
+        .collect();
+    assert_eq!(part.len(), 8);
+    assert!(part.iter().all(|&p| p < 2));
+    // The toy graph is two squares joined by two edges: balanced halves.
+    let ones = part.iter().filter(|&&p| p == 1).count();
+    assert_eq!(ones, 4, "toy graph should split 4-4: {part:?}");
+}
+
+#[test]
+fn repartition_uses_old_partition() {
+    let dir = tmpdir("repart");
+    let input = write_toy_mtx(&dir);
+    let old = dir.join("old.part");
+    std::fs::write(&old, "0\n0\n0\n0\n1\n1\n1\n1\n").unwrap();
+    let out = dir.join("new.part");
+    let output = dlb()
+        .args(["repartition", "-k", "2", "--alpha", "1", "--old"])
+        .arg(&old)
+        .arg("--out")
+        .arg(&out)
+        .arg(&input)
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+    let part: Vec<usize> = std::fs::read_to_string(&out)
+        .unwrap()
+        .split_whitespace()
+        .map(|t| t.parse().unwrap())
+        .collect();
+    // The old partition is already optimal: nothing should move.
+    assert_eq!(part, vec![0, 0, 0, 0, 1, 1, 1, 1]);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("migration 0"), "stderr: {stderr}");
+}
+
+#[test]
+fn partition_hypergraph_input() {
+    let dir = tmpdir("hg");
+    let input = write_toy_hg(&dir);
+    let output = dlb()
+        .args(["partition", "-k", "2"])
+        .arg(&input)
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+    let part: Vec<usize> = String::from_utf8_lossy(&output.stdout)
+        .split_whitespace()
+        .map(|t| t.parse().unwrap())
+        .collect();
+    assert_eq!(part.len(), 4);
+}
+
+#[test]
+fn rejects_bad_arguments() {
+    // Missing -k.
+    let status = dlb().args(["partition", "/nonexistent.mtx"]).status().unwrap();
+    assert!(!status.success());
+    // Unknown algorithm.
+    let status = dlb()
+        .args(["repartition", "-k", "2", "--algorithm", "magic", "x.mtx"])
+        .status()
+        .unwrap();
+    assert!(!status.success());
+    // Missing input file.
+    let status = dlb().args(["partition", "-k", "2", "/nonexistent.mtx"]).status().unwrap();
+    assert!(!status.success());
+}
+
+#[test]
+fn rejects_wrong_length_old_partition() {
+    let dir = tmpdir("badold");
+    let input = write_toy_mtx(&dir);
+    let old = dir.join("short.part");
+    std::fs::write(&old, "0\n1\n").unwrap();
+    let status = dlb()
+        .args(["repartition", "-k", "2", "--old"])
+        .arg(&old)
+        .arg(&input)
+        .status()
+        .unwrap();
+    assert!(!status.success());
+}

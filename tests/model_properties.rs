@@ -1,0 +1,90 @@
+//! Property-based tests of the repartitioning model (Section 3): the
+//! cut identity `cut(H̄, P) = α·comm(H, P) + mig(old, P)` must hold for
+//! *every* hypergraph, old assignment and candidate assignment — this is
+//! the theorem the whole paper rests on.
+
+use dlb::core::{remap_to_minimize_migration, RepartitionHypergraph};
+use dlb::hypergraph::metrics::{cutsize_connectivity, migration_volume};
+use dlb::hypergraph::{Hypergraph, HypergraphBuilder};
+use proptest::prelude::*;
+
+/// Strategy: a random hypergraph with random weights/sizes/costs, plus
+/// two random k-way assignments.
+fn arb_instance() -> impl Strategy<Value = (Hypergraph, usize, Vec<usize>, Vec<usize>, f64)> {
+    (2usize..6, 4usize..40).prop_flat_map(|(k, n)| {
+        let nets = prop::collection::vec(
+            (prop::collection::vec(0..n, 2..6), 0.5f64..8.0),
+            1..(2 * n).max(2),
+        );
+        let sizes = prop::collection::vec(0.5f64..5.0, n);
+        let old = prop::collection::vec(0..k, n);
+        let new = prop::collection::vec(0..k, n);
+        let alpha = prop::sample::select(vec![1.0, 3.0, 10.0, 100.0, 1000.0]);
+        (Just(k), Just(n), nets, sizes, old, new, alpha).prop_map(
+            |(k, n, nets, sizes, old, new, alpha)| {
+                let mut b = HypergraphBuilder::new(n);
+                for (pins, cost) in nets {
+                    b.add_net(cost, pins);
+                }
+                for (v, s) in sizes.into_iter().enumerate() {
+                    b.set_vertex_size(v, s);
+                }
+                (b.build(), k, old, new, alpha)
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The model's augmented cut equals α·comm + migration, always.
+    #[test]
+    fn cut_identity((h, k, old, new, alpha) in arb_instance()) {
+        let model = RepartitionHypergraph::build(&h, &old, k, alpha);
+        let expected = alpha * cutsize_connectivity(&h, &new, k)
+            + migration_volume(h.vertex_sizes(), &old, &new);
+        let got = model.objective(&new);
+        prop_assert!((got - expected).abs() < 1e-6 * (1.0 + expected.abs()),
+            "model {got} vs direct {expected}");
+    }
+
+    /// The augmented hypergraph is structurally valid and has the right
+    /// shape: n+k vertices, |nets| + n nets (every vertex gets exactly
+    /// one migration net).
+    #[test]
+    fn augmented_shape((h, k, old, _new, alpha) in arb_instance()) {
+        let model = RepartitionHypergraph::build(&h, &old, k, alpha);
+        prop_assert!(model.augmented.validate().is_ok());
+        prop_assert_eq!(model.augmented.num_vertices(), h.num_vertices() + k);
+        prop_assert_eq!(model.augmented.num_nets(), h.num_nets() + h.num_vertices());
+        // Total vertex weight is unchanged (partition vertices weigh 0).
+        prop_assert!((model.augmented.total_vertex_weight() - h.total_vertex_weight()).abs() < 1e-9);
+    }
+
+    /// Keeping every vertex home incurs exactly α·comm: migration nets
+    /// contribute nothing.
+    #[test]
+    fn staying_home_is_pure_communication((h, k, old, _new, alpha) in arb_instance()) {
+        let model = RepartitionHypergraph::build(&h, &old, k, alpha);
+        let expected = alpha * cutsize_connectivity(&h, &old, k);
+        prop_assert!((model.objective(&old) - expected).abs() < 1e-6 * (1.0 + expected));
+    }
+
+    /// Remapping part labels never increases migration volume and never
+    /// changes which vertices share a part.
+    #[test]
+    fn remap_sound((h, k, old, new, _alpha) in arb_instance()) {
+        let sizes = h.vertex_sizes();
+        let remapped = remap_to_minimize_migration(&new, &old, sizes, k);
+        let before = migration_volume(sizes, &old, &new);
+        let after = migration_volume(sizes, &old, &remapped);
+        prop_assert!(after <= before + 1e-9, "remap worsened migration {before} -> {after}");
+        // Same co-location structure.
+        for i in 0..new.len() {
+            for j in i + 1..new.len() {
+                prop_assert_eq!(new[i] == new[j], remapped[i] == remapped[j]);
+            }
+        }
+    }
+}

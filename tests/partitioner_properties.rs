@@ -1,0 +1,161 @@
+//! Property-based tests of the fixed-vertex multilevel partitioner
+//! (Section 4): for arbitrary hypergraphs and arbitrary fixed-vertex
+//! constraints, the partitioner must (1) respect every constraint,
+//! (2) produce a complete in-range assignment, and (3) stay deterministic
+//! for a given seed.
+
+use dlb::hypergraph::{Hypergraph, HypergraphBuilder};
+use dlb::partitioner::{
+    partition_hypergraph_fixed, Config, FixedAssignment, Scheme,
+};
+use proptest::prelude::*;
+
+fn arb_problem() -> impl Strategy<Value = (Hypergraph, usize, FixedAssignment, u64)> {
+    (2usize..5, 8usize..60).prop_flat_map(|(k, n)| {
+        let nets = prop::collection::vec(
+            (prop::collection::vec(0..n, 2..5), 0.5f64..4.0),
+            n / 2..2 * n,
+        );
+        let fixed = prop::collection::vec(prop::option::weighted(0.25, 0..k), n);
+        let seed = any::<u64>();
+        (Just(k), Just(n), nets, fixed, seed).prop_map(|(k, n, nets, fixed, seed)| {
+            let mut b = HypergraphBuilder::new(n);
+            for (pins, cost) in nets {
+                b.add_net(cost, pins);
+            }
+            (b.build(), k, FixedAssignment::from_options(&fixed), seed)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Recursive bisection honors every fixed vertex and assigns every
+    /// vertex to a valid part.
+    #[test]
+    fn rb_respects_fixed((h, k, fixed, seed) in arb_problem()) {
+        let cfg = Config::seeded(seed);
+        let r = partition_hypergraph_fixed(&h, k, &fixed, &cfg);
+        prop_assert_eq!(r.part.len(), h.num_vertices());
+        prop_assert!(r.part.iter().all(|&p| p < k));
+        prop_assert!(fixed.is_respected_by(&r.part), "fixed constraint violated");
+        // Reported cut matches a recomputation.
+        let cut = dlb::hypergraph::metrics::cutsize_connectivity(&h, &r.part, k);
+        prop_assert!((r.cut - cut).abs() < 1e-9);
+    }
+
+    /// Direct k-way honors the same contract.
+    #[test]
+    fn kway_respects_fixed((h, k, fixed, seed) in arb_problem()) {
+        let mut cfg = Config::seeded(seed);
+        cfg.scheme = Scheme::DirectKway;
+        let r = partition_hypergraph_fixed(&h, k, &fixed, &cfg);
+        prop_assert!(fixed.is_respected_by(&r.part));
+        prop_assert!(r.part.iter().all(|&p| p < k));
+    }
+
+    /// Same seed ⇒ identical partition; the partitioner is a pure
+    /// function of (hypergraph, k, fixed, config).
+    #[test]
+    fn deterministic((h, k, fixed, seed) in arb_problem()) {
+        let cfg = Config::seeded(seed);
+        let a = partition_hypergraph_fixed(&h, k, &fixed, &cfg);
+        let b = partition_hypergraph_fixed(&h, k, &fixed, &cfg);
+        prop_assert_eq!(a.part, b.part);
+    }
+
+    /// On unit-weight hypergraphs with no fixed vertices, balance holds
+    /// within the configured tolerance plus integrality slack.
+    #[test]
+    fn balance_bound((h, k, _fixed, seed) in arb_problem()) {
+        let cfg = Config::seeded(seed);
+        let free = FixedAssignment::free(h.num_vertices());
+        let r = partition_hypergraph_fixed(&h, k, &free, &cfg);
+        let avg = h.num_vertices() as f64 / k as f64;
+        // One vertex of slack per part on top of ε covers integrality on
+        // small instances.
+        let bound = (1.0 + cfg.epsilon) + 1.5 / avg;
+        prop_assert!(r.imbalance <= bound + 1e-9,
+            "imbalance {} > bound {bound} (n={}, k={k})", r.imbalance, h.num_vertices());
+    }
+}
+
+mod refinement {
+    use super::*;
+    use dlb::hypergraph::metrics::cutsize_connectivity;
+    use dlb::hypergraph::PartTargets;
+    use dlb::partitioner::refine::refine;
+    use dlb::partitioner::RefinementConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// FM refinement never increases the cut, never violates the
+        /// caps it was given a feasible start under, and never moves a
+        /// fixed vertex.
+        #[test]
+        fn refine_is_safe((h, k, fixed, seed) in arb_problem()) {
+            // Feasible-ish start: round-robin by vertex id, fixed pins
+            // honored.
+            let n = h.num_vertices();
+            let mut part: Vec<usize> = (0..n).map(|v| v % k).collect();
+            for v in 0..n {
+                if let Some(p) = fixed.get(v) {
+                    part[v] = p;
+                }
+            }
+            let before = cutsize_connectivity(&h, &part, k);
+            let targets = PartTargets::uniform(h.total_vertex_weight(), k, 0.10);
+            // Non-worsening is only guaranteed from a cap-feasible start;
+            // otherwise the rebalance step rightly trades cut for balance.
+            let start_weights = dlb::hypergraph::metrics::part_weights(&h, &part, k);
+            let start_feasible = (0..k).all(|p| start_weights[p] <= targets.cap(p) + 1e-9);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let snapshot = part.clone();
+            refine(&h, &targets, &fixed, &mut part, &RefinementConfig::default(), &mut rng);
+            let after = cutsize_connectivity(&h, &part, k);
+            if start_feasible {
+                prop_assert!(after <= before + 1e-9, "refine worsened cut {before} -> {after}");
+            }
+            for v in 0..n {
+                if fixed.is_fixed(v) {
+                    prop_assert_eq!(part[v], snapshot[v], "fixed vertex {} moved", v);
+                }
+            }
+        }
+    }
+}
+
+/// Heavily fixed instances: when most vertices are pinned, the
+/// partitioner must still terminate and satisfy all pins (the balance
+/// constraint may be unsatisfiable — that is allowed).
+#[test]
+fn mostly_fixed_instances_terminate() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(77);
+    for trial in 0..10 {
+        let n = 40;
+        let k = 4;
+        let mut b = HypergraphBuilder::new(n);
+        for _ in 0..60 {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u != v {
+                b.add_net(1.0, [u, v]);
+            }
+        }
+        let h = b.build();
+        let mut fixed = FixedAssignment::free(n);
+        for v in 0..n {
+            if rng.gen_bool(0.9) {
+                fixed.fix(v, rng.gen_range(0..k));
+            }
+        }
+        let r = partition_hypergraph_fixed(&h, k, &fixed, &Config::seeded(trial));
+        assert!(fixed.is_respected_by(&r.part), "trial {trial}");
+    }
+}
