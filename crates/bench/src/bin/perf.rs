@@ -1,0 +1,173 @@
+//! Shared-memory scaling harness for the multilevel pipeline.
+//!
+//! Times the thread-parallel kernels — IPM matching, full coarsening,
+//! partition-state build + cut evaluation, and the end-to-end
+//! partitioner — at several thread counts on the largest bundled
+//! workload (cage14), verifies that every thread count produces the
+//! bit-identical partition, and writes the results as
+//! `BENCH_partitioner.json` in the current directory.
+//!
+//! Usage: `perf [--scale S] [--seed N] [--k K] [--repeats R]`
+//! (defaults: scale 0.02, seed 42, k 8, repeats 3; wall-clock per phase
+//! is the minimum over repeats).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use dlb_hypergraph::convert::column_net_model_unit;
+use dlb_hypergraph::{metrics, Hypergraph};
+use dlb_partitioner::coarsen::coarsen_to_threads;
+use dlb_partitioner::matching::ipm_matching_threads;
+use dlb_partitioner::refine::PartitionState;
+use dlb_partitioner::{partition_hypergraph, Config, FixedAssignment};
+use dlb_workloads::{Dataset, DatasetKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn parse_flag(args: &[String], flag: &str) -> Option<f64> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+/// Minimum wall-clock milliseconds over `repeats` runs of `f`.
+fn time_ms(repeats: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats.max(1) {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// One timed phase: wall-clock per thread count, in THREAD_COUNTS order.
+struct Phase {
+    name: &'static str,
+    wall_ms: Vec<f64>,
+}
+
+fn json_map(counts: &[usize], values: &[f64]) -> String {
+    let mut s = String::from("{");
+    for (i, (&t, &v)) in counts.iter().zip(values).enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "\"{t}\": {v:.4}");
+    }
+    s.push('}');
+    s
+}
+
+fn speedups(wall_ms: &[f64]) -> Vec<f64> {
+    let base = wall_ms[0];
+    wall_ms.iter().map(|&w| if w > 0.0 { base / w } else { 0.0 }).collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = parse_flag(&args, "--scale").unwrap_or(0.02);
+    let seed = parse_flag(&args, "--seed").unwrap_or(42.0) as u64;
+    let k = parse_flag(&args, "--k").unwrap_or(8.0) as usize;
+    let repeats = parse_flag(&args, "--repeats").unwrap_or(3.0) as usize;
+
+    let kind = DatasetKind::Cage14;
+    eprintln!("generating {} at scale {scale} ...", kind.name());
+    let dataset = Dataset::generate(kind, scale, seed);
+    let h: Hypergraph = column_net_model_unit(&dataset.graph);
+    let n = h.num_vertices();
+    eprintln!("hypergraph: {} vertices, {} nets, {} pins", n, h.num_nets(), h.num_pins());
+
+    let fixed = FixedAssignment::free(n);
+    let coarsen_cfg = dlb_partitioner::CoarseningConfig::default();
+    let coarse_target = (coarsen_cfg.coarse_to_factor * k).max(coarsen_cfg.min_coarse_vertices);
+
+    let mut phases: Vec<Phase> = vec![
+        Phase { name: "matching", wall_ms: Vec::new() },
+        Phase { name: "coarsening", wall_ms: Vec::new() },
+        Phase { name: "state_build_cut", wall_ms: Vec::new() },
+        Phase { name: "full_partition", wall_ms: Vec::new() },
+    ];
+    let mut cuts: Vec<f64> = Vec::new();
+    let mut parts: Vec<Vec<usize>> = Vec::new();
+
+    // A fixed block partition exercises the state build + cut phase.
+    let block_part: Vec<usize> = (0..n).map(|v| v * k / n.max(1)).collect();
+
+    for &t in &THREAD_COUNTS {
+        eprintln!("timing {t} thread(s) ...");
+        phases[0].wall_ms.push(time_ms(repeats, || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let m = ipm_matching_threads(&h, &fixed, None, &coarsen_cfg, &mut rng, t);
+            assert!(m.num_pairs * 2 <= n);
+        }));
+        phases[1].wall_ms.push(time_ms(repeats, || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let hierarchy = coarsen_to_threads(&h, &fixed, coarse_target, &coarsen_cfg, &mut rng, t);
+            assert!(!hierarchy.levels.is_empty());
+        }));
+        phases[2].wall_ms.push(time_ms(repeats, || {
+            let state = PartitionState::new_threads(&h, k, block_part.clone(), t);
+            let cut = state.cut();
+            assert!(cut >= 0.0);
+        }));
+
+        let mut cfg = Config::seeded(seed);
+        cfg.threads = t;
+        let mut result = None;
+        phases[3].wall_ms.push(time_ms(repeats, || {
+            result = Some(partition_hypergraph(&h, k, &cfg));
+        }));
+        let r = result.unwrap();
+        cuts.push(r.cut);
+        parts.push(r.part);
+    }
+
+    let identical = parts.iter().all(|p| *p == parts[0]);
+    let cut = cuts[0];
+    let imbalance = metrics::imbalance(&h, &parts[0], k);
+
+    let counts: Vec<usize> = THREAD_COUNTS.to_vec();
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"partitioner\",");
+    let _ = writeln!(json, "  \"dataset\": \"{}\",", kind.name());
+    let _ = writeln!(json, "  \"scale\": {scale},");
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    let _ = writeln!(json, "  \"k\": {k},");
+    let _ = writeln!(json, "  \"vertices\": {n},");
+    let _ = writeln!(json, "  \"nets\": {},", h.num_nets());
+    let _ = writeln!(json, "  \"pins\": {},", h.num_pins());
+    let _ = writeln!(
+        json,
+        "  \"host_threads\": {},",
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    );
+    let _ = writeln!(
+        json,
+        "  \"thread_counts\": [{}],",
+        counts.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(", ")
+    );
+    let _ = writeln!(json, "  \"phases\": [");
+    for (i, phase) in phases.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"wall_ms\": {}, \"speedup\": {}}}{}",
+            phase.name,
+            json_map(&counts, &phase.wall_ms),
+            json_map(&counts, &speedups(&phase.wall_ms)),
+            if i + 1 < phases.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"cut\": {cut:.4},");
+    let _ = writeln!(json, "  \"imbalance\": {imbalance:.6},");
+    let _ = writeln!(json, "  \"bit_identical_across_threads\": {identical}");
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_partitioner.json", &json).expect("write BENCH_partitioner.json");
+    print!("{json}");
+    assert!(identical, "partitions differ across thread counts");
+}

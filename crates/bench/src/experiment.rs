@@ -4,6 +4,7 @@ use dlb_core::{
     simulate_epochs, simulate_epochs_parallel, Algorithm, RepartConfig, SimulationSummary,
 };
 use dlb_graphpart::{partition_kway, GraphConfig};
+use dlb_hypergraph::parallel;
 use dlb_mpisim::run_spmd;
 use dlb_workloads::{Dataset, DatasetKind, EpochStream, PerturbKind, Perturbation};
 
@@ -42,6 +43,13 @@ pub struct SweepConfig {
     pub seed: u64,
     /// Serial or SPMD execution.
     pub timing: TimingMode,
+    /// Worker threads for running independent sweep cells concurrently
+    /// (`0` = auto via `DLB_THREADS` / available parallelism). Every cell
+    /// derives its RNG stream from the cell's own trial seeds, so results
+    /// are identical at any thread count. Use `1` when per-row wall-clock
+    /// timings matter — concurrent cells share cores and inflate
+    /// `time_ms`.
+    pub threads: usize,
 }
 
 impl SweepConfig {
@@ -58,6 +66,7 @@ impl SweepConfig {
             scale,
             seed: 42,
             timing: TimingMode::Serial,
+            threads: 1,
         }
     }
 
@@ -155,42 +164,60 @@ fn run_trial(
     }
 }
 
+/// Runs one sweep cell (a k × α × algorithm bar): all its trials,
+/// averaged.
+fn run_cell(cfg: &SweepConfig, k: usize, alpha: f64, algorithm: Algorithm) -> Row {
+    let mut comm = 0.0;
+    let mut mig_norm = 0.0;
+    let mut total = 0.0;
+    let mut time_ms = 0.0;
+    let mut max_imb: f64 = 1.0;
+    for trial in 0..cfg.trials.max(1) {
+        let summary = run_trial(cfg, k, alpha, algorithm, trial);
+        comm += summary.mean_comm();
+        mig_norm += summary.mean_normalized_migration();
+        total += summary.mean_normalized_total();
+        time_ms += summary.mean_elapsed().as_secs_f64() * 1e3;
+        max_imb = max_imb.max(summary.max_imbalance());
+    }
+    let t = cfg.trials.max(1) as f64;
+    Row {
+        dataset: cfg.dataset.name(),
+        perturb: perturb_name(cfg.perturb),
+        k,
+        alpha,
+        algorithm,
+        comm: comm / t,
+        mig_norm: mig_norm / t,
+        total_norm: total / t,
+        time_ms: time_ms / t,
+        max_imbalance: max_imb,
+    }
+}
+
 /// Runs the full sweep, invoking `progress` once per completed bar.
+///
+/// Cells (k × α × algorithm bars) are independent — each trial seeds its
+/// own RNG stream — so with `cfg.threads > 1` they run concurrently, one
+/// cell per chunk. Rows are collected and reported in the grid's
+/// deterministic order regardless of the thread count (`progress` fires
+/// after a cell and all its predecessors have completed).
 pub fn run_sweep(cfg: &SweepConfig, mut progress: impl FnMut(&Row)) -> Vec<Row> {
-    let mut rows = Vec::new();
+    let mut cells: Vec<(usize, f64, Algorithm)> = Vec::new();
     for &k in &cfg.ks {
         for &alpha in &cfg.alphas {
             for algorithm in Algorithm::ALL {
-                let mut comm = 0.0;
-                let mut mig_norm = 0.0;
-                let mut total = 0.0;
-                let mut time_ms = 0.0;
-                let mut max_imb: f64 = 1.0;
-                for trial in 0..cfg.trials.max(1) {
-                    let summary = run_trial(cfg, k, alpha, algorithm, trial);
-                    comm += summary.mean_comm();
-                    mig_norm += summary.mean_normalized_migration();
-                    total += summary.mean_normalized_total();
-                    time_ms += summary.mean_elapsed().as_secs_f64() * 1e3;
-                    max_imb = max_imb.max(summary.max_imbalance());
-                }
-                let t = cfg.trials.max(1) as f64;
-                let row = Row {
-                    dataset: cfg.dataset.name(),
-                    perturb: perturb_name(cfg.perturb),
-                    k,
-                    alpha,
-                    algorithm,
-                    comm: comm / t,
-                    mig_norm: mig_norm / t,
-                    total_norm: total / t,
-                    time_ms: time_ms / t,
-                    max_imbalance: max_imb,
-                };
-                progress(&row);
-                rows.push(row);
+                cells.push((k, alpha, algorithm));
             }
         }
+    }
+    let threads = parallel::resolve_threads(cfg.threads);
+    let rows: Vec<Row> = parallel::map_chunks(threads, cells.len(), 1, |i, _| {
+        let (k, alpha, algorithm) = cells[i];
+        run_cell(cfg, k, alpha, algorithm)
+    });
+    for row in &rows {
+        progress(row);
     }
     rows
 }

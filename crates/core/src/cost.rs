@@ -6,10 +6,9 @@
 //! communication (bottom bar) and migration (top bar) components.
 
 use dlb_hypergraph::{metrics, Hypergraph, PartId};
-use serde::{Deserialize, Serialize};
 
 /// The two cost components of a repartitioning decision, plus α.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CostBreakdown {
     /// Application communication volume per iteration: the k-1 cut of
     /// the epoch hypergraph under the new assignment (unscaled).

@@ -215,18 +215,24 @@ mod tests {
 
     #[test]
     fn repart_beats_scratch_on_total_cost_at_alpha_one() {
-        // The paper's headline observation at small alpha.
-        let seed = 11;
-        let mut s1 = make_stream(DatasetKind::Auto, 4, Perturbation::structure(), seed);
-        let repart = simulate_epochs(&mut s1, 3, Algorithm::ZoltanRepart, 1.0, &RepartConfig::seeded(seed));
-        let mut s2 = make_stream(DatasetKind::Auto, 4, Perturbation::structure(), seed);
-        let scratch =
-            simulate_epochs(&mut s2, 3, Algorithm::ZoltanScratch, 1.0, &RepartConfig::seeded(seed));
+        // The paper's headline observation at small alpha. A single seed
+        // can land within noise of a tie, so assert on the mean over a
+        // few independent streams.
+        let mut repart_total = 0.0;
+        let mut scratch_total = 0.0;
+        for seed in 11..16 {
+            let mut s1 = make_stream(DatasetKind::Auto, 4, Perturbation::structure(), seed);
+            let repart =
+                simulate_epochs(&mut s1, 3, Algorithm::ZoltanRepart, 1.0, &RepartConfig::seeded(seed));
+            let mut s2 = make_stream(DatasetKind::Auto, 4, Perturbation::structure(), seed);
+            let scratch =
+                simulate_epochs(&mut s2, 3, Algorithm::ZoltanScratch, 1.0, &RepartConfig::seeded(seed));
+            repart_total += repart.mean_normalized_total();
+            scratch_total += scratch.mean_normalized_total();
+        }
         assert!(
-            repart.mean_normalized_total() < scratch.mean_normalized_total(),
-            "repart {} should beat scratch {} at alpha=1",
-            repart.mean_normalized_total(),
-            scratch.mean_normalized_total()
+            repart_total < scratch_total,
+            "repart {repart_total} should beat scratch {scratch_total} at alpha=1 (5-seed mean)"
         );
     }
 

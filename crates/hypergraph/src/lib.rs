@@ -39,6 +39,7 @@ pub mod graph;
 pub mod hypergraph;
 pub mod io;
 pub mod metrics;
+pub mod parallel;
 pub mod subset;
 
 pub use balance::PartTargets;

@@ -1,0 +1,241 @@
+//! Chunked scoped-thread executor with deterministic reduction.
+//!
+//! The multilevel pipeline's hot kernels (IPM candidate scoring, coarse
+//! pin remapping, sigma/cut evaluation) are data-parallel over index
+//! ranges. This module runs them over a fixed chunking of the index
+//! space and hands the per-chunk results back **in chunk order**, which
+//! gives the one property the partitioner needs from parallelism:
+//!
+//! > **Chunked-reduction rule.** Chunk boundaries depend only on the
+//! > problem size, never on the thread count, and per-chunk results are
+//! > combined in ascending chunk order. Any reduction built this way —
+//! > including floating-point sums, which are not associative — produces
+//! > bit-identical results at every thread count, including one.
+//!
+//! Threads claim chunks dynamically from an atomic counter (cheap work
+//! stealing), so an uneven chunk does not serialize the level; the
+//! claim order affects only *when* a chunk runs, never how results are
+//! combined. Workers are plain `std::thread::scope` threads with no
+//! pool to manage; a panic in any chunk propagates to the caller.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default chunk size (in items) for the pipeline kernels: small enough
+/// to balance uneven nets, large enough to amortize the claim.
+pub const DEFAULT_CHUNK: usize = 4096;
+
+/// Resolves an effective worker count: `requested` if positive, else the
+/// `DLB_THREADS` environment variable if set to a positive integer, else
+/// [`std::thread::available_parallelism`].
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(raw) = std::env::var("DLB_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Number of chunks covering `len` items at `chunk` items each.
+#[inline]
+pub fn num_chunks(len: usize, chunk: usize) -> usize {
+    len.div_ceil(chunk.max(1))
+}
+
+/// The half-open item range of chunk `i`.
+#[inline]
+pub fn chunk_range(len: usize, chunk: usize, i: usize) -> Range<usize> {
+    let chunk = chunk.max(1);
+    let start = i * chunk;
+    start..((start + chunk).min(len))
+}
+
+/// Maps `f` over the fixed chunking of `0..len` and returns the chunk
+/// results **in chunk order**, carrying a per-worker scratch state.
+///
+/// `init` builds one scratch value per worker (per claim loop, not per
+/// chunk), so expensive per-thread buffers — an IPM score accumulator,
+/// a dedup map — are paid `threads` times, not `num_chunks` times.
+/// `f(state, i, range)` processes chunk `i` covering `range`.
+///
+/// With `threads <= 1` the chunks run inline on the caller's thread, in
+/// chunk order, through the identical chunking — so a single-threaded
+/// run is the reference ordering, not a special case.
+///
+/// # Panics
+/// Propagates any panic raised by `f`.
+pub fn map_chunks_with<S, T, I, F>(
+    threads: usize,
+    len: usize,
+    chunk: usize,
+    init: I,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, Range<usize>) -> T + Sync,
+{
+    let n_chunks = num_chunks(len, chunk);
+    if n_chunks == 0 {
+        return Vec::new();
+    }
+    let workers = threads.max(1).min(n_chunks);
+    if workers == 1 {
+        let mut state = init();
+        return (0..n_chunks)
+            .map(|i| f(&mut state, i, chunk_range(len, chunk, i)))
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..n_chunks).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = init();
+                    let mut produced: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n_chunks {
+                            break;
+                        }
+                        produced.push((i, f(&mut state, i, chunk_range(len, chunk, i))));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(produced) => {
+                    for (i, value) in produced {
+                        slots[i] = Some(value);
+                    }
+                }
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+    });
+    slots.into_iter().map(Option::unwrap).collect()
+}
+
+/// [`map_chunks_with`] without per-worker state.
+pub fn map_chunks<T, F>(threads: usize, len: usize, chunk: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, Range<usize>) -> T + Sync,
+{
+    map_chunks_with(threads, len, chunk, || (), |(), i, range| f(i, range))
+}
+
+/// Deterministic parallel `f64` sum: per-chunk partial sums folded in
+/// chunk order (the chunked-reduction rule), so the result is
+/// bit-identical at every thread count.
+pub fn sum_chunks<F>(threads: usize, len: usize, chunk: usize, partial: F) -> f64
+where
+    F: Fn(Range<usize>) -> f64 + Sync,
+{
+    map_chunks(threads, len, chunk, |_, range| partial(range))
+        .into_iter()
+        .fold(0.0, |acc, x| acc + x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunking_is_exhaustive_and_disjoint() {
+        for len in [0usize, 1, 5, 4096, 4097, 10_000] {
+            for chunk in [1usize, 7, 4096] {
+                let mut covered = vec![false; len];
+                for i in 0..num_chunks(len, chunk) {
+                    for v in chunk_range(len, chunk, i) {
+                        assert!(!covered[v], "item {v} covered twice");
+                        covered[v] = true;
+                    }
+                }
+                assert!(covered.iter().all(|&c| c), "len={len} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn float_sum_is_bit_identical_across_thread_counts() {
+        // Values chosen so the sum is association-sensitive.
+        let values: Vec<f64> = (0..50_000)
+            .map(|i| 1.0 / (i as f64 + 1.0) * if i % 3 == 0 { 1e10 } else { 1e-10 })
+            .collect();
+        let sum_at = |threads: usize| {
+            sum_chunks(threads, values.len(), 1024, |range| {
+                values[range].iter().fold(0.0, |a, &x| a + x)
+            })
+        };
+        let reference = sum_at(1);
+        for threads in [2, 3, 4, 8] {
+            assert_eq!(sum_at(threads).to_bits(), reference.to_bits(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_chunks_returns_chunk_order() {
+        let out = map_chunks(4, 1000, 16, |i, range| (i, range.start));
+        for (i, &(idx, start)) in out.iter().enumerate() {
+            assert_eq!(idx, i);
+            assert_eq!(start, i * 16);
+        }
+    }
+
+    #[test]
+    fn worker_state_is_reused_not_rebuilt() {
+        use std::sync::atomic::AtomicUsize;
+        let inits = AtomicUsize::new(0);
+        let threads = 3;
+        let _ = map_chunks_with(
+            threads,
+            10_000,
+            64,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                Vec::<usize>::new()
+            },
+            |state, i, _| {
+                state.push(i);
+                state.len()
+            },
+        );
+        assert!(inits.load(Ordering::Relaxed) <= threads);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk 3 exploded")]
+    fn panics_propagate() {
+        let _ = map_chunks(2, 100, 10, |i, _| {
+            if i == 3 {
+                panic!("chunk 3 exploded");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn resolve_threads_prefers_request_then_env() {
+        assert_eq!(resolve_threads(5), 5);
+        // Env fallback: set, observe, restore. This is the only test in
+        // the crate that touches DLB_THREADS.
+        std::env::set_var("DLB_THREADS", "3");
+        assert_eq!(resolve_threads(0), 3);
+        std::env::set_var("DLB_THREADS", "not-a-number");
+        assert!(resolve_threads(0) >= 1);
+        std::env::remove_var("DLB_THREADS");
+        assert!(resolve_threads(0) >= 1);
+    }
+}

@@ -4,7 +4,7 @@ use std::any::Any;
 use std::collections::{HashMap, VecDeque};
 use std::time::Duration;
 
-use crossbeam::channel::{Receiver, Sender};
+use std::sync::mpsc::{Receiver, Sender};
 
 /// How long a blocking receive waits before declaring the program
 /// deadlocked. Simulated ranks share one machine, so any legitimate

@@ -1,6 +1,6 @@
 //! SPMD world launcher.
 
-use crossbeam::channel::unbounded;
+use std::sync::mpsc::channel;
 
 use crate::comm::{Comm, Envelope};
 
@@ -23,7 +23,7 @@ where
     let mut txs = Vec::with_capacity(nranks);
     let mut rxs = Vec::with_capacity(nranks);
     for _ in 0..nranks {
-        let (tx, rx) = unbounded::<Envelope>();
+        let (tx, rx) = channel::<Envelope>();
         txs.push(tx);
         rxs.push(rx);
     }
@@ -31,11 +31,11 @@ where
     let f = &f;
     let mut results: Vec<Option<T>> = (0..nranks).map(|_| None).collect();
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(nranks);
         for (rank, rx) in rxs.into_iter().enumerate() {
             let txs = txs.clone();
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut comm = Comm::new(rank, txs, rx);
                 f(&mut comm)
             }));
@@ -46,8 +46,7 @@ where
                 Err(panic) => std::panic::resume_unwind(panic),
             }
         }
-    })
-    .expect("spmd scope");
+    });
 
     results.into_iter().map(Option::unwrap).collect()
 }

@@ -9,12 +9,12 @@
 
 use std::collections::HashMap;
 
-use dlb_hypergraph::{Hypergraph, HypergraphBuilder};
+use dlb_hypergraph::{parallel, Hypergraph, HypergraphBuilder};
 use rand::rngs::StdRng;
 
 use crate::config::CoarseningConfig;
 use crate::fixed::FixedAssignment;
-use crate::matching::{ipm_matching, Matching};
+use crate::matching::{ipm_matching_threads, Matching};
 
 /// One coarsening level: the coarse hypergraph, the fine→coarse vertex
 /// map, and the coarse fixed assignment.
@@ -30,6 +30,20 @@ pub struct CoarseLevel {
 
 /// Contracts `h` along `matching`.
 pub fn contract(h: &Hypergraph, matching: &Matching, fixed: &FixedAssignment) -> CoarseLevel {
+    contract_threads(h, matching, fixed, 1)
+}
+
+/// [`contract`] with an explicit worker-thread count. With `threads > 1`
+/// the pin remapping (translate, sort, dedup per net) runs across
+/// workers over fixed net chunks; the duplicate-net merge then consumes
+/// the per-chunk results in net order, so the coarse hypergraph is
+/// identical to the serial construction at any thread count.
+pub fn contract_threads(
+    h: &Hypergraph,
+    matching: &Matching,
+    fixed: &FixedAssignment,
+    threads: usize,
+) -> CoarseLevel {
     let n = h.num_vertices();
     debug_assert!(matching.validate(fixed).is_ok());
 
@@ -72,22 +86,58 @@ pub fn contract(h: &Hypergraph, matching: &Matching, fixed: &FixedAssignment) ->
     let mut dedup: HashMap<Box<[usize]>, usize> = HashMap::new();
     let mut collapsed_costs: Vec<f64> = Vec::new();
     let mut collapsed_pins: Vec<Box<[usize]>> = Vec::new();
-    let mut pins: Vec<usize> = Vec::new();
-    for j in 0..h.num_nets() {
-        pins.clear();
-        pins.extend(h.net(j).iter().map(|&v| fine_to_coarse[v]));
-        pins.sort_unstable();
-        pins.dedup();
-        if pins.len() < 2 {
-            continue;
+    if threads > 1 {
+        // Remap + sort + dedup each net's pins across workers, then merge
+        // the surviving nets into the dedup map in net order — the same
+        // insertion order as the serial loop, so collapsed net ids and
+        // summed costs come out identical.
+        let remapped: Vec<Vec<(Box<[usize]>, f64)>> = parallel::map_chunks_with(
+            threads,
+            h.num_nets(),
+            parallel::DEFAULT_CHUNK,
+            Vec::<usize>::new,
+            |pins, _, range| {
+                let mut kept: Vec<(Box<[usize]>, f64)> = Vec::with_capacity(range.len());
+                for j in range {
+                    pins.clear();
+                    pins.extend(h.net(j).iter().map(|&v| fine_to_coarse[v]));
+                    pins.sort_unstable();
+                    pins.dedup();
+                    if pins.len() >= 2 {
+                        kept.push((pins.as_slice().into(), h.net_cost(j)));
+                    }
+                }
+                kept
+            },
+        );
+        for (key, cost) in remapped.into_iter().flatten() {
+            match dedup.get(&key) {
+                Some(&idx) => collapsed_costs[idx] += cost,
+                None => {
+                    dedup.insert(key.clone(), collapsed_costs.len());
+                    collapsed_costs.push(cost);
+                    collapsed_pins.push(key);
+                }
+            }
         }
-        let key: Box<[usize]> = pins.as_slice().into();
-        match dedup.get(&key) {
-            Some(&idx) => collapsed_costs[idx] += h.net_cost(j),
-            None => {
-                dedup.insert(key.clone(), collapsed_costs.len());
-                collapsed_costs.push(h.net_cost(j));
-                collapsed_pins.push(key);
+    } else {
+        let mut pins: Vec<usize> = Vec::new();
+        for j in 0..h.num_nets() {
+            pins.clear();
+            pins.extend(h.net(j).iter().map(|&v| fine_to_coarse[v]));
+            pins.sort_unstable();
+            pins.dedup();
+            if pins.len() < 2 {
+                continue;
+            }
+            let key: Box<[usize]> = pins.as_slice().into();
+            match dedup.get(&key) {
+                Some(&idx) => collapsed_costs[idx] += h.net_cost(j),
+                None => {
+                    dedup.insert(key.clone(), collapsed_costs.len());
+                    collapsed_costs.push(h.net_cost(j));
+                    collapsed_pins.push(key);
+                }
             }
         }
     }
@@ -137,12 +187,25 @@ pub fn coarsen_to(
     cfg: &CoarseningConfig,
     rng: &mut StdRng,
 ) -> Hierarchy {
+    coarsen_to_threads(h, fixed, target_vertices, cfg, rng, 1)
+}
+
+/// [`coarsen_to`] with an explicit worker-thread count for matching and
+/// contraction. Identical hierarchies at any thread count.
+pub fn coarsen_to_threads(
+    h: &Hypergraph,
+    fixed: &FixedAssignment,
+    target_vertices: usize,
+    cfg: &CoarseningConfig,
+    rng: &mut StdRng,
+    threads: usize,
+) -> Hierarchy {
     let mut hierarchy = Hierarchy::default();
     let mut current = h.clone();
     let mut current_fixed = fixed.clone();
 
     while current.num_vertices() > target_vertices && hierarchy.levels.len() < cfg.max_levels {
-        let matching = ipm_matching(&current, &current_fixed, cfg, rng);
+        let matching = ipm_matching_threads(&current, &current_fixed, None, cfg, rng, threads);
         let before = current.num_vertices();
         let after = matching.coarse_count();
         // Unsuccessful coarsening: the paper stops when a step fails to
@@ -150,7 +213,7 @@ pub fn coarsen_to(
         if ((before - after) as f64) < before as f64 * cfg.min_reduction {
             break;
         }
-        let level = contract(&current, &matching, &current_fixed);
+        let level = contract_threads(&current, &matching, &current_fixed, threads);
         current = level.coarse.clone();
         current_fixed = level.coarse_fixed.clone();
         hierarchy.levels.push(level);

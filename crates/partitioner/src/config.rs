@@ -117,6 +117,12 @@ pub struct Config {
     /// the projection — PaToH/Zoltan's iterated-V-cycle quality knob.
     /// The result of an extra cycle is kept only if it improves the cut.
     pub num_vcycles: usize,
+    /// Shared-memory worker threads for the pipeline kernels. `0` means
+    /// auto: the `DLB_THREADS` environment variable if set, else
+    /// [`std::thread::available_parallelism`]. Any value produces
+    /// bit-identical partitions (deterministic chunked reduction); `1`
+    /// runs the exact serial code path.
+    pub threads: usize,
 }
 
 impl Default for Config {
@@ -129,6 +135,7 @@ impl Default for Config {
             initial: InitialConfig::default(),
             refinement: RefinementConfig::default(),
             num_vcycles: 1,
+            threads: 0,
         }
     }
 }

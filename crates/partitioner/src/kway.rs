@@ -7,25 +7,31 @@
 //! each level. Fixed-vertex constraints ride along the hierarchy via
 //! [`crate::coarsen::CoarseLevel::coarse_fixed`].
 
-use dlb_hypergraph::{metrics, Hypergraph, PartId};
+use dlb_hypergraph::{metrics, parallel, Hypergraph, PartId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::coarsen::{coarsen_to, contract, CoarseLevel};
+use crate::coarsen::{coarsen_to_threads, contract_threads, CoarseLevel};
 use crate::config::{Config, PartTargets};
 use crate::fixed::FixedAssignment;
 use crate::initial::initial_partition;
-use crate::matching::ipm_matching_restricted;
-use crate::refine::refine;
+use crate::matching::ipm_matching_threads;
+use crate::refine::{refine_threads, RefineScratch};
 
 /// Runs one multilevel V-cycle on `h` for the given targets (any number
 /// of parts), honoring `fixed`. Returns a complete assignment.
+///
+/// `threads` is the worker count for the data-parallel kernels (already
+/// resolved by the caller); `scratch` is the refinement scratch reused
+/// across every level. Bit-identical at every thread count.
 pub(crate) fn multilevel(
     h: &Hypergraph,
     targets: &PartTargets,
     fixed: &FixedAssignment,
     cfg: &Config,
     rng: &mut StdRng,
+    threads: usize,
+    scratch: &mut RefineScratch,
 ) -> Vec<PartId> {
     let k = targets.k();
     if k == 1 {
@@ -36,7 +42,7 @@ pub(crate) fn multilevel(
     }
 
     let coarse_target = (cfg.coarsening.coarse_to_factor * k).max(cfg.coarsening.min_coarse_vertices);
-    let hierarchy = coarsen_to(h, fixed, coarse_target, &cfg.coarsening, rng);
+    let hierarchy = coarsen_to_threads(h, fixed, coarse_target, &cfg.coarsening, rng, threads);
 
     // Partition the coarsest hypergraph.
     let (coarsest_h, coarsest_fixed): (&Hypergraph, &FixedAssignment) = match hierarchy.levels.last()
@@ -45,7 +51,7 @@ pub(crate) fn multilevel(
         None => (h, fixed),
     };
     let mut part = initial_partition(coarsest_h, targets, coarsest_fixed, &cfg.initial, rng);
-    refine(coarsest_h, targets, coarsest_fixed, &mut part, &cfg.refinement, rng);
+    refine_threads(coarsest_h, targets, coarsest_fixed, &mut part, &cfg.refinement, rng, threads, scratch);
 
     // Uncoarsen: project to each finer level and refine there.
     for i in (0..hierarchy.levels.len()).rev() {
@@ -59,7 +65,7 @@ pub(crate) fn multilevel(
         for (v, &c) in level.fine_to_coarse.iter().enumerate() {
             finer_part[v] = part[c];
         }
-        refine(finer_h, targets, finer_fixed, &mut finer_part, &cfg.refinement, rng);
+        refine_threads(finer_h, targets, finer_fixed, &mut finer_part, &cfg.refinement, rng, threads, scratch);
         part = finer_part;
     }
     part
@@ -69,6 +75,7 @@ pub(crate) fn multilevel(
 /// the current parts (so the partition stays exactly representable at
 /// every level), then refines the projection on the way back up.
 /// Returns the refined assignment; the caller decides whether to keep it.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn vcycle_refine(
     h: &Hypergraph,
     targets: &PartTargets,
@@ -76,6 +83,8 @@ pub(crate) fn vcycle_refine(
     part: &[PartId],
     cfg: &Config,
     rng: &mut StdRng,
+    threads: usize,
+    scratch: &mut RefineScratch,
 ) -> Vec<PartId> {
     let k = targets.k();
     let coarse_target = (cfg.coarsening.coarse_to_factor * k).max(cfg.coarsening.min_coarse_vertices);
@@ -85,12 +94,12 @@ pub(crate) fn vcycle_refine(
     let mut cur_fixed = fixed.clone();
     let mut cur_part = part.to_vec();
     while cur_h.num_vertices() > coarse_target && levels.len() < cfg.coarsening.max_levels {
-        let m = ipm_matching_restricted(&cur_h, &cur_fixed, Some(&cur_part), &cfg.coarsening, rng);
+        let m = ipm_matching_threads(&cur_h, &cur_fixed, Some(&cur_part), &cfg.coarsening, rng, threads);
         let before = cur_h.num_vertices();
         if ((before - m.coarse_count()) as f64) < before as f64 * cfg.coarsening.min_reduction {
             break;
         }
-        let level = contract(&cur_h, &m, &cur_fixed);
+        let level = contract_threads(&cur_h, &m, &cur_fixed, threads);
         let mut coarse_part = vec![0usize; level.coarse.num_vertices()];
         for (v, &c) in level.fine_to_coarse.iter().enumerate() {
             coarse_part[c] = cur_part[v];
@@ -108,7 +117,7 @@ pub(crate) fn vcycle_refine(
             Some(level) => (&level.coarse, &level.coarse_fixed),
             None => (h, fixed),
         };
-        refine(coarsest_h, targets, coarsest_fixed, &mut cur_part, &cfg.refinement, rng);
+        refine_threads(coarsest_h, targets, coarsest_fixed, &mut cur_part, &cfg.refinement, rng, threads, scratch);
     }
     for i in (0..levels.len()).rev() {
         let level = &levels[i];
@@ -121,7 +130,7 @@ pub(crate) fn vcycle_refine(
         for (v, &c) in level.fine_to_coarse.iter().enumerate() {
             finer_part[v] = cur_part[c];
         }
-        refine(finer_h, targets, finer_fixed, &mut finer_part, &cfg.refinement, rng);
+        refine_threads(finer_h, targets, finer_fixed, &mut finer_part, &cfg.refinement, rng, threads, scratch);
         cur_part = finer_part;
     }
     cur_part
@@ -130,6 +139,7 @@ pub(crate) fn vcycle_refine(
 /// Runs the configured number of extra V-cycles on `part`, keeping each
 /// cycle's result only when it improves the k-1 cut without worsening
 /// balance beyond the cap.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn iterate_vcycles(
     h: &Hypergraph,
     targets: &PartTargets,
@@ -137,16 +147,19 @@ pub(crate) fn iterate_vcycles(
     mut part: Vec<PartId>,
     cfg: &Config,
     rng: &mut StdRng,
+    threads: usize,
+    scratch: &mut RefineScratch,
 ) -> Vec<PartId> {
     if cfg.num_vcycles <= 1 || h.num_vertices() == 0 || targets.k() < 2 {
         return part;
     }
     let k = targets.k();
-    let mut best_cut = metrics::cutsize_connectivity(h, &part, k);
+    let metric = dlb_hypergraph::metrics::CutMetric::Connectivity;
+    let mut best_cut = metrics::cutsize_par(h, &part, k, metric, threads);
     for _ in 1..cfg.num_vcycles {
-        let candidate = vcycle_refine(h, targets, fixed, &part, cfg, rng);
-        let cut = metrics::cutsize_connectivity(h, &candidate, k);
-        let w = metrics::part_weights(h, &candidate, k);
+        let candidate = vcycle_refine(h, targets, fixed, &part, cfg, rng, threads, scratch);
+        let cut = metrics::cutsize_par(h, &candidate, k, metric, threads);
+        let w = metrics::part_weights_par(h, &candidate, k, threads);
         let feasible = (0..k).all(|p| w[p] <= targets.cap(p) + 1e-9);
         if cut < best_cut && feasible {
             best_cut = cut;
@@ -165,7 +178,9 @@ pub fn partition_kway(
 ) -> Vec<PartId> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let targets = PartTargets::uniform(h.total_vertex_weight(), k, cfg.epsilon);
-    multilevel(h, &targets, fixed, cfg, &mut rng)
+    let threads = parallel::resolve_threads(cfg.threads);
+    let mut scratch = RefineScratch::new();
+    multilevel(h, &targets, fixed, cfg, &mut rng, threads, &mut scratch)
 }
 
 #[cfg(test)]

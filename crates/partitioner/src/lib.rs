@@ -120,7 +120,9 @@ pub fn partition_hypergraph_fixed(
         let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed ^ 0x5EED_C1C1E);
         let targets =
             config::PartTargets::uniform(h.total_vertex_weight(), k, cfg.epsilon);
-        kway::iterate_vcycles(h, &targets, fixed, part, cfg, &mut rng)
+        let threads = dlb_hypergraph::parallel::resolve_threads(cfg.threads);
+        let mut scratch = refine::RefineScratch::new();
+        kway::iterate_vcycles(h, &targets, fixed, part, cfg, &mut rng, threads, &mut scratch)
     };
     debug_assert!(fixed.is_respected_by(&part));
     PartitionResult::evaluate(h, part, k)

@@ -14,8 +14,21 @@
 //! discarded at selection time, mirroring the paper's "compute all match
 //! scores including infeasible ones, select a feasible best" strategy
 //! (which it reports adds only insignificant overhead).
+//!
+//! # Parallel scoring
+//!
+//! The expensive part — accumulating inner products over shared nets —
+//! depends only on the hypergraph, never on the evolving matching state
+//! (the `mate` filter is applied when a vertex is *selected*, and a
+//! pair's score is a constant). [`ipm_matching_threads`] therefore
+//! precomputes every vertex's candidate list (partner, score) across
+//! worker threads in first-touch order, then runs the greedy selection
+//! serially over the shuffled visit order, skipping already-matched
+//! candidates. Because a filtered subsequence preserves order and scores
+//! are pair constants, the result is **bit-identical** to the serial
+//! matcher at any thread count.
 
-use dlb_hypergraph::Hypergraph;
+use dlb_hypergraph::{parallel, Hypergraph};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 
@@ -88,12 +101,33 @@ pub fn ipm_matching_restricted(
     cfg: &CoarseningConfig,
     rng: &mut StdRng,
 ) -> Matching {
-    let n = h.num_vertices();
-    let mut mate: Vec<usize> = (0..n).collect();
-    let mut num_pairs = 0;
+    ipm_matching_threads(h, fixed, parts, cfg, rng, 1)
+}
 
+/// [`ipm_matching_restricted`] with an explicit worker-thread count.
+///
+/// `threads == 1` runs the exact serial greedy matcher; `threads > 1`
+/// precomputes candidate scores in parallel and selects serially, which
+/// provably produces the same matching (see the module docs). The RNG is
+/// advanced identically on every path.
+pub fn ipm_matching_threads(
+    h: &Hypergraph,
+    fixed: &FixedAssignment,
+    parts: Option<&[usize]>,
+    cfg: &CoarseningConfig,
+    rng: &mut StdRng,
+    threads: usize,
+) -> Matching {
+    let n = h.num_vertices();
     let mut order: Vec<usize> = (0..n).collect();
     order.shuffle(rng);
+
+    if threads > 1 {
+        return ipm_matching_parallel(h, fixed, parts, cfg, &order, threads);
+    }
+
+    let mut mate: Vec<usize> = (0..n).collect();
+    let mut num_pairs = 0;
 
     // Sparse score accumulator: scores[w] for candidate partners w of the
     // current vertex, reset via the touched list.
@@ -135,6 +169,105 @@ pub fn ipm_matching_restricted(
         for &w in &touched {
             let s = scores[w];
             scores[w] = 0.0;
+            if s > best_score
+                && fixed.compatible(u, w)
+                && parts.is_none_or(|p| p[u] == p[w])
+            {
+                best_score = s;
+                best = Some(w);
+            }
+        }
+        if let Some(w) = best {
+            mate[u] = w;
+            mate[w] = u;
+            num_pairs += 1;
+        }
+    }
+
+    Matching { mate, num_pairs }
+}
+
+/// Chunk size for parallel candidate scoring: scoring a vertex walks all
+/// of its nets' pins, so chunks are much smaller than the generic
+/// [`parallel::DEFAULT_CHUNK`] to keep worker load even.
+const SCORE_CHUNK: usize = 256;
+
+/// Parallel path of [`ipm_matching_threads`]: score every vertex's
+/// candidates across workers (state-independent), then select serially.
+fn ipm_matching_parallel(
+    h: &Hypergraph,
+    fixed: &FixedAssignment,
+    parts: Option<&[usize]>,
+    cfg: &CoarseningConfig,
+    order: &[usize],
+    threads: usize,
+) -> Matching {
+    let n = h.num_vertices();
+
+    // Per-vertex candidate lists (partner, inner-product score) in
+    // first-touch order — exactly the order the serial matcher's
+    // `touched` list would hold with no vertices matched yet.
+    let per_chunk = parallel::map_chunks_with(
+        threads,
+        n,
+        SCORE_CHUNK,
+        || (vec![0.0f64; n], Vec::<usize>::new()),
+        |(scores, touched), _, range| {
+            let mut lists: Vec<Vec<(usize, f64)>> = Vec::with_capacity(range.len());
+            for u in range {
+                touched.clear();
+                for &j in h.vertex_nets(u) {
+                    let size = h.net_size(j);
+                    if size < 2 || size > cfg.max_net_size_for_matching {
+                        continue;
+                    }
+                    let contrib = if cfg.scaled_ipm {
+                        h.net_cost(j) / (size - 1) as f64
+                    } else {
+                        h.net_cost(j)
+                    };
+                    if contrib <= 0.0 {
+                        continue;
+                    }
+                    for &w in h.net(j) {
+                        if w == u {
+                            continue;
+                        }
+                        if scores[w] == 0.0 {
+                            touched.push(w);
+                        }
+                        scores[w] += contrib;
+                    }
+                }
+                lists.push(touched.iter().map(|&w| {
+                    let s = scores[w];
+                    scores[w] = 0.0;
+                    (w, s)
+                }).collect());
+            }
+            lists
+        },
+    );
+    let mut cands: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n);
+    for chunk in per_chunk {
+        cands.extend(chunk);
+    }
+
+    // Serial greedy selection, identical to the serial matcher: skipping
+    // matched candidates here instead of at scoring time yields the same
+    // filtered subsequence in the same order with the same scores.
+    let mut mate: Vec<usize> = (0..n).collect();
+    let mut num_pairs = 0;
+    for &u in order {
+        if mate[u] != u {
+            continue;
+        }
+        let mut best: Option<usize> = None;
+        let mut best_score = 0.0;
+        for &(w, s) in &cands[u] {
+            if mate[w] != w {
+                continue;
+            }
             if s > best_score
                 && fixed.compatible(u, w)
                 && parts.is_none_or(|p| p[u] == p[w])
@@ -254,5 +387,37 @@ mod tests {
         let a = ipm_matching(&h, &fixed, &cfg(), &mut StdRng::seed_from_u64(7));
         let b = ipm_matching(&h, &fixed, &cfg(), &mut StdRng::seed_from_u64(7));
         assert_eq!(a.mate, b.mate);
+    }
+
+    /// The parallel scoring path reproduces the serial matcher exactly —
+    /// same mate vector — at every thread count, with and without fixed
+    /// vertices and part restrictions.
+    #[test]
+    fn parallel_matching_identical_to_serial() {
+        use rand::Rng;
+        let h = crate::tests::random_hypergraph(300, 600, 6, 23);
+        let mut setup_rng = StdRng::seed_from_u64(99);
+        let mut fixed = FixedAssignment::free(300);
+        for v in 0..300 {
+            if setup_rng.gen_bool(0.2) {
+                fixed.fix(v, setup_rng.gen_range(0..4));
+            }
+        }
+        let parts: Vec<usize> = (0..300).map(|v| v % 4).collect();
+        for seed in 0..5u64 {
+            for restriction in [None, Some(parts.as_slice())] {
+                let serial = ipm_matching_threads(
+                    &h, &fixed, restriction, &cfg(), &mut StdRng::seed_from_u64(seed), 1,
+                );
+                serial.validate(&fixed).unwrap();
+                for threads in [2usize, 3, 8] {
+                    let par = ipm_matching_threads(
+                        &h, &fixed, restriction, &cfg(), &mut StdRng::seed_from_u64(seed), threads,
+                    );
+                    assert_eq!(par.mate, serial.mate, "seed {seed} threads {threads}");
+                    assert_eq!(par.num_pairs, serial.num_pairs);
+                }
+            }
+        }
     }
 }

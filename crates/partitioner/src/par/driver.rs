@@ -1,17 +1,17 @@
 //! The parallel multilevel V-cycle (Section 4, assembled).
 
-use dlb_hypergraph::{Hypergraph, PartId};
+use dlb_hypergraph::{parallel, Hypergraph, PartId};
 use dlb_mpisim::Comm;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::coarsen::{contract, Hierarchy};
+use crate::coarsen::{contract_threads, Hierarchy};
 use crate::config::{Config, PartTargets};
 use crate::fixed::FixedAssignment;
 use crate::initial::{initial_partition, score};
-use crate::par::matching::par_ipm_matching;
+use crate::par::matching::par_ipm_matching_threads;
 use crate::par::refine::par_refine;
-use crate::refine::refine as serial_refine;
+use crate::refine::{refine_threads, RefineScratch};
 
 /// One parallel multilevel V-cycle. Collective; every rank returns the
 /// identical assignment.
@@ -30,6 +30,12 @@ pub fn par_multilevel(
     if h.num_vertices() == 0 {
         return Vec::new();
     }
+    // The simulator runs every rank as its own OS thread, so the shared
+    // worker budget is split evenly across ranks: each rank gets
+    // `total / size` (at least 1) threads for its local kernels. The
+    // thread count never changes results, only timing.
+    let threads = (parallel::resolve_threads(cfg.threads) / comm.size()).max(1);
+    let mut scratch = RefineScratch::new();
 
     // --- Parallel coarsening: candidate-round IPM per level. ---
     let coarse_target =
@@ -39,7 +45,8 @@ pub fn par_multilevel(
     let mut current_fixed = fixed.clone();
     while current.num_vertices() > coarse_target && hierarchy.levels.len() < cfg.coarsening.max_levels
     {
-        let matching = par_ipm_matching(comm, &current, &current_fixed, &cfg.coarsening, rng);
+        let matching =
+            par_ipm_matching_threads(comm, &current, &current_fixed, &cfg.coarsening, rng, threads);
         let before = current.num_vertices();
         let after = matching.coarse_count();
         if ((before - after) as f64) < before as f64 * cfg.coarsening.min_reduction {
@@ -47,7 +54,7 @@ pub fn par_multilevel(
         }
         // Contraction is deterministic, so every rank builds the same
         // coarse hypergraph without communication.
-        let level = contract(&current, &matching, &current_fixed);
+        let level = contract_threads(&current, &matching, &current_fixed, threads);
         current = level.coarse.clone();
         current_fixed = level.coarse_fixed.clone();
         hierarchy.levels.push(level);
@@ -66,13 +73,15 @@ pub fn par_multilevel(
     );
     let mut my_part =
         initial_partition(coarsest_h, targets, coarsest_fixed, &cfg.initial, &mut my_rng);
-    serial_refine(
+    refine_threads(
         coarsest_h,
         targets,
         coarsest_fixed,
         &mut my_part,
         &cfg.refinement,
         &mut my_rng,
+        threads,
+        &mut scratch,
     );
     let my_score = score(coarsest_h, &my_part, targets);
     // Pick the winning rank, then broadcast its partition.

@@ -10,7 +10,7 @@
 //! the winning matches identically, so the coarse hypergraph is built
 //! consistently everywhere without further communication.
 
-use dlb_hypergraph::Hypergraph;
+use dlb_hypergraph::{parallel, Hypergraph};
 use dlb_mpisim::{BlockDist, Comm};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -103,6 +103,58 @@ fn best_owned_partner(
     best
 }
 
+/// Per-candidate chunk size for the parallel scoring stage: candidate
+/// scoring is heavier per item than vertex scoring, so chunks are small.
+const CAND_CHUNK: usize = 64;
+
+/// Like [`best_owned_partner`] but returns the *full* partner list in
+/// first-touch order, without the `taken` filter. The IPM score of a pair
+/// is independent of the matching state, so the list can be computed
+/// concurrently for many candidates; the serial selection then applies
+/// the `taken` and fixed-compatibility filters. Filtering a subsequence
+/// preserves first-touch order, so selection over the filtered list is
+/// identical to [`best_owned_partner`]'s.
+fn owned_partner_list(
+    h: &Hypergraph,
+    u: usize,
+    mate: &[usize],
+    cfg: &CoarseningConfig,
+    range: &std::ops::Range<usize>,
+    scores: &mut [f64],
+    touched: &mut Vec<usize>,
+) -> Vec<(usize, f64)> {
+    touched.clear();
+    for &j in h.vertex_nets(u) {
+        let size = h.net_size(j);
+        if size < 2 || size > cfg.max_net_size_for_matching {
+            continue;
+        }
+        let contrib = if cfg.scaled_ipm {
+            h.net_cost(j) / (size - 1) as f64
+        } else {
+            h.net_cost(j)
+        };
+        if contrib <= 0.0 {
+            continue;
+        }
+        for &w in h.net(j) {
+            if w == u || !range.contains(&w) || mate[w] != w {
+                continue;
+            }
+            if scores[w] == 0.0 {
+                touched.push(w);
+            }
+            scores[w] += contrib;
+        }
+    }
+    let mut list = Vec::with_capacity(touched.len());
+    for &w in touched.iter() {
+        list.push((w, scores[w]));
+        scores[w] = 0.0;
+    }
+    list
+}
+
 /// One level of parallel matching. Collective: all ranks must call with
 /// identical `h`, `fixed`, `cfg`; `rng` seeds may differ per rank only
 /// through `comm.rank()` (handled internally). Returns the same matching
@@ -113,6 +165,21 @@ pub fn par_ipm_matching(
     fixed: &FixedAssignment,
     cfg: &CoarseningConfig,
     rng: &mut StdRng,
+) -> Matching {
+    par_ipm_matching_threads(comm, h, fixed, cfg, rng, 1)
+}
+
+/// [`par_ipm_matching`] with rank-local worker threads for the candidate
+/// scoring stage (each rank scores its share of candidates over
+/// `threads` threads). Bit-identical to the single-threaded matcher at
+/// every thread count.
+pub fn par_ipm_matching_threads(
+    comm: &mut Comm,
+    h: &Hypergraph,
+    fixed: &FixedAssignment,
+    cfg: &CoarseningConfig,
+    rng: &mut StdRng,
+    threads: usize,
 ) -> Matching {
     if cfg.local_ipm {
         return par_local_ipm_matching(comm, h, fixed, cfg, rng);
@@ -154,23 +221,71 @@ pub fn par_ipm_matching(
         // `taken` prevents one owned vertex from being proposed to two
         // candidates in the same round.
         let mut taken = vec![false; n];
-        let proposals: Vec<(f64, usize, usize)> = all_cands
-            .iter()
-            .map(|&u| {
-                // A candidate cannot partner itself; candidates owned by
-                // this rank may still be proposed as partners of others.
-                let best = best_owned_partner(
-                    h, u, &mate, &taken, fixed, cfg, &my_range, &mut scores, &mut touched,
-                );
-                match best {
-                    Some((w, s)) if !all_cands.contains(&w) || w > u => {
-                        taken[w] = true;
-                        (s, comm.rank(), w)
-                    }
-                    _ => (Proposal::NONE.score, Proposal::NONE.rank, Proposal::NONE.partner),
-                }
-            })
+        let proposals: Vec<(f64, usize, usize)> = if threads > 1 {
+            // Parallel scoring: partner lists per candidate (chunked over
+            // the candidate array, per-worker score buffers), then serial
+            // selection applying the `taken` filter in candidate order —
+            // identical to the serial loop, since pair scores do not
+            // depend on `taken`.
+            let lists: Vec<Vec<(usize, f64)>> = parallel::map_chunks_with(
+                threads,
+                all_cands.len(),
+                CAND_CHUNK,
+                || (vec![0.0f64; n], Vec::<usize>::new()),
+                |(scores, touched), _, chunk| {
+                    chunk
+                        .map(|i| {
+                            owned_partner_list(
+                                h, all_cands[i], &mate, cfg, &my_range, scores, touched,
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                },
+            )
+            .into_iter()
+            .flatten()
             .collect();
+            all_cands
+                .iter()
+                .zip(&lists)
+                .map(|(&u, list)| {
+                    let mut best: Option<(usize, f64)> = None;
+                    for &(w, s) in list {
+                        if taken[w] {
+                            continue;
+                        }
+                        if fixed.compatible(u, w) && best.is_none_or(|(_, bs)| s > bs) {
+                            best = Some((w, s));
+                        }
+                    }
+                    match best {
+                        Some((w, s)) if !all_cands.contains(&w) || w > u => {
+                            taken[w] = true;
+                            (s, comm.rank(), w)
+                        }
+                        _ => (Proposal::NONE.score, Proposal::NONE.rank, Proposal::NONE.partner),
+                    }
+                })
+                .collect()
+        } else {
+            all_cands
+                .iter()
+                .map(|&u| {
+                    // A candidate cannot partner itself; candidates owned by
+                    // this rank may still be proposed as partners of others.
+                    let best = best_owned_partner(
+                        h, u, &mate, &taken, fixed, cfg, &my_range, &mut scores, &mut touched,
+                    );
+                    match best {
+                        Some((w, s)) if !all_cands.contains(&w) || w > u => {
+                            taken[w] = true;
+                            (s, comm.rank(), w)
+                        }
+                        _ => (Proposal::NONE.score, Proposal::NONE.rank, Proposal::NONE.partner),
+                    }
+                })
+                .collect()
+        };
 
         // Global best proposal per candidate.
         let winners = comm.allreduce_vec(proposals, |a, b| {
@@ -340,6 +455,29 @@ mod tests {
         let r = &results[0];
         assert!(r.part.iter().all(|&p| p < 4));
         assert!(r.imbalance <= 1.12, "imbalance {}", r.imbalance);
+    }
+
+    #[test]
+    fn threaded_scoring_matches_single_threaded() {
+        // The rank-local parallel scoring stage must reproduce the
+        // single-threaded matcher exactly, at every thread count.
+        let h = crate::tests::random_hypergraph(200, 400, 5, 41);
+        let mut fixed = FixedAssignment::free(200);
+        for v in (0..200).step_by(9) {
+            fixed.fix(v, v % 3);
+        }
+        let cfg = CoarseningConfig::default();
+        let reference = run_spmd(3, |comm| {
+            let mut rng = StdRng::seed_from_u64(13);
+            par_ipm_matching_threads(comm, &h, &fixed, &cfg, &mut rng, 1).mate
+        });
+        for threads in [2, 4] {
+            let threaded = run_spmd(3, |comm| {
+                let mut rng = StdRng::seed_from_u64(13);
+                par_ipm_matching_threads(comm, &h, &fixed, &cfg, &mut rng, threads).mate
+            });
+            assert_eq!(threaded, reference, "threads={threads}");
+        }
     }
 
     #[test]

@@ -10,13 +10,14 @@
 //! the final k-way partition meets the overall Eq. (1) bound.
 
 use dlb_hypergraph::subset::induced_subhypergraph;
-use dlb_hypergraph::{Hypergraph, PartId};
+use dlb_hypergraph::{parallel, Hypergraph, PartId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::config::{Config, PartTargets};
 use crate::fixed::FixedAssignment;
 use crate::kway::multilevel;
+use crate::refine::RefineScratch;
 
 /// Per-bisection imbalance tolerance so that `depth` nested bisections
 /// compound to at most the overall `epsilon`.
@@ -51,9 +52,12 @@ pub fn partition_recursive_shares(
     assert!(shares.iter().all(|&s| s > 0), "shares must be positive");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let eps = per_level_epsilon(cfg.epsilon, k);
-    recurse(h, shares, fixed, cfg, eps, &mut rng)
+    let threads = parallel::resolve_threads(cfg.threads);
+    let mut scratch = RefineScratch::new();
+    recurse(h, shares, fixed, cfg, eps, &mut rng, threads, &mut scratch)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn recurse(
     h: &Hypergraph,
     shares: &[usize],
@@ -61,6 +65,8 @@ fn recurse(
     cfg: &Config,
     eps: f64,
     rng: &mut StdRng,
+    threads: usize,
+    scratch: &mut RefineScratch,
 ) -> Vec<PartId> {
     let k = shares.len();
     if k == 1 {
@@ -77,7 +83,7 @@ fn recurse(
     let share0: usize = shares[..k0].iter().sum();
     let share1: usize = shares[k0..].iter().sum();
     let targets = PartTargets::proportional(h.total_vertex_weight(), &[share0, share1], eps);
-    let sides = multilevel(h, &targets, &side_fixed, cfg, rng);
+    let sides = multilevel(h, &targets, &side_fixed, cfg, rng, threads, scratch);
     debug_assert_eq!(sides.len(), h.num_vertices());
 
     // Split into the two induced sub-hypergraphs. Cut nets survive on
@@ -99,8 +105,8 @@ fn recurse(
             .collect::<Vec<_>>(),
     );
 
-    let part0 = recurse(&side0.hypergraph, &shares[..k0], &fixed0, cfg, eps, rng);
-    let part1 = recurse(&side1.hypergraph, &shares[k0..], &fixed1, cfg, eps, rng);
+    let part0 = recurse(&side0.hypergraph, &shares[..k0], &fixed0, cfg, eps, rng, threads, scratch);
+    let part1 = recurse(&side1.hypergraph, &shares[k0..], &fixed1, cfg, eps, rng, threads, scratch);
 
     let mut part = vec![0usize; h.num_vertices()];
     for (new_v, &old_v) in side0.to_base.iter().enumerate() {

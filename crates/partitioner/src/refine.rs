@@ -17,7 +17,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use dlb_hypergraph::metrics::CutMetric;
-use dlb_hypergraph::{Hypergraph, PartId};
+use dlb_hypergraph::{parallel, Hypergraph, PartId};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 
@@ -34,6 +34,10 @@ const MAX_NET_SIZE_FOR_UPDATES: usize = 400;
 pub struct PartitionState<'a> {
     h: &'a Hypergraph,
     k: usize,
+    /// Worker threads for state builds and whole-partition scans
+    /// (`cut`, `boundary_vertices`). Any value gives bit-identical
+    /// results — all reductions follow the chunked-reduction rule.
+    threads: usize,
     /// `sigma[j*k + p]` = number of net `j`'s pins in part `p`.
     sigma: Vec<u32>,
     /// Total vertex weight per part.
@@ -45,18 +49,55 @@ pub struct PartitionState<'a> {
 impl<'a> PartitionState<'a> {
     /// Builds the state for `part` on `h`.
     pub fn new(h: &'a Hypergraph, k: usize, part: Vec<PartId>) -> Self {
+        Self::new_threads(h, k, part, 1)
+    }
+
+    /// [`Self::new`] with an explicit worker-thread count. The sigma
+    /// table is built per net chunk and concatenated in chunk order; the
+    /// part weights are per-chunk partial sums folded in chunk order —
+    /// so the state is bit-identical at every thread count.
+    pub fn new_threads(h: &'a Hypergraph, k: usize, part: Vec<PartId>, threads: usize) -> Self {
         assert_eq!(part.len(), h.num_vertices());
+        let threads = threads.max(1);
         let mut sigma = vec![0u32; h.num_nets() * k];
-        for j in 0..h.num_nets() {
-            for &v in h.net(j) {
-                sigma[j * k + part[v]] += 1;
+        let part_ref = &part;
+        let chunks = parallel::map_chunks(
+            threads,
+            h.num_nets(),
+            parallel::DEFAULT_CHUNK,
+            |_, range| {
+                let mut local = vec![0u32; range.len() * k];
+                for j in range.clone() {
+                    let base = (j - range.start) * k;
+                    for &v in h.net(j) {
+                        local[base + part_ref[v]] += 1;
+                    }
+                }
+                (range.start, local)
+            },
+        );
+        for (start, local) in chunks {
+            sigma[start * k..start * k + local.len()].copy_from_slice(&local);
+        }
+        let partials = parallel::map_chunks(
+            threads,
+            h.num_vertices(),
+            parallel::DEFAULT_CHUNK,
+            |_, range| {
+                let mut local = vec![0.0f64; k];
+                for v in range {
+                    local[part_ref[v]] += h.vertex_weight(v);
+                }
+                local
+            },
+        );
+        let mut weights = vec![0.0f64; k];
+        for local in partials {
+            for p in 0..k {
+                weights[p] += local[p];
             }
         }
-        let mut weights = vec![0.0f64; k];
-        for (v, &p) in part.iter().enumerate() {
-            weights[p] += h.vertex_weight(v);
-        }
-        PartitionState { h, k, sigma, weights, part }
+        PartitionState { h, k, threads, sigma, weights, part }
     }
 
     #[inline]
@@ -233,32 +274,66 @@ impl<'a> PartitionState<'a> {
     /// Vertices on the cut boundary: incident to at least one net that
     /// touches more than one part.
     pub fn boundary_vertices(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.boundary_vertices_into(&mut out);
+        out
+    }
+
+    /// [`Self::boundary_vertices`] into a caller-owned buffer (cleared
+    /// first), so refinement passes can reuse the allocation. The
+    /// expensive per-net part scan runs chunked over the nets; the cheap
+    /// pin-marking pass stays serial, so the result is order-identical
+    /// at every thread count.
+    pub fn boundary_vertices_into(&self, out: &mut Vec<usize>) {
+        let cut_net: Vec<bool> = parallel::map_chunks(
+            self.threads,
+            self.h.num_nets(),
+            parallel::DEFAULT_CHUNK,
+            |_, range| {
+                range
+                    .map(|j| (0..self.k).filter(|&p| self.sigma(j, p) > 0).count() > 1)
+                    .collect::<Vec<bool>>()
+            },
+        )
+        .into_iter()
+        .flatten()
+        .collect();
         let mut boundary = vec![false; self.h.num_vertices()];
-        for j in 0..self.h.num_nets() {
-            let touched = (0..self.k).filter(|&p| self.sigma(j, p) > 0).count();
-            if touched > 1 {
+        for (j, &is_cut) in cut_net.iter().enumerate() {
+            if is_cut {
                 for &v in self.h.net(j) {
                     boundary[v] = true;
                 }
             }
         }
-        boundary
-            .iter()
-            .enumerate()
-            .filter_map(|(v, &b)| b.then_some(v))
-            .collect()
+        out.clear();
+        out.extend(
+            boundary
+                .iter()
+                .enumerate()
+                .filter_map(|(v, &b)| b.then_some(v)),
+        );
     }
 
-    /// Current k-1 cut computed from the maintained pin counts.
+    /// Current k-1 cut computed from the maintained pin counts: per-chunk
+    /// partial sums over the nets folded in chunk order (bit-identical at
+    /// every thread count).
     pub fn cut(&self) -> f64 {
-        let mut cut = 0.0;
-        for j in 0..self.h.num_nets() {
-            let touched = (0..self.k).filter(|&p| self.sigma(j, p) > 0).count();
-            if touched > 1 {
-                cut += self.h.net_cost(j) * (touched - 1) as f64;
-            }
-        }
-        cut
+        parallel::sum_chunks(
+            self.threads,
+            self.h.num_nets(),
+            parallel::DEFAULT_CHUNK,
+            |range| {
+                let mut cut = 0.0;
+                for j in range {
+                    let touched = (0..self.k).filter(|&p| self.sigma(j, p) > 0).count();
+                    if touched > 1 {
+                        cut += self.h.net_cost(j) * (touched - 1) as f64;
+                    }
+                }
+                cut
+            },
+        )
     }
 }
 
@@ -279,6 +354,62 @@ impl MoveScratch {
             cands: Vec::new(),
             stamp: 0,
         }
+    }
+
+    /// Grows the scratch to cover `k` parts (never shrinks; the stamp
+    /// counter survives, so stale marks are ignored automatically).
+    pub fn ensure(&mut self, k: usize) {
+        if self.mark.len() < k {
+            self.mark.resize(k, 0);
+            self.present.resize(k, 0.0);
+        }
+    }
+}
+
+/// Allocation-reusing scratch for [`refine_threads`]: the move scratch,
+/// the candidate heap, and the per-pass vertex flag arrays. One instance
+/// serves every level of a multilevel V-cycle (and every bisection of a
+/// recursive-bisection tree), so the per-pass `O(n)` allocations of the
+/// original refiner are paid once per partitioner call instead of once
+/// per pass.
+pub struct RefineScratch {
+    mv: MoveScratch,
+    heap: BinaryHeap<Cand>,
+    locked: Vec<bool>,
+    queued: Vec<bool>,
+    applied: Vec<(usize, PartId)>,
+    boundary: Vec<usize>,
+}
+
+impl RefineScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        RefineScratch {
+            mv: MoveScratch::new(0),
+            heap: BinaryHeap::new(),
+            locked: Vec::new(),
+            queued: Vec::new(),
+            applied: Vec::new(),
+            boundary: Vec::new(),
+        }
+    }
+
+    /// Prepares the scratch for one FM pass over `n` vertices and `k`
+    /// parts: clears (retaining capacity) and resizes the flag arrays.
+    fn prepare_pass(&mut self, k: usize, n: usize) {
+        self.mv.ensure(k);
+        self.heap.clear();
+        self.locked.clear();
+        self.locked.resize(n, false);
+        self.queued.clear();
+        self.queued.resize(n, false);
+        self.applied.clear();
+    }
+}
+
+impl Default for RefineScratch {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -393,58 +524,57 @@ fn fm_pass(
     targets: &PartTargets,
     fixed: &FixedAssignment,
     cfg: &RefinementConfig,
-    scratch: &mut MoveScratch,
+    scratch: &mut RefineScratch,
     rng: &mut StdRng,
 ) -> f64 {
     let n = state.h.num_vertices();
-    let mut locked = vec![false; n];
-    let mut heap: BinaryHeap<Cand> = BinaryHeap::new();
     // At most one live heap entry per vertex: pops revalidate gains, so
     // extra pushes only add churn. `queued` dedupes; it is cleared on pop
     // so later gain changes can re-queue the vertex.
-    let mut queued = vec![false; n];
+    scratch.prepare_pass(state.k, n);
 
-    let mut boundary = state.boundary_vertices();
+    let mut boundary = std::mem::take(&mut scratch.boundary);
+    state.boundary_vertices_into(&mut boundary);
     boundary.shuffle(rng);
     for &v in &boundary {
         if fixed.is_fixed(v) {
             continue;
         }
-        if let Some((to, gain)) = state.best_move_metric(v, targets, cfg.metric, scratch) {
-            heap.push(Cand { gain, v, to });
-            queued[v] = true;
+        if let Some((to, gain)) = state.best_move_metric(v, targets, cfg.metric, &mut scratch.mv) {
+            scratch.heap.push(Cand { gain, v, to });
+            scratch.queued[v] = true;
         }
     }
+    scratch.boundary = boundary;
 
-    let mut applied: Vec<(usize, PartId)> = Vec::new(); // (vertex, previous part)
     let mut cum = 0.0;
     let mut best_cum = 0.0;
     let mut best_len = 0usize;
     let mut neg_streak = 0usize;
 
-    while let Some(c) = heap.pop() {
-        queued[c.v] = false;
-        if locked[c.v] || fixed.is_fixed(c.v) {
+    while let Some(c) = scratch.heap.pop() {
+        scratch.queued[c.v] = false;
+        if scratch.locked[c.v] || fixed.is_fixed(c.v) {
             continue;
         }
         // Lazy revalidation: the stored move may be stale.
-        let current = state.best_move_metric(c.v, targets, cfg.metric, scratch);
+        let current = state.best_move_metric(c.v, targets, cfg.metric, &mut scratch.mv);
         match current {
             None => continue,
             Some((to, gain)) => {
                 if to != c.to || (gain - c.gain).abs() > 1e-9 {
-                    heap.push(Cand { gain, v: c.v, to });
-                    queued[c.v] = true;
+                    scratch.heap.push(Cand { gain, v: c.v, to });
+                    scratch.queued[c.v] = true;
                     continue;
                 }
                 let from = state.part[c.v];
                 state.apply(c.v, to);
-                locked[c.v] = true;
-                applied.push((c.v, from));
+                scratch.locked[c.v] = true;
+                scratch.applied.push((c.v, from));
                 cum += gain;
                 if cum > best_cum + 1e-12 {
                     best_cum = cum;
-                    best_len = applied.len();
+                    best_len = scratch.applied.len();
                     neg_streak = 0;
                 } else {
                     neg_streak += 1;
@@ -458,12 +588,12 @@ fn fm_pass(
                         continue;
                     }
                     for &w in state.h.net(j) {
-                        if !locked[w] && !queued[w] && !fixed.is_fixed(w) {
+                        if !scratch.locked[w] && !scratch.queued[w] && !fixed.is_fixed(w) {
                             if let Some((to, gain)) =
-                                state.best_move_metric(w, targets, cfg.metric, scratch)
+                                state.best_move_metric(w, targets, cfg.metric, &mut scratch.mv)
                             {
-                                heap.push(Cand { gain, v: w, to });
-                                queued[w] = true;
+                                scratch.heap.push(Cand { gain, v: w, to });
+                                scratch.queued[w] = true;
                             }
                         }
                     }
@@ -473,7 +603,7 @@ fn fm_pass(
     }
 
     // Roll back past the best prefix.
-    for &(v, from) in applied[best_len..].iter().rev() {
+    for &(v, from) in scratch.applied[best_len..].iter().rev() {
         state.apply(v, from);
     }
     best_cum
@@ -490,18 +620,37 @@ pub fn refine(
     cfg: &RefinementConfig,
     rng: &mut StdRng,
 ) -> f64 {
+    let mut scratch = RefineScratch::new();
+    refine_threads(h, targets, fixed, part, cfg, rng, 1, &mut scratch)
+}
+
+/// [`refine`] with an explicit worker-thread count (state builds and
+/// boundary/cut scans) and a caller-owned [`RefineScratch`] reused across
+/// calls. Bit-identical to [`refine`] at every thread count: the FM move
+/// loop itself is serial; only whole-partition scans are chunked.
+#[allow(clippy::too_many_arguments)]
+pub fn refine_threads(
+    h: &Hypergraph,
+    targets: &PartTargets,
+    fixed: &FixedAssignment,
+    part: &mut Vec<PartId>,
+    cfg: &RefinementConfig,
+    rng: &mut StdRng,
+    threads: usize,
+    scratch: &mut RefineScratch,
+) -> f64 {
     let k = targets.k();
     if k < 2 || h.num_vertices() == 0 {
         return 0.0;
     }
-    let mut state = PartitionState::new(h, k, std::mem::take(part));
-    let mut scratch = MoveScratch::new(k);
+    let mut state = PartitionState::new_threads(h, k, std::mem::take(part), threads);
+    scratch.mv.ensure(k);
 
-    rebalance(&mut state, targets, fixed, &mut scratch);
+    rebalance(&mut state, targets, fixed, &mut scratch.mv);
 
     let mut total = 0.0;
     for _ in 0..cfg.max_passes {
-        let improvement = fm_pass(&mut state, targets, fixed, cfg, &mut scratch, rng);
+        let improvement = fm_pass(&mut state, targets, fixed, cfg, scratch, rng);
         total += improvement;
         if improvement <= 1e-12 {
             break;

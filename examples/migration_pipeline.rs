@@ -63,7 +63,7 @@ fn main() {
         // 4. Verify: every hosted payload is where the decision says.
         for &(v, _) in &after {
             assert_eq!(
-                decision.new_part[v as usize] % comm.size(),
+                decision.new_part[v] % comm.size(),
                 comm.rank(),
                 "vertex {v} landed on the wrong rank"
             );

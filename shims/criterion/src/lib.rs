@@ -1,0 +1,203 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the exact bench API surface it uses: `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`,
+//! `Bencher::iter`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros. Measurement is plain
+//! wall-clock: each benchmark runs a short warmup, then `sample_size`
+//! timed iterations, and prints mean / min / max per iteration.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, mirroring `criterion::black_box`.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier combining a function name and a parameter, mirroring
+/// `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id rendered as `name/parameter`.
+    pub fn new<P: Display>(name: impl Into<String>, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{}/{parameter}", name.into()),
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `f` once as warmup, then `sample_size` timed iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// A named group of related benchmarks, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, label: &str, mut f: F) {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        let full = format!("{}/{label}", self.name);
+        if b.samples.is_empty() {
+            println!("{full}: no samples recorded");
+            return;
+        }
+        let total: Duration = b.samples.iter().sum();
+        let mean = total / b.samples.len() as u32;
+        let min = b.samples.iter().min().unwrap();
+        let max = b.samples.iter().max().unwrap();
+        println!(
+            "{full}: mean {mean:?} min {min:?} max {max:?} ({} samples)",
+            b.samples.len()
+        );
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkLabel, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_label();
+        self.run(&label, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input, mirroring
+    /// `BenchmarkGroup::bench_with_input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = id.into_label();
+        self.run(&label, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream writes reports here; the shim prints as
+    /// it goes, so this is a no-op kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Labels accepted by [`BenchmarkGroup::bench_function`].
+pub trait IntoBenchmarkLabel {
+    /// Renders the label text.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+/// Benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+}
+
+/// Collects benchmark functions into a runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_closures() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        let mut calls = 0usize;
+        group.bench_function("count", |b| {
+            b.iter(|| calls += 1);
+        });
+        group.bench_with_input(BenchmarkId::new("with_input", 3usize), &3usize, |b, &x| {
+            b.iter(|| black_box(x * 2));
+        });
+        group.finish();
+        // One warmup + two samples.
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn benchmark_id_formats_as_name_slash_param() {
+        assert_eq!(BenchmarkId::new("alg", 16).into_label(), "alg/16");
+    }
+}

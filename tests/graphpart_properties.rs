@@ -1,71 +1,102 @@
 //! Property-based tests of the ParMETIS-like graph partitioner: valid
 //! assignments, determinism, balance, and the adaptive repartitioner's
 //! contract (old partition respected as the no-migration anchor).
+//!
+//! Cases are drawn from a seeded `StdRng` so every run exercises the
+//! same instances (no external property-testing dependency is available
+//! offline).
 
 use dlb::graphpart::{adaptive_repart, partition_kway, AdaptiveConfig, GraphConfig};
 use dlb::hypergraph::{metrics, CsrGraph, GraphBuilder};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn arb_graph() -> impl Strategy<Value = (CsrGraph, usize, u64)> {
-    (2usize..5, 10usize..70).prop_flat_map(|(k, n)| {
-        let edges = prop::collection::vec(((0..n, 0..n), 0.5f64..4.0), n..3 * n);
-        let seed = any::<u64>();
-        (Just(k), Just(n), edges, seed).prop_map(|(k, n, edges, seed)| {
-            let mut b = GraphBuilder::new(n);
-            for ((u, v), w) in edges {
-                if u != v {
-                    b.add_edge(u, v, w);
-                }
-            }
-            (b.build(), k, seed)
-        })
-    })
+const CASES: u64 = 48;
+
+/// Draws one random instance: a graph on `n ∈ [10, 70)` vertices with
+/// `[n, 3n)` weighted edges, `k ∈ [2, 5)`, and a partitioner seed.
+fn random_graph(rng: &mut StdRng) -> (CsrGraph, usize, u64) {
+    let k = rng.gen_range(2usize..5);
+    let n = rng.gen_range(10usize..70);
+    let num_edges = rng.gen_range(n..3 * n);
+    let mut b = GraphBuilder::new(n);
+    for _ in 0..num_edges {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        let w = rng.gen_range(0.5f64..4.0);
+        if u != v {
+            b.add_edge(u, v, w);
+        }
+    }
+    let seed = rng.gen::<u64>();
+    (b.build(), k, seed)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// k-way scratch partitioning: complete, in range, deterministic,
-    /// cut correctly reported.
-    #[test]
-    fn kway_contract((g, k, seed) in arb_graph()) {
+/// k-way scratch partitioning: complete, in range, deterministic, cut
+/// correctly reported.
+#[test]
+fn kway_contract() {
+    let mut rng = StdRng::seed_from_u64(0x6A1);
+    for case in 0..CASES {
+        let (g, k, seed) = random_graph(&mut rng);
         let cfg = GraphConfig::seeded(seed);
         let a = partition_kway(&g, k, &cfg);
-        prop_assert_eq!(a.part.len(), g.num_vertices());
-        prop_assert!(a.part.iter().all(|&p| p < k));
+        assert_eq!(a.part.len(), g.num_vertices(), "case {case}");
+        assert!(a.part.iter().all(|&p| p < k), "case {case}");
         let cut = metrics::edge_cut(&g, &a.part, k);
-        prop_assert!((a.edge_cut - cut).abs() < 1e-9);
+        assert!((a.edge_cut - cut).abs() < 1e-9, "case {case}");
         let b = partition_kway(&g, k, &cfg);
-        prop_assert_eq!(a.part, b.part);
+        assert_eq!(a.part, b.part, "case {case}");
     }
+}
 
-    /// Adaptive repartitioning from a random old partition: complete,
-    /// in range, and at tiny α with a balanced old partition it stays
-    /// home (migration is the whole objective).
-    #[test]
-    fn adaptive_contract((g, k, seed) in arb_graph()) {
+/// Adaptive repartitioning from a balanced old partition: complete, in
+/// range, and at tiny α it stays home (migration is the whole
+/// objective).
+#[test]
+fn adaptive_contract() {
+    let mut rng = StdRng::seed_from_u64(0xADA);
+    for case in 0..CASES {
+        let (g, k, seed) = random_graph(&mut rng);
         let n = g.num_vertices();
         let old: Vec<usize> = (0..n).map(|v| v % k).collect(); // balanced
-        let cfg = AdaptiveConfig { base: GraphConfig::seeded(seed), alpha: 1e-9 };
+        let cfg = AdaptiveConfig {
+            base: GraphConfig::seeded(seed),
+            alpha: 1e-9,
+        };
         let r = adaptive_repart(&g, k, &old, &cfg);
-        prop_assert!(r.part.iter().all(|&p| p < k));
+        assert!(r.part.iter().all(|&p| p < k), "case {case}");
         // Unit weights, perfectly balanced old partition, negligible
         // edge-cut reward: nothing should move.
-        prop_assert_eq!(metrics::moved_vertex_count(&old, &r.part), 0);
+        assert_eq!(
+            metrics::moved_vertex_count(&old, &r.part),
+            0,
+            "case {case}"
+        );
     }
+}
 
-    /// The adaptive repartitioner restores balance when the old
-    /// partition is skewed, under any α.
-    #[test]
-    fn adaptive_rebalances((g, k, seed) in arb_graph()) {
+/// The adaptive repartitioner restores balance when the old partition is
+/// skewed, under any α.
+#[test]
+fn adaptive_rebalances() {
+    let mut rng = StdRng::seed_from_u64(0x4E8);
+    for case in 0..CASES {
+        let (g, k, seed) = random_graph(&mut rng);
         let n = g.num_vertices();
         let old = vec![0usize; n]; // everything on part 0
-        let cfg = AdaptiveConfig { base: GraphConfig::seeded(seed), alpha: 10.0 };
+        let cfg = AdaptiveConfig {
+            base: GraphConfig::seeded(seed),
+            alpha: 10.0,
+        };
         let r = adaptive_repart(&g, k, &old, &cfg);
         let avg = n as f64 / k as f64;
         let bound = (1.0 + cfg.base.epsilon) + 1.5 / avg;
-        prop_assert!(r.imbalance <= bound + 1e-9,
-            "imbalance {} > {bound} (n={n}, k={k})", r.imbalance);
+        assert!(
+            r.imbalance <= bound + 1e-9,
+            "case {case}: imbalance {} > {bound} (n={n}, k={k})",
+            r.imbalance
+        );
     }
 }
 
@@ -75,8 +106,8 @@ fn partitioners_handle_edgeless_graphs() {
     let g = CsrGraph::from_edges_unit(24, &[]);
     let r = partition_kway(&g, 4, &GraphConfig::seeded(1));
     let w = metrics::graph_part_weights(&g, &r.part, 4);
-    for p in 0..4 {
-        assert!((w[p] - 6.0).abs() <= 2.0, "part {p}: {}", w[p]);
+    for (p, &wp) in w.iter().enumerate() {
+        assert!((wp - 6.0).abs() <= 2.0, "part {p}: {wp}");
     }
     let old: Vec<usize> = (0..24).map(|v| v / 6).collect();
     let r = adaptive_repart(&g, 4, &old, &AdaptiveConfig::seeded(1.0, 2));

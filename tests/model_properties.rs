@@ -2,88 +2,128 @@
 //! cut identity `cut(H̄, P) = α·comm(H, P) + mig(old, P)` must hold for
 //! *every* hypergraph, old assignment and candidate assignment — this is
 //! the theorem the whole paper rests on.
+//!
+//! Cases are drawn from a seeded `StdRng` so every run exercises the
+//! same instances (no external property-testing dependency is available
+//! offline).
 
 use dlb::core::{remap_to_minimize_migration, RepartitionHypergraph};
 use dlb::hypergraph::metrics::{cutsize_connectivity, migration_volume};
 use dlb::hypergraph::{Hypergraph, HypergraphBuilder};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy: a random hypergraph with random weights/sizes/costs, plus
-/// two random k-way assignments.
-fn arb_instance() -> impl Strategy<Value = (Hypergraph, usize, Vec<usize>, Vec<usize>, f64)> {
-    (2usize..6, 4usize..40).prop_flat_map(|(k, n)| {
-        let nets = prop::collection::vec(
-            (prop::collection::vec(0..n, 2..6), 0.5f64..8.0),
-            1..(2 * n).max(2),
-        );
-        let sizes = prop::collection::vec(0.5f64..5.0, n);
-        let old = prop::collection::vec(0..k, n);
-        let new = prop::collection::vec(0..k, n);
-        let alpha = prop::sample::select(vec![1.0, 3.0, 10.0, 100.0, 1000.0]);
-        (Just(k), Just(n), nets, sizes, old, new, alpha).prop_map(
-            |(k, n, nets, sizes, old, new, alpha)| {
-                let mut b = HypergraphBuilder::new(n);
-                for (pins, cost) in nets {
-                    b.add_net(cost, pins);
-                }
-                for (v, s) in sizes.into_iter().enumerate() {
-                    b.set_vertex_size(v, s);
-                }
-                (b.build(), k, old, new, alpha)
-            },
-        )
-    })
+const CASES: u64 = 128;
+
+const ALPHAS: [f64; 5] = [1.0, 3.0, 10.0, 100.0, 1000.0];
+
+/// Draws one random instance: a hypergraph with random weights/sizes/
+/// costs, plus two random k-way assignments and an α from the paper's
+/// sweep values.
+fn random_instance(rng: &mut StdRng) -> (Hypergraph, usize, Vec<usize>, Vec<usize>, f64) {
+    let k = rng.gen_range(2usize..6);
+    let n = rng.gen_range(4usize..40);
+    let num_nets = rng.gen_range(1..(2 * n).max(2));
+    let mut b = HypergraphBuilder::new(n);
+    for _ in 0..num_nets {
+        let arity = rng.gen_range(2usize..6);
+        let pins: Vec<usize> = (0..arity).map(|_| rng.gen_range(0..n)).collect();
+        let cost = rng.gen_range(0.5f64..8.0);
+        b.add_net(cost, pins);
+    }
+    for v in 0..n {
+        b.set_vertex_size(v, rng.gen_range(0.5f64..5.0));
+    }
+    let old: Vec<usize> = (0..n).map(|_| rng.gen_range(0..k)).collect();
+    let new: Vec<usize> = (0..n).map(|_| rng.gen_range(0..k)).collect();
+    let alpha = ALPHAS[rng.gen_range(0..ALPHAS.len())];
+    (b.build(), k, old, new, alpha)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// The model's augmented cut equals α·comm + migration, always.
-    #[test]
-    fn cut_identity((h, k, old, new, alpha) in arb_instance()) {
+/// The model's augmented cut equals α·comm + migration, always.
+#[test]
+fn cut_identity() {
+    let mut rng = StdRng::seed_from_u64(0x1DE);
+    for case in 0..CASES {
+        let (h, k, old, new, alpha) = random_instance(&mut rng);
         let model = RepartitionHypergraph::build(&h, &old, k, alpha);
         let expected = alpha * cutsize_connectivity(&h, &new, k)
             + migration_volume(h.vertex_sizes(), &old, &new);
         let got = model.objective(&new);
-        prop_assert!((got - expected).abs() < 1e-6 * (1.0 + expected.abs()),
-            "model {got} vs direct {expected}");
+        assert!(
+            (got - expected).abs() < 1e-6 * (1.0 + expected.abs()),
+            "case {case}: model {got} vs direct {expected}"
+        );
     }
+}
 
-    /// The augmented hypergraph is structurally valid and has the right
-    /// shape: n+k vertices, |nets| + n nets (every vertex gets exactly
-    /// one migration net).
-    #[test]
-    fn augmented_shape((h, k, old, _new, alpha) in arb_instance()) {
+/// The augmented hypergraph is structurally valid and has the right
+/// shape: n+k vertices, |nets| + n nets (every vertex gets exactly one
+/// migration net).
+#[test]
+fn augmented_shape() {
+    let mut rng = StdRng::seed_from_u64(0x54A);
+    for case in 0..CASES {
+        let (h, k, old, _new, alpha) = random_instance(&mut rng);
         let model = RepartitionHypergraph::build(&h, &old, k, alpha);
-        prop_assert!(model.augmented.validate().is_ok());
-        prop_assert_eq!(model.augmented.num_vertices(), h.num_vertices() + k);
-        prop_assert_eq!(model.augmented.num_nets(), h.num_nets() + h.num_vertices());
+        assert!(model.augmented.validate().is_ok(), "case {case}");
+        assert_eq!(
+            model.augmented.num_vertices(),
+            h.num_vertices() + k,
+            "case {case}"
+        );
+        assert_eq!(
+            model.augmented.num_nets(),
+            h.num_nets() + h.num_vertices(),
+            "case {case}"
+        );
         // Total vertex weight is unchanged (partition vertices weigh 0).
-        prop_assert!((model.augmented.total_vertex_weight() - h.total_vertex_weight()).abs() < 1e-9);
+        assert!(
+            (model.augmented.total_vertex_weight() - h.total_vertex_weight()).abs() < 1e-9,
+            "case {case}"
+        );
     }
+}
 
-    /// Keeping every vertex home incurs exactly α·comm: migration nets
-    /// contribute nothing.
-    #[test]
-    fn staying_home_is_pure_communication((h, k, old, _new, alpha) in arb_instance()) {
+/// Keeping every vertex home incurs exactly α·comm: migration nets
+/// contribute nothing.
+#[test]
+fn staying_home_is_pure_communication() {
+    let mut rng = StdRng::seed_from_u64(0x40E);
+    for case in 0..CASES {
+        let (h, k, old, _new, alpha) = random_instance(&mut rng);
         let model = RepartitionHypergraph::build(&h, &old, k, alpha);
         let expected = alpha * cutsize_connectivity(&h, &old, k);
-        prop_assert!((model.objective(&old) - expected).abs() < 1e-6 * (1.0 + expected));
+        assert!(
+            (model.objective(&old) - expected).abs() < 1e-6 * (1.0 + expected),
+            "case {case}"
+        );
     }
+}
 
-    /// Remapping part labels never increases migration volume and never
-    /// changes which vertices share a part.
-    #[test]
-    fn remap_sound((h, k, old, new, _alpha) in arb_instance()) {
+/// Remapping part labels never increases migration volume and never
+/// changes which vertices share a part.
+#[test]
+fn remap_sound() {
+    let mut rng = StdRng::seed_from_u64(0x4EA);
+    for case in 0..CASES {
+        let (h, k, old, new, _alpha) = random_instance(&mut rng);
         let sizes = h.vertex_sizes();
         let remapped = remap_to_minimize_migration(&new, &old, sizes, k);
         let before = migration_volume(sizes, &old, &new);
         let after = migration_volume(sizes, &old, &remapped);
-        prop_assert!(after <= before + 1e-9, "remap worsened migration {before} -> {after}");
+        assert!(
+            after <= before + 1e-9,
+            "case {case}: remap worsened migration {before} -> {after}"
+        );
         // Same co-location structure.
         for i in 0..new.len() {
             for j in i + 1..new.len() {
-                prop_assert_eq!(new[i] == new[j], remapped[i] == remapped[j]);
+                assert_eq!(
+                    new[i] == new[j],
+                    remapped[i] == remapped[j],
+                    "case {case}: co-location changed for ({i}, {j})"
+                );
             }
         }
     }

@@ -1,74 +1,97 @@
 //! Property-based tests of the fixed-vertex multilevel partitioner
-//! (Section 4): for arbitrary hypergraphs and arbitrary fixed-vertex
+//! (Section 4): for randomized hypergraphs and randomized fixed-vertex
 //! constraints, the partitioner must (1) respect every constraint,
 //! (2) produce a complete in-range assignment, and (3) stay deterministic
 //! for a given seed.
+//!
+//! Cases are drawn from a seeded `StdRng` so every run exercises the
+//! same instances (no external property-testing dependency is available
+//! offline).
 
 use dlb::hypergraph::{Hypergraph, HypergraphBuilder};
-use dlb::partitioner::{
-    partition_hypergraph_fixed, Config, FixedAssignment, Scheme,
-};
-use proptest::prelude::*;
+use dlb::partitioner::{partition_hypergraph_fixed, Config, FixedAssignment, Scheme};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn arb_problem() -> impl Strategy<Value = (Hypergraph, usize, FixedAssignment, u64)> {
-    (2usize..5, 8usize..60).prop_flat_map(|(k, n)| {
-        let nets = prop::collection::vec(
-            (prop::collection::vec(0..n, 2..5), 0.5f64..4.0),
-            n / 2..2 * n,
-        );
-        let fixed = prop::collection::vec(prop::option::weighted(0.25, 0..k), n);
-        let seed = any::<u64>();
-        (Just(k), Just(n), nets, fixed, seed).prop_map(|(k, n, nets, fixed, seed)| {
-            let mut b = HypergraphBuilder::new(n);
-            for (pins, cost) in nets {
-                b.add_net(cost, pins);
-            }
-            (b.build(), k, FixedAssignment::from_options(&fixed), seed)
-        })
-    })
+const CASES: u64 = 48;
+
+/// Draws one random instance: a hypergraph on `n ∈ [8, 60)` vertices
+/// with `[n/2, 2n)` nets of 2–4 pins each, `k ∈ [2, 5)`, an optional
+/// fixed part for ~25% of vertices, and a partitioner seed.
+fn random_problem(rng: &mut StdRng) -> (Hypergraph, usize, FixedAssignment, u64) {
+    let k = rng.gen_range(2usize..5);
+    let n = rng.gen_range(8usize..60);
+    let num_nets = rng.gen_range(n / 2..2 * n);
+    let mut b = HypergraphBuilder::new(n);
+    for _ in 0..num_nets {
+        let arity = rng.gen_range(2usize..5);
+        let pins: Vec<usize> = (0..arity).map(|_| rng.gen_range(0..n)).collect();
+        let cost = rng.gen_range(0.5f64..4.0);
+        b.add_net(cost, pins);
+    }
+    let fixed: Vec<Option<usize>> = (0..n)
+        .map(|_| rng.gen_bool(0.25).then(|| rng.gen_range(0..k)))
+        .collect();
+    let seed = rng.gen::<u64>();
+    (b.build(), k, FixedAssignment::from_options(&fixed), seed)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Recursive bisection honors every fixed vertex and assigns every
-    /// vertex to a valid part.
-    #[test]
-    fn rb_respects_fixed((h, k, fixed, seed) in arb_problem()) {
+/// Recursive bisection honors every fixed vertex and assigns every
+/// vertex to a valid part.
+#[test]
+fn rb_respects_fixed() {
+    let mut rng = StdRng::seed_from_u64(0xA11CE);
+    for case in 0..CASES {
+        let (h, k, fixed, seed) = random_problem(&mut rng);
         let cfg = Config::seeded(seed);
         let r = partition_hypergraph_fixed(&h, k, &fixed, &cfg);
-        prop_assert_eq!(r.part.len(), h.num_vertices());
-        prop_assert!(r.part.iter().all(|&p| p < k));
-        prop_assert!(fixed.is_respected_by(&r.part), "fixed constraint violated");
+        assert_eq!(r.part.len(), h.num_vertices(), "case {case}");
+        assert!(r.part.iter().all(|&p| p < k), "case {case}");
+        assert!(
+            fixed.is_respected_by(&r.part),
+            "case {case}: fixed constraint violated"
+        );
         // Reported cut matches a recomputation.
         let cut = dlb::hypergraph::metrics::cutsize_connectivity(&h, &r.part, k);
-        prop_assert!((r.cut - cut).abs() < 1e-9);
+        assert!((r.cut - cut).abs() < 1e-9, "case {case}");
     }
+}
 
-    /// Direct k-way honors the same contract.
-    #[test]
-    fn kway_respects_fixed((h, k, fixed, seed) in arb_problem()) {
+/// Direct k-way honors the same contract.
+#[test]
+fn kway_respects_fixed() {
+    let mut rng = StdRng::seed_from_u64(0xB0B);
+    for case in 0..CASES {
+        let (h, k, fixed, seed) = random_problem(&mut rng);
         let mut cfg = Config::seeded(seed);
         cfg.scheme = Scheme::DirectKway;
         let r = partition_hypergraph_fixed(&h, k, &fixed, &cfg);
-        prop_assert!(fixed.is_respected_by(&r.part));
-        prop_assert!(r.part.iter().all(|&p| p < k));
+        assert!(fixed.is_respected_by(&r.part), "case {case}");
+        assert!(r.part.iter().all(|&p| p < k), "case {case}");
     }
+}
 
-    /// Same seed ⇒ identical partition; the partitioner is a pure
-    /// function of (hypergraph, k, fixed, config).
-    #[test]
-    fn deterministic((h, k, fixed, seed) in arb_problem()) {
+/// Same seed ⇒ identical partition; the partitioner is a pure function
+/// of (hypergraph, k, fixed, config).
+#[test]
+fn deterministic() {
+    let mut rng = StdRng::seed_from_u64(0xDE7);
+    for case in 0..CASES {
+        let (h, k, fixed, seed) = random_problem(&mut rng);
         let cfg = Config::seeded(seed);
         let a = partition_hypergraph_fixed(&h, k, &fixed, &cfg);
         let b = partition_hypergraph_fixed(&h, k, &fixed, &cfg);
-        prop_assert_eq!(a.part, b.part);
+        assert_eq!(a.part, b.part, "case {case}");
     }
+}
 
-    /// On unit-weight hypergraphs with no fixed vertices, balance holds
-    /// within the configured tolerance plus integrality slack.
-    #[test]
-    fn balance_bound((h, k, _fixed, seed) in arb_problem()) {
+/// On unit-weight hypergraphs with no fixed vertices, balance holds
+/// within the configured tolerance plus integrality slack.
+#[test]
+fn balance_bound() {
+    let mut rng = StdRng::seed_from_u64(0xBA1);
+    for case in 0..CASES {
+        let (h, k, _fixed, seed) = random_problem(&mut rng);
         let cfg = Config::seeded(seed);
         let free = FixedAssignment::free(h.num_vertices());
         let r = partition_hypergraph_fixed(&h, k, &free, &cfg);
@@ -76,8 +99,12 @@ proptest! {
         // One vertex of slack per part on top of ε covers integrality on
         // small instances.
         let bound = (1.0 + cfg.epsilon) + 1.5 / avg;
-        prop_assert!(r.imbalance <= bound + 1e-9,
-            "imbalance {} > bound {bound} (n={}, k={k})", r.imbalance, h.num_vertices());
+        assert!(
+            r.imbalance <= bound + 1e-9,
+            "case {case}: imbalance {} > bound {bound} (n={}, k={k})",
+            r.imbalance,
+            h.num_vertices()
+        );
     }
 }
 
@@ -87,24 +114,21 @@ mod refinement {
     use dlb::hypergraph::PartTargets;
     use dlb::partitioner::refine::refine;
     use dlb::partitioner::RefinementConfig;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
-
-        /// FM refinement never increases the cut, never violates the
-        /// caps it was given a feasible start under, and never moves a
-        /// fixed vertex.
-        #[test]
-        fn refine_is_safe((h, k, fixed, seed) in arb_problem()) {
+    /// FM refinement never increases the cut, never violates the caps it
+    /// was given a feasible start under, and never moves a fixed vertex.
+    #[test]
+    fn refine_is_safe() {
+        let mut case_rng = StdRng::seed_from_u64(0x5AFE);
+        for case in 0..CASES {
+            let (h, k, fixed, seed) = random_problem(&mut case_rng);
             // Feasible-ish start: round-robin by vertex id, fixed pins
             // honored.
             let n = h.num_vertices();
             let mut part: Vec<usize> = (0..n).map(|v| v % k).collect();
-            for v in 0..n {
+            for (v, slot) in part.iter_mut().enumerate() {
                 if let Some(p) = fixed.get(v) {
-                    part[v] = p;
+                    *slot = p;
                 }
             }
             let before = cutsize_connectivity(&h, &part, k);
@@ -115,14 +139,27 @@ mod refinement {
             let start_feasible = (0..k).all(|p| start_weights[p] <= targets.cap(p) + 1e-9);
             let mut rng = StdRng::seed_from_u64(seed);
             let snapshot = part.clone();
-            refine(&h, &targets, &fixed, &mut part, &RefinementConfig::default(), &mut rng);
+            refine(
+                &h,
+                &targets,
+                &fixed,
+                &mut part,
+                &RefinementConfig::default(),
+                &mut rng,
+            );
             let after = cutsize_connectivity(&h, &part, k);
             if start_feasible {
-                prop_assert!(after <= before + 1e-9, "refine worsened cut {before} -> {after}");
+                assert!(
+                    after <= before + 1e-9,
+                    "case {case}: refine worsened cut {before} -> {after}"
+                );
             }
             for v in 0..n {
                 if fixed.is_fixed(v) {
-                    prop_assert_eq!(part[v], snapshot[v], "fixed vertex {} moved", v);
+                    assert_eq!(
+                        part[v], snapshot[v],
+                        "case {case}: fixed vertex {v} moved"
+                    );
                 }
             }
         }
@@ -134,8 +171,6 @@ mod refinement {
 /// constraint may be unsatisfiable — that is allowed).
 #[test]
 fn mostly_fixed_instances_terminate() {
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
     let mut rng = StdRng::seed_from_u64(77);
     for trial in 0..10 {
         let n = 40;
