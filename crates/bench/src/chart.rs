@@ -79,13 +79,14 @@ pub fn render_runtime_chart(title: &str, rows: &[Row]) -> String {
 
 /// CSV header matching [`to_csv_line`].
 pub fn csv_header() -> &'static str {
-    "dataset,perturb,k,alpha,algorithm,comm,mig_norm,total_norm,time_ms,max_imbalance"
+    "dataset,perturb,k,alpha,algorithm,comm,mig_norm,total_norm,time_ms,max_imbalance,\
+     msgs_per_epoch,bytes_per_epoch"
 }
 
 /// One CSV line per row.
 pub fn to_csv_line(row: &Row) -> String {
     format!(
-        "{},{},{},{},{},{:.4},{:.4},{:.4},{:.4},{:.4}",
+        "{},{},{},{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.1},{:.1}",
         row.dataset,
         row.perturb,
         row.k,
@@ -95,7 +96,9 @@ pub fn to_csv_line(row: &Row) -> String {
         row.mig_norm,
         row.total_norm,
         row.time_ms,
-        row.max_imbalance
+        row.max_imbalance,
+        row.msgs_per_epoch,
+        row.bytes_per_epoch
     )
 }
 
@@ -128,6 +131,8 @@ mod tests {
                 total_norm: 120.0,
                 time_ms: 5.0,
                 max_imbalance: 1.04,
+                msgs_per_epoch: 64.0,
+                bytes_per_epoch: 2048.0,
             },
             Row {
                 dataset: "auto",
@@ -140,6 +145,8 @@ mod tests {
                 total_norm: 380.0,
                 time_ms: 4.0,
                 max_imbalance: 1.02,
+                msgs_per_epoch: 48.0,
+                bytes_per_epoch: 1536.0,
             },
         ]
     }

@@ -5,7 +5,7 @@ use dlb_core::{
 };
 use dlb_graphpart::{partition_kway, GraphConfig};
 use dlb_hypergraph::parallel;
-use dlb_mpisim::run_spmd;
+use dlb_mpisim::{run_spmd, CommStats};
 use dlb_workloads::{Dataset, DatasetKind, EpochStream, PerturbKind, Perturbation};
 
 /// Whether repartitioners run serially or SPMD (for the runtime figures).
@@ -105,6 +105,12 @@ pub struct Row {
     pub time_ms: f64,
     /// Worst imbalance observed.
     pub max_imbalance: f64,
+    /// Mean simulator messages per epoch, summed over ranks
+    /// (`0` under [`TimingMode::Serial`]).
+    pub msgs_per_epoch: f64,
+    /// Mean simulator payload bytes per epoch, summed over ranks
+    /// (`0` under [`TimingMode::Serial`]).
+    pub bytes_per_epoch: f64,
 }
 
 fn perturbation(kind: PerturbKind) -> Perturbation {
@@ -122,14 +128,16 @@ fn perturb_name(kind: PerturbKind) -> &'static str {
 }
 
 /// Runs one trial: fresh dataset + static initial partition + stream,
-/// then `epochs` repartitions.
+/// then `epochs` repartitions. Returns the simulation summary plus the
+/// communication traffic (messages/bytes sent, summed over all ranks;
+/// zero in serial mode, which performs no simulated communication).
 fn run_trial(
     cfg: &SweepConfig,
     k: usize,
     alpha: f64,
     algorithm: Algorithm,
     trial: usize,
-) -> SimulationSummary {
+) -> (SimulationSummary, CommStats) {
     let trial_seed = cfg.seed ^ (trial as u64).wrapping_mul(0x0123_4567_89AB_CDEF) ^ 0xFEED;
     let dataset = Dataset::generate(cfg.dataset, cfg.scale, trial_seed);
     // Static partition of epoch 1 (same start for every algorithm).
@@ -144,12 +152,13 @@ fn run_trial(
                 initial,
                 trial_seed,
             );
-            simulate_epochs(&mut stream, cfg.epochs, algorithm, alpha, &repart_cfg)
+            let summary = simulate_epochs(&mut stream, cfg.epochs, algorithm, alpha, &repart_cfg);
+            (summary, CommStats::default())
         }
         TimingMode::Parallel { max_ranks } => {
             let ranks = k.min(max_ranks).max(1);
             let graph = dataset.graph;
-            let mut results = run_spmd(ranks, |comm| {
+            let results = run_spmd(ranks, |comm| {
                 let mut stream = EpochStream::new(
                     graph.clone(),
                     perturbation(cfg.perturb),
@@ -157,9 +166,26 @@ fn run_trial(
                     initial.clone(),
                     trial_seed,
                 );
-                simulate_epochs_parallel(comm, &mut stream, cfg.epochs, algorithm, alpha, &repart_cfg)
+                let summary = simulate_epochs_parallel(
+                    comm,
+                    &mut stream,
+                    cfg.epochs,
+                    algorithm,
+                    alpha,
+                    &repart_cfg,
+                );
+                (summary, comm.stats())
             });
-            results.pop().expect("at least one rank")
+            let mut traffic = CommStats::default();
+            let mut summary = None;
+            for (s, stats) in results {
+                traffic.messages_sent += stats.messages_sent;
+                traffic.messages_received += stats.messages_received;
+                traffic.bytes_sent += stats.bytes_sent;
+                traffic.bytes_received += stats.bytes_received;
+                summary = Some(s);
+            }
+            (summary.expect("at least one rank"), traffic)
         }
     }
 }
@@ -172,13 +198,18 @@ fn run_cell(cfg: &SweepConfig, k: usize, alpha: f64, algorithm: Algorithm) -> Ro
     let mut total = 0.0;
     let mut time_ms = 0.0;
     let mut max_imb: f64 = 1.0;
+    let mut msgs = 0.0;
+    let mut bytes = 0.0;
+    let epochs = cfg.epochs.max(1) as f64;
     for trial in 0..cfg.trials.max(1) {
-        let summary = run_trial(cfg, k, alpha, algorithm, trial);
+        let (summary, traffic) = run_trial(cfg, k, alpha, algorithm, trial);
         comm += summary.mean_comm();
         mig_norm += summary.mean_normalized_migration();
         total += summary.mean_normalized_total();
         time_ms += summary.mean_elapsed().as_secs_f64() * 1e3;
         max_imb = max_imb.max(summary.max_imbalance());
+        msgs += traffic.messages_sent as f64 / epochs;
+        bytes += traffic.bytes_sent as f64 / epochs;
     }
     let t = cfg.trials.max(1) as f64;
     Row {
@@ -192,6 +223,8 @@ fn run_cell(cfg: &SweepConfig, k: usize, alpha: f64, algorithm: Algorithm) -> Ro
         total_norm: total / t,
         time_ms: time_ms / t,
         max_imbalance: max_imb,
+        msgs_per_epoch: msgs / t,
+        bytes_per_epoch: bytes / t,
     }
 }
 
@@ -237,6 +270,8 @@ mod tests {
             assert!(row.total_norm > 0.0);
             assert!((row.total_norm - (row.comm + row.mig_norm)).abs() < 1e-9);
             assert!(row.time_ms >= 0.0);
+            assert_eq!(row.msgs_per_epoch, 0.0, "serial mode performs no comm");
+            assert_eq!(row.bytes_per_epoch, 0.0);
         }
     }
 
@@ -251,6 +286,18 @@ mod tests {
         for row in &rows {
             assert!(row.total_norm > 0.0, "{:?}", row.algorithm);
             assert!(row.time_ms > 0.0);
+            // Every algorithm at least synchronizes per epoch; the SPMD
+            // hypergraph methods also move real payload bytes (the graph
+            // baselines run replicated, exchanging only zero-sized
+            // barrier tokens).
+            assert!(row.msgs_per_epoch > 0.0, "SPMD epochs exchange messages");
+            let is_spmd = matches!(
+                row.algorithm,
+                Algorithm::ZoltanRepart | Algorithm::ZoltanScratch
+            );
+            if is_spmd {
+                assert!(row.bytes_per_epoch > 0.0, "SPMD epochs move payload bytes");
+            }
         }
     }
 

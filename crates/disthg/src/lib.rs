@@ -1,0 +1,590 @@
+//! Block-distributed hypergraph storage (owner/ghost decomposition).
+//!
+//! The paper's parallel refinement lives inside Zoltan's PHG, where the
+//! hypergraph is *distributed*: each rank stores only the pins of the
+//! hyperedges it can see, plus ghost (halo) copies of remote vertices,
+//! so per-rank memory scales as `|pins|/p + ghosts` instead of `|pins|`.
+//! This crate provides that storage layer for the simulated SPMD
+//! machine in `dlb-mpisim`:
+//!
+//! * [`DistHypergraph`] — vertices block-distributed via
+//!   [`BlockDist`], hyperedges replicated onto every rank that owns at
+//!   least one of their pins (so a rank sees *all* nets of its owned
+//!   vertices), with exactly one of those ranks designated the net's
+//!   owner for metrics and for submitting the net during contraction.
+//! * [`GhostExchange`] — a reusable [`CommPlan`]-based halo update that
+//!   pulls per-vertex data (weights, fixed flags, match or partition
+//!   state) from owner ranks into ghost-aligned buffers.
+//! * Distributed metrics — `cut_k1`, part weights and imbalance
+//!   computed from owned data plus an `allreduce`.
+//!
+//! The layout deliberately keeps the *pin storage* — the asymptotically
+//! dominant term — distributed while O(n) per-vertex arrays may stay
+//! replicated in the algorithms above (see DESIGN.md §9); that is what
+//! lets the distributed V-cycle in `dlb-partitioner` stay bit-identical
+//! to the replicated SPMD driver.
+
+// Index-heavy kernels iterate several parallel arrays at once; classic
+// indexed loops read better there than zipped iterator chains.
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+use dlb_hypergraph::{Hypergraph, PartId};
+use dlb_mpisim::{BlockDist, Comm, CommPlan};
+
+/// One rank's share of a block-distributed hypergraph.
+///
+/// Vertices are owned by contiguous blocks ([`BlockDist`]); a net is
+/// *local* to every rank owning at least one of its pins and stores its
+/// **full** pin list there (remote pins become ghosts). Local nets are
+/// kept sorted by global net id, and pin order within a net preserves
+/// the order of the replicated hypergraph it mirrors — both invariants
+/// are load-bearing for the bit-identical distributed V-cycle.
+#[derive(Clone, Debug)]
+pub struct DistHypergraph {
+    rank: usize,
+    vdist: BlockDist,
+    num_nets_global: usize,
+    /// Global ids of local nets, strictly ascending.
+    net_ids: Vec<usize>,
+    /// CSR offsets into `pins`, one slot per local net.
+    xpins: Vec<usize>,
+    /// Global vertex ids, full pin list per local net.
+    pins: Vec<usize>,
+    /// Cost per local net.
+    cost: Vec<f64>,
+    /// Non-owned vertices appearing in `pins`, sorted ascending.
+    ghosts: Vec<usize>,
+    /// Weight per owned vertex (indexed by `v - my_range().start`).
+    owned_wgt: Vec<f64>,
+    /// Transpose CSR: slot (owned offset, then ghost offset) → indices
+    /// of local nets containing that vertex, ascending.
+    xslot: Vec<usize>,
+    slot_nets: Vec<usize>,
+}
+
+impl DistHypergraph {
+    /// Builds rank `rank`'s share of `h` under a `size`-rank block
+    /// distribution. Purely local — every rank derives its share from
+    /// the replicated input without communication (the simulation
+    /// analogue of reading a pre-distributed file in parallel).
+    pub fn from_replicated(h: &Hypergraph, rank: usize, size: usize) -> Self {
+        let vdist = BlockDist::new(h.num_vertices(), size);
+        let my_range = vdist.range(rank);
+        let mut net_ids = Vec::new();
+        let mut xpins = vec![0usize];
+        let mut pins = Vec::new();
+        let mut cost = Vec::new();
+        for j in 0..h.num_nets() {
+            let net = h.net(j);
+            if net.iter().any(|v| my_range.contains(v)) {
+                net_ids.push(j);
+                pins.extend_from_slice(net);
+                xpins.push(pins.len());
+                cost.push(h.net_cost(j));
+            }
+        }
+        let owned_wgt = h.vertex_weights()[my_range.clone()].to_vec();
+        Self::assemble(rank, vdist, h.num_nets(), net_ids, xpins, pins, cost, owned_wgt)
+    }
+
+    /// Builds a rank's share directly from its local nets — used by
+    /// distributed contraction, where no rank ever materializes the
+    /// replicated coarse hypergraph. `net_ids` must be strictly
+    /// ascending global ids; `nets[i]` holds the full pin list of
+    /// `net_ids[i]` (every net must include at least one owned pin).
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_local_nets(
+        num_vertices: usize,
+        num_nets_global: usize,
+        rank: usize,
+        size: usize,
+        net_ids: Vec<usize>,
+        cost: Vec<f64>,
+        nets: Vec<Vec<usize>>,
+        owned_wgt: Vec<f64>,
+    ) -> Self {
+        let vdist = BlockDist::new(num_vertices, size);
+        assert!(net_ids.windows(2).all(|w| w[0] < w[1]), "net ids must be ascending");
+        assert_eq!(net_ids.len(), nets.len());
+        assert_eq!(net_ids.len(), cost.len());
+        let mut xpins = Vec::with_capacity(nets.len() + 1);
+        xpins.push(0);
+        let mut pins = Vec::new();
+        for net in &nets {
+            pins.extend_from_slice(net);
+            xpins.push(pins.len());
+        }
+        Self::assemble(rank, vdist, num_nets_global, net_ids, xpins, pins, cost, owned_wgt)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        rank: usize,
+        vdist: BlockDist,
+        num_nets_global: usize,
+        net_ids: Vec<usize>,
+        xpins: Vec<usize>,
+        pins: Vec<usize>,
+        cost: Vec<f64>,
+        owned_wgt: Vec<f64>,
+    ) -> Self {
+        let my_range = vdist.range(rank);
+        assert_eq!(owned_wgt.len(), my_range.len());
+        // Ghost list: sorted distinct non-owned pins.
+        let mut ghosts: Vec<usize> =
+            pins.iter().copied().filter(|v| !my_range.contains(v)).collect();
+        ghosts.sort_unstable();
+        ghosts.dedup();
+        let mut dh = DistHypergraph {
+            rank,
+            vdist,
+            num_nets_global,
+            net_ids,
+            xpins,
+            pins,
+            cost,
+            ghosts,
+            owned_wgt,
+            xslot: Vec::new(),
+            slot_nets: Vec::new(),
+        };
+        dh.build_transpose();
+        dh
+    }
+
+    /// Transpose the local pin lists: slot → local nets, counting-sorted
+    /// over nets in ascending order so every per-vertex net list comes
+    /// out ascending (mirroring `Hypergraph::vertex_nets`).
+    fn build_transpose(&mut self) {
+        let nslots = self.my_range().len() + self.ghosts.len();
+        let mut counts = vec![0usize; nslots];
+        for &v in &self.pins {
+            counts[self.slot(v).expect("pin has a slot")] += 1;
+        }
+        let mut xslot = Vec::with_capacity(nslots + 1);
+        xslot.push(0);
+        for s in 0..nslots {
+            xslot.push(xslot[s] + counts[s]);
+        }
+        let mut cursor = xslot.clone();
+        let mut slot_nets = vec![0usize; self.pins.len()];
+        for lj in 0..self.net_ids.len() {
+            for p in self.xpins[lj]..self.xpins[lj + 1] {
+                let s = self.slot(self.pins[p]).expect("pin has a slot");
+                slot_nets[cursor[s]] = lj;
+                cursor[s] += 1;
+            }
+        }
+        self.xslot = xslot;
+        self.slot_nets = slot_nets;
+    }
+
+    /// Global vertex count.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.vdist.len()
+    }
+
+    /// Global net count.
+    #[inline]
+    pub fn num_nets_global(&self) -> usize {
+        self.num_nets_global
+    }
+
+    /// This rank.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// The vertex ownership distribution.
+    #[inline]
+    pub fn vertex_dist(&self) -> BlockDist {
+        self.vdist
+    }
+
+    /// The contiguous global vertex range owned by this rank.
+    #[inline]
+    pub fn my_range(&self) -> std::ops::Range<usize> {
+        self.vdist.range(self.rank)
+    }
+
+    /// Number of local (visible) nets.
+    #[inline]
+    pub fn num_local_nets(&self) -> usize {
+        self.net_ids.len()
+    }
+
+    /// Global id of local net `lj`.
+    #[inline]
+    pub fn net_global_id(&self, lj: usize) -> usize {
+        self.net_ids[lj]
+    }
+
+    /// Full pin list (global vertex ids) of local net `lj`, in the same
+    /// order as the replicated hypergraph stores it.
+    #[inline]
+    pub fn net_pins(&self, lj: usize) -> &[usize] {
+        &self.pins[self.xpins[lj]..self.xpins[lj + 1]]
+    }
+
+    /// Cost of local net `lj`.
+    #[inline]
+    pub fn net_cost(&self, lj: usize) -> f64 {
+        self.cost[lj]
+    }
+
+    /// Global size of local net `lj` (local nets store full pin lists).
+    #[inline]
+    pub fn net_size(&self, lj: usize) -> usize {
+        self.xpins[lj + 1] - self.xpins[lj]
+    }
+
+    /// True if this rank is the designated owner of local net `lj`: the
+    /// owner of the pin at position `global_id % size`. Exactly one rank
+    /// owns each net, that rank necessarily sees it, and rotating the
+    /// choice over pin positions balances net ownership even when every
+    /// net's *first* pin falls in the same vertex block (the minimum of
+    /// a handful of uniform pin ids almost always lands in rank 0's
+    /// block, which would concentrate all ownership there).
+    #[inline]
+    pub fn owns_net(&self, lj: usize) -> bool {
+        let pins = self.net_pins(lj);
+        self.vdist.owner(pins[self.net_ids[lj] % pins.len()]) == self.rank
+    }
+
+    /// Local pin storage on this rank — the memory-scaling figure of
+    /// merit (≈ |pins|/p plus ghost overlap).
+    #[inline]
+    pub fn local_pin_count(&self) -> usize {
+        self.pins.len()
+    }
+
+    /// Pins of the nets this rank *owns* — the canonical share of the
+    /// global pin storage, with each net counted exactly once (at its
+    /// owner). Sums to the hypergraph's total pin count across ranks;
+    /// `local_pin_count() - owned_pin_count()` is the ghost-copy
+    /// overhead, which depends on how well the vertex order localizes
+    /// nets (small for banded/geometric inputs, large for random nets).
+    pub fn owned_pin_count(&self) -> usize {
+        (0..self.num_local_nets())
+            .filter(|&lj| self.owns_net(lj))
+            .map(|lj| self.net_size(lj))
+            .sum()
+    }
+
+    /// Ghost vertices (sorted ascending global ids).
+    #[inline]
+    pub fn ghosts(&self) -> &[usize] {
+        &self.ghosts
+    }
+
+    /// Weights of owned vertices, indexed by owned offset.
+    #[inline]
+    pub fn owned_weights(&self) -> &[f64] {
+        &self.owned_wgt
+    }
+
+    /// The storage slot of global vertex `v` — owned offset for owned
+    /// vertices, `owned + ghost_index` for ghosts, `None` if `v` does
+    /// not appear in any local net and is not owned.
+    #[inline]
+    pub fn slot(&self, v: usize) -> Option<usize> {
+        let my_range = self.my_range();
+        if my_range.contains(&v) {
+            Some(v - my_range.start)
+        } else {
+            self.ghosts.binary_search(&v).ok().map(|i| my_range.len() + i)
+        }
+    }
+
+    /// Indices of local nets containing vertex `v`, ascending. For an
+    /// owned vertex this is its complete incidence list (every net of
+    /// an owned vertex is local by construction); for any other vertex
+    /// it is the locally visible subset. Unknown vertices get `&[]`.
+    pub fn vertex_local_nets(&self, v: usize) -> &[usize] {
+        match self.slot(v) {
+            Some(s) => &self.slot_nets[self.xslot[s]..self.xslot[s + 1]],
+            None => &[],
+        }
+    }
+
+    /// Gathers the full hypergraph onto every rank (collective):
+    /// owner ranks contribute their nets, and each rank rebuilds the
+    /// replicated structure with nets in global-id order. Vertex
+    /// weights come from an allgather of the owned blocks.
+    pub fn gather_replicated(&self, comm: &mut Comm) -> Hypergraph {
+        let mine: Vec<(usize, f64, Vec<usize>)> = (0..self.num_local_nets())
+            .filter(|&lj| self.owns_net(lj))
+            .map(|lj| (self.net_ids[lj], self.cost[lj], self.net_pins(lj).to_vec()))
+            .collect();
+        let mut all: Vec<(usize, f64, Vec<usize>)> =
+            comm.allgather(mine).into_iter().flatten().collect();
+        all.sort_unstable_by_key(|&(id, _, _)| id);
+        let weights: Vec<f64> =
+            comm.allgather(self.owned_wgt.clone()).into_iter().flatten().collect();
+        let mut b = dlb_hypergraph::HypergraphBuilder::new(self.num_vertices());
+        for (v, &w) in weights.iter().enumerate() {
+            b.set_vertex_weight(v, w);
+        }
+        for (id, cost, pins) in all {
+            let j = b.add_net(cost, pins);
+            debug_assert_eq!(j, id, "gathered nets must arrive densely in id order");
+        }
+        b.build()
+    }
+
+    /// Distributed connectivity−1 cut (collective): each net is counted
+    /// once, by its owner, and partial sums are combined with an
+    /// `allreduce`. `owned_part` holds the parts of this rank's owned
+    /// vertices; ghost parts are fetched through `exch`.
+    pub fn cut_k1(
+        &self,
+        comm: &mut Comm,
+        exch: &GhostExchange,
+        owned_part: &[PartId],
+        k: usize,
+    ) -> f64 {
+        assert_eq!(owned_part.len(), self.my_range().len());
+        let ghost_part = exch.pull(comm, owned_part);
+        let my_range = self.my_range();
+        let owned = my_range.len();
+        let mut seen = vec![false; k];
+        let mut local = 0.0;
+        for lj in 0..self.num_local_nets() {
+            if !self.owns_net(lj) {
+                continue;
+            }
+            let mut lambda = 0usize;
+            let mut marked: Vec<PartId> = Vec::new();
+            for &v in self.net_pins(lj) {
+                let s = self.slot(v).expect("pin has a slot");
+                let p = if s < owned { owned_part[s] } else { ghost_part[s - owned] };
+                if !seen[p] {
+                    seen[p] = true;
+                    marked.push(p);
+                    lambda += 1;
+                }
+            }
+            for p in marked {
+                seen[p] = false;
+            }
+            local += self.cost[lj] * (lambda.saturating_sub(1)) as f64;
+        }
+        comm.allreduce_sum(local)
+    }
+
+    /// Distributed part weights (collective): owned partial sums
+    /// combined element-wise with an `allreduce`.
+    pub fn part_weights(&self, comm: &mut Comm, owned_part: &[PartId], k: usize) -> Vec<f64> {
+        assert_eq!(owned_part.len(), self.my_range().len());
+        let mut local = vec![0.0f64; k];
+        for (i, &p) in owned_part.iter().enumerate() {
+            local[p] += self.owned_wgt[i];
+        }
+        comm.allreduce_vec(local, |a, b| a + b)
+    }
+
+    /// Distributed load imbalance (collective): `max_p W_p / (W / k)`.
+    pub fn imbalance(&self, comm: &mut Comm, owned_part: &[PartId], k: usize) -> f64 {
+        let weights = self.part_weights(comm, owned_part, k);
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return 1.0;
+        }
+        let avg = total / k.max(1) as f64;
+        weights.iter().fold(0.0f64, |m, &w| m.max(w)) / avg
+    }
+}
+
+/// A reusable halo update: pulls per-vertex values from owner ranks
+/// into buffers aligned with [`DistHypergraph::ghosts`].
+///
+/// Built once per distribution (collective); each [`GhostExchange::pull`]
+/// is then a single plan execution carrying only the requested values.
+pub struct GhostExchange {
+    /// Reply plan: owners → ghost holders.
+    inverse: CommPlan,
+    /// For each ghost (in `send_positions` order), the owned offset the
+    /// owner rank serves it from.
+    serve: Vec<usize>,
+    /// Scatter map: reply `j` answers ghost `positions[j]`.
+    positions: Vec<usize>,
+    num_ghosts: usize,
+}
+
+impl GhostExchange {
+    /// Builds the exchange for `dh`'s ghost list (collective).
+    pub fn build(comm: &mut Comm, dh: &DistHypergraph) -> Self {
+        let dests: Vec<usize> = dh.ghosts.iter().map(|&g| dh.vdist.owner(g)).collect();
+        let plan = CommPlan::build(comm, &dests);
+        let queried = plan.execute(comm, &dh.ghosts);
+        let serve: Vec<usize> = queried
+            .iter()
+            .map(|&g| {
+                let owner_range = dh.vdist.range(comm.rank());
+                assert!(owner_range.contains(&g), "ghost query reached the wrong owner");
+                g - owner_range.start
+            })
+            .collect();
+        GhostExchange {
+            positions: plan.send_positions().to_vec(),
+            inverse: plan.invert(),
+            serve,
+            num_ghosts: dh.ghosts.len(),
+        }
+    }
+
+    /// Number of ghost values a pull produces.
+    pub fn num_ghosts(&self) -> usize {
+        self.num_ghosts
+    }
+
+    /// Fetches `owned[offset]` from each ghost's owner (collective).
+    /// Returns values aligned with [`DistHypergraph::ghosts`].
+    pub fn pull<T: Clone + Send + 'static>(&self, comm: &mut Comm, owned: &[T]) -> Vec<T> {
+        let replies: Vec<T> = self.serve.iter().map(|&i| owned[i].clone()).collect();
+        let back = self.inverse.execute(comm, &replies);
+        let mut out: Vec<Option<T>> = vec![None; self.num_ghosts];
+        for (j, &pos) in self.positions.iter().enumerate() {
+            out[pos] = Some(back[j].clone());
+        }
+        out.into_iter().map(|v| v.expect("every ghost answered")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlb_hypergraph::{metrics, HypergraphBuilder};
+    use dlb_mpisim::run_spmd;
+
+    /// A small deterministic hypergraph with cross-rank nets.
+    fn sample(n: usize) -> Hypergraph {
+        let mut b = HypergraphBuilder::new(n);
+        for v in 0..n {
+            b.set_vertex_weight(v, 1.0 + (v % 3) as f64);
+        }
+        for j in 0..(2 * n) {
+            let a = (j * 7 + 1) % n;
+            let c = (j * 13 + 4) % n;
+            let d = (j * 5 + 2) % n;
+            b.add_net(1.0 + (j % 4) as f64, [a, c, d]);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn owned_vertices_see_their_full_incidence() {
+        let h = sample(23);
+        for size in [1usize, 2, 4] {
+            for rank in 0..size {
+                let dh = DistHypergraph::from_replicated(&h, rank, size);
+                for v in dh.my_range() {
+                    let local: Vec<usize> = dh
+                        .vertex_local_nets(v)
+                        .iter()
+                        .map(|&lj| dh.net_global_id(lj))
+                        .collect();
+                    assert_eq!(local, h.vertex_nets(v), "v={v} rank={rank}/{size}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pin_storage_partitions_and_nets_have_one_owner() {
+        let h = sample(37);
+        for size in [1usize, 2, 4] {
+            let shares: Vec<DistHypergraph> =
+                (0..size).map(|r| DistHypergraph::from_replicated(&h, r, size)).collect();
+            let mut owner_count = vec![0usize; h.num_nets()];
+            for dh in &shares {
+                assert!(dh.local_pin_count() <= h.num_pins());
+                for lj in 0..dh.num_local_nets() {
+                    assert_eq!(dh.net_pins(lj), h.net(dh.net_global_id(lj)));
+                    if dh.owns_net(lj) {
+                        owner_count[dh.net_global_id(lj)] += 1;
+                    }
+                }
+            }
+            assert_eq!(owner_count, vec![1; h.num_nets()], "size={size}");
+            // Owned (canonical) pin storage partitions the global pins.
+            let owned_total: usize = shares.iter().map(|dh| dh.owned_pin_count()).sum();
+            assert_eq!(owned_total, h.num_pins(), "size={size}");
+            if size == 1 {
+                assert_eq!(shares[0].local_pin_count(), h.num_pins());
+                assert_eq!(shares[0].owned_pin_count(), h.num_pins());
+                assert!(shares[0].ghosts().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn ghost_exchange_pulls_owner_values() {
+        let h = sample(29);
+        for size in [1usize, 2, 4] {
+            let results = run_spmd(size, |comm| {
+                let dh = DistHypergraph::from_replicated(&h, comm.rank(), comm.size());
+                let exch = GhostExchange::build(comm, &dh);
+                // Owner value of vertex v is v * 10 + 1.
+                let owned: Vec<usize> = dh.my_range().map(|v| v * 10 + 1).collect();
+                let ghost_vals = exch.pull(comm, &owned);
+                ghost_vals
+                    .iter()
+                    .zip(dh.ghosts())
+                    .all(|(&got, &g)| got == g * 10 + 1)
+            });
+            assert!(results.into_iter().all(|ok| ok), "size={size}");
+        }
+    }
+
+    #[test]
+    fn distributed_metrics_match_replicated() {
+        let h = sample(31);
+        let k = 4;
+        let part: Vec<usize> = (0..h.num_vertices()).map(|v| (v * 3 + 1) % k).collect();
+        let expect_cut = metrics::cutsize_connectivity(&h, &part, k);
+        let expect_weights = metrics::part_weights(&h, &part, k);
+        let expect_imb = metrics::imbalance(&h, &part, k);
+        for size in [1usize, 2, 3] {
+            let results = run_spmd(size, |comm| {
+                let dh = DistHypergraph::from_replicated(&h, comm.rank(), comm.size());
+                let exch = GhostExchange::build(comm, &dh);
+                let owned: Vec<usize> = part[dh.my_range()].to_vec();
+                let cut = dh.cut_k1(comm, &exch, &owned, k);
+                let weights = dh.part_weights(comm, &owned, k);
+                let imb = dh.imbalance(comm, &owned, k);
+                (cut, weights, imb)
+            });
+            for (cut, weights, imb) in results {
+                assert!((cut - expect_cut).abs() < 1e-9, "size={size}");
+                for (a, b) in weights.iter().zip(&expect_weights) {
+                    assert!((a - b).abs() < 1e-9, "size={size}");
+                }
+                assert!((imb - expect_imb).abs() < 1e-9, "size={size}");
+            }
+        }
+    }
+
+    #[test]
+    fn gather_replicated_rebuilds_the_input() {
+        let h = sample(19);
+        for size in [1usize, 2, 4] {
+            let results = run_spmd(size, |comm| {
+                let dh = DistHypergraph::from_replicated(&h, comm.rank(), comm.size());
+                dh.gather_replicated(comm)
+            });
+            for g in results {
+                assert_eq!(g.num_vertices(), h.num_vertices());
+                assert_eq!(g.num_nets(), h.num_nets());
+                for j in 0..h.num_nets() {
+                    assert_eq!(g.net(j), h.net(j), "size={size} net={j}");
+                    assert_eq!(g.net_cost(j), h.net_cost(j));
+                }
+                assert_eq!(g.vertex_weights(), h.vertex_weights());
+            }
+        }
+    }
+}

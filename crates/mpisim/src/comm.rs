@@ -27,6 +27,13 @@ pub struct CommStats {
     pub messages_sent: u64,
     /// Point-to-point messages received.
     pub messages_received: u64,
+    /// Payload bytes sent. Every message contributes the shallow size of
+    /// its payload type; byte-aware call sites ([`Comm::alltoallv`],
+    /// [`crate::CommPlan::execute`]) additionally tally the per-item
+    /// bytes their element type actually carries.
+    pub bytes_sent: u64,
+    /// Payload bytes received (same accounting as `bytes_sent`).
+    pub bytes_received: u64,
 }
 
 /// The communicator handle owned by one simulated rank.
@@ -90,6 +97,7 @@ impl Comm {
     fn send_raw<T: Send + 'static>(&mut self, to: usize, tag: u64, value: T) {
         assert!(to < self.size, "destination rank {to} out of range");
         self.stats.messages_sent += 1;
+        self.stats.bytes_sent += std::mem::size_of::<T>() as u64;
         self.txs[to]
             .send(Envelope {
                 from: self.rank,
@@ -113,6 +121,7 @@ impl Comm {
             if let Some(queue) = self.stash.get_mut(&key) {
                 if let Some(payload) = queue.pop_front() {
                     self.stats.messages_received += 1;
+                    self.stats.bytes_received += std::mem::size_of::<T>() as u64;
                     return *payload.downcast::<T>().unwrap_or_else(|_| {
                         panic!(
                             "rank {}: message from {from} tag {tag} has unexpected payload type",
@@ -274,6 +283,41 @@ impl Comm {
         }
         incoming.into_iter().map(Option::unwrap).collect()
     }
+
+    /// Variable-count personalized all-to-all (MPI `Alltoallv`):
+    /// `outgoing[r]` is a batch of `T` items delivered to rank `r`.
+    ///
+    /// Unlike routing a `Vec<Vec<T>>` through [`Comm::alltoall`] (which
+    /// can only account the shallow size of each `Vec` header), this
+    /// helper tallies the actual `len * size_of::<T>()` payload bytes of
+    /// every off-rank batch into [`CommStats`]. Self-delivery is free.
+    pub fn alltoallv<T: Send + 'static>(&mut self, outgoing: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        assert_eq!(outgoing.len(), self.size, "one batch per destination rank");
+        let item = std::mem::size_of::<T>() as u64;
+        let sent_items: usize = outgoing
+            .iter()
+            .enumerate()
+            .filter(|&(r, _)| r != self.rank)
+            .map(|(_, batch)| batch.len())
+            .sum();
+        let incoming = self.alltoall(outgoing);
+        let recv_items: usize = incoming
+            .iter()
+            .enumerate()
+            .filter(|&(r, _)| r != self.rank)
+            .map(|(_, batch)| batch.len())
+            .sum();
+        self.tally_payload_bytes(sent_items as u64 * item, recv_items as u64 * item);
+        incoming
+    }
+
+    /// Adds deep payload bytes that a typed call site measured itself
+    /// (e.g. [`crate::CommPlan::execute`] knows `items * size_of::<T>()`
+    /// while the underlying channel only sees boxed `Vec` headers).
+    pub fn tally_payload_bytes(&mut self, sent: u64, received: u64) {
+        self.stats.bytes_sent += sent;
+        self.stats.bytes_received += received;
+    }
 }
 
 #[cfg(test)]
@@ -405,6 +449,42 @@ mod tests {
         });
         assert_eq!(results[0].messages_sent, 1);
         assert_eq!(results[1].messages_received, 1);
+    }
+
+    #[test]
+    fn stats_count_bytes() {
+        let results = run_spmd(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 3, 5u64);
+            } else {
+                let _ = comm.recv::<u64>(0, 3);
+            }
+            comm.stats()
+        });
+        assert_eq!(results[0].bytes_sent, 8);
+        assert_eq!(results[1].bytes_received, 8);
+    }
+
+    #[test]
+    fn alltoallv_counts_item_bytes() {
+        let results = run_spmd(2, |comm| {
+            // Rank r sends r+1 items to the peer and keeps 10 for itself.
+            let peer = 1 - comm.rank();
+            let mut outgoing: Vec<Vec<u32>> = vec![Vec::new(), Vec::new()];
+            outgoing[peer] = vec![7u32; comm.rank() + 1];
+            outgoing[comm.rank()] = vec![9u32; 10];
+            let incoming = comm.alltoallv(outgoing);
+            (incoming[peer].len(), comm.stats())
+        });
+        // Self-delivered items cost nothing; off-rank item bytes counted
+        // on top of the shallow Vec header from the channel layer.
+        let header = std::mem::size_of::<Vec<u32>>() as u64;
+        assert_eq!(results[0].0, 2);
+        assert_eq!(results[0].1.bytes_sent, header + 4);
+        assert_eq!(results[0].1.bytes_received, header + 8);
+        assert_eq!(results[1].0, 1);
+        assert_eq!(results[1].1.bytes_sent, header + 8);
+        assert_eq!(results[1].1.bytes_received, header + 4);
     }
 
     #[test]

@@ -168,6 +168,43 @@ mod tests {
         assert_eq!(results, vec![10; 4]);
     }
 
+    /// `remove` at 1/2/4 ranks with the previously untested edge shapes:
+    /// empty removal batches, self-sharded ids, all-remote ids, and ids
+    /// that were never registered.
+    #[test]
+    fn remove_edge_cases_across_rank_counts() {
+        for ranks in [1usize, 2, 4] {
+            let results = run_spmd(ranks, |comm| {
+                let mut dir: DistDirectory<usize> = DistDirectory::new();
+                // Every rank registers one id sharded to itself and one
+                // sharded to the next rank.
+                let own = comm.rank();
+                let remote = comm.size() + (comm.rank() + 1) % comm.size();
+                dir.update(comm, vec![(own, own * 2), (remote, own * 3)]);
+
+                // Empty removal on every rank is a harmless collective.
+                dir.remove(comm, vec![]);
+                let before = dir.find(comm, &[own, remote]);
+                assert_eq!(before[0], Some(own * 2));
+
+                // Removing an unknown id is a no-op.
+                dir.remove(comm, vec![3 * comm.size() + comm.rank()]);
+
+                // Self-sharded removal: id `own` lives on this rank.
+                dir.remove(comm, vec![own]);
+                // All-remote removal: id `remote` shards to the next rank
+                // (or to self only in the 1-rank world).
+                dir.remove(comm, vec![remote]);
+
+                (dir.find(comm, &[own, remote]), dir.local_len())
+            });
+            for (rank, (found, len)) in results.iter().enumerate() {
+                assert_eq!(*found, vec![None, None], "ranks={ranks} rank={rank}");
+                assert_eq!(*len, 0, "ranks={ranks} rank={rank}");
+            }
+        }
+    }
+
     #[test]
     fn later_update_wins() {
         let results = run_spmd(2, |comm| {

@@ -62,9 +62,19 @@ impl CommPlan {
         self.recv_counts.iter().sum()
     }
 
+    /// Positions into the user's item buffer in the order items travel:
+    /// grouped by destination rank. Received replies along the
+    /// [inverse](CommPlan::invert) plan arrive in this order, so
+    /// `reply[j]` answers the item at original position
+    /// `send_positions()[j]`.
+    pub fn send_positions(&self) -> &[usize] {
+        &self.send_order
+    }
+
     /// Executes the exchange (collective): `items` must align with the
     /// `destinations` the plan was built from. Returns received items
-    /// grouped by source rank order.
+    /// grouped by source rank order. Payload bytes are tallied into
+    /// [`crate::CommStats`] per item (via [`Comm::alltoallv`]).
     ///
     /// # Panics
     /// Panics if `items` has the wrong length.
@@ -80,7 +90,7 @@ impl CommPlan {
                 pos += 1;
             }
         }
-        let incoming = comm.alltoall(outgoing);
+        let incoming = comm.alltoallv(outgoing);
         for (r, batch) in incoming.iter().enumerate() {
             assert_eq!(batch.len(), self.recv_counts[r], "plan receive count mismatch");
         }
@@ -190,5 +200,84 @@ mod tests {
         // ranks, etc.): rank 0 gets {20,40} twice, rank 1 {10,30,50} twice.
         assert_eq!(results[0], vec![20, 20, 40, 40]);
         assert_eq!(results[1], vec![10, 10, 30, 30, 50, 50]);
+    }
+
+    /// Query/reply round-trip through `invert`, re-aligned to the
+    /// original item positions via `send_positions`. Exercised at 1, 2,
+    /// and 4 ranks with interleaved destinations (incl. self-sends).
+    #[test]
+    fn invert_roundtrip_realigns_to_original_positions() {
+        for ranks in [1usize, 2, 4] {
+            let results = run_spmd(ranks, |comm| {
+                // Item i asks rank (rank + i) % size to multiply it by 10;
+                // destinations interleave self and remote ranks.
+                let n_items = 2 * comm.size() + 1;
+                let destinations: Vec<usize> =
+                    (0..n_items).map(|i| (comm.rank() + i) % comm.size()).collect();
+                let queries: Vec<u64> =
+                    (0..n_items).map(|i| (comm.rank() * 100 + i) as u64).collect();
+                let plan = CommPlan::build(comm, &destinations);
+                let received = plan.execute(comm, &queries);
+                let replies: Vec<u64> = received.iter().map(|q| q * 10).collect();
+                let inverse = plan.invert();
+                assert_eq!(inverse.num_sends(), plan.num_receives());
+                assert_eq!(inverse.num_receives(), plan.num_sends());
+                let back = inverse.execute(comm, &replies);
+                // Replies arrive in send order; scatter them home.
+                let mut answers = vec![0u64; n_items];
+                for (j, &pos) in plan.send_positions().iter().enumerate() {
+                    answers[pos] = back[j];
+                }
+                (queries, answers)
+            });
+            for (queries, answers) in results {
+                let expected: Vec<u64> = queries.iter().map(|q| q * 10).collect();
+                assert_eq!(answers, expected, "ranks={ranks}");
+            }
+        }
+    }
+
+    /// `invert` on degenerate plans: empty everywhere, pure self-sends,
+    /// and all-remote fan-in, at 1/2/4 ranks.
+    #[test]
+    fn invert_handles_empty_self_and_all_remote_plans() {
+        for ranks in [1usize, 2, 4] {
+            // Empty plan: no rank sends anything.
+            let results = run_spmd(ranks, |comm| {
+                let plan = CommPlan::build(comm, &[]);
+                let inverse = plan.invert();
+                let out = inverse.execute(comm, &Vec::<u8>::new());
+                (plan.num_receives(), inverse.num_sends(), out.len())
+            });
+            assert_eq!(results, vec![(0, 0, 0); ranks]);
+
+            // Self-sends only: round-trip stays rank-local.
+            let results = run_spmd(ranks, |comm| {
+                let destinations = vec![comm.rank(); 3];
+                let items: Vec<usize> = (0..3).map(|i| comm.rank() * 10 + i).collect();
+                let plan = CommPlan::build(comm, &destinations);
+                let received = plan.execute(comm, &items);
+                plan.invert().execute(comm, &received)
+            });
+            for (rank, got) in results.iter().enumerate() {
+                let expected: Vec<usize> = (0..3).map(|i| rank * 10 + i).collect();
+                assert_eq!(*got, expected, "ranks={ranks}");
+            }
+
+            // All-remote: every item goes to the next rank; replies must
+            // come all the way back around.
+            let results = run_spmd(ranks, |comm| {
+                let next = (comm.rank() + 1) % comm.size();
+                let destinations = vec![next; 4];
+                let items = vec![comm.rank() as u32; 4];
+                let plan = CommPlan::build(comm, &destinations);
+                let received = plan.execute(comm, &items);
+                let replies: Vec<u32> = received.iter().map(|v| v + 1).collect();
+                plan.invert().execute(comm, &replies)
+            });
+            for (rank, got) in results.iter().enumerate() {
+                assert_eq!(*got, vec![rank as u32 + 1; 4], "ranks={ranks}");
+            }
+        }
     }
 }

@@ -95,6 +95,28 @@ impl Default for RefinementConfig {
     }
 }
 
+/// Distributed-memory execution parameters (DESIGN.md §9).
+#[derive(Clone, Debug)]
+pub struct DistConfig {
+    /// Route the parallel V-cycle through the memory-scalable
+    /// distributed driver: pin storage is block-distributed across
+    /// ranks (owner/ghost layout) instead of replicated. Results are
+    /// bit-identical to the replicated driver at any rank count.
+    pub distributed: bool,
+    /// Once the (distributed) hypergraph has at most this many
+    /// vertices, it is gathered onto every rank and the remaining
+    /// levels run the replicated code paths. Coarse hypergraphs are
+    /// small, so this trades negligible memory for cheaper, local
+    /// coarse-level work.
+    pub gather_threshold: usize,
+}
+
+impl Default for DistConfig {
+    fn default() -> Self {
+        DistConfig { distributed: false, gather_threshold: 1024 }
+    }
+}
+
 /// Top-level partitioner configuration.
 #[derive(Clone, Debug)]
 pub struct Config {
@@ -123,6 +145,8 @@ pub struct Config {
     /// bit-identical partitions (deterministic chunked reduction); `1`
     /// runs the exact serial code path.
     pub threads: usize,
+    /// Distributed-memory execution parameters.
+    pub dist: DistConfig,
 }
 
 impl Default for Config {
@@ -136,6 +160,7 @@ impl Default for Config {
             refinement: RefinementConfig::default(),
             num_vcycles: 1,
             threads: 0,
+            dist: DistConfig::default(),
         }
     }
 }

@@ -1,0 +1,1172 @@
+//! Memory-scalable distributed V-cycle over [`dlb_disthg`].
+//!
+//! The replicated SPMD driver ([`super::driver::par_multilevel`]) keeps
+//! the whole hypergraph on every rank; this module runs the same
+//! V-cycle with the *pin storage* — the asymptotically dominant term —
+//! block-distributed: each rank stores only the nets touching its owned
+//! vertex block (full pin lists, remote pins as ghosts; see DESIGN.md
+//! §9). O(n) per-vertex arrays (partition, matching, weights, the
+//! fine→coarse maps) stay replicated, which is what makes bit-identity
+//! with the replicated driver provable:
+//!
+//! * **Matching** — a net not stored on rank `r` contains no `r`-owned
+//!   pins, so skipping it preserves the replicated scoring loop's float
+//!   accumulation order and first-touch order exactly.
+//! * **Contraction** — the coarse hypergraph is built distributed: net
+//!   owners remap and submit their nets, identical pin-sets are
+//!   collapsed on a deterministic shard rank (costs summed in ascending
+//!   fine-net order, exactly the replicated fold), and coarse net ids
+//!   are assigned by the replicated first-occurrence order.
+//! * **Refinement** — move proposals come from owned boundary vertices
+//!   (local sigma rows are exact for them); the shared-state
+//!   revalidation is decided by each move's owner rank and the boolean
+//!   verdicts broadcast, so every rank applies the identical move
+//!   sequence.
+//!
+//! Once the current level has at most `cfg.dist.gather_threshold`
+//! vertices it is gathered onto every rank and the remaining levels run
+//! the replicated code paths verbatim (coarse hypergraphs are tiny).
+
+use std::collections::HashMap;
+
+use dlb_disthg::DistHypergraph;
+use dlb_hypergraph::{parallel, Hypergraph, PartId};
+use dlb_mpisim::{BlockDist, Comm};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::coarsen::{contract_threads, CoarseLevel};
+use crate::config::{CoarseningConfig, Config, PartTargets, RefinementConfig};
+use crate::fixed::FixedAssignment;
+use crate::initial::{initial_partition, score};
+use crate::matching::Matching;
+use crate::par::matching::{
+    par_ipm_matching_threads, Proposal, CANDIDATE_FRACTION, MAX_ROUNDS,
+};
+use crate::par::refine::par_refine;
+use crate::refine::{refine_threads, RefineScratch};
+
+/// Per-rank memory/communication figures of one distributed V-cycle.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DistStats {
+    /// Number of levels (including the finest) held in distributed form.
+    pub dist_levels: usize,
+    /// Largest local pin count of any single distributed level.
+    pub peak_local_pins: usize,
+    /// Sum of local pin counts over all simultaneously-alive
+    /// distributed levels — the rank's peak pin storage for the cycle,
+    /// including ghost copies of remote pins.
+    pub total_local_pins: usize,
+    /// Sum over levels of the *owned* (canonical) pin storage — each
+    /// net counted once, at its owner, so the per-level sum across
+    /// ranks equals the hypergraph's pin count. This is the share of
+    /// storage that scales as `|pins|/p` regardless of net locality;
+    /// `total_local_pins - total_owned_pins` is the ghost-copy
+    /// overhead, which shrinks with rank count only when the vertex
+    /// order localizes nets (meshes, banded matrices).
+    pub total_owned_pins: usize,
+    /// Largest ghost count of any distributed level.
+    pub peak_ghosts: usize,
+    /// Vertex count at which the hypergraph was gathered (0 = the input
+    /// was already at or below the threshold; never distributed).
+    pub gathered_vertices: usize,
+}
+
+impl DistStats {
+    fn observe(&mut self, d: &DistLevel) {
+        self.dist_levels += 1;
+        self.peak_local_pins = self.peak_local_pins.max(d.dh.local_pin_count());
+        self.total_local_pins += d.dh.local_pin_count();
+        self.total_owned_pins += d.dh.owned_pin_count();
+        self.peak_ghosts = self.peak_ghosts.max(d.dh.ghosts().len());
+    }
+}
+
+/// One level held in distributed form: block-distributed pin storage
+/// plus the replicated O(n) vertex attributes the mirrored kernels need.
+#[derive(Clone)]
+struct DistLevel {
+    dh: DistHypergraph,
+    /// Replicated vertex weights (`vwgt[v]` for every global `v`).
+    vwgt: Vec<f64>,
+    /// Replicated vertex sizes (data-migration volumes).
+    vsize: Vec<f64>,
+    /// Replicated fixed-vertex constraint.
+    fixed: FixedAssignment,
+}
+
+impl DistLevel {
+    fn from_replicated(h: &Hypergraph, fixed: &FixedAssignment, rank: usize, size: usize) -> Self {
+        DistLevel {
+            dh: DistHypergraph::from_replicated(h, rank, size),
+            vwgt: h.vertex_weights().to_vec(),
+            vsize: h.vertex_sizes().to_vec(),
+            fixed: fixed.clone(),
+        }
+    }
+
+    /// Gathers the full hypergraph onto every rank (collective).
+    fn gather(&self, comm: &mut Comm) -> (Hypergraph, FixedAssignment) {
+        let mut gh = self.dh.gather_replicated(comm);
+        gh.set_vertex_sizes(self.vsize.clone());
+        (gh, self.fixed.clone())
+    }
+}
+
+/// One level of distributed matching — the exact mirror of the serial
+/// selection path of [`par_ipm_matching_threads`], reading net structure
+/// through the distributed storage. Nets a rank cannot see contain none
+/// of its owned vertices, so its proposals are unchanged.
+fn dist_ipm_matching(
+    comm: &mut Comm,
+    d: &DistLevel,
+    cfg: &CoarseningConfig,
+    rng: &mut StdRng,
+) -> Matching {
+    if cfg.local_ipm {
+        return dist_local_ipm_matching(comm, d, cfg, rng);
+    }
+    let n = d.dh.num_vertices();
+    let my_range = d.dh.my_range();
+    let shared_draw: u64 = rng.gen();
+    let mut my_rng = StdRng::seed_from_u64(
+        shared_draw ^ (comm.rank() as u64).wrapping_mul(0xA5A5_5A5A_DEAD_BEEF),
+    );
+
+    let mut mate: Vec<usize> = (0..n).collect();
+    let mut num_pairs = 0usize;
+    let mut scores = vec![0.0f64; n];
+    let mut touched: Vec<usize> = Vec::new();
+
+    for _round in 0..MAX_ROUNDS {
+        let mut my_unmatched: Vec<usize> = my_range.clone().filter(|&v| mate[v] == v).collect();
+        my_unmatched.shuffle(&mut my_rng);
+        let ncand = ((my_unmatched.len() as f64 * CANDIDATE_FRACTION).ceil() as usize)
+            .min(my_unmatched.len());
+        let mut my_cands = my_unmatched[..ncand].to_vec();
+        my_cands.sort_unstable();
+
+        let all_cands: Vec<usize> = comm.allgather(my_cands).into_iter().flatten().collect();
+        if all_cands.is_empty() {
+            break;
+        }
+
+        let mut taken = vec![false; n];
+        let proposals: Vec<(f64, usize, usize)> = all_cands
+            .iter()
+            .map(|&u| {
+                let best = dist_best_owned_partner(
+                    &d.dh, u, &mate, &taken, &d.fixed, cfg, &my_range, &mut scores, &mut touched,
+                );
+                match best {
+                    Some((w, s)) if !all_cands.contains(&w) || w > u => {
+                        taken[w] = true;
+                        (s, comm.rank(), w)
+                    }
+                    _ => (Proposal::NONE.score, Proposal::NONE.rank, Proposal::NONE.partner),
+                }
+            })
+            .collect();
+
+        let winners = comm.allreduce_vec(proposals, |a, b| {
+            let pa = Proposal { score: a.0, rank: a.1, partner: a.2 };
+            let pb = Proposal { score: b.0, rank: b.1, partner: b.2 };
+            let w = Proposal::better_of(&pa, &pb);
+            (w.score, w.rank, w.partner)
+        });
+
+        let mut matched_this_round = 0usize;
+        for (&u, &(score, rank, partner)) in all_cands.iter().zip(&winners) {
+            if rank == usize::MAX || score <= 0.0 {
+                continue;
+            }
+            if mate[u] != u || mate[partner] != partner || u == partner {
+                continue;
+            }
+            debug_assert!(d.fixed.compatible(u, partner));
+            mate[u] = partner;
+            mate[partner] = u;
+            num_pairs += 1;
+            matched_this_round += 1;
+        }
+        if matched_this_round == 0 {
+            break;
+        }
+    }
+
+    Matching { mate, num_pairs }
+}
+
+/// Mirror of `best_owned_partner` over distributed storage. For any
+/// candidate `u`, the nets absent from this rank contain no pins in
+/// `range`, so accumulation and first-touch order match the replicated
+/// loop exactly. A candidate unknown to this rank simply scores nobody.
+#[allow(clippy::too_many_arguments)]
+fn dist_best_owned_partner(
+    dh: &DistHypergraph,
+    u: usize,
+    mate: &[usize],
+    taken: &[bool],
+    fixed: &FixedAssignment,
+    cfg: &CoarseningConfig,
+    range: &std::ops::Range<usize>,
+    scores: &mut [f64],
+    touched: &mut Vec<usize>,
+) -> Option<(usize, f64)> {
+    touched.clear();
+    for &lj in dh.vertex_local_nets(u) {
+        let size = dh.net_size(lj);
+        if size < 2 || size > cfg.max_net_size_for_matching {
+            continue;
+        }
+        let contrib = if cfg.scaled_ipm {
+            dh.net_cost(lj) / (size - 1) as f64
+        } else {
+            dh.net_cost(lj)
+        };
+        if contrib <= 0.0 {
+            continue;
+        }
+        for &w in dh.net_pins(lj) {
+            if w == u || !range.contains(&w) || mate[w] != w || taken[w] {
+                continue;
+            }
+            if scores[w] == 0.0 {
+                touched.push(w);
+            }
+            scores[w] += contrib;
+        }
+    }
+    let mut best: Option<(usize, f64)> = None;
+    for &w in touched.iter() {
+        let s = scores[w];
+        scores[w] = 0.0;
+        if fixed.compatible(u, w) && best.is_none_or(|(_, bs)| s > bs) {
+            best = Some((w, s));
+        }
+    }
+    best
+}
+
+/// Mirror of `par_local_ipm_matching` over distributed storage: greedy
+/// rank-local matching merged with one all-gather.
+fn dist_local_ipm_matching(
+    comm: &mut Comm,
+    d: &DistLevel,
+    cfg: &CoarseningConfig,
+    rng: &mut StdRng,
+) -> Matching {
+    let n = d.dh.num_vertices();
+    let my_range = d.dh.my_range();
+    let shared_draw: u64 = rng.gen();
+    let mut my_rng = StdRng::seed_from_u64(
+        shared_draw ^ (comm.rank() as u64).wrapping_mul(0x0BAD_CAFE_F00D_BEEF),
+    );
+
+    let mut mate: Vec<usize> = (0..n).collect();
+    let mut scores = vec![0.0f64; n];
+    let mut touched: Vec<usize> = Vec::new();
+    let taken = vec![false; n];
+
+    let mut order: Vec<usize> = my_range.clone().collect();
+    order.shuffle(&mut my_rng);
+    let mut my_pairs: Vec<(usize, usize)> = Vec::new();
+    for &u in &order {
+        if mate[u] != u {
+            continue;
+        }
+        if let Some((w, _)) = dist_best_owned_partner(
+            &d.dh, u, &mate, &taken, &d.fixed, cfg, &my_range, &mut scores, &mut touched,
+        ) {
+            mate[u] = w;
+            mate[w] = u;
+            my_pairs.push((u.min(w), u.max(w)));
+        }
+    }
+
+    let all_pairs: Vec<(usize, usize)> = comm.allgather(my_pairs).into_iter().flatten().collect();
+    let mut mate: Vec<usize> = (0..n).collect();
+    for &(u, w) in &all_pairs {
+        debug_assert!(mate[u] == u && mate[w] == w, "ranks produced overlapping pairs");
+        mate[u] = w;
+        mate[w] = u;
+    }
+    Matching { mate, num_pairs: all_pairs.len() }
+}
+
+/// Deterministic shard rank for a coarse pin-set: every copy of an
+/// identical pin-set lands on the same rank, which performs the
+/// duplicate collapse for that set (FNV-1a over the pins).
+fn pinset_shard(pins: &[usize], nranks: usize) -> usize {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &v in pins {
+        hash ^= v as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (hash % nranks as u64) as usize
+}
+
+/// Distributed contraction: builds the coarse level without any rank
+/// materializing the full coarse pin set. The coarse hypergraph equals
+/// the replicated [`contract_threads`] output net-for-net:
+///
+/// 1. Vertex-level data (fine→coarse map, coarse weights/sizes/fixed)
+///    is O(n) and computed replicated, exactly as the serial code does.
+/// 2. Each fine net's owner remaps, sorts and dedups its pins (dropping
+///    sub-2-pin nets) and submits `(fine_id, cost, pins)` to the
+///    pin-set's shard rank.
+/// 3. The shard processes its submissions in ascending fine-net order —
+///    the replicated collapse order — so per-group cost sums are
+///    bitwise identical, keyed by the group's first fine net.
+/// 4. Coarse net ids are the positions of those first-occurrence keys
+///    in globally sorted order, which reproduces the replicated
+///    first-occurrence numbering; each coarse net is then routed to
+///    every rank owning one of its pins.
+fn dist_contract(comm: &mut Comm, d: &DistLevel, matching: &Matching) -> (DistLevel, Vec<usize>) {
+    let n = d.dh.num_vertices();
+    debug_assert!(matching.validate(&d.fixed).is_ok());
+
+    // Replicated vertex-level contraction (same as the serial code).
+    let mut fine_to_coarse = vec![usize::MAX; n];
+    let mut next = 0usize;
+    for v in 0..n {
+        let m = matching.mate[v];
+        if m >= v {
+            fine_to_coarse[v] = next;
+            if m != v {
+                fine_to_coarse[m] = next;
+            }
+            next += 1;
+        }
+    }
+    let nc = next;
+    let mut cw = vec![0.0f64; nc];
+    let mut cs = vec![0.0f64; nc];
+    let mut cfixed_opts: Vec<Option<usize>> = vec![None; nc];
+    for v in 0..n {
+        let c = fine_to_coarse[v];
+        cw[c] += d.vwgt[v];
+        cs[c] += d.vsize[v];
+        if let Some(p) = d.fixed.get(v) {
+            debug_assert!(cfixed_opts[c].is_none_or(|q| q == p));
+            cfixed_opts[c] = Some(p);
+        }
+    }
+
+    // Owners submit remapped nets to their pin-set's shard rank.
+    let nranks = comm.size();
+    let mut outgoing: Vec<Vec<(usize, f64, Vec<usize>)>> = (0..nranks).map(|_| Vec::new()).collect();
+    let mut pins: Vec<usize> = Vec::new();
+    for lj in 0..d.dh.num_local_nets() {
+        if !d.dh.owns_net(lj) {
+            continue;
+        }
+        pins.clear();
+        pins.extend(d.dh.net_pins(lj).iter().map(|&v| fine_to_coarse[v]));
+        pins.sort_unstable();
+        pins.dedup();
+        if pins.len() < 2 {
+            continue;
+        }
+        let shard = pinset_shard(&pins, nranks);
+        outgoing[shard].push((d.dh.net_global_id(lj), d.dh.net_cost(lj), pins.clone()));
+    }
+    let mut submitted: Vec<(usize, f64, Vec<usize>)> =
+        comm.alltoallv(outgoing).into_iter().flatten().collect();
+    // Ascending fine-net order = the replicated collapse order.
+    submitted.sort_unstable_by_key(|&(j, _, _)| j);
+
+    // Collapse duplicates; a group is keyed by its first fine net id.
+    let mut dedup: HashMap<Vec<usize>, usize> = HashMap::new();
+    let mut groups: Vec<(usize, f64, Vec<usize>)> = Vec::new();
+    for (j, cost, net) in submitted {
+        match dedup.get(&net) {
+            Some(&idx) => groups[idx].1 += cost,
+            None => {
+                dedup.insert(net.clone(), groups.len());
+                groups.push((j, cost, net));
+            }
+        }
+    }
+
+    // Global coarse ids: the replicated construction appends a group
+    // the first time its pin-set occurs while scanning fine nets in
+    // order, so sorting the first-occurrence keys reproduces its ids.
+    let my_keys: Vec<usize> = groups.iter().map(|g| g.0).collect();
+    let mut all_keys: Vec<usize> = comm.allgather(my_keys).into_iter().flatten().collect();
+    all_keys.sort_unstable();
+    let num_coarse_nets = all_keys.len();
+
+    // Route each coarse net to every rank owning one of its pins.
+    let cdist = BlockDist::new(nc, nranks);
+    let mut routed: Vec<Vec<(usize, f64, Vec<usize>)>> = (0..nranks).map(|_| Vec::new()).collect();
+    for (min_j, cost, net) in groups {
+        let cid = all_keys.binary_search(&min_j).expect("group key is present");
+        let mut prev = usize::MAX;
+        for &cv in &net {
+            let owner = cdist.owner(cv);
+            // Pins are sorted, so owner ranks arrive grouped.
+            if owner != prev {
+                routed[owner].push((cid, cost, net.clone()));
+                prev = owner;
+            }
+        }
+    }
+    let mut local: Vec<(usize, f64, Vec<usize>)> =
+        comm.alltoallv(routed).into_iter().flatten().collect();
+    local.sort_unstable_by_key(|&(cid, _, _)| cid);
+
+    let mut net_ids = Vec::with_capacity(local.len());
+    let mut cost = Vec::with_capacity(local.len());
+    let mut nets = Vec::with_capacity(local.len());
+    for (cid, c, net) in local {
+        net_ids.push(cid);
+        cost.push(c);
+        nets.push(net);
+    }
+    let owned_wgt = cw[cdist.range(comm.rank())].to_vec();
+    let dh = DistHypergraph::from_local_nets(
+        nc,
+        num_coarse_nets,
+        comm.rank(),
+        nranks,
+        net_ids,
+        cost,
+        nets,
+        owned_wgt,
+    );
+    let coarse = DistLevel {
+        dh,
+        vwgt: cw,
+        vsize: cs,
+        fixed: FixedAssignment::from_options(&cfixed_opts),
+    };
+    (coarse, fine_to_coarse)
+}
+
+/// Mirror of `MoveScratch` (its fields are private to `refine`).
+struct DistMoveScratch {
+    mark: Vec<u64>,
+    present: Vec<f64>,
+    cands: Vec<usize>,
+    stamp: u64,
+}
+
+impl DistMoveScratch {
+    fn new(k: usize) -> Self {
+        DistMoveScratch { mark: vec![0; k], present: vec![0.0; k], cands: Vec::new(), stamp: 0 }
+    }
+}
+
+/// Partition state over distributed pin storage: sigma rows exist only
+/// for locally visible nets; the partition vector and part weights stay
+/// replicated (the replicated weight fold is part of the bit-identity
+/// contract — see `PartitionState::new_threads`).
+struct DistState<'a> {
+    level: &'a DistLevel,
+    k: usize,
+    /// `sigma[lj*k + p]` = pins of local net `lj` in part `p`.
+    sigma: Vec<u32>,
+    weights: Vec<f64>,
+    part: Vec<PartId>,
+}
+
+impl<'a> DistState<'a> {
+    fn new(level: &'a DistLevel, k: usize, part: Vec<PartId>) -> Self {
+        assert_eq!(part.len(), level.dh.num_vertices());
+        let mut sigma = vec![0u32; level.dh.num_local_nets() * k];
+        for lj in 0..level.dh.num_local_nets() {
+            for &v in level.dh.net_pins(lj) {
+                sigma[lj * k + part[v]] += 1;
+            }
+        }
+        // Chunk-folded exactly like `PartitionState::new` so the f64
+        // weights are bitwise identical to the replicated state's.
+        let part_ref = &part;
+        let partials = parallel::map_chunks(
+            1,
+            part.len(),
+            parallel::DEFAULT_CHUNK,
+            |_, range| {
+                let mut local = vec![0.0f64; k];
+                for v in range {
+                    local[part_ref[v]] += level.vwgt[v];
+                }
+                local
+            },
+        );
+        let mut weights = vec![0.0f64; k];
+        for local in partials {
+            for p in 0..k {
+                weights[p] += local[p];
+            }
+        }
+        DistState { level, k, sigma, weights, part }
+    }
+
+    #[inline]
+    fn sigma(&self, lj: usize, p: usize) -> u32 {
+        self.sigma[lj * self.k + p]
+    }
+
+    /// Applies a move. Every rank calls this for every accepted move:
+    /// the replicated part/weights update unconditionally, the sigma
+    /// rows only for nets visible here (other nets have no local row).
+    fn apply(&mut self, v: usize, q: PartId) {
+        let p = self.part[v];
+        if p == q {
+            return;
+        }
+        for &lj in self.level.dh.vertex_local_nets(v) {
+            self.sigma[lj * self.k + p] -= 1;
+            self.sigma[lj * self.k + q] += 1;
+        }
+        let w = self.level.vwgt[v];
+        self.weights[p] -= w;
+        self.weights[q] += w;
+        self.part[v] = q;
+    }
+
+    /// Exact gain of moving owned vertex `v` to `q` (an owned vertex's
+    /// nets are all local, so this equals `PartitionState::gain`).
+    fn gain(&self, v: usize, q: PartId) -> f64 {
+        let p = self.part[v];
+        if p == q {
+            return 0.0;
+        }
+        let mut g = 0.0;
+        for &lj in self.level.dh.vertex_local_nets(v) {
+            let c = self.level.dh.net_cost(lj);
+            if self.sigma(lj, p) == 1 {
+                g += c;
+            }
+            if self.sigma(lj, q) == 0 {
+                g -= c;
+            }
+        }
+        g
+    }
+
+    /// Mirror of `PartitionState::best_move` for an owned vertex.
+    fn best_move(
+        &self,
+        v: usize,
+        targets: &PartTargets,
+        scratch: &mut DistMoveScratch,
+    ) -> Option<(PartId, f64)> {
+        let p = self.part[v];
+        scratch.stamp += 1;
+        let stamp = scratch.stamp;
+
+        let mut base = 0.0;
+        let mut total = 0.0;
+        for &lj in self.level.dh.vertex_local_nets(v) {
+            let c = self.level.dh.net_cost(lj);
+            total += c;
+            if self.sigma(lj, p) == 1 {
+                base += c;
+            }
+            for q in 0..self.k {
+                if q != p && self.sigma(lj, q) > 0 {
+                    if scratch.mark[q] != stamp {
+                        scratch.mark[q] = stamp;
+                        scratch.present[q] = 0.0;
+                        scratch.cands.push(q);
+                    }
+                    scratch.present[q] += c;
+                }
+            }
+        }
+
+        let w = self.level.vwgt[v];
+        let mut best: Option<(PartId, f64)> = None;
+        for &q in &scratch.cands {
+            if self.weights[q] + w > targets.cap(q) {
+                continue;
+            }
+            let gain = base - (total - scratch.present[q]);
+            match best {
+                Some((bq, bg)) => {
+                    if gain > bg + 1e-12 || (gain > bg - 1e-12 && self.weights[q] < self.weights[bq])
+                    {
+                        best = Some((q, gain));
+                    }
+                }
+                None => best = Some((q, gain)),
+            }
+        }
+        scratch.cands.clear();
+        best
+    }
+
+    /// Owned boundary vertices, ascending — the replicated boundary
+    /// list restricted to the owned range (every net of an owned vertex
+    /// is local, so no boundary vertex is missed).
+    fn owned_boundary(&self) -> Vec<usize> {
+        let range = self.level.dh.my_range();
+        let mut flag = vec![false; range.len()];
+        for lj in 0..self.level.dh.num_local_nets() {
+            let cut = (0..self.k).filter(|&p| self.sigma(lj, p) > 0).count() > 1;
+            if cut {
+                for &v in self.level.dh.net_pins(lj) {
+                    if range.contains(&v) {
+                        flag[v - range.start] = true;
+                    }
+                }
+            }
+        }
+        range.clone().filter(|&v| flag[v - range.start]).collect()
+    }
+}
+
+/// Mirror of `crate::refine::rebalance` with the per-vertex scan
+/// distributed: each rank scans its owned block for the best candidate
+/// move (strict-max keeps the earliest vertex, as in the serial scan)
+/// and an all-reduce picks the global best, tie-broken toward the
+/// smaller vertex id — which, with ascending owned blocks, is exactly
+/// the serial scan's earliest-strict-max winner.
+fn dist_rebalance(
+    comm: &mut Comm,
+    state: &mut DistState<'_>,
+    targets: &PartTargets,
+    fixed: &FixedAssignment,
+    scratch: &mut DistMoveScratch,
+) {
+    let n = state.part.len();
+    let max_moves = 2 * n + 16;
+    let total_violation = |weights: &[f64]| -> f64 {
+        weights.iter().enumerate().map(|(p, &w)| (w - targets.cap(p)).max(0.0)).sum()
+    };
+    let range = state.level.dh.my_range();
+    for _ in 0..max_moves {
+        let violation_before = total_violation(&state.weights);
+        let over = (0..state.k)
+            .filter(|&p| state.weights[p] > targets.cap(p) + 1e-9)
+            .max_by(|&a, &b| {
+                (state.weights[a] - targets.cap(a)).total_cmp(&(state.weights[b] - targets.cap(b)))
+            });
+        let p = match over {
+            Some(p) => p,
+            None => return,
+        };
+        let mut best: Option<(usize, PartId, f64)> = None;
+        for v in range.clone() {
+            if state.part[v] != p || fixed.is_fixed(v) {
+                continue;
+            }
+            let w = state.level.vwgt[v];
+            let candidate = match state.best_move(v, targets, scratch) {
+                Some((q, g)) => Some((q, g)),
+                None => {
+                    let q = (0..state.k)
+                        .filter(|&q| q != p)
+                        .min_by(|&a, &b| {
+                            ((state.weights[a] + w) / targets.target[a].max(1e-12)).total_cmp(
+                                &((state.weights[b] + w) / targets.target[b].max(1e-12)),
+                            )
+                        })
+                        .unwrap();
+                    Some((q, state.gain(v, q)))
+                }
+            };
+            if let Some((q, g)) = candidate {
+                if best.is_none_or(|(_, _, bg)| g > bg) {
+                    best = Some((v, q, g));
+                }
+            }
+        }
+        let entry = match best {
+            Some((v, q, g)) => (g, v, q),
+            None => (f64::NEG_INFINITY, usize::MAX, usize::MAX),
+        };
+        let (_, v, q) = comm.allreduce(entry, |a, b| {
+            match a.0.total_cmp(&b.0) {
+                std::cmp::Ordering::Greater => a,
+                std::cmp::Ordering::Less => b,
+                std::cmp::Ordering::Equal => {
+                    if a.1 <= b.1 {
+                        a
+                    } else {
+                        b
+                    }
+                }
+            }
+        });
+        if v == usize::MAX {
+            return;
+        }
+        state.apply(v, q);
+        if total_violation(&state.weights) >= violation_before - 1e-12 {
+            state.apply(v, p);
+            return;
+        }
+    }
+}
+
+/// One distributed refinement pass — mirror of `par_pass`. Proposals
+/// come from a private state copy per rank; revalidation against the
+/// evolving shared state needs each move's exact gain, which only the
+/// proposing (owner) rank can compute, so the owner decides its batch
+/// and broadcasts the verdicts. Every rank then applies the identical
+/// accepted sequence, keeping part vector and weights in lockstep.
+fn dist_pass(
+    comm: &mut Comm,
+    state: &mut DistState<'_>,
+    targets: &PartTargets,
+    fixed: &FixedAssignment,
+    rng: &mut StdRng,
+) -> usize {
+    let shared_draw: u64 = rng.gen();
+    let mut my_rng = StdRng::seed_from_u64(
+        shared_draw ^ (comm.rank() as u64).wrapping_mul(0xC0FF_EE00_1234_5678),
+    );
+
+    // Propose on a private copy so a rank's own proposals compose.
+    let my_moves = {
+        let mut private = DistState::new(state.level, state.k, state.part.clone());
+        let mut scratch = DistMoveScratch::new(targets.k());
+        let mut boundary: Vec<usize> =
+            private.owned_boundary().into_iter().filter(|&v| !fixed.is_fixed(v)).collect();
+        boundary.shuffle(&mut my_rng);
+        let mut moves: Vec<(usize, PartId)> = Vec::new();
+        for v in boundary {
+            if let Some((to, gain)) = private.best_move(v, targets, &mut scratch) {
+                if gain > 0.0
+                    || (gain == 0.0
+                        && private.weights[private.part[v]] > targets.target[private.part[v]])
+                {
+                    private.apply(v, to);
+                    moves.push((v, to));
+                }
+            }
+        }
+        moves
+    };
+
+    let all_moves: Vec<Vec<(usize, PartId)>> = comm.allgather(my_moves);
+    let mut applied = 0usize;
+    for (r, rank_moves) in all_moves.iter().enumerate() {
+        // Rank r owns every vertex in its batch, so only it can
+        // revalidate gains; it decides sequentially against the shared
+        // state (applying as it goes) and broadcasts the verdicts.
+        let decisions: Vec<bool> = if comm.rank() == r {
+            let mut verdicts = Vec::with_capacity(rank_moves.len());
+            for &(v, to) in rank_moves {
+                let ok = if fixed.is_fixed(v) || state.part[v] == to {
+                    false
+                } else {
+                    let w = state.level.vwgt[v];
+                    if state.weights[to] + w > targets.cap(to) {
+                        false
+                    } else {
+                        let gain = state.gain(v, to);
+                        gain > 0.0
+                            || (gain == 0.0
+                                && state.weights[state.part[v]] > state.weights[to] + w)
+                    }
+                };
+                if ok {
+                    state.apply(v, to);
+                }
+                verdicts.push(ok);
+            }
+            verdicts
+        } else {
+            vec![false; rank_moves.len()]
+        };
+        let decisions = comm.broadcast(r, decisions);
+        if comm.rank() != r {
+            for (&(v, to), &ok) in rank_moves.iter().zip(&decisions) {
+                if ok {
+                    state.apply(v, to);
+                }
+            }
+        }
+        applied += decisions.iter().filter(|&&ok| ok).count();
+    }
+    applied
+}
+
+/// Distributed refinement at one level — mirror of [`par_refine`].
+fn dist_refine(
+    comm: &mut Comm,
+    level: &DistLevel,
+    targets: &PartTargets,
+    part: &mut Vec<PartId>,
+    cfg: &RefinementConfig,
+    rng: &mut StdRng,
+) {
+    let k = targets.k();
+    if k < 2 || level.dh.num_vertices() == 0 {
+        return;
+    }
+    let mut state = DistState::new(level, k, std::mem::take(part));
+    let mut scratch = DistMoveScratch::new(k);
+    dist_rebalance(comm, &mut state, targets, &level.fixed, &mut scratch);
+    for _ in 0..cfg.max_passes {
+        let moved = dist_pass(comm, &mut state, targets, &level.fixed, rng);
+        if moved == 0 {
+            break;
+        }
+    }
+    *part = state.part;
+}
+
+/// A level of the mixed hierarchy: its coarse hypergraph in whichever
+/// representation it was built, plus the fine→coarse projection map.
+enum Level {
+    Repl(CoarseLevel),
+    Dist(DistLevel, Vec<usize>),
+}
+
+/// Borrowed view of the current coarsest hypergraph.
+enum View<'a> {
+    Repl(&'a Hypergraph, &'a FixedAssignment),
+    Dist(&'a DistLevel),
+}
+
+impl View<'_> {
+    fn num_vertices(&self) -> usize {
+        match self {
+            View::Repl(h, _) => h.num_vertices(),
+            View::Dist(d) => d.dh.num_vertices(),
+        }
+    }
+}
+
+fn current_view<'a>(
+    h: &'a Hypergraph,
+    fixed: &'a FixedAssignment,
+    finest_dist: &'a Option<DistLevel>,
+    levels: &'a [Level],
+    gathered: &'a Option<(Hypergraph, FixedAssignment)>,
+) -> View<'a> {
+    if let Some((gh, gf)) = gathered {
+        return View::Repl(gh, gf);
+    }
+    match levels.last() {
+        Some(Level::Repl(l)) => View::Repl(&l.coarse, &l.coarse_fixed),
+        Some(Level::Dist(d, _)) => View::Dist(d),
+        None => match finest_dist {
+            Some(d) => View::Dist(d),
+            None => View::Repl(h, fixed),
+        },
+    }
+}
+
+/// One distributed multilevel V-cycle. Collective; every rank returns
+/// the identical assignment — bit-identical to
+/// [`super::driver::par_multilevel`] at the same rank count.
+pub fn dist_multilevel(
+    comm: &mut Comm,
+    h: &Hypergraph,
+    targets: &PartTargets,
+    fixed: &FixedAssignment,
+    cfg: &Config,
+    rng: &mut StdRng,
+) -> Vec<PartId> {
+    dist_multilevel_stats(comm, h, targets, fixed, cfg, rng).0
+}
+
+/// [`dist_multilevel`] also reporting this rank's memory figures.
+pub fn dist_multilevel_stats(
+    comm: &mut Comm,
+    h: &Hypergraph,
+    targets: &PartTargets,
+    fixed: &FixedAssignment,
+    cfg: &Config,
+    rng: &mut StdRng,
+) -> (Vec<PartId>, DistStats) {
+    let k = targets.k();
+    let mut stats = DistStats::default();
+    if k == 1 {
+        return (vec![0; h.num_vertices()], stats);
+    }
+    if h.num_vertices() == 0 {
+        return (Vec::new(), stats);
+    }
+    let threads = (parallel::resolve_threads(cfg.threads) / comm.size()).max(1);
+    let mut scratch = RefineScratch::new();
+    let coarse_target =
+        (cfg.coarsening.coarse_to_factor * k).max(cfg.coarsening.min_coarse_vertices);
+    let gather_threshold = cfg.dist.gather_threshold;
+
+    // --- Coarsening: distributed while large, replicated once small. ---
+    let finest_dist: Option<DistLevel> = if h.num_vertices() > gather_threshold {
+        let d = DistLevel::from_replicated(h, fixed, comm.rank(), comm.size());
+        stats.observe(&d);
+        Some(d)
+    } else {
+        None
+    };
+    let mut levels: Vec<Level> = Vec::new();
+    // A gathered replica of the current coarsest level, once it shrank
+    // under the threshold while still distributed.
+    let mut gathered: Option<(Hypergraph, FixedAssignment)> = None;
+
+    enum Step {
+        Gather(Hypergraph, FixedAssignment, usize),
+        Push(Level),
+        Stop,
+    }
+    loop {
+        let step = {
+            let view = current_view(h, fixed, &finest_dist, &levels, &gathered);
+            let before = view.num_vertices();
+            if before <= coarse_target || levels.len() >= cfg.coarsening.max_levels {
+                Step::Stop
+            } else {
+                match view {
+                    View::Dist(d) if before <= gather_threshold => {
+                        let (gh, gf) = d.gather(comm);
+                        Step::Gather(gh, gf, before)
+                    }
+                    View::Dist(d) => {
+                        let matching = dist_ipm_matching(comm, d, &cfg.coarsening, rng);
+                        let after = matching.coarse_count();
+                        if ((before - after) as f64) < before as f64 * cfg.coarsening.min_reduction
+                        {
+                            Step::Stop // unsuccessful coarsening (10% rule)
+                        } else {
+                            let (coarse, fine_to_coarse) = dist_contract(comm, d, &matching);
+                            stats.observe(&coarse);
+                            Step::Push(Level::Dist(coarse, fine_to_coarse))
+                        }
+                    }
+                    View::Repl(ch, cf) => {
+                        let matching = par_ipm_matching_threads(
+                            comm, ch, cf, &cfg.coarsening, rng, threads,
+                        );
+                        let after = matching.coarse_count();
+                        if ((before - after) as f64) < before as f64 * cfg.coarsening.min_reduction
+                        {
+                            Step::Stop
+                        } else {
+                            Step::Push(Level::Repl(contract_threads(ch, &matching, cf, threads)))
+                        }
+                    }
+                }
+            }
+        };
+        match step {
+            Step::Gather(gh, gf, n) => {
+                stats.gathered_vertices = n;
+                gathered = Some((gh, gf));
+            }
+            Step::Push(level) => {
+                gathered = None;
+                levels.push(level);
+            }
+            Step::Stop => break,
+        }
+    }
+
+    // The coarse solve needs a replicated coarsest; force the gather if
+    // coarsening stopped early while still distributed.
+    if gathered.is_none() {
+        if let View::Dist(d) = current_view(h, fixed, &finest_dist, &levels, &gathered) {
+            stats.gathered_vertices = d.dh.num_vertices();
+            gathered = Some(d.gather(comm));
+        }
+    }
+
+    // --- Coarse partitioning: identical to the replicated driver. ---
+    let (coarsest_h, coarsest_fixed): (&Hypergraph, &FixedAssignment) =
+        match current_view(h, fixed, &finest_dist, &levels, &gathered) {
+            View::Repl(ch, cf) => (ch, cf),
+            View::Dist(_) => unreachable!("coarsest was gathered above"),
+        };
+    let shared_draw: u64 = rng.gen();
+    let mut my_rng = StdRng::seed_from_u64(
+        shared_draw ^ (comm.rank() as u64).wrapping_mul(0x1357_9BDF_2468_ACE0),
+    );
+    let mut my_part =
+        initial_partition(coarsest_h, targets, coarsest_fixed, &cfg.initial, &mut my_rng);
+    refine_threads(
+        coarsest_h,
+        targets,
+        coarsest_fixed,
+        &mut my_part,
+        &cfg.refinement,
+        &mut my_rng,
+        threads,
+        &mut scratch,
+    );
+    let my_score = score(coarsest_h, &my_part, targets);
+    let (_, winner) = comm.allreduce((my_score, comm.rank()), |a, b| match a.0.total_cmp(&b.0) {
+        std::cmp::Ordering::Less => a,
+        std::cmp::Ordering::Greater => b,
+        std::cmp::Ordering::Equal => {
+            if a.1 <= b.1 {
+                a
+            } else {
+                b
+            }
+        }
+    });
+    let mut part = comm.broadcast(winner, my_part);
+
+    // --- Uncoarsening: refine in whichever form each level is held. ---
+    for level in levels.iter().rev() {
+        let fine_to_coarse = match level {
+            Level::Repl(l) => {
+                par_refine(comm, &l.coarse, targets, &l.coarse_fixed, &mut part, &cfg.refinement, rng);
+                &l.fine_to_coarse
+            }
+            Level::Dist(d, fine_to_coarse) => {
+                dist_refine(comm, d, targets, &mut part, &cfg.refinement, rng);
+                fine_to_coarse
+            }
+        };
+        let mut finer = vec![0usize; fine_to_coarse.len()];
+        for (v, &c) in fine_to_coarse.iter().enumerate() {
+            finer[v] = part[c];
+        }
+        part = finer;
+    }
+    // Final refinement at the finest level.
+    match &finest_dist {
+        Some(d) => dist_refine(comm, d, targets, &mut part, &cfg.refinement, rng),
+        None => par_refine(comm, h, targets, fixed, &mut part, &cfg.refinement, rng),
+    }
+    (part, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlb_mpisim::run_spmd;
+
+    fn dist_cfg(seed: u64, gather_threshold: usize) -> Config {
+        let mut cfg = Config::seeded(seed);
+        cfg.dist.distributed = true;
+        cfg.dist.gather_threshold = gather_threshold;
+        cfg
+    }
+
+    /// The distributed V-cycle must be bit-identical to the replicated
+    /// driver at the same rank count, for every rank count.
+    #[test]
+    fn dist_multilevel_matches_replicated_driver() {
+        let h = crate::tests::grid_hypergraph(16, 16);
+        let targets = PartTargets::uniform(h.total_vertex_weight(), 4, 0.05);
+        let fixed = FixedAssignment::free(h.num_vertices());
+        for ranks in [1usize, 2, 4] {
+            let cfg = dist_cfg(11, 60);
+            let repl = run_spmd(ranks, |comm| {
+                let mut rng = StdRng::seed_from_u64(2);
+                super::super::driver::par_multilevel(comm, &h, &targets, &fixed, &cfg, &mut rng)
+            });
+            let dist = run_spmd(ranks, |comm| {
+                let mut rng = StdRng::seed_from_u64(2);
+                dist_multilevel(comm, &h, &targets, &fixed, &cfg, &mut rng)
+            });
+            assert_eq!(dist, repl, "ranks={ranks}");
+            for r in &dist[1..] {
+                assert_eq!(*r, dist[0], "ranks themselves disagree at {ranks}");
+            }
+        }
+    }
+
+    /// Same check on an irregular hypergraph with fixed vertices and a
+    /// non-uniform (proportional) target, plus local IPM.
+    #[test]
+    fn dist_multilevel_matches_with_fixed_and_local_ipm() {
+        let h = crate::tests::random_hypergraph(300, 600, 5, 29);
+        let targets = PartTargets::proportional(h.total_vertex_weight(), &[2, 1], 0.06);
+        let mut fixed = FixedAssignment::free(300);
+        for v in (0..300).step_by(17) {
+            fixed.fix(v, v % 2);
+        }
+        for local_ipm in [false, true] {
+            for ranks in [1usize, 2, 3] {
+                let mut cfg = dist_cfg(7, 100);
+                cfg.coarsening.local_ipm = local_ipm;
+                let repl = run_spmd(ranks, |comm| {
+                    let mut rng = StdRng::seed_from_u64(5);
+                    super::super::driver::par_multilevel(comm, &h, &targets, &fixed, &cfg, &mut rng)
+                });
+                let dist = run_spmd(ranks, |comm| {
+                    let mut rng = StdRng::seed_from_u64(5);
+                    dist_multilevel(comm, &h, &targets, &fixed, &cfg, &mut rng)
+                });
+                assert_eq!(dist, repl, "ranks={ranks} local_ipm={local_ipm}");
+            }
+        }
+    }
+
+    /// With the threshold above the input size the distributed driver
+    /// degenerates to the replicated code path (no distributed levels).
+    #[test]
+    fn threshold_above_input_means_no_distribution() {
+        let h = crate::tests::grid_hypergraph(10, 10);
+        let targets = PartTargets::uniform(100.0, 2, 0.05);
+        let fixed = FixedAssignment::free(100);
+        let cfg = dist_cfg(3, 1_000);
+        let results = run_spmd(2, |comm| {
+            let mut rng = StdRng::seed_from_u64(9);
+            dist_multilevel_stats(comm, &h, &targets, &fixed, &cfg, &mut rng)
+        });
+        for (_, stats) in &results {
+            assert_eq!(stats.dist_levels, 0);
+            assert_eq!(stats.gathered_vertices, 0);
+        }
+    }
+
+    /// Pin storage must shrink with the rank count while the partition
+    /// stays the same as the replicated driver's.
+    #[test]
+    fn local_pins_scale_down_with_ranks() {
+        let h = crate::tests::grid_hypergraph(20, 20);
+        let targets = PartTargets::uniform(h.total_vertex_weight(), 2, 0.05);
+        let fixed = FixedAssignment::free(h.num_vertices());
+        let cfg = dist_cfg(13, 80);
+        let mut peak_by_ranks = Vec::new();
+        for ranks in [1usize, 2, 4] {
+            let results = run_spmd(ranks, |comm| {
+                let mut rng = StdRng::seed_from_u64(4);
+                dist_multilevel_stats(comm, &h, &targets, &fixed, &cfg, &mut rng)
+            });
+            let max_total =
+                results.iter().map(|(_, s)| s.total_local_pins).max().unwrap();
+            let max_owned =
+                results.iter().map(|(_, s)| s.total_owned_pins).max().unwrap();
+            assert!(results.iter().all(|(_, s)| s.dist_levels > 0));
+            assert!(max_owned <= max_total);
+            peak_by_ranks.push((max_total, max_owned));
+        }
+        // On a mesh the block distribution localizes nets, so even the
+        // ghost-inclusive figure shrinks; the canonical (owned) share
+        // shrinks regardless of locality.
+        assert!(
+            peak_by_ranks[0].0 > peak_by_ranks[1].0 && peak_by_ranks[1].0 > peak_by_ranks[2].0,
+            "per-rank pin storage should strictly decrease: {peak_by_ranks:?}"
+        );
+        assert!(
+            peak_by_ranks[0].1 > peak_by_ranks[1].1 && peak_by_ranks[1].1 > peak_by_ranks[2].1,
+            "per-rank owned pin storage should strictly decrease: {peak_by_ranks:?}"
+        );
+    }
+
+    /// The `cfg.dist.distributed` flag routes the whole recursive
+    /// bisection stack through this driver with unchanged results.
+    #[test]
+    fn config_flag_routes_partition_identically() {
+        let h = crate::tests::random_hypergraph(250, 500, 4, 31);
+        for ranks in [1usize, 2, 4] {
+            let mut cfg = dist_cfg(19, 64);
+            let dist = run_spmd(ranks, |comm| {
+                crate::par::parallel_partition(comm, &h, 4, &cfg)
+            });
+            cfg.dist.distributed = false;
+            let repl = run_spmd(ranks, |comm| {
+                crate::par::parallel_partition(comm, &h, 4, &cfg)
+            });
+            for (a, b) in dist.iter().zip(&repl) {
+                assert_eq!(a.part, b.part, "ranks={ranks}");
+                assert_eq!(a.cut, b.cut, "ranks={ranks}");
+            }
+        }
+    }
+}

@@ -13,8 +13,28 @@ use crate::par::matching::par_ipm_matching_threads;
 use crate::par::refine::par_refine;
 use crate::refine::{refine_threads, RefineScratch};
 
-/// One parallel multilevel V-cycle. Collective; every rank returns the
-/// identical assignment.
+/// One parallel multilevel V-cycle, dispatched to the replicated or the
+/// memory-scalable distributed driver per `cfg.dist.distributed`. Both
+/// paths are collective and return bit-identical assignments at any
+/// rank count; they differ only in per-rank memory and communication.
+/// This is the single entry point the recursive-bisection stack uses.
+pub fn multilevel(
+    comm: &mut Comm,
+    h: &Hypergraph,
+    targets: &PartTargets,
+    fixed: &FixedAssignment,
+    cfg: &Config,
+    rng: &mut StdRng,
+) -> Vec<PartId> {
+    if cfg.dist.distributed {
+        crate::par::dist::dist_multilevel(comm, h, targets, fixed, cfg, rng)
+    } else {
+        par_multilevel(comm, h, targets, fixed, cfg, rng)
+    }
+}
+
+/// One parallel multilevel V-cycle with the hypergraph replicated on
+/// every rank. Collective; every rank returns the identical assignment.
 pub fn par_multilevel(
     comm: &mut Comm,
     h: &Hypergraph,
@@ -52,8 +72,11 @@ pub fn par_multilevel(
         if ((before - after) as f64) < before as f64 * cfg.coarsening.min_reduction {
             break; // unsuccessful coarsening (paper's 10% rule)
         }
-        // Contraction is deterministic, so every rank builds the same
-        // coarse hypergraph without communication.
+        // With the hypergraph replicated, contraction is a deterministic
+        // function of the (identical) matching, so every rank builds the
+        // same coarse hypergraph locally. The distributed driver
+        // ([`crate::par::dist`]) is the variant that communicates here,
+        // because no rank holds all the pins.
         let level = contract_threads(&current, &matching, &current_fixed, threads);
         current = level.coarse.clone();
         current_fixed = level.coarse_fixed.clone();

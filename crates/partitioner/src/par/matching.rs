@@ -21,24 +21,25 @@ use crate::fixed::FixedAssignment;
 use crate::matching::Matching;
 
 /// Fraction of a rank's unmatched owned vertices nominated per round.
-const CANDIDATE_FRACTION: f64 = 0.5;
+pub(crate) const CANDIDATE_FRACTION: f64 = 0.5;
 /// Maximum candidate rounds per coarsening level.
-const MAX_ROUNDS: usize = 4;
+pub(crate) const MAX_ROUNDS: usize = 4;
 
 /// A rank's proposal for one candidate: (score, proposing rank, partner).
 /// Reduced by lexicographic max on (score, -rank) so ties resolve to the
 /// lowest rank deterministically.
 #[derive(Clone, Copy, Debug)]
-struct Proposal {
-    score: f64,
-    rank: usize,
-    partner: usize,
+pub(crate) struct Proposal {
+    pub(crate) score: f64,
+    pub(crate) rank: usize,
+    pub(crate) partner: usize,
 }
 
 impl Proposal {
-    const NONE: Proposal = Proposal { score: 0.0, rank: usize::MAX, partner: usize::MAX };
+    pub(crate) const NONE: Proposal =
+        Proposal { score: 0.0, rank: usize::MAX, partner: usize::MAX };
 
-    fn better_of(a: &Proposal, b: &Proposal) -> Proposal {
+    pub(crate) fn better_of(a: &Proposal, b: &Proposal) -> Proposal {
         match a.score.total_cmp(&b.score) {
             std::cmp::Ordering::Greater => *a,
             std::cmp::Ordering::Less => *b,

@@ -26,6 +26,7 @@
 //! serial path (Section 4.4). All ranks return the identical partition
 //! vector.
 
+pub mod dist;
 pub mod driver;
 pub mod matching;
 pub mod refine;
@@ -95,7 +96,7 @@ fn recurse(
 
     let side_fixed = fixed.bisection_sides(k0);
     let targets = PartTargets::proportional(h.total_vertex_weight(), &[k0, k1], eps);
-    let sides = driver::par_multilevel(comm, h, &targets, &side_fixed, cfg, &mut rng);
+    let sides = driver::multilevel(comm, h, &targets, &side_fixed, cfg, &mut rng);
 
     let keep0: Vec<bool> = sides.iter().map(|&s| s == 0).collect();
     let keep1: Vec<bool> = sides.iter().map(|&s| s == 1).collect();

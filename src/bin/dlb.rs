@@ -15,6 +15,11 @@
 //!                     parmetis-scratch (repartition only; default zoltan-repart)
 //!   --epsilon E       allowed imbalance (default 0.05)
 //!   --seed N          RNG seed (default 0)
+//!   --ranks N         run the SPMD parallel partitioner on N simulated
+//!                     ranks (default 1 = serial)
+//!   --distributed     with --ranks: block-distribute the pin storage
+//!                     across ranks (memory-scalable V-cycle; results
+//!                     are bit-identical to the replicated driver)
 //!   --out FILE        output partition file (default: stdout)
 //! ```
 //!
@@ -25,17 +30,20 @@ use std::fs::File;
 use std::io::{BufReader, Write};
 use std::process::exit;
 
-use dlb::core::{repartition, Algorithm, RepartConfig, RepartProblem};
+use dlb::core::{repartition, repartition_parallel, Algorithm, RepartConfig, RepartProblem};
 use dlb::hypergraph::convert::{clique_expansion, column_net_model};
 use dlb::hypergraph::io::{read_hypergraph, read_matrix_market_graph};
 use dlb::hypergraph::{metrics, CsrGraph, Hypergraph};
+use dlb::mpisim::run_spmd;
+use dlb::partitioner::par::parallel_partition;
 use dlb::partitioner::{partition_hypergraph, Config as HgConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  dlb partition   -k K [--epsilon E] [--seed N] [--out FILE] INPUT\n  \
+        "usage:\n  dlb partition   -k K [--epsilon E] [--seed N] [--ranks N [--distributed]] \
+         [--out FILE] INPUT\n  \
          dlb repartition -k K --old PARTFILE [--alpha A] [--algorithm NAME] \
-         [--epsilon E] [--seed N] [--out FILE] INPUT"
+         [--epsilon E] [--seed N] [--ranks N [--distributed]] [--out FILE] INPUT"
     );
     exit(2);
 }
@@ -48,6 +56,8 @@ struct Cli {
     algorithm: Algorithm,
     epsilon: f64,
     seed: u64,
+    ranks: usize,
+    distributed: bool,
     out: Option<String>,
     old: Option<String>,
 }
@@ -63,6 +73,8 @@ fn parse_cli() -> Cli {
     let mut algorithm = Algorithm::ZoltanRepart;
     let mut epsilon = 0.05;
     let mut seed = 0u64;
+    let mut ranks = 1usize;
+    let mut distributed = false;
     let mut out = None;
     let mut old = None;
     let mut input = None;
@@ -98,6 +110,17 @@ fn parse_cli() -> Cli {
                 seed = argv.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
                 i += 2;
             }
+            "--ranks" => {
+                ranks = argv.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                if ranks == 0 {
+                    usage();
+                }
+                i += 2;
+            }
+            "--distributed" => {
+                distributed = true;
+                i += 1;
+            }
             "--out" => {
                 out = argv.get(i + 1).cloned();
                 i += 2;
@@ -121,6 +144,8 @@ fn parse_cli() -> Cli {
         algorithm,
         epsilon,
         seed,
+        ranks,
+        distributed,
         out,
         old,
     }
@@ -209,7 +234,14 @@ fn main() {
         "partition" => {
             let mut cfg = HgConfig::seeded(cli.seed);
             cfg.epsilon = cli.epsilon;
-            let r = partition_hypergraph(&hypergraph, cli.k, &cfg);
+            cfg.dist.distributed = cli.distributed;
+            let r = if cli.ranks > 1 || cli.distributed {
+                run_spmd(cli.ranks, |comm| parallel_partition(comm, &hypergraph, cli.k, &cfg))
+                    .pop()
+                    .expect("at least one rank")
+            } else {
+                partition_hypergraph(&hypergraph, cli.k, &cfg)
+            };
             eprintln!(
                 "k={}: comm volume {:.1}, imbalance {:.4}",
                 cli.k, r.cut, r.imbalance
@@ -229,8 +261,17 @@ fn main() {
                 k: cli.k,
                 alpha: cli.alpha,
             };
-            let cfg = RepartConfig::seeded(cli.seed).with_epsilon(cli.epsilon);
-            let r = repartition(&problem, cli.algorithm, &cfg);
+            let mut cfg = RepartConfig::seeded(cli.seed).with_epsilon(cli.epsilon);
+            cfg.hypergraph.dist.distributed = cli.distributed;
+            let r = if cli.ranks > 1 || cli.distributed {
+                run_spmd(cli.ranks, |comm| {
+                    repartition_parallel(comm, &problem, cli.algorithm, &cfg)
+                })
+                .pop()
+                .expect("at least one rank")
+            } else {
+                repartition(&problem, cli.algorithm, &cfg)
+            };
             eprintln!(
                 "{}: comm {:.1}, migration {:.1}, total {:.1} (alpha={}), moved {}, imbalance {:.4}",
                 cli.algorithm.name(),
