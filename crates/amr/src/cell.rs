@@ -1,0 +1,197 @@
+//! Quadtree cells: addressing, geometry, and tree navigation.
+//!
+//! The domain is the unit square `[0,1]²`. At refinement level `ℓ` the
+//! square is a uniform `2^ℓ × 2^ℓ` grid; a cell is addressed by its
+//! level and its integer grid coordinates. The `Ord` derive (level
+//! first, then `y`, then `x`) fixes one canonical cell order used
+//! everywhere — leaf enumeration, vertex numbering, tie-breaking — so
+//! the whole AMR subsystem is deterministic by construction.
+
+/// The four face directions of a cell.
+///
+/// `0 = -x` (west), `1 = +x` (east), `2 = -y` (south), `3 = +y` (north).
+pub const NUM_DIRS: usize = 4;
+
+/// One quadtree cell: refinement level plus grid coordinates at that
+/// level. Only cells stored in a [`crate::QuadMesh`]'s leaf set are part
+/// of the mesh; the type itself is a pure address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Cell {
+    /// Refinement level (`0` = the whole domain as one cell).
+    pub level: u8,
+    /// Row index in `0..2^level` (y direction).
+    pub y: u32,
+    /// Column index in `0..2^level` (x direction).
+    pub x: u32,
+}
+
+impl Cell {
+    /// The cell covering `[x/2^ℓ, (x+1)/2^ℓ] × [y/2^ℓ, (y+1)/2^ℓ]`.
+    ///
+    /// # Panics
+    /// Panics if the coordinates are outside the level's grid.
+    pub fn new(level: u8, x: u32, y: u32) -> Self {
+        let side = 1u32 << level;
+        assert!(x < side && y < side, "cell ({x},{y}) outside level-{level} grid");
+        Cell { level, x, y }
+    }
+
+    /// Cell edge length.
+    #[inline]
+    pub fn width(self) -> f64 {
+        1.0 / (1u64 << self.level) as f64
+    }
+
+    /// Cell center coordinates.
+    #[inline]
+    pub fn center(self) -> (f64, f64) {
+        let w = self.width();
+        ((self.x as f64 + 0.5) * w, (self.y as f64 + 0.5) * w)
+    }
+
+    /// The parent cell, or `None` at the root.
+    #[inline]
+    pub fn parent(self) -> Option<Cell> {
+        if self.level == 0 {
+            None
+        } else {
+            Some(Cell { level: self.level - 1, x: self.x / 2, y: self.y / 2 })
+        }
+    }
+
+    /// The four children, in canonical order: `(2x,2y)`, `(2x+1,2y)`,
+    /// `(2x,2y+1)`, `(2x+1,2y+1)` (south-west, south-east, north-west,
+    /// north-east).
+    #[inline]
+    pub fn children(self) -> [Cell; 4] {
+        let (l, x, y) = (self.level + 1, self.x * 2, self.y * 2);
+        [
+            Cell { level: l, x, y },
+            Cell { level: l, x: x + 1, y },
+            Cell { level: l, x, y: y + 1 },
+            Cell { level: l, x: x + 1, y: y + 1 },
+        ]
+    }
+
+    /// The same-level neighbor in direction `dir`, or `None` past the
+    /// domain boundary.
+    #[inline]
+    pub fn neighbor(self, dir: usize) -> Option<Cell> {
+        let side = 1u32 << self.level;
+        let (x, y) = (self.x, self.y);
+        let (nx, ny) = match dir {
+            0 => (x.checked_sub(1)?, y),
+            1 => {
+                if x + 1 >= side {
+                    return None;
+                }
+                (x + 1, y)
+            }
+            2 => (x, y.checked_sub(1)?),
+            3 => {
+                if y + 1 >= side {
+                    return None;
+                }
+                (x, y + 1)
+            }
+            _ => panic!("direction {dir} out of range"),
+        };
+        Some(Cell { level: self.level, x: nx, y: ny })
+    }
+
+    /// The two children of `self` that touch the face in direction
+    /// `dir` — used when descending into a *finer* neighbor: from a
+    /// cell's perspective, the relevant children of its neighbor in
+    /// direction `dir` are the neighbor's children on the *opposite*
+    /// face, `face_children(opposite(dir))`.
+    #[inline]
+    pub fn face_children(self, dir: usize) -> [Cell; 2] {
+        let c = self.children();
+        match dir {
+            0 => [c[0], c[2]], // west face: left column
+            1 => [c[1], c[3]], // east face: right column
+            2 => [c[0], c[1]], // south face: bottom row
+            3 => [c[2], c[3]], // north face: top row
+            _ => panic!("direction {dir} out of range"),
+        }
+    }
+
+    /// True if `self` lies inside (or equals) `ancestor`.
+    pub fn descends_from(self, ancestor: Cell) -> bool {
+        if self.level < ancestor.level {
+            return false;
+        }
+        let shift = self.level - ancestor.level;
+        (self.x >> shift) == ancestor.x && (self.y >> shift) == ancestor.y
+    }
+}
+
+/// The opposite face direction.
+#[inline]
+pub fn opposite(dir: usize) -> usize {
+    dir ^ 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        let c = Cell::new(2, 1, 2);
+        assert_eq!(c.width(), 0.25);
+        assert_eq!(c.center(), (0.375, 0.625));
+        assert_eq!(c.parent(), Some(Cell::new(1, 0, 1)));
+        assert_eq!(Cell::new(0, 0, 0).parent(), None);
+    }
+
+    #[test]
+    fn children_partition_parent() {
+        let p = Cell::new(1, 1, 0);
+        let kids = p.children();
+        assert_eq!(kids[0], Cell::new(2, 2, 0));
+        assert_eq!(kids[3], Cell::new(2, 3, 1));
+        for child in kids {
+            assert!(child.descends_from(p));
+            assert_eq!(child.parent(), Some(p));
+        }
+        assert!(!Cell::new(2, 0, 0).descends_from(p));
+    }
+
+    #[test]
+    fn neighbors_respect_boundary() {
+        let c = Cell::new(1, 0, 0);
+        assert_eq!(c.neighbor(0), None);
+        assert_eq!(c.neighbor(2), None);
+        assert_eq!(c.neighbor(1), Some(Cell::new(1, 1, 0)));
+        assert_eq!(c.neighbor(3), Some(Cell::new(1, 0, 1)));
+        assert_eq!(Cell::new(1, 1, 1).neighbor(1), None);
+        assert_eq!(Cell::new(1, 1, 1).neighbor(3), None);
+    }
+
+    #[test]
+    fn opposite_directions() {
+        assert_eq!(opposite(0), 1);
+        assert_eq!(opposite(1), 0);
+        assert_eq!(opposite(2), 3);
+        assert_eq!(opposite(3), 2);
+    }
+
+    #[test]
+    fn face_children_touch_the_face() {
+        let p = Cell::new(0, 0, 0);
+        // East face children have x = 1 at level 1.
+        assert!(p.face_children(1).iter().all(|c| c.x == 1));
+        assert!(p.face_children(0).iter().all(|c| c.x == 0));
+        assert!(p.face_children(3).iter().all(|c| c.y == 1));
+        assert!(p.face_children(2).iter().all(|c| c.y == 0));
+    }
+
+    #[test]
+    fn canonical_order_is_level_major() {
+        let mut cells = vec![Cell::new(2, 3, 0), Cell::new(1, 0, 1), Cell::new(2, 0, 0)];
+        cells.sort();
+        assert_eq!(cells[0].level, 1);
+        assert!(cells[1] < cells[2]);
+    }
+}

@@ -1,0 +1,283 @@
+//! The AMR epoch stream: the adaptive computation the repartitioner
+//! balances.
+//!
+//! Each epoch the Gaussian features move, the mesh refines/coarsens
+//! around them (2:1-balanced), and the resulting leaf set is lowered to
+//! the epoch's partitioning problem. Cell identity persists across
+//! epochs through the quadtree address: a cell that survives keeps its
+//! part; children created by refinement are *created* on their parent's
+//! part; a parent recreated by coarsening is created where its first
+//! (canonical-order) surviving descendant lived. That "previous or
+//! creation part" is exactly what the paper's migration nets attach to.
+
+use std::collections::BTreeMap;
+
+use dlb_hypergraph::{CsrGraph, Hypergraph, PartId};
+
+use crate::cell::Cell;
+use crate::feature::{indicator, seeded_features, Feature};
+use crate::lower::{lower, LoweredMesh};
+use crate::mesh::QuadMesh;
+use crate::AmrConfig;
+
+/// One epoch's AMR problem instance.
+#[derive(Clone, Debug)]
+pub struct AmrEpoch {
+    /// Face-adjacency graph of the epoch mesh.
+    pub graph: CsrGraph,
+    /// Column-net hypergraph of the epoch mesh.
+    pub hypergraph: Hypergraph,
+    /// The leaf cell behind each vertex, in canonical order.
+    pub cells: Vec<Cell>,
+    /// Previous/creation part per vertex.
+    pub old_part: Vec<PartId>,
+}
+
+/// A stateful generator of AMR epochs.
+pub struct AmrStream {
+    cfg: AmrConfig,
+    mesh: QuadMesh,
+    features: Vec<Feature>,
+    k: usize,
+    /// Last committed part per leaf cell (exactly the current leaves
+    /// after a commit).
+    last_part: BTreeMap<Cell, PartId>,
+    epochs_emitted: usize,
+}
+
+impl AmrStream {
+    /// Creates a stream for a `k`-way decomposition. The initial mesh is
+    /// adapted to a fixed point around the features' starting positions;
+    /// call [`Self::initial_lowering`], partition it, and hand the result
+    /// to [`Self::set_initial_partition`] before the first epoch.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration or `k == 0`.
+    pub fn new(cfg: AmrConfig, k: usize, seed: u64) -> Self {
+        cfg.validate().expect("valid AMR configuration");
+        assert!(k > 0, "k must be positive");
+        let mut mesh = QuadMesh::uniform(cfg.base_level, cfg.max_level);
+        let features = seeded_features(cfg.num_features, cfg.speed, seed);
+        let sigma = cfg.sigma;
+        let fs = features.clone();
+        mesh.adapt_to_stable(
+            |x, y| indicator(&fs, sigma, x, y),
+            cfg.refine_threshold,
+            cfg.coarsen_threshold,
+        );
+        AmrStream {
+            cfg,
+            mesh,
+            features,
+            k,
+            last_part: BTreeMap::new(),
+            epochs_emitted: 0,
+        }
+    }
+
+    /// Number of parts in the decomposition.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of epochs emitted so far.
+    pub fn epochs_emitted(&self) -> usize {
+        self.epochs_emitted
+    }
+
+    /// The current mesh (epoch `j`'s leaves once epoch `j` is emitted).
+    pub fn mesh(&self) -> &QuadMesh {
+        &self.mesh
+    }
+
+    /// Lowers the *initial* mesh (before the first epoch) so the caller
+    /// can compute the static starting partition.
+    pub fn initial_lowering(&self) -> LoweredMesh {
+        assert_eq!(self.epochs_emitted, 0, "initial lowering requested mid-stream");
+        lower(&self.mesh, &self.cfg)
+    }
+
+    /// Records the static partition of the initial mesh, aligned with
+    /// [`Self::initial_lowering`]'s cell order.
+    pub fn set_initial_partition(&mut self, part: &[PartId]) {
+        assert_eq!(self.epochs_emitted, 0, "initial partition set mid-stream");
+        assert_eq!(part.len(), self.mesh.num_leaves(), "partition length mismatch");
+        assert!(part.iter().all(|&p| p < self.k), "initial part out of range");
+        self.last_part = self.mesh.leaves().zip(part.iter().copied()).collect();
+    }
+
+    /// Generates the next epoch: features advance, the mesh re-adapts to
+    /// a fixed point, and the leaves are lowered with inherited parts.
+    ///
+    /// # Panics
+    /// Panics if no initial partition was set.
+    pub fn next_epoch(&mut self) -> AmrEpoch {
+        assert!(
+            !self.last_part.is_empty(),
+            "set_initial_partition must be called before the first epoch"
+        );
+        self.epochs_emitted += 1;
+        for f in &mut self.features {
+            f.advance();
+        }
+        let sigma = self.cfg.sigma;
+        let fs = self.features.clone();
+        self.mesh.adapt_to_stable(
+            |x, y| indicator(&fs, sigma, x, y),
+            self.cfg.refine_threshold,
+            self.cfg.coarsen_threshold,
+        );
+        let low = lower(&self.mesh, &self.cfg);
+        let old_part: Vec<PartId> =
+            low.cells.iter().map(|&c| self.inherited_part(c)).collect();
+        AmrEpoch {
+            graph: low.graph,
+            hypergraph: low.hypergraph,
+            cells: low.cells,
+            old_part,
+        }
+    }
+
+    /// Records the assignment the load balancer chose for the epoch
+    /// whose vertices are `cells` (an [`AmrEpoch`]'s cell list), so the
+    /// next epoch's old parts see it.
+    pub fn commit_assignment(&mut self, cells: &[Cell], part: &[PartId]) {
+        assert_eq!(part.len(), cells.len(), "assignment length mismatch");
+        assert!(part.iter().all(|&p| p < self.k), "part out of range");
+        self.last_part = cells.iter().copied().zip(part.iter().copied()).collect();
+    }
+
+    /// The previous/creation part of leaf `c` against the last committed
+    /// assignment: `c`'s own part if it survived, else the nearest
+    /// assigned ancestor (refinement creates children on the parent's
+    /// part), else the first assigned descendant in canonical child
+    /// order (coarsening recreates the parent where its children lived).
+    fn inherited_part(&self, c: Cell) -> PartId {
+        let mut cur = Some(c);
+        while let Some(cell) = cur {
+            if let Some(&p) = self.last_part.get(&cell) {
+                return p;
+            }
+            cur = cell.parent();
+        }
+        self.first_descendant_part(c)
+            .expect("cell has neither assigned ancestors nor descendants")
+    }
+
+    fn first_descendant_part(&self, c: Cell) -> Option<PartId> {
+        if c.level >= self.cfg.max_level {
+            return None;
+        }
+        for child in c.children() {
+            if let Some(&p) = self.last_part.get(&child) {
+                return Some(p);
+            }
+            if let Some(p) = self.first_descendant_part(child) {
+                return Some(p);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(seed: u64) -> AmrStream {
+        let mut s = AmrStream::new(AmrConfig::default(), 4, seed);
+        let low = s.initial_lowering();
+        // Block partition of the initial cells, deterministic.
+        let n = low.cells.len();
+        let part: Vec<usize> = (0..n).map(|v| v * 4 / n).collect();
+        s.set_initial_partition(&part);
+        s
+    }
+
+    #[test]
+    fn epochs_evolve_the_mesh() {
+        let mut s = stream(3);
+        let e1 = s.next_epoch();
+        e1.hypergraph.validate().unwrap();
+        s.mesh().validate().unwrap();
+        s.commit_assignment(&e1.cells, &e1.old_part.clone());
+        let mut changed = false;
+        let mut prev = e1.cells.clone();
+        for _ in 0..6 {
+            let e = s.next_epoch();
+            s.mesh().validate().unwrap();
+            changed |= e.cells != prev;
+            prev = e.cells.clone();
+            s.commit_assignment(&e.cells, &e.old_part.clone());
+        }
+        assert!(changed, "moving features must change the mesh within 6 epochs");
+    }
+
+    #[test]
+    fn surviving_cells_keep_their_parts() {
+        let mut s = stream(5);
+        let e1 = s.next_epoch();
+        let assigned: Vec<usize> = (0..e1.cells.len()).map(|v| v % 4).collect();
+        s.commit_assignment(&e1.cells, &assigned);
+        let e2 = s.next_epoch();
+        for (v, c) in e2.cells.iter().enumerate() {
+            if let Ok(prev) = e1.cells.binary_search(c) {
+                assert_eq!(e2.old_part[v], assigned[prev], "surviving cell {c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn refined_children_inherit_the_parent_part() {
+        let mut s = stream(7);
+        let e1 = s.next_epoch();
+        let assigned: Vec<usize> = (0..e1.cells.len()).map(|v| (v * 7) % 4).collect();
+        s.commit_assignment(&e1.cells, &assigned);
+        let e2 = s.next_epoch();
+        let mut checked = 0;
+        for (v, c) in e2.cells.iter().enumerate() {
+            if e1.cells.binary_search(c).is_ok() {
+                continue;
+            }
+            // New cell: if its parent was an epoch-1 leaf it came from a
+            // refinement and must inherit that part.
+            if let Some(parent) = c.parent() {
+                if let Ok(pi) = e1.cells.binary_search(&parent) {
+                    assert_eq!(e2.old_part[v], assigned[pi], "child of {parent:?}");
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 0, "no refinements happened; weak test scenario");
+    }
+
+    #[test]
+    fn identical_seeds_identical_streams() {
+        let mut a = stream(11);
+        let mut b = stream(11);
+        for _ in 0..4 {
+            let ea = a.next_epoch();
+            let eb = b.next_epoch();
+            assert_eq!(ea.cells, eb.cells);
+            assert_eq!(ea.old_part, eb.old_part);
+            a.commit_assignment(&ea.cells, &ea.old_part.clone());
+            b.commit_assignment(&eb.cells, &eb.old_part.clone());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = stream(1);
+        let mut b = stream(2);
+        let ea = a.next_epoch();
+        let eb = b.next_epoch();
+        assert_ne!(ea.cells, eb.cells, "seeds must move features differently");
+    }
+
+    #[test]
+    #[should_panic(expected = "set_initial_partition")]
+    fn next_epoch_requires_initialization() {
+        let mut s = AmrStream::new(AmrConfig::default(), 4, 1);
+        let _ = s.next_epoch();
+    }
+}

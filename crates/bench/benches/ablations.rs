@@ -90,7 +90,7 @@ fn ablation_initial_attempts(c: &mut Criterion) {
         cfg.initial.num_attempts = attempts;
         let label = format!("attempts_{attempts}");
         report_quality(&label, &inst, &cfg);
-        group.bench_function(&label, |b| {
+        group.bench_function(&*label, |b| {
             b.iter(|| {
                 partition_hypergraph_fixed(&inst.model.augmented, inst.k, &inst.model.fixed, &cfg)
             })

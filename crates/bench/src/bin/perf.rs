@@ -9,8 +9,10 @@
 //! several simulated rank counts, verifying bit-identity against the
 //! replicated driver and recording per-rank peak pin storage (which
 //! must strictly shrink as ranks grow) plus communication volumes.
-//! Results are written as `BENCH_partitioner.json` in the current
-//! directory.
+//! A final section times the AMR workload pipeline — quadtree
+//! adaptation + lowering per epoch, and the measured-makespan execution
+//! model on top of repartitioning. Results are written as
+//! `BENCH_partitioner.json` in the current directory.
 //!
 //! Usage: `perf [--scale S] [--seed N] [--k K] [--repeats R]`
 //! (defaults: scale 0.02, seed 42, k 8, repeats 3; wall-clock per phase
@@ -19,7 +21,13 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use dlb_amr::{AmrConfig, AmrStream};
+use dlb_core::{
+    simulate_epochs, simulate_epochs_measured, Algorithm, NetworkModel, RepartConfig,
+};
+use dlb_graphpart::{partition_kway, GraphConfig};
 use dlb_hypergraph::convert::column_net_model_unit;
+use dlb_workloads::AmrSource;
 use dlb_hypergraph::{metrics, Hypergraph};
 use dlb_mpisim::run_spmd;
 use dlb_partitioner::coarsen::coarsen_to_threads;
@@ -216,6 +224,58 @@ fn main() {
         .windows(2)
         .all(|w| w[1].max_rank_owned_pins < w[0].max_rank_owned_pins);
 
+    // --- AMR workload pipeline: epoch generation (adapt + lower) and
+    // the measured-makespan overhead on top of plain repartitioning. ---
+    let amr_cfg = AmrConfig::default();
+    let amr_epochs = 4usize;
+    eprintln!("AMR pipeline ({amr_epochs} epochs) ...");
+    let amr_gen_ms = time_ms(repeats, || {
+        let mut stream = AmrStream::new(amr_cfg, k, seed);
+        let low = stream.initial_lowering();
+        let init: Vec<usize> = (0..low.cells.len()).map(|v| v * k / low.cells.len()).collect();
+        stream.set_initial_partition(&init);
+        for _ in 0..amr_epochs {
+            let e = stream.next_epoch();
+            let part = e.old_part.clone();
+            stream.commit_assignment(&e.cells, &part);
+        }
+    });
+    let make_amr_source = || {
+        let stream = AmrStream::new(amr_cfg, k, seed);
+        let low = stream.initial_lowering();
+        let init = partition_kway(&low.graph, k, &GraphConfig::seeded(seed)).part;
+        AmrSource::new(stream, &init)
+    };
+    let repart_cfg = RepartConfig::seeded(seed);
+    let amr_sim_ms = time_ms(repeats, || {
+        let mut source = make_amr_source();
+        let s = simulate_epochs(
+            &mut source,
+            amr_epochs,
+            Algorithm::ZoltanRepart,
+            100.0,
+            &repart_cfg,
+        );
+        assert_eq!(s.reports.len(), amr_epochs);
+    });
+    let mut amr_mean_makespan = 0.0;
+    let amr_measured_ms = time_ms(repeats, || {
+        let mut source = make_amr_source();
+        let s = simulate_epochs_measured(
+            &mut source,
+            amr_epochs,
+            Algorithm::ZoltanRepart,
+            100.0,
+            &repart_cfg,
+            &NetworkModel::default(),
+        );
+        amr_mean_makespan = s.mean_makespan().expect("measured run");
+    });
+    eprintln!(
+        "  epoch gen {amr_gen_ms:.2} ms, simulate {amr_sim_ms:.2} ms, \
+         measured {amr_measured_ms:.2} ms, mean makespan {amr_mean_makespan:.4} s"
+    );
+
     let counts: Vec<usize> = THREAD_COUNTS.to_vec();
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"bench\": \"partitioner\",");
@@ -267,6 +327,12 @@ fn main() {
     }
     let _ = writeln!(json, "  ],");
     let _ = writeln!(json, "  \"dist_rank_owned_pins_strictly_decreasing\": {pins_shrink},");
+    let _ = writeln!(
+        json,
+        "  \"amr\": {{\"epochs\": {amr_epochs}, \"gen_ms\": {amr_gen_ms:.4}, \
+         \"simulate_ms\": {amr_sim_ms:.4}, \"measured_ms\": {amr_measured_ms:.4}, \
+         \"mean_makespan_s\": {amr_mean_makespan:.6}}},"
+    );
     let _ = writeln!(json, "  \"cut\": {cut:.4},");
     let _ = writeln!(json, "  \"imbalance\": {imbalance:.6},");
     let _ = writeln!(json, "  \"bit_identical_across_threads\": {identical}");

@@ -77,16 +77,56 @@ pub fn render_runtime_chart(title: &str, rows: &[Row]) -> String {
     out
 }
 
+/// Renders a measured-makespan figure: one stacked bar per
+/// (k, α, algorithm) — iteration phases (`α·(comp+comm)`) on the bottom,
+/// migration on top — scaled to the slowest epoch.
+pub fn render_makespan_chart(title: &str, rows: &[Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let _ = writeln!(
+        out,
+        "   (measured epoch makespan = alpha*(comp+comm) + mig; '#' iteration, '%' migration)"
+    );
+    let max_span = rows.iter().map(|r| r.makespan_ms).fold(0.0, f64::max);
+    if max_span <= 0.0 {
+        let _ = writeln!(out, "   (no measured data)");
+        return out;
+    }
+    let mut last_group = None;
+    for row in rows {
+        let group = (row.k, row.alpha.to_bits());
+        if last_group != Some(group) {
+            let _ = writeln!(out, "-- k={:<3} alpha={} --", row.k, row.alpha);
+            last_group = Some(group);
+        }
+        let iter_ms = row.alpha * (row.comp_ms + row.comm_ms);
+        let iter_cells = ((iter_ms / max_span) * BAR_WIDTH as f64).round() as usize;
+        let mig_cells = ((row.mig_ms / max_span) * BAR_WIDTH as f64).round() as usize;
+        let bar: String = "#".repeat(iter_cells) + &"%".repeat(mig_cells);
+        let _ = writeln!(
+            out,
+            "  {:<17} |{:<w$}| {:>10.3} ms (iter {:>9.3} + mig {:>8.3})",
+            row.algorithm.name(),
+            bar,
+            row.makespan_ms,
+            iter_ms,
+            row.mig_ms,
+            w = BAR_WIDTH
+        );
+    }
+    out
+}
+
 /// CSV header matching [`to_csv_line`].
 pub fn csv_header() -> &'static str {
     "dataset,perturb,k,alpha,algorithm,comm,mig_norm,total_norm,time_ms,max_imbalance,\
-     msgs_per_epoch,bytes_per_epoch"
+     msgs_per_epoch,bytes_per_epoch,makespan_ms,comp_ms,comm_ms,mig_ms"
 }
 
 /// One CSV line per row.
 pub fn to_csv_line(row: &Row) -> String {
     format!(
-        "{},{},{},{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.1},{:.1}",
+        "{},{},{},{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.1},{:.1},{:.6},{:.6},{:.6},{:.6}",
         row.dataset,
         row.perturb,
         row.k,
@@ -98,7 +138,11 @@ pub fn to_csv_line(row: &Row) -> String {
         row.time_ms,
         row.max_imbalance,
         row.msgs_per_epoch,
-        row.bytes_per_epoch
+        row.bytes_per_epoch,
+        row.makespan_ms,
+        row.comp_ms,
+        row.comm_ms,
+        row.mig_ms
     )
 }
 
@@ -133,6 +177,10 @@ mod tests {
                 max_imbalance: 1.04,
                 msgs_per_epoch: 64.0,
                 bytes_per_epoch: 2048.0,
+                makespan_ms: 1.25,
+                comp_ms: 0.1,
+                comm_ms: 0.02,
+                mig_ms: 0.05,
             },
             Row {
                 dataset: "auto",
@@ -147,6 +195,10 @@ mod tests {
                 max_imbalance: 1.02,
                 msgs_per_epoch: 48.0,
                 bytes_per_epoch: 1536.0,
+                makespan_ms: 1.5,
+                comp_ms: 0.1,
+                comm_ms: 0.01,
+                mig_ms: 0.4,
             },
         ]
     }
@@ -179,8 +231,18 @@ mod tests {
     }
 
     #[test]
+    fn makespan_chart_stacks_phases() {
+        let s = render_makespan_chart("Fig makespan", &sample_rows());
+        assert!(s.contains("Zoltan-repart"));
+        assert!(s.contains("ms"));
+        assert!(s.contains('%'), "migration segment rendered");
+    }
+
+    #[test]
     fn empty_rows_are_handled() {
         let s = render_cost_chart("empty", &[]);
         assert!(s.contains("no data"));
+        let s = render_makespan_chart("empty", &[]);
+        assert!(s.contains("no measured data"));
     }
 }

@@ -1,12 +1,17 @@
-//! The parameter sweep behind Figures 2–8.
+//! The parameter sweep behind Figures 2–8, plus the AMR
+//! measured-makespan sweep (`BENCH_amr.json`).
 
+use dlb_amr::{AmrConfig, AmrStream};
 use dlb_core::{
-    simulate_epochs, simulate_epochs_parallel, Algorithm, RepartConfig, SimulationSummary,
+    simulate_epochs, simulate_epochs_measured, simulate_epochs_measured_parallel,
+    simulate_epochs_parallel, Algorithm, NetworkModel, RepartConfig, SimulationSummary,
 };
 use dlb_graphpart::{partition_kway, GraphConfig};
 use dlb_hypergraph::parallel;
 use dlb_mpisim::{run_spmd, CommStats};
-use dlb_workloads::{Dataset, DatasetKind, EpochStream, PerturbKind, Perturbation};
+use dlb_workloads::{
+    AmrSource, Dataset, DatasetKind, EpochSource, EpochStream, PerturbKind, Perturbation,
+};
 
 /// Whether repartitioners run serially or SPMD (for the runtime figures).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -22,13 +27,45 @@ pub enum TimingMode {
     },
 }
 
-/// One sweep: a dataset under one dynamic, across k × α × algorithms.
+/// What application the sweep balances.
+#[derive(Clone, Copy, Debug)]
+pub enum Workload {
+    /// A synthetic dataset regime under one of the paper's two
+    /// perturbations (Section 5).
+    Perturbed {
+        /// Dataset regime.
+        dataset: DatasetKind,
+        /// Dynamic (structure or weights).
+        perturb: PerturbKind,
+    },
+    /// The quadtree AMR simulator of `dlb_amr` — a real adaptive mesh
+    /// whose structure, weights, *and* payloads all change every epoch.
+    Amr(AmrConfig),
+}
+
+impl Workload {
+    /// The `dataset` column value for this workload's rows.
+    pub fn dataset_name(&self) -> &'static str {
+        match self {
+            Workload::Perturbed { dataset, .. } => dataset.name(),
+            Workload::Amr(_) => "amr",
+        }
+    }
+
+    /// The `perturb` column value for this workload's rows.
+    pub fn perturb_name(&self) -> &'static str {
+        match self {
+            Workload::Perturbed { perturb, .. } => perturb_name(*perturb),
+            Workload::Amr(_) => "adaptive",
+        }
+    }
+}
+
+/// One sweep: a workload across k × α × algorithms.
 #[derive(Clone, Debug)]
 pub struct SweepConfig {
-    /// Dataset regime.
-    pub dataset: DatasetKind,
-    /// Dynamic (structure or weights).
-    pub perturb: PerturbKind,
+    /// The application being balanced.
+    pub workload: Workload,
     /// Part counts (the paper: 16, 32, 64).
     pub ks: Vec<usize>,
     /// Epoch lengths α (the paper: 1, 10, 100, 1000).
@@ -37,7 +74,8 @@ pub struct SweepConfig {
     pub trials: usize,
     /// Epochs simulated per trial.
     pub epochs: usize,
-    /// Dataset scale in `(0, 1]`.
+    /// Dataset scale in `(0, 1]` ([`Workload::Perturbed`] only — the AMR
+    /// workload sizes itself through its [`AmrConfig`]).
     pub scale: f64,
     /// Base RNG seed.
     pub seed: u64,
@@ -50,6 +88,10 @@ pub struct SweepConfig {
     /// timings matter — concurrent cells share cores and inflate
     /// `time_ms`.
     pub threads: usize,
+    /// When set, every epoch's partition is *executed* under this
+    /// machine model ([`dlb_core::exec`]) and rows carry measured
+    /// makespans; `None` keeps the model-cost-only sweep.
+    pub network: Option<NetworkModel>,
 }
 
 impl SweepConfig {
@@ -57,8 +99,7 @@ impl SweepConfig {
     /// α ∈ {1,10,100,1000}, few trials/epochs.
     pub fn paper_grid(dataset: DatasetKind, perturb: PerturbKind, scale: f64) -> Self {
         SweepConfig {
-            dataset,
-            perturb,
+            workload: Workload::Perturbed { dataset, perturb },
             ks: vec![16, 32, 64],
             alphas: vec![1.0, 10.0, 100.0, 1000.0],
             trials: 3,
@@ -67,6 +108,7 @@ impl SweepConfig {
             seed: 42,
             timing: TimingMode::Serial,
             threads: 1,
+            network: None,
         }
     }
 
@@ -78,6 +120,24 @@ impl SweepConfig {
             trials: 1,
             epochs: 2,
             ..SweepConfig::paper_grid(dataset, perturb, scale)
+        }
+    }
+
+    /// The AMR measured-makespan sweep: the quadtree mesh at `amr`'s
+    /// scale, k ∈ {4, 8}, the paper's α grid, every epoch executed under
+    /// the default [`NetworkModel`].
+    pub fn amr(amr: AmrConfig) -> Self {
+        SweepConfig {
+            workload: Workload::Amr(amr),
+            ks: vec![4, 8],
+            alphas: vec![1.0, 10.0, 100.0, 1000.0],
+            trials: 2,
+            epochs: 4,
+            scale: 1.0,
+            seed: 42,
+            timing: TimingMode::Serial,
+            threads: 1,
+            network: Some(NetworkModel::default()),
         }
     }
 }
@@ -111,6 +171,15 @@ pub struct Row {
     /// Mean simulator payload bytes per epoch, summed over ranks
     /// (`0` under [`TimingMode::Serial`]).
     pub bytes_per_epoch: f64,
+    /// Mean measured epoch makespan `α·(t_comp + t_comm) + t_mig`, in
+    /// milliseconds (`0` when the sweep runs without a network model).
+    pub makespan_ms: f64,
+    /// Mean measured compute phase per iteration, milliseconds.
+    pub comp_ms: f64,
+    /// Mean measured communication phase per iteration, milliseconds.
+    pub comm_ms: f64,
+    /// Mean measured migration phase per epoch, milliseconds.
+    pub mig_ms: f64,
 }
 
 fn perturbation(kind: PerturbKind) -> Perturbation {
@@ -127,10 +196,37 @@ fn perturb_name(kind: PerturbKind) -> &'static str {
     }
 }
 
-/// Runs one trial: fresh dataset + static initial partition + stream,
-/// then `epochs` repartitions. Returns the simulation summary plus the
-/// communication traffic (messages/bytes sent, summed over all ranks;
-/// zero in serial mode, which performs no simulated communication).
+/// Builds a fresh epoch source for one trial: the workload's base
+/// problem plus the static initial partition of epoch 1 (same start for
+/// every algorithm). Deterministic in `(cfg, k, trial_seed)`, so each
+/// SPMD rank can construct its own identical copy.
+fn make_source(cfg: &SweepConfig, k: usize, trial_seed: u64) -> Box<dyn EpochSource> {
+    match cfg.workload {
+        Workload::Perturbed { dataset, perturb } => {
+            let dataset = Dataset::generate(dataset, cfg.scale, trial_seed);
+            let initial =
+                partition_kway(&dataset.graph, k, &GraphConfig::seeded(trial_seed)).part;
+            Box::new(EpochStream::new(
+                dataset.graph,
+                perturbation(perturb),
+                k,
+                initial,
+                trial_seed,
+            ))
+        }
+        Workload::Amr(amr) => {
+            let stream = AmrStream::new(amr, k, trial_seed);
+            let low = stream.initial_lowering();
+            let initial = partition_kway(&low.graph, k, &GraphConfig::seeded(trial_seed)).part;
+            Box::new(AmrSource::new(stream, &initial))
+        }
+    }
+}
+
+/// Runs one trial: fresh source, then `epochs` repartitions. Returns the
+/// simulation summary plus the communication traffic (messages/bytes
+/// sent, summed over all ranks; zero in serial mode, which performs no
+/// simulated communication).
 fn run_trial(
     cfg: &SweepConfig,
     k: usize,
@@ -139,41 +235,46 @@ fn run_trial(
     trial: usize,
 ) -> (SimulationSummary, CommStats) {
     let trial_seed = cfg.seed ^ (trial as u64).wrapping_mul(0x0123_4567_89AB_CDEF) ^ 0xFEED;
-    let dataset = Dataset::generate(cfg.dataset, cfg.scale, trial_seed);
-    // Static partition of epoch 1 (same start for every algorithm).
-    let initial = partition_kway(&dataset.graph, k, &GraphConfig::seeded(trial_seed)).part;
     let repart_cfg = RepartConfig::seeded(trial_seed);
     match cfg.timing {
         TimingMode::Serial => {
-            let mut stream = EpochStream::new(
-                dataset.graph,
-                perturbation(cfg.perturb),
-                k,
-                initial,
-                trial_seed,
-            );
-            let summary = simulate_epochs(&mut stream, cfg.epochs, algorithm, alpha, &repart_cfg);
-            (summary, CommStats::default())
-        }
-        TimingMode::Parallel { max_ranks } => {
-            let ranks = k.min(max_ranks).max(1);
-            let graph = dataset.graph;
-            let results = run_spmd(ranks, |comm| {
-                let mut stream = EpochStream::new(
-                    graph.clone(),
-                    perturbation(cfg.perturb),
-                    k,
-                    initial.clone(),
-                    trial_seed,
-                );
-                let summary = simulate_epochs_parallel(
-                    comm,
-                    &mut stream,
+            let mut source = make_source(cfg, k, trial_seed);
+            let summary = match &cfg.network {
+                Some(net) => simulate_epochs_measured(
+                    &mut *source,
                     cfg.epochs,
                     algorithm,
                     alpha,
                     &repart_cfg,
-                );
+                    net,
+                ),
+                None => simulate_epochs(&mut *source, cfg.epochs, algorithm, alpha, &repart_cfg),
+            };
+            (summary, CommStats::default())
+        }
+        TimingMode::Parallel { max_ranks } => {
+            let ranks = k.min(max_ranks).max(1);
+            let results = run_spmd(ranks, |comm| {
+                let mut source = make_source(cfg, k, trial_seed);
+                let summary = match &cfg.network {
+                    Some(net) => simulate_epochs_measured_parallel(
+                        comm,
+                        &mut *source,
+                        cfg.epochs,
+                        algorithm,
+                        alpha,
+                        &repart_cfg,
+                        net,
+                    ),
+                    None => simulate_epochs_parallel(
+                        comm,
+                        &mut *source,
+                        cfg.epochs,
+                        algorithm,
+                        alpha,
+                        &repart_cfg,
+                    ),
+                };
                 (summary, comm.stats())
             });
             let mut traffic = CommStats::default();
@@ -200,6 +301,10 @@ fn run_cell(cfg: &SweepConfig, k: usize, alpha: f64, algorithm: Algorithm) -> Ro
     let mut max_imb: f64 = 1.0;
     let mut msgs = 0.0;
     let mut bytes = 0.0;
+    let mut makespan_ms = 0.0;
+    let mut comp_ms = 0.0;
+    let mut comm_ms = 0.0;
+    let mut mig_ms = 0.0;
     let epochs = cfg.epochs.max(1) as f64;
     for trial in 0..cfg.trials.max(1) {
         let (summary, traffic) = run_trial(cfg, k, alpha, algorithm, trial);
@@ -210,11 +315,17 @@ fn run_cell(cfg: &SweepConfig, k: usize, alpha: f64, algorithm: Algorithm) -> Ro
         max_imb = max_imb.max(summary.max_imbalance());
         msgs += traffic.messages_sent as f64 / epochs;
         bytes += traffic.bytes_sent as f64 / epochs;
+        makespan_ms += summary.mean_makespan().unwrap_or(0.0) * 1e3;
+        if let Some((tc, tm, tg)) = summary.mean_phase_times() {
+            comp_ms += tc * 1e3;
+            comm_ms += tm * 1e3;
+            mig_ms += tg * 1e3;
+        }
     }
     let t = cfg.trials.max(1) as f64;
     Row {
-        dataset: cfg.dataset.name(),
-        perturb: perturb_name(cfg.perturb),
+        dataset: cfg.workload.dataset_name(),
+        perturb: cfg.workload.perturb_name(),
         k,
         alpha,
         algorithm,
@@ -225,6 +336,10 @@ fn run_cell(cfg: &SweepConfig, k: usize, alpha: f64, algorithm: Algorithm) -> Ro
         max_imbalance: max_imb,
         msgs_per_epoch: msgs / t,
         bytes_per_epoch: bytes / t,
+        makespan_ms: makespan_ms / t,
+        comp_ms: comp_ms / t,
+        comm_ms: comm_ms / t,
+        mig_ms: mig_ms / t,
     }
 }
 
@@ -298,6 +413,50 @@ mod tests {
             if is_spmd {
                 assert!(row.bytes_per_epoch > 0.0, "SPMD epochs move payload bytes");
             }
+        }
+    }
+
+    #[test]
+    fn amr_sweep_measures_makespans() {
+        let mut cfg = SweepConfig::amr(AmrConfig::small());
+        cfg.ks = vec![4];
+        cfg.alphas = vec![10.0];
+        cfg.trials = 1;
+        cfg.epochs = 2;
+        let rows = run_sweep(&cfg, |_| {});
+        assert_eq!(rows.len(), 4, "one row per algorithm");
+        for row in &rows {
+            assert_eq!(row.dataset, "amr");
+            assert_eq!(row.perturb, "adaptive");
+            assert!(row.total_norm > 0.0, "{:?}", row.algorithm);
+            assert!(row.makespan_ms > 0.0, "measured sweep must clock epochs");
+            assert!(row.comp_ms > 0.0);
+            let recomposed = 10.0 * (row.comp_ms + row.comm_ms) + row.mig_ms;
+            assert!(
+                (row.makespan_ms - recomposed).abs() < 1e-9,
+                "makespan must decompose into phases"
+            );
+        }
+        // Unmeasured sweeps report zero makespans.
+        cfg.network = None;
+        let rows = run_sweep(&cfg, |_| {});
+        assert!(rows.iter().all(|r| r.makespan_ms == 0.0 && r.comp_ms == 0.0));
+    }
+
+    #[test]
+    fn amr_sweep_is_deterministic_across_threads() {
+        let mut cfg = SweepConfig::amr(AmrConfig::small());
+        cfg.ks = vec![4];
+        cfg.alphas = vec![1.0, 100.0];
+        cfg.trials = 1;
+        cfg.epochs = 2;
+        let one = run_sweep(&cfg, |_| {});
+        cfg.threads = 4;
+        let four = run_sweep(&cfg, |_| {});
+        assert_eq!(one.len(), four.len());
+        for (a, b) in one.iter().zip(&four) {
+            assert_eq!(a.total_norm, b.total_norm);
+            assert_eq!(a.makespan_ms, b.makespan_ms);
         }
     }
 

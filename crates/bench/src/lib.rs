@@ -8,7 +8,8 @@
 //!   (communication bottom, migration top) as horizontal ASCII bars, and
 //!   CSV output for downstream plotting.
 //! * Binaries: `table1` prints Table 1 (paper values vs generated
-//!   datasets); `figures` regenerates any of Figures 2–8.
+//!   datasets); `figures` regenerates any of Figures 2–8; `amr` runs the
+//!   measured-makespan AMR sweep and writes `BENCH_amr.json`.
 //!
 //! Absolute numbers differ from the paper (synthetic datasets, simulated
 //! ranks on one host) — the *shapes* are the reproduction target; see
@@ -22,4 +23,4 @@
 pub mod chart;
 pub mod experiment;
 
-pub use experiment::{run_sweep, Row, SweepConfig, TimingMode};
+pub use experiment::{run_sweep, Row, SweepConfig, TimingMode, Workload};

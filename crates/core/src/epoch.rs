@@ -1,18 +1,23 @@
 //! Multi-epoch simulation: the experiment loop behind Figures 2–8.
 //!
-//! Each trial starts from a static partition of the base dataset,
-//! streams perturbed epochs from [`dlb_workloads::EpochStream`], invokes
-//! one of the four algorithms per epoch, commits the new assignment back
-//! to the stream (so the next epoch's dynamics and old-parts see it),
-//! and accumulates per-epoch cost and timing.
+//! Each trial starts from a static partition, streams epochs from any
+//! [`EpochSource`] — the paper's synthetic perturbations
+//! ([`dlb_workloads::EpochStream`]) or the real quadtree AMR workload
+//! ([`dlb_workloads::AmrSource`]) — invokes one of the four algorithms
+//! per epoch, commits the new assignment back to the source (so the
+//! next epoch's dynamics and old-parts see it), and accumulates
+//! per-epoch cost and timing. The `_measured` variants additionally run
+//! the [`crate::exec`] execution model each epoch, so the summary
+//! carries observed makespans next to the model costs.
 
 use std::time::Duration;
 
 use dlb_mpisim::Comm;
-use dlb_workloads::EpochStream;
+use dlb_workloads::EpochSource;
 
 use crate::cost::CostBreakdown;
 use crate::driver::{repartition, repartition_parallel, Algorithm, RepartConfig, RepartProblem};
+use crate::exec::{measure_epoch, EpochExecution, NetworkModel};
 
 /// Per-epoch measurements.
 #[derive(Clone, Debug)]
@@ -29,6 +34,9 @@ pub struct EpochReport {
     pub num_vertices: usize,
     /// Wall-clock repartitioning time.
     pub elapsed: Duration,
+    /// Measured execution of the epoch (only under the `_measured`
+    /// simulation variants).
+    pub execution: Option<EpochExecution>,
 }
 
 /// Aggregate over a trial's epochs.
@@ -85,6 +93,30 @@ impl SimulationSummary {
     pub fn max_imbalance(&self) -> f64 {
         self.reports.iter().map(|r| r.imbalance).fold(1.0, f64::max)
     }
+
+    /// Mean measured epoch makespan in seconds, if the trial was run
+    /// with a [`NetworkModel`] (`None` otherwise).
+    pub fn mean_makespan(&self) -> Option<f64> {
+        self.mean_execution(|e| e.makespan())
+    }
+
+    /// Mean measured compute / communication / migration phase times in
+    /// seconds (per epoch; compute and communication are per-iteration
+    /// makespans, migration per-epoch).
+    pub fn mean_phase_times(&self) -> Option<(f64, f64, f64)> {
+        Some((
+            self.mean_execution(|e| e.t_comp)?,
+            self.mean_execution(|e| e.t_comm)?,
+            self.mean_execution(|e| e.t_mig)?,
+        ))
+    }
+
+    fn mean_execution(&self, f: impl Fn(&EpochExecution) -> f64) -> Option<f64> {
+        if self.reports.is_empty() || self.reports.iter().any(|r| r.execution.is_none()) {
+            return None;
+        }
+        Some(mean(self.reports.iter().map(|r| f(r.execution.as_ref().unwrap()))))
+    }
 }
 
 fn mean(values: impl Iterator<Item = f64>) -> f64 {
@@ -100,21 +132,21 @@ fn mean(values: impl Iterator<Item = f64>) -> f64 {
     }
 }
 
-/// Runs `num_epochs` epochs of `algorithm` over `stream`.
-///
-/// The stream must be freshly constructed with the trial's initial
-/// static partition; the simulation mutates it (commits assignments).
-pub fn simulate_epochs(
-    stream: &mut EpochStream,
+/// The shared epoch loop: `comm` selects serial vs collective
+/// repartitioning; `network` turns on the measured execution model.
+fn run_epochs<S: EpochSource + ?Sized>(
+    mut comm: Option<&mut Comm>,
+    source: &mut S,
     num_epochs: usize,
     algorithm: Algorithm,
     alpha: f64,
     cfg: &RepartConfig,
+    network: Option<&NetworkModel>,
 ) -> SimulationSummary {
-    let k = stream.k();
+    let k = source.k();
     let mut reports = Vec::with_capacity(num_epochs);
     for epoch in 1..=num_epochs {
-        let snapshot = stream.next_epoch();
+        let snapshot = source.next_epoch();
         let problem = RepartProblem {
             hypergraph: &snapshot.hypergraph,
             graph: &snapshot.graph,
@@ -122,8 +154,21 @@ pub fn simulate_epochs(
             k,
             alpha,
         };
-        let result = repartition(&problem, algorithm, cfg);
-        stream.commit_assignment(&snapshot, &result.new_part);
+        let result = match comm.as_deref_mut() {
+            Some(comm) => repartition_parallel(comm, &problem, algorithm, cfg),
+            None => repartition(&problem, algorithm, cfg),
+        };
+        let execution = network.map(|net| {
+            measure_epoch(
+                &snapshot.hypergraph,
+                &snapshot.old_part,
+                &result.new_part,
+                k,
+                alpha,
+                net,
+            )
+        });
+        source.commit_assignment(&snapshot, &result.new_part);
         reports.push(EpochReport {
             epoch,
             cost: result.cost,
@@ -131,54 +176,78 @@ pub fn simulate_epochs(
             moved: result.moved,
             num_vertices: snapshot.graph.num_vertices(),
             elapsed: result.elapsed,
+            execution,
         });
     }
     SimulationSummary { algorithm, alpha, k, reports }
 }
 
-/// Parallel variant of [`simulate_epochs`]: the repartitioner runs
-/// collectively on `comm` (the hypergraph methods genuinely SPMD, the
-/// graph baselines replicated — see [`repartition_parallel`]). Every rank
-/// must drive an identically seeded stream; all ranks return identical
-/// summaries.
-pub fn simulate_epochs_parallel(
-    comm: &mut Comm,
-    stream: &mut EpochStream,
+/// Runs `num_epochs` epochs of `algorithm` over `source`.
+///
+/// The source must be freshly constructed with the trial's initial
+/// static partition; the simulation mutates it (commits assignments).
+pub fn simulate_epochs<S: EpochSource + ?Sized>(
+    source: &mut S,
     num_epochs: usize,
     algorithm: Algorithm,
     alpha: f64,
     cfg: &RepartConfig,
 ) -> SimulationSummary {
-    let k = stream.k();
-    let mut reports = Vec::with_capacity(num_epochs);
-    for epoch in 1..=num_epochs {
-        let snapshot = stream.next_epoch();
-        let problem = RepartProblem {
-            hypergraph: &snapshot.hypergraph,
-            graph: &snapshot.graph,
-            old_part: &snapshot.old_part,
-            k,
-            alpha,
-        };
-        let result = repartition_parallel(comm, &problem, algorithm, cfg);
-        stream.commit_assignment(&snapshot, &result.new_part);
-        reports.push(EpochReport {
-            epoch,
-            cost: result.cost,
-            imbalance: result.imbalance,
-            moved: result.moved,
-            num_vertices: snapshot.graph.num_vertices(),
-            elapsed: result.elapsed,
-        });
-    }
-    SimulationSummary { algorithm, alpha, k, reports }
+    run_epochs(None, source, num_epochs, algorithm, alpha, cfg, None)
+}
+
+/// [`simulate_epochs`] plus the measured execution model: every epoch's
+/// partition is executed under `network` (ghost exchanges clocked,
+/// migration payloads physically moved on a `k`-rank SPMD world), so
+/// each report carries an [`EpochExecution`].
+pub fn simulate_epochs_measured<S: EpochSource + ?Sized>(
+    source: &mut S,
+    num_epochs: usize,
+    algorithm: Algorithm,
+    alpha: f64,
+    cfg: &RepartConfig,
+    network: &NetworkModel,
+) -> SimulationSummary {
+    run_epochs(None, source, num_epochs, algorithm, alpha, cfg, Some(network))
+}
+
+/// Parallel variant of [`simulate_epochs`]: the repartitioner runs
+/// collectively on `comm` (the hypergraph methods genuinely SPMD, the
+/// graph baselines replicated — see [`repartition_parallel`]). Every rank
+/// must drive an identically seeded source; all ranks return identical
+/// summaries.
+pub fn simulate_epochs_parallel<S: EpochSource + ?Sized>(
+    comm: &mut Comm,
+    source: &mut S,
+    num_epochs: usize,
+    algorithm: Algorithm,
+    alpha: f64,
+    cfg: &RepartConfig,
+) -> SimulationSummary {
+    run_epochs(Some(comm), source, num_epochs, algorithm, alpha, cfg, None)
+}
+
+/// [`simulate_epochs_parallel`] plus the measured execution model. Every
+/// rank measures the (identical) partition against its own nested
+/// `k`-rank migration world, so all ranks still return identical
+/// summaries — `tests/amr_determinism.rs` relies on this.
+pub fn simulate_epochs_measured_parallel<S: EpochSource + ?Sized>(
+    comm: &mut Comm,
+    source: &mut S,
+    num_epochs: usize,
+    algorithm: Algorithm,
+    alpha: f64,
+    cfg: &RepartConfig,
+    network: &NetworkModel,
+) -> SimulationSummary {
+    run_epochs(Some(comm), source, num_epochs, algorithm, alpha, cfg, Some(network))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use dlb_graphpart::{partition_kway, GraphConfig};
-    use dlb_workloads::{Dataset, DatasetKind, Perturbation};
+    use dlb_workloads::{Dataset, DatasetKind, EpochStream, Perturbation};
 
     fn make_stream(kind: DatasetKind, k: usize, perturbation: Perturbation, seed: u64) -> EpochStream {
         let d = Dataset::generate(kind, 0.0005, seed);
@@ -252,6 +321,31 @@ mod tests {
             (s.mean_comm(), s.mean_migration())
         });
         assert_eq!(results[0], results[1], "ranks must agree on costs");
+    }
+
+    #[test]
+    fn measured_simulation_populates_executions() {
+        let mut stream = make_stream(DatasetKind::Auto, 2, Perturbation::weights(), 9);
+        let net = NetworkModel::default();
+        let s = simulate_epochs_measured(
+            &mut stream,
+            3,
+            Algorithm::ZoltanRepart,
+            10.0,
+            &RepartConfig::seeded(9),
+            &net,
+        );
+        assert!(s.reports.iter().all(|r| r.execution.is_some()));
+        let makespan = s.mean_makespan().expect("measured run");
+        let (comp, comm, mig) = s.mean_phase_times().expect("measured run");
+        assert!(makespan > 0.0);
+        assert!((makespan - (10.0 * (comp + comm) + mig)).abs() < 1e-12);
+        // The unmeasured path reports no execution.
+        let mut stream = make_stream(DatasetKind::Auto, 2, Perturbation::weights(), 9);
+        let s = simulate_epochs(&mut stream, 2, Algorithm::ZoltanRepart, 10.0, &RepartConfig::seeded(9));
+        assert!(s.reports.iter().all(|r| r.execution.is_none()));
+        assert_eq!(s.mean_makespan(), None);
+        assert_eq!(s.mean_phase_times(), None);
     }
 
     #[test]

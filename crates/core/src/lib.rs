@@ -44,6 +44,7 @@
 pub mod cost;
 pub mod driver;
 pub mod epoch;
+pub mod exec;
 pub mod migrate;
 pub mod model;
 pub mod remap;
@@ -51,7 +52,11 @@ pub mod remap;
 pub use cost::CostBreakdown;
 pub use driver::{repartition, Algorithm, RepartConfig, RepartProblem, RepartResult};
 pub use driver::repartition_parallel;
-pub use epoch::{simulate_epochs, simulate_epochs_parallel, EpochReport, SimulationSummary};
+pub use epoch::{
+    simulate_epochs, simulate_epochs_measured, simulate_epochs_measured_parallel,
+    simulate_epochs_parallel, EpochReport, SimulationSummary,
+};
+pub use exec::{measure_epoch, EpochExecution, NetworkModel};
 pub use migrate::{migrate_items, scatter_initial, MigrationStats};
 pub use model::RepartitionHypergraph;
 pub use remap::remap_to_minimize_migration;

@@ -35,6 +35,26 @@ pub struct MigrationStats {
     pub items_received: usize,
     /// Total payload volume sent (as reported by the `size_of` closure).
     pub volume_sent: f64,
+    /// Total payload volume received.
+    pub volume_received: f64,
+}
+
+impl MigrationStats {
+    /// Component-wise maximum over per-rank statistics — the bottleneck
+    /// rank's view of the exchange, which is what bounds the migration
+    /// phase's wall-clock in a synchronous application.
+    ///
+    /// Returns the default (all-zero) statistics for an empty slice.
+    pub fn max_over_ranks(stats: &[MigrationStats]) -> MigrationStats {
+        let mut max = MigrationStats::default();
+        for s in stats {
+            max.items_sent = max.items_sent.max(s.items_sent);
+            max.items_received = max.items_received.max(s.items_received);
+            max.volume_sent = max.volume_sent.max(s.volume_sent);
+            max.volume_received = max.volume_received.max(s.volume_received);
+        }
+        max
+    }
 }
 
 /// Moves payloads to their new owners.
@@ -86,6 +106,9 @@ pub fn migrate_items<T: Send + 'static>(
     let incoming = comm.alltoall(outgoing);
     for batch in incoming {
         stats.items_received += batch.len();
+        for (_, payload) in &batch {
+            stats.volume_received += size_of(payload);
+        }
         keep.extend(batch);
     }
     keep.sort_by_key(|(v, _)| *v);
@@ -181,6 +204,52 @@ mod tests {
         for (_, stats) in &results {
             assert_eq!(stats.items_sent, 0, "part changes within a rank move no data");
         }
+    }
+
+    /// What one rank sends another receives: summed over all ranks, the
+    /// send- and receive-side accounting must agree exactly, item count
+    /// and volume alike.
+    #[test]
+    fn global_send_receive_symmetry() {
+        let old = vec![0, 1, 2, 0, 1, 2, 0, 1, 2];
+        let new = vec![1, 2, 0, 2, 0, 1, 0, 1, 2];
+        let sizes: Vec<f64> = (0..9).map(|v| 3.0 + v as f64).collect();
+        for nranks in [2usize, 3] {
+            let results = run_spmd(nranks, |comm| {
+                let items =
+                    scatter_initial(comm.rank(), comm.size(), &old, |v| sizes[v]);
+                migrate_items(comm, items, &old, &new, |s| *s).1
+            });
+            let sent: usize = results.iter().map(|s| s.items_sent).sum();
+            let received: usize = results.iter().map(|s| s.items_received).sum();
+            assert_eq!(sent, received, "item symmetry at {nranks} ranks");
+            let vol_sent: f64 = results.iter().map(|s| s.volume_sent).sum();
+            let vol_received: f64 = results.iter().map(|s| s.volume_received).sum();
+            assert_eq!(vol_sent, vol_received, "volume symmetry at {nranks} ranks");
+            assert!(sent > 0, "scenario must move something at {nranks} ranks");
+        }
+    }
+
+    #[test]
+    fn max_over_ranks_takes_componentwise_maxima() {
+        let a = MigrationStats {
+            items_sent: 5,
+            items_received: 1,
+            volume_sent: 10.0,
+            volume_received: 2.0,
+        };
+        let b = MigrationStats {
+            items_sent: 2,
+            items_received: 4,
+            volume_sent: 3.0,
+            volume_received: 9.0,
+        };
+        let m = MigrationStats::max_over_ranks(&[a, b]);
+        assert_eq!(m.items_sent, 5);
+        assert_eq!(m.items_received, 4);
+        assert_eq!(m.volume_sent, 10.0);
+        assert_eq!(m.volume_received, 9.0);
+        assert_eq!(MigrationStats::max_over_ranks(&[]), MigrationStats::default());
     }
 
     /// Physical migration volume equals the model's migration accounting.

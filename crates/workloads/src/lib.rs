@@ -21,7 +21,11 @@
 //!   of every vertex in them by a random factor in `[1.5, 7.5]`.
 //!
 //! [`epoch`] packages either dynamic as a stream of
-//! [`epoch::EpochSnapshot`]s ready for the repartitioning driver.
+//! [`epoch::EpochSnapshot`]s ready for the repartitioning driver, and
+//! [`source`] abstracts over epoch generators: the synthetic
+//! [`EpochStream`] and the *real* adaptive workload of [`dlb_amr`]
+//! (quadtree AMR, adapted by [`source::AmrSource`]) drive the same
+//! [`source::EpochSource`] protocol.
 
 // Index-heavy kernels iterate several parallel arrays at once; classic
 // indexed loops read better there than zipped iterator chains.
@@ -32,8 +36,10 @@ pub mod datasets;
 pub mod epoch;
 pub mod nonsymmetric;
 pub mod perturb;
+pub mod source;
 
 pub use datasets::{Dataset, DatasetKind};
 pub use epoch::{EpochSnapshot, EpochStream};
+pub use source::{AmrSource, EpochSource};
 pub use nonsymmetric::{directed_circuit, directed_comm_volume, NonsymmetricDataset};
 pub use perturb::{PerturbKind, Perturbation};

@@ -8,10 +8,14 @@ pub enum PerturbKind {
     /// edges) drawn from a randomly chosen half of the parts, so data
     /// both disappears and (re)appears.
     Structure,
-    /// Simulated adaptive mesh refinement: each iteration selects a
+    /// Weight scaling on a *static* structure: each iteration selects a
     /// fraction of the parts and scales the weight *and* size of every
     /// vertex in them by a random factor (relative to the original
-    /// values).
+    /// values). This is the paper's stand-in for mesh refinement — the
+    /// graph never changes, only weights do. For a genuinely adaptive
+    /// workload whose mesh refines and coarsens (and whose costs can be
+    /// *measured*, not just modeled), use the quadtree AMR simulator in
+    /// `crates/amr` via [`crate::source::AmrSource`].
     Weights,
 }
 

@@ -1,0 +1,190 @@
+//! The epoch-source abstraction: anything that can feed the
+//! repartitioning driver a sequence of [`EpochSnapshot`]s.
+//!
+//! Two implementations exist: [`EpochStream`] (the paper's synthetic
+//! perturbations of a static base dataset) and [`AmrSource`] (a *real*
+//! adaptive computation — the quadtree AMR simulator of [`dlb_amr`],
+//! whose mesh genuinely refines and coarsens every epoch). The driver in
+//! `dlb_core::epoch` is generic over this trait, so every algorithm,
+//! the SPMD path included, runs unchanged against either dynamic.
+
+use std::collections::BTreeMap;
+
+use dlb_amr::{AmrStream, Cell};
+use dlb_hypergraph::PartId;
+
+use crate::epoch::{EpochSnapshot, EpochStream};
+
+/// A stateful generator of repartitioning epochs.
+///
+/// The protocol mirrors the paper's Section 3 loop: `next_epoch` yields
+/// epoch `j`'s problem (hypergraph + old parts), the caller repartitions
+/// it, and `commit_assignment` records the decision so epoch `j+1`'s
+/// old parts (and any assignment-dependent dynamics) see it.
+pub trait EpochSource {
+    /// Number of parts in the decomposition.
+    fn k(&self) -> usize;
+
+    /// Number of epochs emitted so far.
+    fn epochs_emitted(&self) -> usize;
+
+    /// Generates the next epoch.
+    fn next_epoch(&mut self) -> EpochSnapshot;
+
+    /// Records the assignment chosen for `snapshot` (which must be the
+    /// most recently emitted epoch).
+    fn commit_assignment(&mut self, snapshot: &EpochSnapshot, part: &[PartId]);
+}
+
+impl EpochSource for EpochStream {
+    fn k(&self) -> usize {
+        EpochStream::k(self)
+    }
+
+    fn epochs_emitted(&self) -> usize {
+        EpochStream::epochs_emitted(self)
+    }
+
+    fn next_epoch(&mut self) -> EpochSnapshot {
+        EpochStream::next_epoch(self)
+    }
+
+    fn commit_assignment(&mut self, snapshot: &EpochSnapshot, part: &[PartId]) {
+        EpochStream::commit_assignment(self, snapshot, part)
+    }
+}
+
+/// Adapts [`AmrStream`] to the [`EpochSource`] protocol.
+///
+/// The AMR stream identifies vertices by quadtree [`Cell`] address; the
+/// snapshot protocol identifies them by *base id*. The adapter keeps a
+/// persistent cell-id registry: the first time a cell appears it is
+/// assigned the next free base id, and keeps it for the lifetime of the
+/// source — so a cell that coarsens away and later re-refines into
+/// existence maps to the same base id, exactly like a deleted base
+/// vertex reappearing in a structural [`EpochStream`].
+pub struct AmrSource {
+    stream: AmrStream,
+    base_id: BTreeMap<Cell, usize>,
+    id_cell: Vec<Cell>,
+}
+
+impl AmrSource {
+    /// Wraps an [`AmrStream`] whose initial mesh has been partitioned.
+    /// `initial_part` must align with the stream's
+    /// [`AmrStream::initial_lowering`] cell order.
+    ///
+    /// # Panics
+    /// Panics if the stream has already emitted epochs or the partition
+    /// does not fit the initial mesh.
+    pub fn new(mut stream: AmrStream, initial_part: &[PartId]) -> Self {
+        stream.set_initial_partition(initial_part);
+        AmrSource { stream, base_id: BTreeMap::new(), id_cell: Vec::new() }
+    }
+
+    /// The underlying AMR stream.
+    pub fn stream(&self) -> &AmrStream {
+        &self.stream
+    }
+
+    fn register(&mut self, c: Cell) -> usize {
+        if let Some(&id) = self.base_id.get(&c) {
+            return id;
+        }
+        let id = self.id_cell.len();
+        self.base_id.insert(c, id);
+        self.id_cell.push(c);
+        id
+    }
+}
+
+impl EpochSource for AmrSource {
+    fn k(&self) -> usize {
+        self.stream.k()
+    }
+
+    fn epochs_emitted(&self) -> usize {
+        self.stream.epochs_emitted()
+    }
+
+    fn next_epoch(&mut self) -> EpochSnapshot {
+        let e = self.stream.next_epoch();
+        let to_base: Vec<usize> = e.cells.iter().map(|&c| self.register(c)).collect();
+        EpochSnapshot {
+            graph: e.graph,
+            hypergraph: e.hypergraph,
+            to_base,
+            old_part: e.old_part,
+        }
+    }
+
+    fn commit_assignment(&mut self, snapshot: &EpochSnapshot, part: &[PartId]) {
+        let cells: Vec<Cell> =
+            snapshot.to_base.iter().map(|&b| self.id_cell[b]).collect();
+        self.stream.commit_assignment(&cells, part);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlb_amr::AmrConfig;
+
+    fn amr_source(seed: u64) -> AmrSource {
+        let stream = AmrStream::new(AmrConfig::small(), 4, seed);
+        let low = stream.initial_lowering();
+        let n = low.cells.len();
+        let part: Vec<usize> = (0..n).map(|v| v * 4 / n).collect();
+        AmrSource::new(stream, &part)
+    }
+
+    #[test]
+    fn amr_source_emits_valid_snapshots() {
+        let mut s = amr_source(3);
+        assert_eq!(EpochSource::k(&s), 4);
+        for epoch in 1..=3 {
+            let snap = s.next_epoch();
+            assert_eq!(s.epochs_emitted(), epoch);
+            snap.hypergraph.validate().unwrap();
+            assert_eq!(snap.graph.num_vertices(), snap.to_base.len());
+            assert_eq!(snap.old_part.len(), snap.to_base.len());
+            assert!(snap.old_part.iter().all(|&p| p < 4));
+            let part = snap.old_part.clone();
+            s.commit_assignment(&snap, &part);
+        }
+    }
+
+    #[test]
+    fn base_ids_are_stable_across_epochs() {
+        let mut s = amr_source(5);
+        let mut seen: BTreeMap<usize, Cell> = BTreeMap::new();
+        for _ in 0..5 {
+            let snap = s.next_epoch();
+            for (v, &b) in snap.to_base.iter().enumerate() {
+                let cell = s.id_cell[b];
+                // A base id maps to one cell, forever.
+                if let Some(&prev) = seen.get(&b) {
+                    assert_eq!(prev, cell, "base id {b} remapped");
+                }
+                seen.insert(b, cell);
+                // And the registry inverts correctly.
+                assert_eq!(s.base_id[&cell], b, "registry out of sync");
+                let _ = v;
+            }
+            let part = snap.old_part.clone();
+            s.commit_assignment(&snap, &part);
+        }
+        assert_eq!(s.base_id.len(), s.id_cell.len());
+    }
+
+    #[test]
+    fn trait_object_dispatch_works() {
+        // The CLI and bench select the workload at runtime.
+        let mut boxed: Box<dyn EpochSource> = Box::new(amr_source(7));
+        let snap = boxed.next_epoch();
+        assert!(snap.graph.num_vertices() > 0);
+        let part = snap.old_part.clone();
+        boxed.commit_assignment(&snap, &part);
+        assert_eq!(boxed.epochs_emitted(), 1);
+    }
+}

@@ -3,6 +3,7 @@
 //! ```text
 //! dlb partition   -k K [options] INPUT             # static partitioning
 //! dlb repartition -k K --old PARTFILE [options] INPUT
+//! dlb simulate    -k K --workload amr|structure|weights [options]
 //!
 //! INPUT formats (by extension):
 //!   .mtx           MatrixMarket coordinate (symmetric graph)
@@ -10,9 +11,10 @@
 //!
 //! Options:
 //!   -k K              number of parts (required)
-//!   --alpha A         iterations per epoch (repartition only; default 100)
+//!   --alpha A         iterations per epoch (repartition/simulate; default 100)
 //!   --algorithm NAME  zoltan-repart | zoltan-scratch | parmetis-repart |
-//!                     parmetis-scratch (repartition only; default zoltan-repart)
+//!                     parmetis-scratch (repartition/simulate; default
+//!                     zoltan-repart)
 //!   --epsilon E       allowed imbalance (default 0.05)
 //!   --seed N          RNG seed (default 0)
 //!   --ranks N         run the SPMD parallel partitioner on N simulated
@@ -21,36 +23,56 @@
 //!                     across ranks (memory-scalable V-cycle; results
 //!                     are bit-identical to the replicated driver)
 //!   --out FILE        output partition file (default: stdout)
+//!   --workload W      simulate only: amr (the quadtree AMR simulator),
+//!                     structure, or weights (the paper's synthetic
+//!                     perturbations of the auto dataset)
+//!   --epochs E        simulate only: epochs to run (default 4)
+//!   --scale S         simulate only: amr — levels added to the default
+//!                     mesh (integer, default 0); structure/weights —
+//!                     dataset scale in (0, 1] (default 0.001)
 //! ```
 //!
-//! The output is one part id per line, one line per vertex; a summary
-//! (cut / communication volume, migration, imbalance) prints to stderr.
+//! `partition`/`repartition` write one part id per line, one line per
+//! vertex, with a summary (cut / communication volume, migration,
+//! imbalance) on stderr. `simulate` generates its workload internally,
+//! repartitions every epoch, *executes* each epoch under the default
+//! latency–bandwidth machine model, and prints per-epoch model costs
+//! next to measured makespans.
 
 use std::fs::File;
 use std::io::{BufReader, Write};
 use std::process::exit;
 
-use dlb::core::{repartition, repartition_parallel, Algorithm, RepartConfig, RepartProblem};
+use dlb::amr::{AmrConfig, AmrStream};
+use dlb::core::{
+    repartition, repartition_parallel, simulate_epochs_measured,
+    simulate_epochs_measured_parallel, Algorithm, NetworkModel, RepartConfig, RepartProblem,
+    SimulationSummary,
+};
+use dlb::graphpart::{partition_kway, GraphConfig};
 use dlb::hypergraph::convert::{clique_expansion, column_net_model};
 use dlb::hypergraph::io::{read_hypergraph, read_matrix_market_graph};
 use dlb::hypergraph::{metrics, CsrGraph, Hypergraph};
 use dlb::mpisim::run_spmd;
 use dlb::partitioner::par::parallel_partition;
 use dlb::partitioner::{partition_hypergraph, Config as HgConfig};
+use dlb::workloads::{AmrSource, Dataset, DatasetKind, EpochSource, EpochStream, Perturbation};
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  dlb partition   -k K [--epsilon E] [--seed N] [--ranks N [--distributed]] \
          [--out FILE] INPUT\n  \
          dlb repartition -k K --old PARTFILE [--alpha A] [--algorithm NAME] \
-         [--epsilon E] [--seed N] [--ranks N [--distributed]] [--out FILE] INPUT"
+         [--epsilon E] [--seed N] [--ranks N [--distributed]] [--out FILE] INPUT\n  \
+         dlb simulate    -k K --workload amr|structure|weights [--epochs E] [--alpha A] \
+         [--algorithm NAME] [--scale S] [--seed N] [--ranks N [--distributed]]"
     );
     exit(2);
 }
 
 struct Cli {
     command: String,
-    input: String,
+    input: Option<String>,
     k: usize,
     alpha: f64,
     algorithm: Algorithm,
@@ -60,6 +82,9 @@ struct Cli {
     distributed: bool,
     out: Option<String>,
     old: Option<String>,
+    workload: Option<String>,
+    epochs: usize,
+    scale: Option<f64>,
 }
 
 fn parse_cli() -> Cli {
@@ -78,6 +103,9 @@ fn parse_cli() -> Cli {
     let mut out = None;
     let mut old = None;
     let mut input = None;
+    let mut workload = None;
+    let mut epochs = 4usize;
+    let mut scale = None;
     let mut i = 1;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -129,6 +157,21 @@ fn parse_cli() -> Cli {
                 old = argv.get(i + 1).cloned();
                 i += 2;
             }
+            "--workload" => {
+                workload = argv.get(i + 1).cloned();
+                i += 2;
+            }
+            "--epochs" => {
+                epochs = argv.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--scale" => {
+                scale = argv.get(i + 1).and_then(|v| v.parse().ok());
+                if scale.is_none() {
+                    usage();
+                }
+                i += 2;
+            }
             arg if !arg.starts_with('-') => {
                 input = Some(arg.to_string());
                 i += 1;
@@ -138,7 +181,7 @@ fn parse_cli() -> Cli {
     }
     Cli {
         command,
-        input: input.unwrap_or_else(|| usage()),
+        input,
         k: k.unwrap_or_else(|| usage()),
         alpha,
         algorithm,
@@ -148,6 +191,9 @@ fn parse_cli() -> Cli {
         distributed,
         out,
         old,
+        workload,
+        epochs,
+        scale,
     }
 }
 
@@ -219,12 +265,126 @@ fn write_partition(out: &Option<String>, part: &[usize]) {
     }
 }
 
+/// Builds the simulate subcommand's epoch source: the workload's base
+/// problem plus the static initial partition. Deterministic in the CLI
+/// parameters, so every SPMD rank builds an identical copy.
+fn make_sim_source(cli: &Cli) -> Box<dyn EpochSource> {
+    match cli.workload.as_deref() {
+        Some("amr") => {
+            let amr_cfg = AmrConfig::for_scale(cli.scale.unwrap_or(0.0) as u8);
+            if let Err(e) = amr_cfg.validate() {
+                eprintln!("bad AMR config: {e}");
+                exit(1);
+            }
+            let stream = AmrStream::new(amr_cfg, cli.k, cli.seed);
+            let low = stream.initial_lowering();
+            eprintln!(
+                "amr: base {}..{} mesh, {} initial cells",
+                amr_cfg.base_level,
+                amr_cfg.max_level,
+                low.cells.len()
+            );
+            let init = partition_kway(&low.graph, cli.k, &GraphConfig::seeded(cli.seed)).part;
+            Box::new(AmrSource::new(stream, &init))
+        }
+        Some(name @ ("structure" | "weights")) => {
+            let perturbation = if name == "structure" {
+                Perturbation::structure()
+            } else {
+                Perturbation::weights()
+            };
+            let dataset =
+                Dataset::generate(DatasetKind::Auto, cli.scale.unwrap_or(0.001), cli.seed);
+            eprintln!("{name}: auto dataset, {} vertices", dataset.graph.num_vertices());
+            let init =
+                partition_kway(&dataset.graph, cli.k, &GraphConfig::seeded(cli.seed)).part;
+            Box::new(EpochStream::new(dataset.graph, perturbation, cli.k, init, cli.seed))
+        }
+        other => {
+            eprintln!("simulate requires --workload amr|structure|weights, got {other:?}");
+            usage();
+        }
+    }
+}
+
+fn print_simulation(summary: &SimulationSummary, alpha: f64) {
+    println!(
+        "epoch  vertices  comm        mig         total       moved   imbal   makespan_ms (comp+comm)*a + mig"
+    );
+    for r in &summary.reports {
+        let e = r.execution.as_ref().expect("measured simulation");
+        println!(
+            "{:>5}  {:>8}  {:>10.1}  {:>10.1}  {:>10.1}  {:>6}  {:>6.4}  {:>11.4} = ({:.4}+{:.4})*{} + {:.4}",
+            r.epoch,
+            r.num_vertices,
+            r.cost.comm,
+            r.cost.migration,
+            r.cost.total(),
+            r.moved,
+            r.imbalance,
+            e.makespan() * 1e3,
+            e.t_comp * 1e3,
+            e.t_comm * 1e3,
+            alpha,
+            e.t_mig * 1e3
+        );
+    }
+    let (comp, comm, mig) = summary.mean_phase_times().expect("measured simulation");
+    println!(
+        "mean: makespan {:.4} ms (comp {:.4}, comm {:.4}, mig {:.4} ms), model total {:.1}",
+        summary.mean_makespan().expect("measured simulation") * 1e3,
+        comp * 1e3,
+        comm * 1e3,
+        mig * 1e3,
+        summary.reports.iter().map(|r| r.cost.total()).sum::<f64>()
+            / summary.reports.len().max(1) as f64
+    );
+}
+
+fn run_simulate(cli: &Cli) {
+    let mut cfg = RepartConfig::seeded(cli.seed).with_epsilon(cli.epsilon);
+    cfg.hypergraph.dist.distributed = cli.distributed;
+    let net = NetworkModel::default();
+    let summary = if cli.ranks > 1 || cli.distributed {
+        run_spmd(cli.ranks, |comm| {
+            let mut source = make_sim_source(cli);
+            simulate_epochs_measured_parallel(
+                comm,
+                &mut *source,
+                cli.epochs,
+                cli.algorithm,
+                cli.alpha,
+                &cfg,
+                &net,
+            )
+        })
+        .pop()
+        .expect("at least one rank")
+    } else {
+        let mut source = make_sim_source(cli);
+        simulate_epochs_measured(&mut *source, cli.epochs, cli.algorithm, cli.alpha, &cfg, &net)
+    };
+    eprintln!(
+        "{} on {} epochs, k={}, alpha={}",
+        cli.algorithm.name(),
+        summary.reports.len(),
+        cli.k,
+        cli.alpha
+    );
+    print_simulation(&summary, cli.alpha);
+}
+
 fn main() {
     let cli = parse_cli();
-    let (hypergraph, graph) = load(&cli.input);
+    if cli.command == "simulate" {
+        run_simulate(&cli);
+        return;
+    }
+    let input = cli.input.clone().unwrap_or_else(|| usage());
+    let (hypergraph, graph) = load(&input);
     eprintln!(
         "loaded {}: {} vertices, {} nets / {} edges",
-        cli.input,
+        input,
         hypergraph.num_vertices(),
         hypergraph.num_nets(),
         graph.num_edges()

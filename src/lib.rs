@@ -8,10 +8,12 @@
 //! * [`partitioner`] — multilevel hypergraph partitioning with fixed vertices,
 //! * [`graphpart`] — the ParMETIS-like graph partitioner baseline,
 //! * [`core`] — the repartitioning model and algorithm drivers,
-//! * [`workloads`] — synthetic datasets and dynamic perturbations.
+//! * [`workloads`] — synthetic datasets and dynamic perturbations,
+//! * [`amr`] — the quadtree AMR application simulator.
 
 #![warn(missing_docs)]
 
+pub use dlb_amr as amr;
 pub use dlb_core as core;
 pub use dlb_graphpart as graphpart;
 pub use dlb_hypergraph as hypergraph;
