@@ -22,9 +22,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use dlb_amr::{AmrConfig, AmrStream};
-use dlb_core::{
-    simulate_epochs, simulate_epochs_measured, Algorithm, NetworkModel, RepartConfig,
-};
+use dlb_core::{Algorithm, RepartConfig, Session};
 use dlb_graphpart::{partition_kway, GraphConfig};
 use dlb_hypergraph::convert::column_net_model_unit;
 use dlb_workloads::AmrSource;
@@ -249,32 +247,77 @@ fn main() {
     let repart_cfg = RepartConfig::seeded(seed);
     let amr_sim_ms = time_ms(repeats, || {
         let mut source = make_amr_source();
-        let s = simulate_epochs(
-            &mut source,
-            amr_epochs,
-            Algorithm::ZoltanRepart,
-            100.0,
-            &repart_cfg,
-        );
+        let s = Session::new(repart_cfg.clone())
+            .algorithm(Algorithm::ZoltanRepart)
+            .alpha(100.0)
+            .epochs(amr_epochs)
+            .workload(&mut source)
+            .run()
+            .expect("valid session");
         assert_eq!(s.reports.len(), amr_epochs);
     });
     let mut amr_mean_makespan = 0.0;
     let amr_measured_ms = time_ms(repeats, || {
         let mut source = make_amr_source();
-        let s = simulate_epochs_measured(
-            &mut source,
-            amr_epochs,
-            Algorithm::ZoltanRepart,
-            100.0,
-            &repart_cfg,
-            &NetworkModel::default(),
-        );
+        let s = Session::new(repart_cfg.clone())
+            .algorithm(Algorithm::ZoltanRepart)
+            .alpha(100.0)
+            .epochs(amr_epochs)
+            .measured(true)
+            .workload(&mut source)
+            .run()
+            .expect("valid session");
         amr_mean_makespan = s.mean_makespan().expect("measured run");
     });
     eprintln!(
         "  epoch gen {amr_gen_ms:.2} ms, simulate {amr_sim_ms:.2} ms, \
          measured {amr_measured_ms:.2} ms, mean makespan {amr_mean_makespan:.4} s"
     );
+
+    // --- Phase attribution: one traced full partition, leaf coverage
+    // of the span tree, and the cost of tracing itself (session active
+    // vs. the no-session fast path, which must stay within noise). ---
+    eprintln!("phase attribution (traced full partition) ...");
+    let trace_cfg = {
+        let mut c = Config::seeded(seed);
+        c.threads = 1;
+        c
+    };
+    let untraced_ms = time_ms(repeats, || {
+        let r = partition_hypergraph(&h, k, &trace_cfg);
+        assert!(r.cut >= 0.0);
+    });
+    let session = dlb_trace::session();
+    let traced_ms = time_ms(repeats, || {
+        let r = partition_hypergraph(&h, k, &trace_cfg);
+        assert!(r.cut >= 0.0);
+    });
+    let trace_report = session.finish();
+    let leaf_coverage = trace_report.leaf_coverage("partition").unwrap_or(0.0);
+    let trace_overhead = if untraced_ms > 0.0 { traced_ms / untraced_ms - 1.0 } else { 0.0 };
+    eprintln!(
+        "  untraced {untraced_ms:.2} ms, traced {traced_ms:.2} ms \
+         (overhead {:.2}%), leaf coverage {:.1}%, {} spans",
+        trace_overhead * 1e2,
+        leaf_coverage * 1e2,
+        trace_report.spans.len()
+    );
+    let mut phase_rows: Vec<(String, u64, f64)> = trace_report
+        .phase_totals()
+        .into_iter()
+        .map(|(name, (calls, dur_ns))| (name.to_string(), calls, dur_ns as f64 / 1e6))
+        .collect();
+    phase_rows.sort_by(|a, b| b.2.total_cmp(&a.2));
+    for (name, calls, total_ms) in &phase_rows {
+        eprintln!("    {name:<24} {calls:>5} calls {total_ms:>10.3} ms");
+    }
+    if dlb_trace::COMPILED_IN {
+        assert!(
+            leaf_coverage >= 0.95,
+            "leaf spans cover only {:.1}% of full_partition wall time",
+            leaf_coverage * 1e2
+        );
+    }
 
     let counts: Vec<usize> = THREAD_COUNTS.to_vec();
     let mut json = String::from("{\n");
@@ -332,6 +375,14 @@ fn main() {
         "  \"amr\": {{\"epochs\": {amr_epochs}, \"gen_ms\": {amr_gen_ms:.4}, \
          \"simulate_ms\": {amr_sim_ms:.4}, \"measured_ms\": {amr_measured_ms:.4}, \
          \"mean_makespan_s\": {amr_mean_makespan:.6}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"trace\": {{\"compiled_in\": {}, \"untraced_ms\": {untraced_ms:.4}, \
+         \"traced_ms\": {traced_ms:.4}, \"overhead\": {trace_overhead:.4}, \
+         \"leaf_coverage\": {leaf_coverage:.4}, \"spans\": {}}},",
+        dlb_trace::COMPILED_IN,
+        trace_report.spans.len()
     );
     let _ = writeln!(json, "  \"cut\": {cut:.4},");
     let _ = writeln!(json, "  \"imbalance\": {imbalance:.6},");

@@ -2,10 +2,7 @@
 //! measured-makespan sweep (`BENCH_amr.json`).
 
 use dlb_amr::{AmrConfig, AmrStream};
-use dlb_core::{
-    simulate_epochs, simulate_epochs_measured, simulate_epochs_measured_parallel,
-    simulate_epochs_parallel, Algorithm, NetworkModel, RepartConfig, SimulationSummary,
-};
+use dlb_core::{Algorithm, NetworkModel, RepartConfig, Session, SimulationSummary};
 use dlb_graphpart::{partition_kway, GraphConfig};
 use dlb_hypergraph::parallel;
 use dlb_mpisim::{run_spmd, CommStats};
@@ -239,42 +236,29 @@ fn run_trial(
     match cfg.timing {
         TimingMode::Serial => {
             let mut source = make_source(cfg, k, trial_seed);
-            let summary = match &cfg.network {
-                Some(net) => simulate_epochs_measured(
-                    &mut *source,
-                    cfg.epochs,
-                    algorithm,
-                    alpha,
-                    &repart_cfg,
-                    net,
-                ),
-                None => simulate_epochs(&mut *source, cfg.epochs, algorithm, alpha, &repart_cfg),
-            };
-            (summary, CommStats::default())
+            let mut session = Session::new(repart_cfg)
+                .algorithm(algorithm)
+                .alpha(alpha)
+                .epochs(cfg.epochs)
+                .workload(&mut source);
+            if let Some(net) = &cfg.network {
+                session = session.network(*net);
+            }
+            (session.run().expect("valid sweep session"), CommStats::default())
         }
         TimingMode::Parallel { max_ranks } => {
             let ranks = k.min(max_ranks).max(1);
             let results = run_spmd(ranks, |comm| {
                 let mut source = make_source(cfg, k, trial_seed);
-                let summary = match &cfg.network {
-                    Some(net) => simulate_epochs_measured_parallel(
-                        comm,
-                        &mut *source,
-                        cfg.epochs,
-                        algorithm,
-                        alpha,
-                        &repart_cfg,
-                        net,
-                    ),
-                    None => simulate_epochs_parallel(
-                        comm,
-                        &mut *source,
-                        cfg.epochs,
-                        algorithm,
-                        alpha,
-                        &repart_cfg,
-                    ),
-                };
+                let mut session = Session::new(repart_cfg.clone())
+                    .algorithm(algorithm)
+                    .alpha(alpha)
+                    .epochs(cfg.epochs)
+                    .workload(&mut source);
+                if let Some(net) = &cfg.network {
+                    session = session.network(*net);
+                }
+                let summary = session.run_on(comm).expect("valid sweep session");
                 (summary, comm.stats())
             });
             let mut traffic = CommStats::default();

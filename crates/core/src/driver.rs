@@ -156,6 +156,12 @@ pub fn repartition(
     cfg: &RepartConfig,
 ) -> RepartResult {
     validate(problem);
+    let _span = dlb_trace::span!(
+        "repartition",
+        algorithm = algorithm.name(),
+        k = problem.k,
+        alpha = problem.alpha,
+    );
     let start = Instant::now();
     let new_part = match algorithm {
         Algorithm::ZoltanRepart => {
@@ -214,6 +220,13 @@ pub fn repartition_parallel(
     cfg: &RepartConfig,
 ) -> RepartResult {
     validate(problem);
+    let _span = dlb_trace::span!(
+        "repartition",
+        algorithm = algorithm.name(),
+        k = problem.k,
+        alpha = problem.alpha,
+        ranks = comm.size(),
+    );
     let start = Instant::now();
     let new_part = match algorithm {
         Algorithm::ZoltanRepart => {

@@ -134,7 +134,8 @@ fn mean(values: impl Iterator<Item = f64>) -> f64 {
 
 /// The shared epoch loop: `comm` selects serial vs collective
 /// repartitioning; `network` turns on the measured execution model.
-fn run_epochs<S: EpochSource + ?Sized>(
+/// Public API: [`crate::session::Session`].
+pub(crate) fn run_epochs<S: EpochSource + ?Sized>(
     mut comm: Option<&mut Comm>,
     source: &mut S,
     num_epochs: usize,
@@ -146,7 +147,10 @@ fn run_epochs<S: EpochSource + ?Sized>(
     let k = source.k();
     let mut reports = Vec::with_capacity(num_epochs);
     for epoch in 1..=num_epochs {
+        let span = dlb_trace::span!("epoch", epoch = epoch, k = k);
+        dlb_trace::count(dlb_trace::Counter::Epochs, 1);
         let snapshot = source.next_epoch();
+        span.attr("vertices", snapshot.graph.num_vertices());
         let problem = RepartProblem {
             hypergraph: &snapshot.hypergraph,
             graph: &snapshot.graph,
@@ -169,6 +173,7 @@ fn run_epochs<S: EpochSource + ?Sized>(
             )
         });
         source.commit_assignment(&snapshot, &result.new_part);
+        span.attr("moved", result.moved);
         reports.push(EpochReport {
             epoch,
             cost: result.cost,
@@ -186,6 +191,7 @@ fn run_epochs<S: EpochSource + ?Sized>(
 ///
 /// The source must be freshly constructed with the trial's initial
 /// static partition; the simulation mutates it (commits assignments).
+#[deprecated(since = "0.2.0", note = "use dlb_core::Session")]
 pub fn simulate_epochs<S: EpochSource + ?Sized>(
     source: &mut S,
     num_epochs: usize,
@@ -193,13 +199,21 @@ pub fn simulate_epochs<S: EpochSource + ?Sized>(
     alpha: f64,
     cfg: &RepartConfig,
 ) -> SimulationSummary {
-    run_epochs(None, source, num_epochs, algorithm, alpha, cfg, None)
+    let mut adapter = crate::session::DynSource(source);
+    crate::session::Session::new(cfg.clone())
+        .algorithm(algorithm)
+        .alpha(alpha)
+        .epochs(num_epochs)
+        .workload(&mut adapter)
+        .run()
+        .expect("serial session with a workload cannot fail")
 }
 
 /// [`simulate_epochs`] plus the measured execution model: every epoch's
 /// partition is executed under `network` (ghost exchanges clocked,
 /// migration payloads physically moved on a `k`-rank SPMD world), so
 /// each report carries an [`EpochExecution`].
+#[deprecated(since = "0.2.0", note = "use dlb_core::Session with .network()")]
 pub fn simulate_epochs_measured<S: EpochSource + ?Sized>(
     source: &mut S,
     num_epochs: usize,
@@ -208,7 +222,15 @@ pub fn simulate_epochs_measured<S: EpochSource + ?Sized>(
     cfg: &RepartConfig,
     network: &NetworkModel,
 ) -> SimulationSummary {
-    run_epochs(None, source, num_epochs, algorithm, alpha, cfg, Some(network))
+    let mut adapter = crate::session::DynSource(source);
+    crate::session::Session::new(cfg.clone())
+        .algorithm(algorithm)
+        .alpha(alpha)
+        .epochs(num_epochs)
+        .network(*network)
+        .workload(&mut adapter)
+        .run()
+        .expect("serial session with a workload cannot fail")
 }
 
 /// Parallel variant of [`simulate_epochs`]: the repartitioner runs
@@ -216,6 +238,7 @@ pub fn simulate_epochs_measured<S: EpochSource + ?Sized>(
 /// graph baselines replicated — see [`repartition_parallel`]). Every rank
 /// must drive an identically seeded source; all ranks return identical
 /// summaries.
+#[deprecated(since = "0.2.0", note = "use dlb_core::Session with .ranks() or .run_on()")]
 pub fn simulate_epochs_parallel<S: EpochSource + ?Sized>(
     comm: &mut Comm,
     source: &mut S,
@@ -224,13 +247,21 @@ pub fn simulate_epochs_parallel<S: EpochSource + ?Sized>(
     alpha: f64,
     cfg: &RepartConfig,
 ) -> SimulationSummary {
-    run_epochs(Some(comm), source, num_epochs, algorithm, alpha, cfg, None)
+    let mut adapter = crate::session::DynSource(source);
+    crate::session::Session::new(cfg.clone())
+        .algorithm(algorithm)
+        .alpha(alpha)
+        .epochs(num_epochs)
+        .workload(&mut adapter)
+        .run_on(comm)
+        .expect("collective session with a workload cannot fail")
 }
 
 /// [`simulate_epochs_parallel`] plus the measured execution model. Every
 /// rank measures the (identical) partition against its own nested
 /// `k`-rank migration world, so all ranks still return identical
 /// summaries — `tests/amr_determinism.rs` relies on this.
+#[deprecated(since = "0.2.0", note = "use dlb_core::Session with .ranks()/.run_on() and .network()")]
 pub fn simulate_epochs_measured_parallel<S: EpochSource + ?Sized>(
     comm: &mut Comm,
     source: &mut S,
@@ -240,12 +271,21 @@ pub fn simulate_epochs_measured_parallel<S: EpochSource + ?Sized>(
     cfg: &RepartConfig,
     network: &NetworkModel,
 ) -> SimulationSummary {
-    run_epochs(Some(comm), source, num_epochs, algorithm, alpha, cfg, Some(network))
+    let mut adapter = crate::session::DynSource(source);
+    crate::session::Session::new(cfg.clone())
+        .algorithm(algorithm)
+        .alpha(alpha)
+        .epochs(num_epochs)
+        .network(*network)
+        .workload(&mut adapter)
+        .run_on(comm)
+        .expect("collective session with a workload cannot fail")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::Session;
     use dlb_graphpart::{partition_kway, GraphConfig};
     use dlb_workloads::{Dataset, DatasetKind, EpochStream, Perturbation};
 
@@ -255,12 +295,27 @@ mod tests {
         EpochStream::new(d.graph, perturbation, k, init, seed)
     }
 
+    fn run(
+        stream: &mut EpochStream,
+        epochs: usize,
+        alg: Algorithm,
+        alpha: f64,
+        cfg: &RepartConfig,
+    ) -> SimulationSummary {
+        Session::new(cfg.clone())
+            .algorithm(alg)
+            .alpha(alpha)
+            .epochs(epochs)
+            .workload(stream)
+            .run()
+            .unwrap()
+    }
+
     #[test]
     fn simulation_runs_all_algorithms() {
         for alg in Algorithm::ALL {
             let mut stream = make_stream(DatasetKind::Auto, 4, Perturbation::structure(), 3);
-            let summary =
-                simulate_epochs(&mut stream, 3, alg, 10.0, &RepartConfig::seeded(3));
+            let summary = run(&mut stream, 3, alg, 10.0, &RepartConfig::seeded(3));
             assert_eq!(summary.reports.len(), 3, "{}", alg.name());
             assert!(summary.mean_normalized_total() > 0.0);
             assert!(summary.max_imbalance() < 1.5, "{}", alg.name());
@@ -270,13 +325,8 @@ mod tests {
     #[test]
     fn weight_perturbation_simulation() {
         let mut stream = make_stream(DatasetKind::Cage14, 4, Perturbation::weights(), 5);
-        let summary = simulate_epochs(
-            &mut stream,
-            3,
-            Algorithm::ZoltanRepart,
-            100.0,
-            &RepartConfig::seeded(5),
-        );
+        let summary =
+            run(&mut stream, 3, Algorithm::ZoltanRepart, 100.0, &RepartConfig::seeded(5));
         assert_eq!(summary.reports.len(), 3);
         // Weight growth must be rebalanced.
         assert!(summary.max_imbalance() <= 1.3, "imbalance {}", summary.max_imbalance());
@@ -292,10 +342,10 @@ mod tests {
         for seed in 11..16 {
             let mut s1 = make_stream(DatasetKind::Auto, 4, Perturbation::structure(), seed);
             let repart =
-                simulate_epochs(&mut s1, 3, Algorithm::ZoltanRepart, 1.0, &RepartConfig::seeded(seed));
+                run(&mut s1, 3, Algorithm::ZoltanRepart, 1.0, &RepartConfig::seeded(seed));
             let mut s2 = make_stream(DatasetKind::Auto, 4, Perturbation::structure(), seed);
             let scratch =
-                simulate_epochs(&mut s2, 3, Algorithm::ZoltanScratch, 1.0, &RepartConfig::seeded(seed));
+                run(&mut s2, 3, Algorithm::ZoltanScratch, 1.0, &RepartConfig::seeded(seed));
             repart_total += repart.mean_normalized_total();
             scratch_total += scratch.mean_normalized_total();
         }
@@ -310,14 +360,13 @@ mod tests {
         use dlb_mpisim::run_spmd;
         let results = run_spmd(2, |comm| {
             let mut stream = make_stream(DatasetKind::Auto, 2, Perturbation::structure(), 13);
-            let s = simulate_epochs_parallel(
-                comm,
-                &mut stream,
-                2,
-                Algorithm::ZoltanRepart,
-                10.0,
-                &RepartConfig::seeded(13),
-            );
+            let s = Session::new(RepartConfig::seeded(13))
+                .algorithm(Algorithm::ZoltanRepart)
+                .alpha(10.0)
+                .epochs(2)
+                .workload(&mut stream)
+                .run_on(comm)
+                .unwrap();
             (s.mean_comm(), s.mean_migration())
         });
         assert_eq!(results[0], results[1], "ranks must agree on costs");
@@ -326,15 +375,14 @@ mod tests {
     #[test]
     fn measured_simulation_populates_executions() {
         let mut stream = make_stream(DatasetKind::Auto, 2, Perturbation::weights(), 9);
-        let net = NetworkModel::default();
-        let s = simulate_epochs_measured(
-            &mut stream,
-            3,
-            Algorithm::ZoltanRepart,
-            10.0,
-            &RepartConfig::seeded(9),
-            &net,
-        );
+        let s = Session::new(RepartConfig::seeded(9))
+            .algorithm(Algorithm::ZoltanRepart)
+            .alpha(10.0)
+            .epochs(3)
+            .measured(true)
+            .workload(&mut stream)
+            .run()
+            .unwrap();
         assert!(s.reports.iter().all(|r| r.execution.is_some()));
         let makespan = s.mean_makespan().expect("measured run");
         let (comp, comm, mig) = s.mean_phase_times().expect("measured run");
@@ -342,7 +390,7 @@ mod tests {
         assert!((makespan - (10.0 * (comp + comm) + mig)).abs() < 1e-12);
         // The unmeasured path reports no execution.
         let mut stream = make_stream(DatasetKind::Auto, 2, Perturbation::weights(), 9);
-        let s = simulate_epochs(&mut stream, 2, Algorithm::ZoltanRepart, 10.0, &RepartConfig::seeded(9));
+        let s = run(&mut stream, 2, Algorithm::ZoltanRepart, 10.0, &RepartConfig::seeded(9));
         assert!(s.reports.iter().all(|r| r.execution.is_none()));
         assert_eq!(s.mean_makespan(), None);
         assert_eq!(s.mean_phase_times(), None);
@@ -351,10 +399,26 @@ mod tests {
     #[test]
     fn summary_statistics_are_consistent() {
         let mut stream = make_stream(DatasetKind::Auto, 2, Perturbation::structure(), 7);
-        let s = simulate_epochs(&mut stream, 4, Algorithm::ParmetisRepart, 10.0, &RepartConfig::seeded(7));
+        let s = run(&mut stream, 4, Algorithm::ParmetisRepart, 10.0, &RepartConfig::seeded(7));
         let manual: f64 =
             s.reports.iter().map(|r| r.cost.normalized_total()).sum::<f64>() / 4.0;
         assert!((s.mean_normalized_total() - manual).abs() < 1e-12);
         assert!(s.total_elapsed() >= s.mean_elapsed());
+    }
+
+    #[test]
+    fn deprecated_wrappers_still_work() {
+        // The old entry points must keep compiling and returning the same
+        // results as the Session they now delegate to (one release of
+        // grace for external callers).
+        #[allow(deprecated)]
+        let old = {
+            let mut stream = make_stream(DatasetKind::Auto, 2, Perturbation::structure(), 21);
+            simulate_epochs(&mut stream, 2, Algorithm::ZoltanRepart, 10.0, &RepartConfig::seeded(21))
+        };
+        let mut stream = make_stream(DatasetKind::Auto, 2, Perturbation::structure(), 21);
+        let new = run(&mut stream, 2, Algorithm::ZoltanRepart, 10.0, &RepartConfig::seeded(21));
+        assert_eq!(old.mean_comm(), new.mean_comm());
+        assert_eq!(old.mean_migration(), new.mean_migration());
     }
 }

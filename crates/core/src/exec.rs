@@ -114,6 +114,8 @@ pub fn measure_epoch(
     assert!(k > 0, "k must be positive");
     assert!(new_part.iter().chain(old_part).all(|&p| p < k), "part out of range");
 
+    let span = dlb_trace::span!("exec.measure", vertices = n, k = k, alpha = alpha);
+
     // --- Compute: owned work per part, bottleneck rank. ---
     let mut work = vec![0.0f64; k];
     for v in 0..n {
@@ -179,6 +181,18 @@ pub fn measure_epoch(
         t_mig = t_mig.max(t);
     }
     let mig_bottleneck = MigrationStats::max_over_ranks(&per_rank);
+
+    // Items moved is an outcome of the partition pair, so the counter is
+    // identical no matter how many ranks drive the epoch loop.
+    let items_moved: u64 = per_rank.iter().map(|s| s.items_sent as u64).sum();
+    dlb_trace::count(dlb_trace::Counter::MigrationItemsMoved, items_moved);
+    span.attr("t_comp", t_comp);
+    span.attr("t_comm", t_comm);
+    span.attr("t_mig", t_mig);
+    span.attr("comm_volume", comm_volume);
+    span.attr("mig_volume", mig_volume);
+    span.attr("items_moved", items_moved);
+    drop(span);
 
     EpochExecution {
         t_comp,

@@ -48,15 +48,19 @@ pub mod exec;
 pub mod migrate;
 pub mod model;
 pub mod remap;
+pub mod session;
 
 pub use cost::CostBreakdown;
 pub use driver::{repartition, Algorithm, RepartConfig, RepartProblem, RepartResult};
 pub use driver::repartition_parallel;
+pub use epoch::{EpochReport, SimulationSummary};
+#[allow(deprecated)]
 pub use epoch::{
     simulate_epochs, simulate_epochs_measured, simulate_epochs_measured_parallel,
-    simulate_epochs_parallel, EpochReport, SimulationSummary,
+    simulate_epochs_parallel,
 };
 pub use exec::{measure_epoch, EpochExecution, NetworkModel};
+pub use session::{Session, SessionError};
 pub use migrate::{migrate_items, scatter_initial, MigrationStats};
 pub use model::RepartitionHypergraph;
 pub use remap::remap_to_minimize_migration;

@@ -1,0 +1,449 @@
+//! The unified entry point for multi-epoch simulations.
+//!
+//! Historically the epoch loop was reachable through four near-identical
+//! free functions (`simulate_epochs`, `simulate_epochs_measured`,
+//! `simulate_epochs_parallel`, `simulate_epochs_measured_parallel`) whose
+//! argument lists grew with every feature. [`Session`] collapses them
+//! into one builder:
+//!
+//! ```
+//! use dlb_core::{Algorithm, RepartConfig, Session};
+//! use dlb_workloads::{Dataset, DatasetKind, EpochStream, Perturbation};
+//! use dlb_graphpart::{partition_kway, GraphConfig};
+//!
+//! let d = Dataset::generate(DatasetKind::Auto, 0.0005, 7);
+//! let init = partition_kway(&d.graph, 2, &GraphConfig::seeded(7)).part;
+//! let mut stream = EpochStream::new(d.graph, Perturbation::structure(), 2, init, 7);
+//! let summary = Session::new(RepartConfig::seeded(7))
+//!     .algorithm(Algorithm::ZoltanRepart)
+//!     .alpha(10.0)
+//!     .epochs(2)
+//!     .workload(&mut stream)
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(summary.reports.len(), 2);
+//! ```
+//!
+//! A session is **serial** by default. `.ranks(n)` (or a config with
+//! `dist.distributed` set) runs the repartitioner collectively on a
+//! simulated SPMD world; because each rank must then drive its own
+//! identically seeded source, multi-rank sessions take a
+//! [`workload_factory`](Session::workload_factory) instead of a borrowed
+//! source. `.measured(true)` (or [`network`](Session::network)) turns on
+//! the measured execution model, and [`trace_to`](Session::trace_to) /
+//! [`run_traced`](Session::run_traced) wrap the run in a
+//! [`dlb_trace`] session.
+
+use std::fmt;
+use std::path::PathBuf;
+
+use dlb_hypergraph::PartId;
+use dlb_mpisim::{run_spmd, Comm};
+use dlb_workloads::{EpochSnapshot, EpochSource};
+
+use crate::driver::{Algorithm, RepartConfig};
+use crate::epoch::{run_epochs, SimulationSummary};
+use crate::exec::NetworkModel;
+
+/// Why a [`Session`] refused to run (or failed to finish).
+#[derive(Debug)]
+pub enum SessionError {
+    /// Neither [`Session::workload`] nor [`Session::workload_factory`]
+    /// was called.
+    NoWorkload,
+    /// A multi-rank session was configured with a borrowed workload;
+    /// every rank needs its own source, so use
+    /// [`Session::workload_factory`].
+    RanksNeedFactory {
+        /// The configured rank count.
+        ranks: usize,
+    },
+    /// `ranks == 0` — an SPMD world needs at least one rank.
+    ZeroRanks,
+    /// Tracing was requested on [`Session::run_on`]; a per-rank trace
+    /// session would deadlock the collective, so open the trace around
+    /// the whole SPMD world instead (e.g. via [`Session::ranks`]).
+    TraceInsideSpmd,
+    /// The trace file could not be written.
+    TraceIo {
+        /// Destination path.
+        path: PathBuf,
+        /// The underlying I/O error.
+        error: std::io::Error,
+    },
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::NoWorkload => {
+                write!(f, "session has no workload (call .workload() or .workload_factory())")
+            }
+            SessionError::RanksNeedFactory { ranks } => write!(
+                f,
+                "a {ranks}-rank session needs a per-rank source: use .workload_factory()"
+            ),
+            SessionError::ZeroRanks => write!(f, "ranks must be at least 1"),
+            SessionError::TraceInsideSpmd => write!(
+                f,
+                "cannot open a trace session per rank; trace the world opener instead"
+            ),
+            SessionError::TraceIo { path, error } => {
+                write!(f, "cannot write trace to {}: {error}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// Per-rank workload constructor for multi-rank sessions: `rank ->
+/// source`. Every rank must build an identically seeded source so the
+/// collective repartitioner sees one consistent problem.
+type SourceFactory<'a> = Box<dyn Fn(usize) -> Box<dyn EpochSource + 'a> + Sync + 'a>;
+
+/// Builder for one multi-epoch simulation run. See the [module
+/// docs](self) for the full picture.
+pub struct Session<'a> {
+    cfg: RepartConfig,
+    algorithm: Algorithm,
+    alpha: f64,
+    epochs: usize,
+    ranks: usize,
+    network: Option<NetworkModel>,
+    source: Option<&'a mut dyn EpochSource>,
+    factory: Option<SourceFactory<'a>>,
+    trace_path: Option<PathBuf>,
+}
+
+impl<'a> Session<'a> {
+    /// A serial, unmeasured, untraced session over `cfg`, defaulting to
+    /// [`Algorithm::ZoltanRepart`], `alpha = 100`, one epoch, one rank.
+    pub fn new(cfg: RepartConfig) -> Self {
+        Session {
+            cfg,
+            algorithm: Algorithm::ZoltanRepart,
+            alpha: 100.0,
+            epochs: 1,
+            ranks: 1,
+            network: None,
+            source: None,
+            factory: None,
+            trace_path: None,
+        }
+    }
+
+    /// Selects the repartitioning algorithm.
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Sets α, the iterations per epoch (the comm/migration trade-off).
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Sets the number of epochs to simulate.
+    pub fn epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Runs the repartitioner collectively on `ranks` simulated SPMD
+    /// ranks (1 = serial). Multi-rank sessions require
+    /// [`workload_factory`](Session::workload_factory).
+    pub fn ranks(mut self, ranks: usize) -> Self {
+        self.ranks = ranks;
+        self
+    }
+
+    /// Turns the measured execution model on (with
+    /// [`NetworkModel::default`]) or off.
+    pub fn measured(mut self, on: bool) -> Self {
+        self.network = if on {
+            Some(self.network.unwrap_or_default())
+        } else {
+            None
+        };
+        self
+    }
+
+    /// Measures every epoch under a specific machine model (implies
+    /// `measured(true)`).
+    pub fn network(mut self, net: NetworkModel) -> Self {
+        self.network = Some(net);
+        self
+    }
+
+    /// Drives the session from a borrowed source (serial sessions only;
+    /// the source is mutated as assignments are committed).
+    pub fn workload<S: EpochSource>(mut self, source: &'a mut S) -> Self {
+        self.source = Some(source);
+        self
+    }
+
+    /// Like [`workload`](Session::workload), but for callers that only
+    /// hold the source behind a trait object.
+    pub fn workload_dyn(mut self, source: &'a mut dyn EpochSource) -> Self {
+        self.source = Some(source);
+        self
+    }
+
+    /// Supplies a per-rank source constructor (`rank -> source`) for
+    /// multi-rank sessions. Every rank must construct an identically
+    /// seeded source. Also usable for serial sessions (rank 0 only).
+    pub fn workload_factory<F, S>(mut self, f: F) -> Self
+    where
+        F: Fn(usize) -> S + Sync + 'a,
+        S: EpochSource + 'a,
+    {
+        self.factory = Some(Box::new(move |rank| Box::new(f(rank))));
+        self
+    }
+
+    /// Wraps the run in a [`dlb_trace`] session and writes the report in
+    /// chrome://tracing format to `path` when the run finishes.
+    pub fn trace_to(mut self, path: impl Into<PathBuf>) -> Self {
+        self.trace_path = Some(path.into());
+        self
+    }
+
+    /// Runs the session.
+    pub fn run(self) -> Result<SimulationSummary, SessionError> {
+        if self.trace_path.is_some() {
+            return Ok(self.run_traced()?.0);
+        }
+        self.validate()?.execute()
+    }
+
+    /// Runs the session inside a fresh [`dlb_trace`] session and returns
+    /// the report alongside the summary (writing it to the
+    /// [`trace_to`](Session::trace_to) path, if one was set).
+    pub fn run_traced(self) -> Result<(SimulationSummary, dlb_trace::TraceReport), SessionError> {
+        let mut session = self.validate()?;
+        let trace_path = session.trace_path.take();
+        let trace = dlb_trace::session();
+        let outcome = session.execute();
+        let report = trace.finish();
+        let summary = outcome?;
+        if let Some(path) = trace_path {
+            std::fs::write(&path, report.to_chrome_json())
+                .map_err(|error| SessionError::TraceIo { path, error })?;
+        }
+        Ok((summary, report))
+    }
+
+    /// Runs the session collectively on an existing communicator (for
+    /// callers already inside an SPMD world). Requires a borrowed
+    /// [`workload`](Session::workload); `ranks` is taken from `comm`.
+    pub fn run_on(mut self, comm: &mut Comm) -> Result<SimulationSummary, SessionError> {
+        if self.trace_path.is_some() {
+            return Err(SessionError::TraceInsideSpmd);
+        }
+        let source = self.source.take().ok_or(SessionError::NoWorkload)?;
+        Ok(run_epochs(
+            Some(comm),
+            source,
+            self.epochs,
+            self.algorithm,
+            self.alpha,
+            &self.cfg,
+            self.network.as_ref(),
+        ))
+    }
+
+    fn validate(self) -> Result<Self, SessionError> {
+        if self.ranks == 0 {
+            return Err(SessionError::ZeroRanks);
+        }
+        if self.source.is_none() && self.factory.is_none() {
+            return Err(SessionError::NoWorkload);
+        }
+        if self.ranks > 1 && self.factory.is_none() {
+            return Err(SessionError::RanksNeedFactory { ranks: self.ranks });
+        }
+        Ok(self)
+    }
+
+    fn execute(mut self) -> Result<SimulationSummary, SessionError> {
+        // The SPMD drivers (including the distributed one, which is
+        // collective even at one rank) move sources across threads, so
+        // they require a factory; a borrowed source runs the serial
+        // driver.
+        if let Some(factory) = self.factory.take() {
+            let spmd = self.ranks > 1 || self.cfg.hypergraph.dist.distributed;
+            if spmd {
+                let summaries = run_spmd(self.ranks, |comm| {
+                    let mut source = factory(comm.rank());
+                    run_epochs(
+                        Some(comm),
+                        &mut *source,
+                        self.epochs,
+                        self.algorithm,
+                        self.alpha,
+                        &self.cfg,
+                        self.network.as_ref(),
+                    )
+                });
+                return Ok(summaries.into_iter().next().expect("at least one rank"));
+            }
+            let mut source = factory(0);
+            return Ok(run_epochs(
+                None,
+                &mut *source,
+                self.epochs,
+                self.algorithm,
+                self.alpha,
+                &self.cfg,
+                self.network.as_ref(),
+            ));
+        }
+        let source = self.source.take().ok_or(SessionError::NoWorkload)?;
+        Ok(run_epochs(
+            None,
+            source,
+            self.epochs,
+            self.algorithm,
+            self.alpha,
+            &self.cfg,
+            self.network.as_ref(),
+        ))
+    }
+}
+
+/// Object-safe shim that lets the deprecated `S: ?Sized` wrappers feed
+/// any source into the dyn-based builder.
+pub(crate) struct DynSource<'s, S: EpochSource + ?Sized>(pub &'s mut S);
+
+impl<S: EpochSource + ?Sized> EpochSource for DynSource<'_, S> {
+    fn k(&self) -> usize {
+        self.0.k()
+    }
+
+    fn epochs_emitted(&self) -> usize {
+        self.0.epochs_emitted()
+    }
+
+    fn next_epoch(&mut self) -> EpochSnapshot {
+        self.0.next_epoch()
+    }
+
+    fn commit_assignment(&mut self, snapshot: &EpochSnapshot, part: &[PartId]) {
+        self.0.commit_assignment(snapshot, part)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlb_graphpart::{partition_kway, GraphConfig};
+    use dlb_workloads::{Dataset, DatasetKind, EpochStream, Perturbation};
+
+    fn make_stream(k: usize, seed: u64) -> EpochStream {
+        let d = Dataset::generate(DatasetKind::Auto, 0.0005, seed);
+        let init = partition_kway(&d.graph, k, &GraphConfig::seeded(seed)).part;
+        EpochStream::new(d.graph, Perturbation::structure(), k, init, seed)
+    }
+
+    #[test]
+    fn serial_session_runs() {
+        let mut stream = make_stream(2, 3);
+        let s = Session::new(RepartConfig::seeded(3))
+            .alpha(10.0)
+            .epochs(2)
+            .workload(&mut stream)
+            .run()
+            .unwrap();
+        assert_eq!(s.reports.len(), 2);
+        assert!(s.reports.iter().all(|r| r.execution.is_none()));
+    }
+
+    #[test]
+    fn measured_session_populates_executions() {
+        let mut stream = make_stream(2, 4);
+        let s = Session::new(RepartConfig::seeded(4))
+            .alpha(10.0)
+            .epochs(2)
+            .measured(true)
+            .workload(&mut stream)
+            .run()
+            .unwrap();
+        assert!(s.reports.iter().all(|r| r.execution.is_some()));
+        assert!(s.mean_makespan().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn multirank_session_matches_serial() {
+        let serial = Session::new(RepartConfig::seeded(5))
+            .alpha(10.0)
+            .epochs(2)
+            .workload_factory(|_| make_stream(2, 5))
+            .run()
+            .unwrap();
+        let parallel = Session::new(RepartConfig::seeded(5))
+            .alpha(10.0)
+            .epochs(2)
+            .ranks(2)
+            .workload_factory(|_| make_stream(2, 5))
+            .run()
+            .unwrap();
+        // Both drive the same source; the collective partitioner may
+        // differ from the serial one, but costs must be well-formed and
+        // the epoch counts identical.
+        assert_eq!(serial.reports.len(), parallel.reports.len());
+        assert!(parallel.mean_normalized_total() > 0.0);
+    }
+
+    #[test]
+    fn session_validation_errors() {
+        let err = Session::new(RepartConfig::default()).run().unwrap_err();
+        assert!(matches!(err, SessionError::NoWorkload), "{err}");
+
+        let mut stream = make_stream(2, 6);
+        let err = Session::new(RepartConfig::default())
+            .ranks(2)
+            .workload(&mut stream)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SessionError::RanksNeedFactory { ranks: 2 }), "{err}");
+
+        let err = Session::new(RepartConfig::default())
+            .ranks(0)
+            .workload_factory(|_| make_stream(2, 6))
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SessionError::ZeroRanks), "{err}");
+    }
+
+    #[test]
+    fn traced_session_returns_report() {
+        let (s, report) = Session::new(RepartConfig::seeded(8))
+            .alpha(10.0)
+            .epochs(1)
+            .workload_factory(|_| make_stream(2, 8))
+            .run_traced()
+            .unwrap();
+        assert_eq!(s.reports.len(), 1);
+        if dlb_trace::COMPILED_IN {
+            assert_eq!(report.counter(dlb_trace::Counter::Epochs), 1);
+            assert!(report.find("repartition").is_some());
+        } else {
+            assert!(report.spans.is_empty());
+        }
+    }
+
+    #[test]
+    fn single_rank_distributed_session_runs_via_factory() {
+        let mut cfg = RepartConfig::seeded(9);
+        cfg.hypergraph.dist.distributed = true;
+        let s = Session::new(cfg)
+            .alpha(10.0)
+            .epochs(1)
+            .workload_factory(|_| make_stream(2, 9))
+            .run()
+            .unwrap();
+        assert_eq!(s.reports.len(), 1);
+    }
+}

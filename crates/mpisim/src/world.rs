@@ -31,11 +31,18 @@ where
     let f = &f;
     let mut results: Vec<Option<T>> = (0..nranks).map(|_| None).collect();
 
+    // If the launching thread is enrolled in a trace session, rank 0
+    // inherits the enrollment (its spans nest under the caller's open
+    // span); other ranks stay muted so counter values are invariant
+    // across rank counts.
+    let trace_ctx = dlb_trace::fork();
+
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(nranks);
         for (rank, rx) in rxs.into_iter().enumerate() {
             let txs = txs.clone();
             handles.push(scope.spawn(move || {
+                dlb_trace::adopt(trace_ctx, rank == 0);
                 let mut comm = Comm::new(rank, txs, rx);
                 f(&mut comm)
             }));

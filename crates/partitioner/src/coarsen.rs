@@ -205,6 +205,13 @@ pub fn coarsen_to_threads(
     let mut current_fixed = fixed.clone();
 
     while current.num_vertices() > target_vertices && hierarchy.levels.len() < cfg.max_levels {
+        let span = dlb_trace::span!(
+            "coarsen.level",
+            level = hierarchy.levels.len(),
+            vertices = current.num_vertices(),
+            nets = current.num_nets(),
+            pins = current.num_pins(),
+        );
         let matching = ipm_matching_threads(&current, &current_fixed, None, cfg, rng, threads);
         let before = current.num_vertices();
         let after = matching.coarse_count();
@@ -214,6 +221,9 @@ pub fn coarsen_to_threads(
             break;
         }
         let level = contract_threads(&current, &matching, &current_fixed, threads);
+        span.attr("matches", matching.num_pairs);
+        span.attr("coarse_vertices", level.coarse.num_vertices());
+        dlb_trace::count(dlb_trace::Counter::CoarsenLevels, 1);
         current = level.coarse.clone();
         current_fixed = level.coarse_fixed.clone();
         hierarchy.levels.push(level);

@@ -109,11 +109,15 @@ pub struct DistConfig {
     /// small, so this trades negligible memory for cheaper, local
     /// coarse-level work.
     pub gather_threshold: usize,
+    /// Simulated SPMD ranks for drivers that spawn their own world
+    /// (e.g. the CLI). `1` = serial. Library entry points that take a
+    /// `Comm` use the communicator's size instead.
+    pub ranks: usize,
 }
 
 impl Default for DistConfig {
     fn default() -> Self {
-        DistConfig { distributed: false, gather_threshold: 1024 }
+        DistConfig { distributed: false, gather_threshold: 1024, ranks: 1 }
     }
 }
 
@@ -170,6 +174,162 @@ impl Config {
     pub fn seeded(seed: u64) -> Self {
         Config { seed, ..Config::default() }
     }
+
+    /// A validating builder over the default configuration. Prefer this
+    /// at API boundaries (CLI, services): invalid knob combinations come
+    /// back as a [`ConfigError`] instead of a panic deep inside the
+    /// partitioning drivers.
+    pub fn builder() -> ConfigBuilder {
+        ConfigBuilder { cfg: Config::default(), k: None }
+    }
+}
+
+/// A rejected [`ConfigBuilder`] knob combination.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConfigError {
+    /// `k < 2`: partitioning into fewer than two parts is a no-op the
+    /// drivers are not meant for.
+    InvalidK(usize),
+    /// `ranks == 0`: an SPMD world needs at least one rank (the SPMD
+    /// driver would otherwise panic on world construction).
+    ZeroRanks,
+    /// `gather_threshold == 0`: the distributed driver could then never
+    /// gather, and degenerate coarse hypergraphs would stay distributed.
+    ZeroGatherThreshold,
+    /// `epsilon` must be positive and finite (Eq. (1) is vacuous or
+    /// unsatisfiable otherwise).
+    InvalidEpsilon(f64),
+    /// `num_attempts == 0`: coarse partitioning needs at least one
+    /// greedy-growing attempt.
+    ZeroAttempts,
+    /// `num_vcycles == 0`: the first V-cycle builds the partition, so at
+    /// least one is required.
+    ZeroVcycles,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::InvalidK(k) => write!(f, "k must be at least 2, got {k}"),
+            ConfigError::ZeroRanks => write!(f, "ranks must be at least 1"),
+            ConfigError::ZeroGatherThreshold => {
+                write!(f, "gather-threshold must be at least 1")
+            }
+            ConfigError::InvalidEpsilon(e) => {
+                write!(f, "epsilon must be positive and finite, got {e}")
+            }
+            ConfigError::ZeroAttempts => write!(f, "initial attempts must be at least 1"),
+            ConfigError::ZeroVcycles => write!(f, "num_vcycles must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validating builder for [`Config`] (see [`Config::builder`]).
+///
+/// Unifies the top-level knobs, the [`DistConfig`] sub-config, and the
+/// `threads`/`DLB_THREADS` worker-count resolution behind one checked
+/// constructor:
+///
+/// ```
+/// use dlb_partitioner::config::{Config, ConfigError};
+///
+/// let cfg = Config::builder().k(4).epsilon(0.03).ranks(2).build().unwrap();
+/// assert_eq!(cfg.dist.ranks, 2);
+/// assert_eq!(Config::builder().k(1).build().unwrap_err(), ConfigError::InvalidK(1));
+/// assert_eq!(Config::builder().ranks(0).build().unwrap_err(), ConfigError::ZeroRanks);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ConfigBuilder {
+    cfg: Config,
+    k: Option<usize>,
+}
+
+impl ConfigBuilder {
+    /// Part count this configuration will be used with; validated
+    /// (`k >= 2`) but not stored — the partitioning calls still take `k`
+    /// explicitly.
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = Some(k);
+        self
+    }
+
+    /// Allowed imbalance ε.
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.cfg.epsilon = epsilon;
+        self
+    }
+
+    /// RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// K-way scheme.
+    pub fn scheme(mut self, scheme: Scheme) -> Self {
+        self.cfg.scheme = scheme;
+        self
+    }
+
+    /// Total V-cycles (see [`Config::num_vcycles`]).
+    pub fn num_vcycles(mut self, num_vcycles: usize) -> Self {
+        self.cfg.num_vcycles = num_vcycles;
+        self
+    }
+
+    /// Shared-memory worker threads (`0` = auto: `DLB_THREADS`, then
+    /// [`std::thread::available_parallelism`]).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.cfg.threads = threads;
+        self
+    }
+
+    /// Simulated SPMD ranks ([`DistConfig::ranks`]).
+    pub fn ranks(mut self, ranks: usize) -> Self {
+        self.cfg.dist.ranks = ranks;
+        self
+    }
+
+    /// Route through the memory-scalable distributed driver
+    /// ([`DistConfig::distributed`]).
+    pub fn distributed(mut self, on: bool) -> Self {
+        self.cfg.dist.distributed = on;
+        self
+    }
+
+    /// Replication threshold of the distributed driver
+    /// ([`DistConfig::gather_threshold`]).
+    pub fn gather_threshold(mut self, gather_threshold: usize) -> Self {
+        self.cfg.dist.gather_threshold = gather_threshold;
+        self
+    }
+
+    /// Validates the assembled configuration.
+    pub fn build(self) -> Result<Config, ConfigError> {
+        if let Some(k) = self.k {
+            if k < 2 {
+                return Err(ConfigError::InvalidK(k));
+            }
+        }
+        if self.cfg.dist.ranks == 0 {
+            return Err(ConfigError::ZeroRanks);
+        }
+        if self.cfg.dist.gather_threshold == 0 {
+            return Err(ConfigError::ZeroGatherThreshold);
+        }
+        if !(self.cfg.epsilon.is_finite() && self.cfg.epsilon > 0.0) {
+            return Err(ConfigError::InvalidEpsilon(self.cfg.epsilon));
+        }
+        if self.cfg.initial.num_attempts == 0 {
+            return Err(ConfigError::ZeroAttempts);
+        }
+        if self.cfg.num_vcycles == 0 {
+            return Err(ConfigError::ZeroVcycles);
+        }
+        Ok(self.cfg)
+    }
 }
 
 pub use dlb_hypergraph::balance::PartTargets;
@@ -191,5 +351,53 @@ mod tests {
         let c = Config::seeded(99);
         assert_eq!(c.seed, 99);
         assert_eq!(c.epsilon, Config::default().epsilon);
+    }
+
+    #[test]
+    fn builder_accepts_valid_combinations() {
+        let c = Config::builder()
+            .k(8)
+            .epsilon(0.03)
+            .seed(7)
+            .threads(2)
+            .ranks(4)
+            .distributed(true)
+            .gather_threshold(256)
+            .build()
+            .unwrap();
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.threads, 2);
+        assert_eq!(c.dist.ranks, 4);
+        assert!(c.dist.distributed);
+        assert_eq!(c.dist.gather_threshold, 256);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_knobs() {
+        assert_eq!(Config::builder().k(0).build().unwrap_err(), ConfigError::InvalidK(0));
+        assert_eq!(Config::builder().k(1).build().unwrap_err(), ConfigError::InvalidK(1));
+        assert_eq!(Config::builder().ranks(0).build().unwrap_err(), ConfigError::ZeroRanks);
+        assert_eq!(
+            Config::builder().gather_threshold(0).build().unwrap_err(),
+            ConfigError::ZeroGatherThreshold
+        );
+        assert_eq!(
+            Config::builder().epsilon(0.0).build().unwrap_err(),
+            ConfigError::InvalidEpsilon(0.0)
+        );
+        assert!(matches!(
+            Config::builder().epsilon(f64::NAN).build().unwrap_err(),
+            ConfigError::InvalidEpsilon(e) if e.is_nan()
+        ));
+        assert_eq!(
+            Config::builder().num_vcycles(0).build().unwrap_err(),
+            ConfigError::ZeroVcycles
+        );
+    }
+
+    #[test]
+    fn error_messages_are_actionable() {
+        assert!(ConfigError::InvalidK(1).to_string().contains("at least 2"));
+        assert!(ConfigError::ZeroRanks.to_string().contains("at least 1"));
     }
 }

@@ -59,6 +59,7 @@ fn greedy_growing(
     fixed: &FixedAssignment,
     rng: &mut StdRng,
 ) -> Vec<PartId> {
+    dlb_trace::count(dlb_trace::Counter::InitialGhgSeeds, 1);
     let n = h.num_vertices();
     let k = targets.k();
     let mut part = vec![UNASSIGNED; n];
@@ -312,6 +313,11 @@ pub fn initial_partition(
     cfg: &InitialConfig,
     rng: &mut StdRng,
 ) -> Vec<PartId> {
+    let _span = dlb_trace::span!(
+        "initial",
+        vertices = h.num_vertices(),
+        attempts = cfg.num_attempts.max(1),
+    );
     let mut best: Option<(f64, Vec<PartId>)> = None;
     let attempts = cfg.num_attempts.max(1);
     for _ in 0..attempts {

@@ -40,9 +40,11 @@ pub(crate) fn multilevel(
     if h.num_vertices() == 0 {
         return Vec::new();
     }
+    let ml_span = dlb_trace::span!("multilevel", vertices = h.num_vertices(), k = k);
 
     let coarse_target = (cfg.coarsening.coarse_to_factor * k).max(cfg.coarsening.min_coarse_vertices);
     let hierarchy = coarsen_to_threads(h, fixed, coarse_target, &cfg.coarsening, rng, threads);
+    ml_span.attr("levels", hierarchy.levels.len());
 
     // Partition the coarsest hypergraph.
     let (coarsest_h, coarsest_fixed): (&Hypergraph, &FixedAssignment) = match hierarchy.levels.last()
@@ -50,11 +52,18 @@ pub(crate) fn multilevel(
         Some(level) => (&level.coarse, &level.coarse_fixed),
         None => (h, fixed),
     };
+    dlb_trace::count(dlb_trace::Counter::CoarseVertices, coarsest_h.num_vertices() as u64);
+    dlb_trace::count(dlb_trace::Counter::CoarseNets, coarsest_h.num_nets() as u64);
+    dlb_trace::count(dlb_trace::Counter::CoarsePins, coarsest_h.num_pins() as u64);
     let mut part = initial_partition(coarsest_h, targets, coarsest_fixed, &cfg.initial, rng);
-    refine_threads(coarsest_h, targets, coarsest_fixed, &mut part, &cfg.refinement, rng, threads, scratch);
+    {
+        let _span = dlb_trace::span!("refine.level", level = hierarchy.levels.len());
+        refine_threads(coarsest_h, targets, coarsest_fixed, &mut part, &cfg.refinement, rng, threads, scratch);
+    }
 
     // Uncoarsen: project to each finer level and refine there.
     for i in (0..hierarchy.levels.len()).rev() {
+        let _span = dlb_trace::span!("refine.level", level = i);
         let level = &hierarchy.levels[i];
         let (finer_h, finer_fixed): (&Hypergraph, &FixedAssignment) = if i == 0 {
             (h, fixed)
@@ -94,11 +103,17 @@ pub(crate) fn vcycle_refine(
     let mut cur_fixed = fixed.clone();
     let mut cur_part = part.to_vec();
     while cur_h.num_vertices() > coarse_target && levels.len() < cfg.coarsening.max_levels {
+        let _span = dlb_trace::span!(
+            "coarsen.level",
+            level = levels.len(),
+            vertices = cur_h.num_vertices(),
+        );
         let m = ipm_matching_threads(&cur_h, &cur_fixed, Some(&cur_part), &cfg.coarsening, rng, threads);
         let before = cur_h.num_vertices();
         if ((before - m.coarse_count()) as f64) < before as f64 * cfg.coarsening.min_reduction {
             break;
         }
+        dlb_trace::count(dlb_trace::Counter::CoarsenLevels, 1);
         let level = contract_threads(&cur_h, &m, &cur_fixed, threads);
         let mut coarse_part = vec![0usize; level.coarse.num_vertices()];
         for (v, &c) in level.fine_to_coarse.iter().enumerate() {
@@ -113,6 +128,7 @@ pub(crate) fn vcycle_refine(
     // Refine at the coarsest level, then project upward, refining at
     // each level (same uncoarsening walk as the primary cycle).
     {
+        let _span = dlb_trace::span!("refine.level", level = levels.len());
         let (coarsest_h, coarsest_fixed): (&Hypergraph, &FixedAssignment) = match levels.last() {
             Some(level) => (&level.coarse, &level.coarse_fixed),
             None => (h, fixed),
@@ -120,6 +136,7 @@ pub(crate) fn vcycle_refine(
         refine_threads(coarsest_h, targets, coarsest_fixed, &mut cur_part, &cfg.refinement, rng, threads, scratch);
     }
     for i in (0..levels.len()).rev() {
+        let _span = dlb_trace::span!("refine.level", level = i);
         let level = &levels[i];
         let (finer_h, finer_fixed): (&Hypergraph, &FixedAssignment) = if i == 0 {
             (h, fixed)
@@ -157,11 +174,19 @@ pub(crate) fn iterate_vcycles(
     let metric = dlb_hypergraph::metrics::CutMetric::Connectivity;
     let mut best_cut = metrics::cutsize_par(h, &part, k, metric, threads);
     for _ in 1..cfg.num_vcycles {
+        let span = dlb_trace::span!("vcycle.iterate");
+        dlb_trace::count(dlb_trace::Counter::VcyclesRun, 1);
         let candidate = vcycle_refine(h, targets, fixed, &part, cfg, rng, threads, scratch);
-        let cut = metrics::cutsize_par(h, &candidate, k, metric, threads);
+        let cut = {
+            let _span = dlb_trace::span!("evaluate");
+            metrics::cutsize_par(h, &candidate, k, metric, threads)
+        };
         let w = metrics::part_weights_par(h, &candidate, k, threads);
         let feasible = (0..k).all(|p| w[p] <= targets.cap(p) + 1e-9);
-        if cut < best_cut && feasible {
+        let kept = cut < best_cut && feasible;
+        span.attr("kept", kept);
+        if kept {
+            dlb_trace::count(dlb_trace::Counter::VcyclesKept, 1);
             best_cut = cut;
             part = candidate;
         }

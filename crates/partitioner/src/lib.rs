@@ -58,7 +58,10 @@ pub mod par;
 pub mod rb;
 pub mod refine;
 
-pub use config::{CoarseningConfig, Config, InitialConfig, RefinementConfig, Scheme};
+pub use config::{
+    CoarseningConfig, Config, ConfigBuilder, ConfigError, DistConfig, InitialConfig,
+    RefinementConfig, Scheme,
+};
 pub use fixed::FixedAssignment;
 
 use dlb_hypergraph::{metrics, Hypergraph, PartId};
@@ -110,6 +113,17 @@ pub fn partition_hypergraph_fixed(
         assert!(p < k, "fixed part {p} out of range for k={k}");
     }
 
+    let root = dlb_trace::span!(
+        "partition",
+        vertices = h.num_vertices(),
+        nets = h.num_nets(),
+        pins = h.num_pins(),
+        k = k,
+        scheme = match cfg.scheme {
+            Scheme::RecursiveBisection => "rb",
+            Scheme::DirectKway => "kway",
+        },
+    );
     let part = match cfg.scheme {
         Scheme::RecursiveBisection => rb::partition_recursive(h, k, fixed, cfg),
         Scheme::DirectKway => kway::partition_kway(h, k, fixed, cfg),
@@ -125,7 +139,12 @@ pub fn partition_hypergraph_fixed(
         kway::iterate_vcycles(h, &targets, fixed, part, cfg, &mut rng, threads, &mut scratch)
     };
     debug_assert!(fixed.is_respected_by(&part));
-    PartitionResult::evaluate(h, part, k)
+    let result = {
+        let _span = dlb_trace::span!("evaluate");
+        PartitionResult::evaluate(h, part, k)
+    };
+    drop(root);
+    result
 }
 
 #[cfg(test)]

@@ -129,6 +129,13 @@ pub fn ipm_matching_threads(
     let mut mate: Vec<usize> = (0..n).collect();
     let mut num_pairs = 0;
 
+    // Deterministic trace tallies (emitted once at the end): pins walked
+    // while scoring visited-unmatched vertices, and candidates refused
+    // for fixed-part incompatibility. Both are defined on the serial
+    // control flow, which the parallel path reproduces exactly.
+    let mut pins_scanned = 0u64;
+    let mut refused_fixed = 0u64;
+
     // Sparse score accumulator: scores[w] for candidate partners w of the
     // current vertex, reset via the touched list.
     let mut scores = vec![0.0f64; n];
@@ -152,6 +159,7 @@ pub fn ipm_matching_threads(
             if contrib <= 0.0 {
                 continue;
             }
+            pins_scanned += size as u64;
             for &w in h.net(j) {
                 if w == u || mate[w] != w {
                     continue;
@@ -169,10 +177,11 @@ pub fn ipm_matching_threads(
         for &w in &touched {
             let s = scores[w];
             scores[w] = 0.0;
-            if s > best_score
-                && fixed.compatible(u, w)
-                && parts.is_none_or(|p| p[u] == p[w])
-            {
+            if !fixed.compatible(u, w) {
+                refused_fixed += 1;
+                continue;
+            }
+            if s > best_score && parts.is_none_or(|p| p[u] == p[w]) {
                 best_score = s;
                 best = Some(w);
             }
@@ -184,6 +193,9 @@ pub fn ipm_matching_threads(
         }
     }
 
+    dlb_trace::count(dlb_trace::Counter::CoarsenPinsScanned, pins_scanned);
+    dlb_trace::count(dlb_trace::Counter::CoarsenMatchesRefusedFixed, refused_fixed);
+    dlb_trace::count(dlb_trace::Counter::CoarsenMatchesAccepted, num_pairs as u64);
     Matching { mate, num_pairs }
 }
 
@@ -206,16 +218,19 @@ fn ipm_matching_parallel(
 
     // Per-vertex candidate lists (partner, inner-product score) in
     // first-touch order — exactly the order the serial matcher's
-    // `touched` list would hold with no vertices matched yet.
+    // `touched` list would hold with no vertices matched yet — plus the
+    // pins each vertex's scoring pass walks (tallied only for vertices
+    // the selection loop visits unmatched, matching the serial count).
     let per_chunk = parallel::map_chunks_with(
         threads,
         n,
         SCORE_CHUNK,
         || (vec![0.0f64; n], Vec::<usize>::new()),
         |(scores, touched), _, range| {
-            let mut lists: Vec<Vec<(usize, f64)>> = Vec::with_capacity(range.len());
+            let mut lists: Vec<(Vec<(usize, f64)>, u64)> = Vec::with_capacity(range.len());
             for u in range {
                 touched.clear();
+                let mut pins_u = 0u64;
                 for &j in h.vertex_nets(u) {
                     let size = h.net_size(j);
                     if size < 2 || size > cfg.max_net_size_for_matching {
@@ -229,6 +244,7 @@ fn ipm_matching_parallel(
                     if contrib <= 0.0 {
                         continue;
                     }
+                    pins_u += size as u64;
                     for &w in h.net(j) {
                         if w == u {
                             continue;
@@ -239,18 +255,23 @@ fn ipm_matching_parallel(
                         scores[w] += contrib;
                     }
                 }
-                lists.push(touched.iter().map(|&w| {
+                let list: Vec<(usize, f64)> = touched.iter().map(|&w| {
                     let s = scores[w];
                     scores[w] = 0.0;
                     (w, s)
-                }).collect());
+                }).collect();
+                lists.push((list, pins_u));
             }
             lists
         },
     );
     let mut cands: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n);
+    let mut scan: Vec<u64> = Vec::with_capacity(n);
     for chunk in per_chunk {
-        cands.extend(chunk);
+        for (list, pins_u) in chunk {
+            cands.push(list);
+            scan.push(pins_u);
+        }
     }
 
     // Serial greedy selection, identical to the serial matcher: skipping
@@ -258,20 +279,24 @@ fn ipm_matching_parallel(
     // filtered subsequence in the same order with the same scores.
     let mut mate: Vec<usize> = (0..n).collect();
     let mut num_pairs = 0;
+    let mut pins_scanned = 0u64;
+    let mut refused_fixed = 0u64;
     for &u in order {
         if mate[u] != u {
             continue;
         }
+        pins_scanned += scan[u];
         let mut best: Option<usize> = None;
         let mut best_score = 0.0;
         for &(w, s) in &cands[u] {
             if mate[w] != w {
                 continue;
             }
-            if s > best_score
-                && fixed.compatible(u, w)
-                && parts.is_none_or(|p| p[u] == p[w])
-            {
+            if !fixed.compatible(u, w) {
+                refused_fixed += 1;
+                continue;
+            }
+            if s > best_score && parts.is_none_or(|p| p[u] == p[w]) {
                 best_score = s;
                 best = Some(w);
             }
@@ -283,6 +308,9 @@ fn ipm_matching_parallel(
         }
     }
 
+    dlb_trace::count(dlb_trace::Counter::CoarsenPinsScanned, pins_scanned);
+    dlb_trace::count(dlb_trace::Counter::CoarsenMatchesRefusedFixed, refused_fixed);
+    dlb_trace::count(dlb_trace::Counter::CoarsenMatchesAccepted, num_pairs as u64);
     Matching { mate, num_pairs }
 }
 

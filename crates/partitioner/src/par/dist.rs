@@ -633,6 +633,7 @@ fn dist_rebalance(
     fixed: &FixedAssignment,
     scratch: &mut DistMoveScratch,
 ) {
+    dlb_trace::count(dlb_trace::Counter::RebalanceInvocations, 1);
     let n = state.part.len();
     let max_moves = 2 * n + 16;
     let total_violation = |weights: &[f64]| -> f64 {
@@ -891,6 +892,13 @@ pub fn dist_multilevel_stats(
     let coarse_target =
         (cfg.coarsening.coarse_to_factor * k).max(cfg.coarsening.min_coarse_vertices);
     let gather_threshold = cfg.dist.gather_threshold;
+    let ml_span = dlb_trace::span!(
+        "dist.multilevel",
+        vertices = h.num_vertices(),
+        k = k,
+        ranks = comm.size(),
+        gather_threshold = gather_threshold,
+    );
 
     // --- Coarsening: distributed while large, replicated once small. ---
     let finest_dist: Option<DistLevel> = if h.num_vertices() > gather_threshold {
@@ -911,6 +919,8 @@ pub fn dist_multilevel_stats(
         Stop,
     }
     loop {
+        let span = dlb_trace::span!("dist.coarsen.level", level = levels.len());
+        let stats_before = comm.stats();
         let step = {
             let view = current_view(h, fixed, &finest_dist, &levels, &gathered);
             let before = view.num_vertices();
@@ -949,12 +959,15 @@ pub fn dist_multilevel_stats(
                 }
             }
         };
+        crate::par::driver::attr_comm_delta(&span, stats_before, comm.stats());
         match step {
             Step::Gather(gh, gf, n) => {
+                span.attr("gathered", true);
                 stats.gathered_vertices = n;
                 gathered = Some((gh, gf));
             }
             Step::Push(level) => {
+                dlb_trace::count(dlb_trace::Counter::CoarsenLevels, 1);
                 gathered = None;
                 levels.push(level);
             }
@@ -977,6 +990,11 @@ pub fn dist_multilevel_stats(
             View::Repl(ch, cf) => (ch, cf),
             View::Dist(_) => unreachable!("coarsest was gathered above"),
         };
+    let init_span = dlb_trace::span!("dist.initial", vertices = coarsest_h.num_vertices());
+    let init_stats = comm.stats();
+    dlb_trace::count(dlb_trace::Counter::CoarseVertices, coarsest_h.num_vertices() as u64);
+    dlb_trace::count(dlb_trace::Counter::CoarseNets, coarsest_h.num_nets() as u64);
+    dlb_trace::count(dlb_trace::Counter::CoarsePins, coarsest_h.num_pins() as u64);
     let shared_draw: u64 = rng.gen();
     let mut my_rng = StdRng::seed_from_u64(
         shared_draw ^ (comm.rank() as u64).wrapping_mul(0x1357_9BDF_2468_ACE0),
@@ -1006,9 +1024,15 @@ pub fn dist_multilevel_stats(
         }
     });
     let mut part = comm.broadcast(winner, my_part);
+    crate::par::driver::attr_comm_delta(&init_span, init_stats, comm.stats());
+    drop(init_span);
 
     // --- Uncoarsening: refine in whichever form each level is held. ---
-    for level in levels.iter().rev() {
+    // Levels are numbered with 0 = the original (finest) hypergraph.
+    for (i, level) in levels.iter().enumerate().rev() {
+        let span = dlb_trace::span!("dist.refine.level", level = i + 1);
+        let stats_before = comm.stats();
+        let before_part = dlb_trace::enabled().then(|| part.clone());
         let fine_to_coarse = match level {
             Level::Repl(l) => {
                 par_refine(comm, &l.coarse, targets, &l.coarse_fixed, &mut part, &cfg.refinement, rng);
@@ -1019,6 +1043,9 @@ pub fn dist_multilevel_stats(
                 fine_to_coarse
             }
         };
+        crate::par::driver::record_committed_moves(&span, before_part.as_deref(), &part);
+        crate::par::driver::attr_comm_delta(&span, stats_before, comm.stats());
+        drop(span);
         let mut finer = vec![0usize; fine_to_coarse.len()];
         for (v, &c) in fine_to_coarse.iter().enumerate() {
             finer[v] = part[c];
@@ -1026,10 +1053,18 @@ pub fn dist_multilevel_stats(
         part = finer;
     }
     // Final refinement at the finest level.
-    match &finest_dist {
-        Some(d) => dist_refine(comm, d, targets, &mut part, &cfg.refinement, rng),
-        None => par_refine(comm, h, targets, fixed, &mut part, &cfg.refinement, rng),
+    {
+        let span = dlb_trace::span!("dist.refine.level", level = 0usize);
+        let stats_before = comm.stats();
+        let before_part = dlb_trace::enabled().then(|| part.clone());
+        match &finest_dist {
+            Some(d) => dist_refine(comm, d, targets, &mut part, &cfg.refinement, rng),
+            None => par_refine(comm, h, targets, fixed, &mut part, &cfg.refinement, rng),
+        }
+        crate::par::driver::record_committed_moves(&span, before_part.as_deref(), &part);
+        crate::par::driver::attr_comm_delta(&span, stats_before, comm.stats());
     }
+    drop(ml_span);
     (part, stats)
 }
 

@@ -56,6 +56,12 @@ pub fn par_multilevel(
     // thread count never changes results, only timing.
     let threads = (parallel::resolve_threads(cfg.threads) / comm.size()).max(1);
     let mut scratch = RefineScratch::new();
+    let ml_span = dlb_trace::span!(
+        "par.multilevel",
+        vertices = h.num_vertices(),
+        k = k,
+        ranks = comm.size(),
+    );
 
     // --- Parallel coarsening: candidate-round IPM per level. ---
     let coarse_target =
@@ -65,6 +71,12 @@ pub fn par_multilevel(
     let mut current_fixed = fixed.clone();
     while current.num_vertices() > coarse_target && hierarchy.levels.len() < cfg.coarsening.max_levels
     {
+        let span = dlb_trace::span!(
+            "par.coarsen.level",
+            level = hierarchy.levels.len(),
+            vertices = current.num_vertices(),
+        );
+        let stats_before = comm.stats();
         let matching =
             par_ipm_matching_threads(comm, &current, &current_fixed, &cfg.coarsening, rng, threads);
         let before = current.num_vertices();
@@ -78,6 +90,13 @@ pub fn par_multilevel(
         // ([`crate::par::dist`]) is the variant that communicates here,
         // because no rank holds all the pins.
         let level = contract_threads(&current, &matching, &current_fixed, threads);
+        span.attr("matches", matching.num_pairs);
+        attr_comm_delta(&span, stats_before, comm.stats());
+        dlb_trace::count(dlb_trace::Counter::CoarsenLevels, 1);
+        dlb_trace::count(
+            dlb_trace::Counter::CoarsenMatchesAccepted,
+            matching.num_pairs as u64,
+        );
         current = level.coarse.clone();
         current_fixed = level.coarse_fixed.clone();
         hierarchy.levels.push(level);
@@ -90,6 +109,11 @@ pub fn par_multilevel(
         Some(level) => (&level.coarse, &level.coarse_fixed),
         None => (h, fixed),
     };
+    let init_span = dlb_trace::span!("par.initial", vertices = coarsest_h.num_vertices());
+    let init_stats = comm.stats();
+    dlb_trace::count(dlb_trace::Counter::CoarseVertices, coarsest_h.num_vertices() as u64);
+    dlb_trace::count(dlb_trace::Counter::CoarseNets, coarsest_h.num_nets() as u64);
+    dlb_trace::count(dlb_trace::Counter::CoarsePins, coarsest_h.num_pins() as u64);
     let shared_draw: u64 = rng.gen();
     let mut my_rng = StdRng::seed_from_u64(
         shared_draw ^ (comm.rank() as u64).wrapping_mul(0x1357_9BDF_2468_ACE0),
@@ -122,16 +146,24 @@ pub fn par_multilevel(
         }
     });
     let mut part = comm.broadcast(winner, my_part);
+    attr_comm_delta(&init_span, init_stats, comm.stats());
+    drop(init_span);
 
     // --- Uncoarsening with localized parallel FM per level. ---
     let nlevels = hierarchy.levels.len();
     for i in (0..nlevels).rev() {
         // Refine at the current (coarse) level, then project one level up.
+        // Levels are numbered with 0 = the original (finest) hypergraph.
+        let span = dlb_trace::span!("par.refine.level", level = i + 1);
+        let stats_before = comm.stats();
         let (level_h, level_fixed): (&Hypergraph, &FixedAssignment) = {
             let l = &hierarchy.levels[i];
             (&l.coarse, &l.coarse_fixed)
         };
+        let before_part = dlb_trace::enabled().then(|| part.clone());
         par_refine(comm, level_h, targets, level_fixed, &mut part, &cfg.refinement, rng);
+        record_committed_moves(&span, before_part.as_deref(), &part);
+        attr_comm_delta(&span, stats_before, comm.stats());
         let level = &hierarchy.levels[i];
         let mut finer = vec![0usize; level.fine_to_coarse.len()];
         for (v, &c) in level.fine_to_coarse.iter().enumerate() {
@@ -140,8 +172,48 @@ pub fn par_multilevel(
         part = finer;
     }
     // Final refinement at the finest level.
+    let span = dlb_trace::span!("par.refine.level", level = 0usize);
+    let stats_before = comm.stats();
+    let before_part = dlb_trace::enabled().then(|| part.clone());
     par_refine(comm, h, targets, fixed, &mut part, &cfg.refinement, rng);
+    record_committed_moves(&span, before_part.as_deref(), &part);
+    attr_comm_delta(&span, stats_before, comm.stats());
+    drop(span);
+    drop(ml_span);
     part
+}
+
+/// Attaches this rank's [`CommStats`] deltas for a traced region to its
+/// span (inert off the recording rank). The ledger is rank 0's view;
+/// in the replicated driver every rank's pattern is symmetric.
+pub(crate) fn attr_comm_delta(
+    span: &dlb_trace::SpanGuard,
+    before: dlb_mpisim::CommStats,
+    after: dlb_mpisim::CommStats,
+) {
+    span.attr("msgs_sent", after.messages_sent - before.messages_sent);
+    span.attr("msgs_recv", after.messages_received - before.messages_received);
+    span.attr("bytes_sent", after.bytes_sent - before.bytes_sent);
+    span.attr("bytes_recv", after.bytes_received - before.bytes_received);
+}
+
+/// Records the number of vertices a parallel refinement level actually
+/// moved (an outcome diff, so the value is identical at any rank count —
+/// partitions are bit-identical) as both a span attribute and the
+/// [`ParRefineMovesCommitted`](dlb_trace::Counter) counter.
+pub(crate) fn record_committed_moves(
+    span: &dlb_trace::SpanGuard,
+    before: Option<&[PartId]>,
+    after: &[PartId],
+) {
+    let Some(before) = before else { return };
+    let moved = before
+        .iter()
+        .zip(after)
+        .filter(|(a, b)| a != b)
+        .count() as u64;
+    span.attr("moves_committed", moved);
+    dlb_trace::count(dlb_trace::Counter::ParRefineMovesCommitted, moved);
 }
 
 #[cfg(test)]

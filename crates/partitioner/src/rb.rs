@@ -89,10 +89,12 @@ fn recurse(
     // Split into the two induced sub-hypergraphs. Cut nets survive on
     // each side restricted to that side's pins (if at least two remain),
     // the standard way recursive bisection keeps accounting for them.
+    let split_span = dlb_trace::span!("rb.split", vertices = h.num_vertices(), k = k);
     let keep0: Vec<bool> = sides.iter().map(|&s| s == 0).collect();
     let keep1: Vec<bool> = sides.iter().map(|&s| s == 1).collect();
     let side0 = induced_subhypergraph(h, &keep0);
     let side1 = induced_subhypergraph(h, &keep1);
+    drop(split_span);
 
     let fixed0 = FixedAssignment::from_options(
         &side0.to_base.iter().map(|&v| fixed.get(v)).collect::<Vec<_>>(),

@@ -451,6 +451,7 @@ pub(crate) fn rebalance(
     fixed: &FixedAssignment,
     scratch: &mut MoveScratch,
 ) {
+    dlb_trace::count(dlb_trace::Counter::RebalanceInvocations, 1);
     let n = state.h.num_vertices();
     let max_moves = 2 * n + 16;
     let total_violation = |weights: &[f64]| -> f64 {
@@ -606,6 +607,15 @@ fn fm_pass(
     for &(v, from) in scratch.applied[best_len..].iter().rev() {
         state.apply(v, from);
     }
+
+    let attempted = scratch.applied.len() as u64;
+    dlb_trace::count(dlb_trace::Counter::FmPasses, 1);
+    dlb_trace::count(dlb_trace::Counter::FmMovesAttempted, attempted);
+    dlb_trace::count(dlb_trace::Counter::FmMovesAccepted, best_len as u64);
+    dlb_trace::count(
+        dlb_trace::Counter::FmMovesRolledBack,
+        attempted - best_len as u64,
+    );
     best_cum
 }
 

@@ -1,0 +1,437 @@
+//! Phase-level tracing and deterministic metrics.
+//!
+//! The paper's evaluation attributes cost to *phases* — coarsening,
+//! coarse solve, refinement, migration — so the workspace needs a
+//! measurement substrate that every layer can feed. This crate provides
+//! it in three parts:
+//!
+//! * **Spans** — a hierarchical tree of timed regions recorded through
+//!   RAII guards ([`span!`]). Spans carry static names plus typed
+//!   attributes (level numbers, coarse shapes, per-level communication
+//!   ledgers) and nest through a thread-local stack.
+//! * **Counters** — a fixed vocabulary ([`Counter`]) of monotonically
+//!   increasing integers (pins scanned by IPM, FM moves
+//!   attempted/accepted/rolled back, GHG seeds, rebalance invocations,
+//!   …). Counter values are *deterministic*: instrumented kernels only
+//!   count work that is invariant across thread counts, and in SPMD
+//!   runs only rank 0 of a world records, so values are invariant
+//!   across rank counts too (see DESIGN.md §11 for the argument).
+//! * **Export** — a [`TraceReport`] that renders both a BENCH-style
+//!   JSON summary and the chrome://tracing trace-event format.
+//!
+//! # Sessions and enrollment
+//!
+//! Recording is off until a [`TraceSession`] is opened; sessions are
+//! globally serialized (a second concurrent `session()` blocks until
+//! the first finishes) so concurrently running tests cannot interleave
+//! their spans. Within a session only *enrolled* threads record: the
+//! thread that opened the session is enrolled, and `mpisim::run_spmd`
+//! propagates enrollment to rank 0 of each world it launches (other
+//! ranks stay muted — they perform identical SPMD work, so rank 0's
+//! view is both representative and rank-count-invariant). Threads from
+//! unrelated tests are never enrolled and can neither pollute the span
+//! tree nor the counters.
+//!
+//! # Zero cost when disabled
+//!
+//! Building with `default-features = false` (dropping the `enabled`
+//! feature) compiles every entry point to an inert no-op; call sites
+//! need no `cfg` guards. Even with the feature on, the fast path when
+//! no session is active is a single relaxed atomic load.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+#[cfg(feature = "enabled")]
+mod imp;
+#[cfg(feature = "enabled")]
+pub use imp::{
+    adopt, count, enabled, fork, session, session_active, span_start, ForkCtx, SpanGuard,
+    TraceSession,
+};
+
+#[cfg(not(feature = "enabled"))]
+mod noop;
+#[cfg(not(feature = "enabled"))]
+pub use noop::{
+    adopt, count, enabled, fork, session, session_active, span_start, ForkCtx, SpanGuard,
+    TraceSession,
+};
+
+/// `true` when the crate was built with the `enabled` feature (the
+/// default); `false` for the inert no-op build. Lets downstream tests
+/// branch without repeating the feature gate.
+pub const COMPILED_IN: bool = cfg!(feature = "enabled");
+
+/// Opens a timed span; returns a guard that records the duration when
+/// dropped. Bind it (`let _span = span!(...)`) — an unbound guard drops
+/// immediately and records a zero-length span.
+///
+/// ```
+/// let session = dlb_trace::session();
+/// {
+///     let _span = dlb_trace::span!("coarsen.level", level = 3usize);
+/// }
+/// let report = session.finish();
+/// // One span with the `enabled` feature (the default), none without.
+/// assert_eq!(report.spans.len(), usize::from(cfg!(feature = "enabled")));
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span_start($name)
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {{
+        let guard = $crate::span_start($name);
+        $( guard.attr(stringify!($key), $value); )+
+        guard
+    }};
+}
+
+/// The fixed vocabulary of deterministic counters.
+///
+/// Every variant is documented with *where* it is counted, because that
+/// placement is what makes the value invariant across thread and rank
+/// counts (DESIGN.md §11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum Counter {
+    /// Coarsening levels built (one per contraction, all drivers).
+    CoarsenLevels,
+    /// Matched pairs accepted by IPM matching, summed over levels.
+    CoarsenMatchesAccepted,
+    /// IPM candidates discarded because fixed-vertex assignments were
+    /// incompatible (counted in the serial selection loop).
+    CoarsenMatchesRefusedFixed,
+    /// Pins iterated while scoring vertices that the serial IPM
+    /// selection loop actually visited unmatched.
+    CoarsenPinsScanned,
+    /// Vertices of the coarsest hypergraph handed to the coarse solve.
+    CoarseVertices,
+    /// Nets of the coarsest hypergraph handed to the coarse solve.
+    CoarseNets,
+    /// Pins of the coarsest hypergraph handed to the coarse solve.
+    CoarsePins,
+    /// Greedy-hypergraph-growing attempts executed (coarse-solve seeds).
+    InitialGhgSeeds,
+    /// FM refinement passes run by the serial/shared-memory refiner.
+    FmPasses,
+    /// FM moves applied during passes, before prefix rollback.
+    FmMovesAttempted,
+    /// FM moves kept after rolling back to the best prefix.
+    FmMovesAccepted,
+    /// FM moves undone by prefix rollback.
+    FmMovesRolledBack,
+    /// Invocations of the greedy rebalance fixer (serial and
+    /// distributed variants).
+    RebalanceInvocations,
+    /// Vertices whose part changed during a parallel/distributed
+    /// refinement level (outcome diff — invariant because partitions
+    /// are bit-identical across rank counts).
+    ParRefineMovesCommitted,
+    /// V-cycle iterations executed.
+    VcyclesRun,
+    /// V-cycle iterations whose result improved the cut and was kept.
+    VcyclesKept,
+    /// Epochs executed by the simulation driver.
+    Epochs,
+    /// Items physically moved by measured migration (summed over the
+    /// execution world's ranks from the returned per-rank stats).
+    MigrationItemsMoved,
+}
+
+impl Counter {
+    /// Every counter, in declaration (= export) order.
+    pub const ALL: [Counter; 18] = [
+        Counter::CoarsenLevels,
+        Counter::CoarsenMatchesAccepted,
+        Counter::CoarsenMatchesRefusedFixed,
+        Counter::CoarsenPinsScanned,
+        Counter::CoarseVertices,
+        Counter::CoarseNets,
+        Counter::CoarsePins,
+        Counter::InitialGhgSeeds,
+        Counter::FmPasses,
+        Counter::FmMovesAttempted,
+        Counter::FmMovesAccepted,
+        Counter::FmMovesRolledBack,
+        Counter::RebalanceInvocations,
+        Counter::ParRefineMovesCommitted,
+        Counter::VcyclesRun,
+        Counter::VcyclesKept,
+        Counter::Epochs,
+        Counter::MigrationItemsMoved,
+    ];
+
+    /// Stable snake_case name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::CoarsenLevels => "coarsen_levels",
+            Counter::CoarsenMatchesAccepted => "coarsen_matches_accepted",
+            Counter::CoarsenMatchesRefusedFixed => "coarsen_matches_refused_fixed",
+            Counter::CoarsenPinsScanned => "coarsen_pins_scanned",
+            Counter::CoarseVertices => "coarse_vertices",
+            Counter::CoarseNets => "coarse_nets",
+            Counter::CoarsePins => "coarse_pins",
+            Counter::InitialGhgSeeds => "initial_ghg_seeds",
+            Counter::FmPasses => "fm_passes",
+            Counter::FmMovesAttempted => "fm_moves_attempted",
+            Counter::FmMovesAccepted => "fm_moves_accepted",
+            Counter::FmMovesRolledBack => "fm_moves_rolled_back",
+            Counter::RebalanceInvocations => "rebalance_invocations",
+            Counter::ParRefineMovesCommitted => "par_refine_moves_committed",
+            Counter::VcyclesRun => "vcycles_run",
+            Counter::VcyclesKept => "vcycles_kept",
+            Counter::Epochs => "epochs",
+            Counter::MigrationItemsMoved => "migration_items_moved",
+        }
+    }
+}
+
+/// Typed span attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// Signed integer (counts, levels, byte totals).
+    Int(i64),
+    /// Floating-point (times, ratios).
+    Float(f64),
+    /// Short descriptive string (scheme, algorithm).
+    Str(String),
+    /// Boolean flag.
+    Bool(bool),
+}
+
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::Int(v as i64)
+    }
+}
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::Int(v as i64)
+    }
+}
+impl From<u32> for AttrValue {
+    fn from(v: u32) -> Self {
+        AttrValue::Int(v as i64)
+    }
+}
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::Int(v)
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::Float(v)
+    }
+}
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_string())
+    }
+}
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+
+/// One recorded span.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// Static span name (dotted taxonomy, e.g. `coarsen.level`).
+    pub name: &'static str,
+    /// Start offset from the session epoch, nanoseconds.
+    pub start_ns: u64,
+    /// Duration, nanoseconds.
+    pub dur_ns: u64,
+    /// Index of the parent span in [`TraceReport::spans`], if any.
+    pub parent: Option<usize>,
+    /// Indices of child spans, in start order.
+    pub children: Vec<usize>,
+    /// Attributes, in the order they were attached.
+    pub attrs: Vec<(&'static str, AttrValue)>,
+}
+
+/// The immutable result of a finished [`TraceSession`].
+#[derive(Debug, Clone, Default)]
+pub struct TraceReport {
+    /// All recorded spans in creation (= start) order; children always
+    /// come after their parent.
+    pub spans: Vec<Span>,
+    /// Final counter values, by stable name, for every counter that is
+    /// non-zero plus all-zero maps stay empty.
+    pub counters: BTreeMap<&'static str, u64>,
+}
+
+impl TraceReport {
+    /// Value of one counter (0 if never incremented).
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters.get(c.name()).copied().unwrap_or(0)
+    }
+
+    /// Indices of root spans (no parent).
+    pub fn roots(&self) -> Vec<usize> {
+        (0..self.spans.len())
+            .filter(|&i| self.spans[i].parent.is_none())
+            .collect()
+    }
+
+    /// The first span with the given name, if any.
+    pub fn find(&self, name: &str) -> Option<usize> {
+        self.spans.iter().position(|s| s.name == name)
+    }
+
+    /// Sum of the durations of the *leaf* descendants of `root`
+    /// (a leaf root counts itself), in nanoseconds.
+    pub fn leaf_duration_ns(&self, root: usize) -> u64 {
+        if self.spans[root].children.is_empty() {
+            return self.spans[root].dur_ns;
+        }
+        self.spans[root]
+            .children
+            .iter()
+            .map(|&c| self.leaf_duration_ns(c))
+            .sum()
+    }
+
+    /// Fraction of the wall time of the first span named `root_name`
+    /// that is covered by its leaf descendants. Returns `None` when the
+    /// span is missing or has zero duration.
+    pub fn leaf_coverage(&self, root_name: &str) -> Option<f64> {
+        let root = self.find(root_name)?;
+        let total = self.spans[root].dur_ns;
+        if total == 0 {
+            return None;
+        }
+        Some(self.leaf_duration_ns(root) as f64 / total as f64)
+    }
+
+    /// A canonical, time-free signature of the span tree: preorder walk
+    /// over span names. Two runs with identical control flow produce
+    /// identical signatures regardless of timing.
+    pub fn structure_signature(&self) -> String {
+        fn walk(report: &TraceReport, i: usize, depth: usize, out: &mut String) {
+            let _ = writeln!(out, "{}{}", "  ".repeat(depth), report.spans[i].name);
+            for &c in &report.spans[i].children {
+                walk(report, c, depth + 1, out);
+            }
+        }
+        let mut out = String::new();
+        for root in self.roots() {
+            walk(self, root, 0, &mut out);
+        }
+        out
+    }
+
+    /// Aggregates total duration and invocation count per span name.
+    pub fn phase_totals(&self) -> BTreeMap<&'static str, (u64, u64)> {
+        let mut totals: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
+        for s in &self.spans {
+            let e = totals.entry(s.name).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += s.dur_ns;
+        }
+        totals
+    }
+
+    /// Renders the report as a chrome://tracing trace-event JSON file
+    /// (object form, so counters and a per-phase summary ride along as
+    /// extra top-level keys).
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::from("{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n");
+        for (i, s) in self.spans.iter().enumerate() {
+            let mut args = String::new();
+            for (j, (k, v)) in s.attrs.iter().enumerate() {
+                if j > 0 {
+                    args.push_str(", ");
+                }
+                let _ = write!(args, "{}: {}", json_str(k), json_attr(v));
+            }
+            let _ = write!(
+                out,
+                "    {{\"name\": {}, \"ph\": \"X\", \"pid\": 0, \"tid\": 0, \"ts\": {:.3}, \"dur\": {:.3}, \"args\": {{{}}}}}",
+                json_str(s.name),
+                s.start_ns as f64 / 1e3,
+                s.dur_ns as f64 / 1e3,
+                args
+            );
+            out.push_str(if i + 1 < self.spans.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ],\n  \"counters\": {\n");
+        let n = self.counters.len();
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            let _ = write!(out, "    {}: {}", json_str(k), v);
+            out.push_str(if i + 1 < n { ",\n" } else { "\n" });
+        }
+        out.push_str("  },\n  \"summary\": {\n");
+        let totals = self.phase_totals();
+        let n = totals.len();
+        for (i, (name, (calls, dur))) in totals.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {}: {{\"calls\": {}, \"total_ms\": {:.3}}}",
+                json_str(name),
+                calls,
+                *dur as f64 / 1e6
+            );
+            out.push_str(if i + 1 < n { ",\n" } else { "\n" });
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_attr(v: &AttrValue) -> String {
+    match v {
+        AttrValue::Int(i) => i.to_string(),
+        AttrValue::Float(f) if f.is_finite() => format!("{f}"),
+        AttrValue::Float(_) => "null".to_string(),
+        AttrValue::Str(s) => json_str(s),
+        AttrValue::Bool(b) => b.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_names_unique() {
+        let mut names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Counter::ALL.len());
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+}

@@ -1,0 +1,68 @@
+//! Inert implementation (compiled when the `enabled` feature is off).
+//!
+//! Every entry point exists with the same signature as the live
+//! implementation but does nothing and returns empty values, so call
+//! sites compile unchanged and the optimizer erases them.
+
+use crate::{AttrValue, Counter, TraceReport};
+
+/// Always false without the `enabled` feature.
+#[inline(always)]
+pub fn enabled() -> bool {
+    false
+}
+
+/// Always false without the `enabled` feature.
+#[inline(always)]
+pub fn session_active() -> bool {
+    false
+}
+
+/// No-op without the `enabled` feature.
+#[inline(always)]
+pub fn count(_c: Counter, _n: u64) {}
+
+/// Inert enrollment snapshot.
+#[derive(Debug, Clone, Copy)]
+pub struct ForkCtx;
+
+/// Returns an inert snapshot.
+#[inline(always)]
+pub fn fork() -> ForkCtx {
+    ForkCtx
+}
+
+/// No-op without the `enabled` feature.
+#[inline(always)]
+pub fn adopt(_ctx: ForkCtx, _record: bool) {}
+
+/// Inert span guard.
+pub struct SpanGuard;
+
+impl SpanGuard {
+    /// No-op without the `enabled` feature.
+    #[inline(always)]
+    pub fn attr(&self, _name: &'static str, _value: impl Into<AttrValue>) {}
+}
+
+/// Returns an inert guard.
+#[inline(always)]
+pub fn span_start(_name: &'static str) -> SpanGuard {
+    SpanGuard
+}
+
+/// Inert session handle.
+pub struct TraceSession;
+
+/// Returns an inert session.
+#[inline(always)]
+pub fn session() -> TraceSession {
+    TraceSession
+}
+
+impl TraceSession {
+    /// Returns an empty report.
+    pub fn finish(self) -> TraceReport {
+        TraceReport::default()
+    }
+}

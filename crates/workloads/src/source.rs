@@ -36,6 +36,26 @@ pub trait EpochSource {
     fn commit_assignment(&mut self, snapshot: &EpochSnapshot, part: &[PartId]);
 }
 
+/// Boxed sources delegate, so factory-style callers (`rank -> Box<dyn
+/// EpochSource>`) plug straight into generic drivers.
+impl<S: EpochSource + ?Sized> EpochSource for Box<S> {
+    fn k(&self) -> usize {
+        (**self).k()
+    }
+
+    fn epochs_emitted(&self) -> usize {
+        (**self).epochs_emitted()
+    }
+
+    fn next_epoch(&mut self) -> EpochSnapshot {
+        (**self).next_epoch()
+    }
+
+    fn commit_assignment(&mut self, snapshot: &EpochSnapshot, part: &[PartId]) {
+        (**self).commit_assignment(snapshot, part)
+    }
+}
+
 impl EpochSource for EpochStream {
     fn k(&self) -> usize {
         EpochStream::k(self)

@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --release --example adaptive_mesh`
 
-use dlb::core::{simulate_epochs, Algorithm, RepartConfig};
+use dlb::core::{Algorithm, RepartConfig, Session};
 use dlb::graphpart::{partition_kway, GraphConfig};
 use dlb::workloads::{Dataset, DatasetKind, EpochStream, Perturbation};
 
@@ -32,8 +32,13 @@ fn main() {
         let initial = partition_kway(&dataset.graph, k, &GraphConfig::seeded(seed)).part;
         let mut stream =
             EpochStream::new(dataset.graph, Perturbation::weights(), k, initial, seed);
-        let summary =
-            simulate_epochs(&mut stream, epochs, alg, alpha, &RepartConfig::seeded(seed));
+        let summary = Session::new(RepartConfig::seeded(seed))
+            .algorithm(alg)
+            .alpha(alpha)
+            .epochs(epochs)
+            .workload(&mut stream)
+            .run()
+            .expect("valid session");
         println!(
             "{:<17} {:>12.1} {:>12.1} {:>14.1} {:>10.3} {:>8.1}ms",
             alg.name(),

@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --release --example alpha_tradeoff`
 
-use dlb::core::{simulate_epochs, Algorithm, RepartConfig};
+use dlb::core::{Algorithm, RepartConfig, Session};
 use dlb::graphpart::{partition_kway, GraphConfig};
 use dlb::workloads::{Dataset, DatasetKind, EpochStream, Perturbation};
 
@@ -30,8 +30,13 @@ fn main() {
             let initial = partition_kway(&dataset.graph, k, &GraphConfig::seeded(seed)).part;
             let mut stream =
                 EpochStream::new(dataset.graph, Perturbation::structure(), k, initial, seed);
-            let summary =
-                simulate_epochs(&mut stream, epochs, alg, alpha, &RepartConfig::seeded(seed));
+            let summary = Session::new(RepartConfig::seeded(seed))
+                .algorithm(alg)
+                .alpha(alpha)
+                .epochs(epochs)
+                .workload(&mut stream)
+                .run()
+                .expect("valid session");
             println!(
                 "{:<8} {:<17} {:>12.1} {:>12.1} {:>14.1}",
                 alpha,

@@ -10,7 +10,7 @@
 //!   .hg            PaToH-like hypergraph text (see dlb_hypergraph::io)
 //!
 //! Options:
-//!   -k K              number of parts (required)
+//!   -k K              number of parts (required, >= 2)
 //!   --alpha A         iterations per epoch (repartition/simulate; default 100)
 //!   --algorithm NAME  zoltan-repart | zoltan-scratch | parmetis-repart |
 //!                     parmetis-scratch (repartition/simulate; default
@@ -19,9 +19,15 @@
 //!   --seed N          RNG seed (default 0)
 //!   --ranks N         run the SPMD parallel partitioner on N simulated
 //!                     ranks (default 1 = serial)
+//!   --threads N       shared-memory worker threads per rank (default 0 =
+//!                     auto: DLB_THREADS, then available parallelism; any
+//!                     value gives bit-identical partitions)
 //!   --distributed     with --ranks: block-distribute the pin storage
 //!                     across ranks (memory-scalable V-cycle; results
 //!                     are bit-identical to the replicated driver)
+//!   --trace FILE      record a phase-level trace of the run and write it
+//!                     as chrome://tracing JSON (open in about:tracing or
+//!                     https://ui.perfetto.dev)
 //!   --out FILE        output partition file (default: stdout)
 //!   --workload W      simulate only: amr (the quadtree AMR simulator),
 //!                     structure, or weights (the paper's synthetic
@@ -38,6 +44,10 @@
 //! repartitions every epoch, *executes* each epoch under the default
 //! latency–bandwidth machine model, and prints per-epoch model costs
 //! next to measured makespans.
+//!
+//! Invalid parameter combinations (`-k 1`, `--ranks 0`, malformed
+//! numbers) are rejected up front with a message on stderr and exit
+//! code 2, before any driver runs.
 
 use std::fs::File;
 use std::io::{BufReader, Write};
@@ -45,8 +55,7 @@ use std::process::exit;
 
 use dlb::amr::{AmrConfig, AmrStream};
 use dlb::core::{
-    repartition, repartition_parallel, simulate_epochs_measured,
-    simulate_epochs_measured_parallel, Algorithm, NetworkModel, RepartConfig, RepartProblem,
+    repartition, repartition_parallel, Algorithm, RepartConfig, RepartProblem, Session,
     SimulationSummary,
 };
 use dlb::graphpart::{partition_kway, GraphConfig};
@@ -55,18 +64,26 @@ use dlb::hypergraph::io::{read_hypergraph, read_matrix_market_graph};
 use dlb::hypergraph::{metrics, CsrGraph, Hypergraph};
 use dlb::mpisim::run_spmd;
 use dlb::partitioner::par::parallel_partition;
-use dlb::partitioner::{partition_hypergraph, Config as HgConfig};
+use dlb::partitioner::Config as HgConfig;
 use dlb::workloads::{AmrSource, Dataset, DatasetKind, EpochSource, EpochStream, Perturbation};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  dlb partition   -k K [--epsilon E] [--seed N] [--ranks N [--distributed]] \
-         [--out FILE] INPUT\n  \
+        "usage:\n  dlb partition   -k K [--epsilon E] [--seed N] [--threads N] \
+         [--ranks N [--distributed]] [--trace FILE] [--out FILE] INPUT\n  \
          dlb repartition -k K --old PARTFILE [--alpha A] [--algorithm NAME] \
-         [--epsilon E] [--seed N] [--ranks N [--distributed]] [--out FILE] INPUT\n  \
+         [--epsilon E] [--seed N] [--threads N] [--ranks N [--distributed]] \
+         [--trace FILE] [--out FILE] INPUT\n  \
          dlb simulate    -k K --workload amr|structure|weights [--epochs E] [--alpha A] \
-         [--algorithm NAME] [--scale S] [--seed N] [--ranks N [--distributed]]"
+         [--algorithm NAME] [--scale S] [--seed N] [--threads N] \
+         [--ranks N [--distributed]] [--trace FILE]"
     );
+    exit(2);
+}
+
+/// Rejects an invalid parameter with a message on stderr and exit code 2.
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
     exit(2);
 }
 
@@ -79,12 +96,20 @@ struct Cli {
     epsilon: f64,
     seed: u64,
     ranks: usize,
+    threads: usize,
     distributed: bool,
+    trace: Option<String>,
     out: Option<String>,
     old: Option<String>,
     workload: Option<String>,
     epochs: usize,
     scale: Option<f64>,
+}
+
+fn parse_value<T: std::str::FromStr>(argv: &[String], i: usize, flag: &str) -> T {
+    argv.get(i + 1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| fail(format!("{flag} expects a valid value")))
 }
 
 fn parse_cli() -> Cli {
@@ -99,7 +124,9 @@ fn parse_cli() -> Cli {
     let mut epsilon = 0.05;
     let mut seed = 0u64;
     let mut ranks = 1usize;
+    let mut threads = 0usize;
     let mut distributed = false;
+    let mut trace = None;
     let mut out = None;
     let mut old = None;
     let mut input = None;
@@ -110,11 +137,11 @@ fn parse_cli() -> Cli {
     while i < argv.len() {
         match argv[i].as_str() {
             "-k" => {
-                k = argv.get(i + 1).and_then(|v| v.parse().ok());
+                k = Some(parse_value::<usize>(&argv, i, "-k"));
                 i += 2;
             }
             "--alpha" => {
-                alpha = argv.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                alpha = parse_value(&argv, i, "--alpha");
                 i += 2;
             }
             "--algorithm" => {
@@ -123,31 +150,36 @@ fn parse_cli() -> Cli {
                     Some("zoltan-scratch") => Algorithm::ZoltanScratch,
                     Some("parmetis-repart") => Algorithm::ParmetisRepart,
                     Some("parmetis-scratch") => Algorithm::ParmetisScratch,
-                    other => {
-                        eprintln!("unknown algorithm {other:?}");
-                        usage();
-                    }
+                    other => fail(format!("unknown algorithm {other:?}")),
                 };
                 i += 2;
             }
             "--epsilon" => {
-                epsilon = argv.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                epsilon = parse_value(&argv, i, "--epsilon");
                 i += 2;
             }
             "--seed" => {
-                seed = argv.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                seed = parse_value(&argv, i, "--seed");
                 i += 2;
             }
             "--ranks" => {
-                ranks = argv.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
-                if ranks == 0 {
-                    usage();
-                }
+                ranks = parse_value(&argv, i, "--ranks");
+                i += 2;
+            }
+            "--threads" => {
+                threads = parse_value(&argv, i, "--threads");
                 i += 2;
             }
             "--distributed" => {
                 distributed = true;
                 i += 1;
+            }
+            "--trace" => {
+                trace = argv.get(i + 1).cloned();
+                if trace.is_none() {
+                    fail("--trace expects a file path");
+                }
+                i += 2;
             }
             "--out" => {
                 out = argv.get(i + 1).cloned();
@@ -162,14 +194,11 @@ fn parse_cli() -> Cli {
                 i += 2;
             }
             "--epochs" => {
-                epochs = argv.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                epochs = parse_value(&argv, i, "--epochs");
                 i += 2;
             }
             "--scale" => {
-                scale = argv.get(i + 1).and_then(|v| v.parse().ok());
-                if scale.is_none() {
-                    usage();
-                }
+                scale = Some(parse_value(&argv, i, "--scale"));
                 i += 2;
             }
             arg if !arg.starts_with('-') => {
@@ -188,13 +217,50 @@ fn parse_cli() -> Cli {
         epsilon,
         seed,
         ranks,
+        threads,
         distributed,
+        trace,
         out,
         old,
         workload,
         epochs,
         scale,
     }
+}
+
+/// Validates the numeric knobs through the partitioner's checked builder
+/// and returns the assembled config. Rejects `k < 2`, `ranks == 0`, bad
+/// ε, etc. with exit code 2 *before* any driver runs (the drivers would
+/// otherwise panic deep inside the SPMD machinery).
+fn validated_hg_config(cli: &Cli) -> HgConfig {
+    HgConfig::builder()
+        .k(cli.k)
+        .epsilon(cli.epsilon)
+        .seed(cli.seed)
+        .threads(cli.threads)
+        .ranks(cli.ranks)
+        .distributed(cli.distributed)
+        .build()
+        .unwrap_or_else(|e| fail(e))
+}
+
+/// Runs `f` inside a trace session when `--trace` was given, writing the
+/// report in chrome://tracing JSON format afterwards.
+fn with_trace<T>(path: Option<&str>, f: impl FnOnce() -> T) -> T {
+    let Some(path) = path else { return f() };
+    let session = dlb::trace::session();
+    let result = f();
+    let report = session.finish();
+    std::fs::write(path, report.to_chrome_json()).unwrap_or_else(|e| {
+        eprintln!("cannot write trace {path}: {e}");
+        exit(1);
+    });
+    eprintln!(
+        "trace: {} spans, {} counters -> {path}",
+        report.spans.len(),
+        report.counters.len()
+    );
+    result
 }
 
 /// Loads the input as (hypergraph, graph): `.mtx` gives a graph (column-
@@ -341,29 +407,21 @@ fn print_simulation(summary: &SimulationSummary, alpha: f64) {
     );
 }
 
-fn run_simulate(cli: &Cli) {
+fn run_simulate(cli: &Cli, hg_cfg: HgConfig) {
     let mut cfg = RepartConfig::seeded(cli.seed).with_epsilon(cli.epsilon);
-    cfg.hypergraph.dist.distributed = cli.distributed;
-    let net = NetworkModel::default();
-    let summary = if cli.ranks > 1 || cli.distributed {
-        run_spmd(cli.ranks, |comm| {
-            let mut source = make_sim_source(cli);
-            simulate_epochs_measured_parallel(
-                comm,
-                &mut *source,
-                cli.epochs,
-                cli.algorithm,
-                cli.alpha,
-                &cfg,
-                &net,
-            )
-        })
-        .pop()
-        .expect("at least one rank")
-    } else {
-        let mut source = make_sim_source(cli);
-        simulate_epochs_measured(&mut *source, cli.epochs, cli.algorithm, cli.alpha, &cfg, &net)
-    };
+    cfg.hypergraph.threads = hg_cfg.threads;
+    cfg.hypergraph.dist = hg_cfg.dist;
+    let mut session = Session::new(cfg)
+        .algorithm(cli.algorithm)
+        .alpha(cli.alpha)
+        .epochs(cli.epochs)
+        .ranks(cli.ranks)
+        .measured(true)
+        .workload_factory(|_rank| make_sim_source(cli));
+    if let Some(path) = &cli.trace {
+        session = session.trace_to(path);
+    }
+    let summary = session.run().unwrap_or_else(|e| fail(e));
     eprintln!(
         "{} on {} epochs, k={}, alpha={}",
         cli.algorithm.name(),
@@ -376,8 +434,9 @@ fn run_simulate(cli: &Cli) {
 
 fn main() {
     let cli = parse_cli();
+    let hg_cfg = validated_hg_config(&cli);
     if cli.command == "simulate" {
-        run_simulate(&cli);
+        run_simulate(&cli, hg_cfg);
         return;
     }
     let input = cli.input.clone().unwrap_or_else(|| usage());
@@ -392,16 +451,16 @@ fn main() {
 
     match cli.command.as_str() {
         "partition" => {
-            let mut cfg = HgConfig::seeded(cli.seed);
-            cfg.epsilon = cli.epsilon;
-            cfg.dist.distributed = cli.distributed;
-            let r = if cli.ranks > 1 || cli.distributed {
-                run_spmd(cli.ranks, |comm| parallel_partition(comm, &hypergraph, cli.k, &cfg))
-                    .pop()
-                    .expect("at least one rank")
-            } else {
-                partition_hypergraph(&hypergraph, cli.k, &cfg)
-            };
+            let cfg = hg_cfg;
+            let r = with_trace(cli.trace.as_deref(), || {
+                if cli.ranks > 1 || cli.distributed {
+                    run_spmd(cli.ranks, |comm| parallel_partition(comm, &hypergraph, cli.k, &cfg))
+                        .pop()
+                        .expect("at least one rank")
+                } else {
+                    dlb::partitioner::partition_hypergraph(&hypergraph, cli.k, &cfg)
+                }
+            });
             eprintln!(
                 "k={}: comm volume {:.1}, imbalance {:.4}",
                 cli.k, r.cut, r.imbalance
@@ -409,7 +468,7 @@ fn main() {
             write_partition(&cli.out, &r.part);
         }
         "repartition" => {
-            let old_path = cli.old.unwrap_or_else(|| {
+            let old_path = cli.old.clone().unwrap_or_else(|| {
                 eprintln!("repartition requires --old PARTFILE");
                 usage();
             });
@@ -422,16 +481,19 @@ fn main() {
                 alpha: cli.alpha,
             };
             let mut cfg = RepartConfig::seeded(cli.seed).with_epsilon(cli.epsilon);
-            cfg.hypergraph.dist.distributed = cli.distributed;
-            let r = if cli.ranks > 1 || cli.distributed {
-                run_spmd(cli.ranks, |comm| {
-                    repartition_parallel(comm, &problem, cli.algorithm, &cfg)
-                })
-                .pop()
-                .expect("at least one rank")
-            } else {
-                repartition(&problem, cli.algorithm, &cfg)
-            };
+            cfg.hypergraph.threads = hg_cfg.threads;
+            cfg.hypergraph.dist = hg_cfg.dist;
+            let r = with_trace(cli.trace.as_deref(), || {
+                if cli.ranks > 1 || cli.distributed {
+                    run_spmd(cli.ranks, |comm| {
+                        repartition_parallel(comm, &problem, cli.algorithm, &cfg)
+                    })
+                    .pop()
+                    .expect("at least one rank")
+                } else {
+                    repartition(&problem, cli.algorithm, &cfg)
+                }
+            });
             eprintln!(
                 "{}: comm {:.1}, migration {:.1}, total {:.1} (alpha={}), moved {}, imbalance {:.4}",
                 cli.algorithm.name(),

@@ -9,7 +9,8 @@
 //! * [`graphpart`] — the ParMETIS-like graph partitioner baseline,
 //! * [`core`] — the repartitioning model and algorithm drivers,
 //! * [`workloads`] — synthetic datasets and dynamic perturbations,
-//! * [`amr`] — the quadtree AMR application simulator.
+//! * [`amr`] — the quadtree AMR application simulator,
+//! * [`trace`] — phase-level tracing and deterministic metrics.
 
 #![warn(missing_docs)]
 
@@ -19,4 +20,5 @@ pub use dlb_graphpart as graphpart;
 pub use dlb_hypergraph as hypergraph;
 pub use dlb_mpisim as mpisim;
 pub use dlb_partitioner as partitioner;
+pub use dlb_trace as trace;
 pub use dlb_workloads as workloads;

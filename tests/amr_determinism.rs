@@ -5,10 +5,7 @@
 //! epoch) must all be bit-identical.
 
 use dlb::amr::{AmrConfig, AmrStream};
-use dlb::core::{
-    simulate_epochs_measured, simulate_epochs_measured_parallel, Algorithm, NetworkModel,
-    RepartConfig, SimulationSummary,
-};
+use dlb::core::{Algorithm, RepartConfig, Session, SimulationSummary};
 use dlb::graphpart::{partition_kway, GraphConfig};
 use dlb::mpisim::run_spmd;
 use dlb::workloads::AmrSource;
@@ -38,14 +35,14 @@ fn serial_run(seed: u64, threads: usize) -> SimulationSummary {
     let mut cfg = RepartConfig::seeded(seed);
     cfg.hypergraph.threads = threads;
     let mut source = amr_source(seed);
-    simulate_epochs_measured(
-        &mut source,
-        EPOCHS,
-        Algorithm::ZoltanRepart,
-        50.0,
-        &cfg,
-        &NetworkModel::default(),
-    )
+    Session::new(cfg)
+        .algorithm(Algorithm::ZoltanRepart)
+        .alpha(50.0)
+        .epochs(EPOCHS)
+        .measured(true)
+        .workload(&mut source)
+        .run()
+        .unwrap()
 }
 
 fn parallel_run(seed: u64, ranks: usize, distributed: bool) -> Vec<SimulationSummary> {
@@ -55,15 +52,14 @@ fn parallel_run(seed: u64, ranks: usize, distributed: bool) -> Vec<SimulationSum
     cfg.hypergraph.dist.gather_threshold = 256;
     run_spmd(ranks, |comm| {
         let mut source = amr_source(seed);
-        simulate_epochs_measured_parallel(
-            comm,
-            &mut source,
-            EPOCHS,
-            Algorithm::ZoltanRepart,
-            50.0,
-            &cfg,
-            &NetworkModel::default(),
-        )
+        Session::new(cfg.clone())
+            .algorithm(Algorithm::ZoltanRepart)
+            .alpha(50.0)
+            .epochs(EPOCHS)
+            .measured(true)
+            .workload(&mut source)
+            .run_on(comm)
+            .unwrap()
     })
 }
 

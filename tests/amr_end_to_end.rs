@@ -10,9 +10,7 @@
 //! `==`, not a tolerance.
 
 use dlb::amr::{AmrConfig, AmrStream};
-use dlb::core::{
-    simulate_epochs_measured, Algorithm, NetworkModel, RepartConfig, SimulationSummary,
-};
+use dlb::core::{Algorithm, RepartConfig, Session, SimulationSummary};
 use dlb::graphpart::{partition_kway, GraphConfig};
 use dlb::workloads::AmrSource;
 
@@ -25,14 +23,14 @@ fn amr_source(k: usize, seed: u64) -> AmrSource {
 
 fn run(k: usize, algorithm: Algorithm, alpha: f64, seed: u64) -> SimulationSummary {
     let mut source = amr_source(k, seed);
-    simulate_epochs_measured(
-        &mut source,
-        4,
-        algorithm,
-        alpha,
-        &RepartConfig::seeded(seed),
-        &NetworkModel::default(),
-    )
+    Session::new(RepartConfig::seeded(seed))
+        .algorithm(algorithm)
+        .alpha(alpha)
+        .epochs(4)
+        .measured(true)
+        .workload(&mut source)
+        .run()
+        .unwrap()
 }
 
 /// The acceptance criterion: measured migration equals the migration-net

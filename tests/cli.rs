@@ -122,6 +122,91 @@ fn rejects_bad_arguments() {
     assert!(!status.success());
 }
 
+/// Runs `dlb` with `args` and asserts it exits with code 2 and prints a
+/// message containing `needle` on stderr — validation must fire *before*
+/// any driver panics.
+fn assert_rejected(args: &[&str], needle: &str) {
+    let output = dlb().args(args).output().unwrap();
+    assert_eq!(output.status.code(), Some(2), "args {args:?} should exit 2");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains(needle), "args {args:?}: stderr {stderr:?} lacks {needle:?}");
+}
+
+#[test]
+fn rejects_invalid_k_up_front() {
+    assert_rejected(&["partition", "-k", "0", "x.mtx"], "k must be at least 2");
+    assert_rejected(&["partition", "-k", "1", "x.mtx"], "k must be at least 2");
+    assert_rejected(&["partition", "-k", "two", "x.mtx"], "-k expects a valid value");
+    assert_rejected(
+        &["simulate", "-k", "1", "--workload", "amr"],
+        "k must be at least 2",
+    );
+}
+
+#[test]
+fn rejects_invalid_ranks_and_threads_up_front() {
+    assert_rejected(&["partition", "-k", "2", "--ranks", "0", "x.mtx"], "ranks");
+    assert_rejected(
+        &["partition", "-k", "2", "--ranks", "-3", "x.mtx"],
+        "--ranks expects a valid value",
+    );
+    assert_rejected(
+        &["partition", "-k", "2", "--threads", "many", "x.mtx"],
+        "--threads expects a valid value",
+    );
+    assert_rejected(
+        &["repartition", "-k", "2", "--epsilon", "-0.5", "--old", "p", "x.mtx"],
+        "epsilon",
+    );
+}
+
+#[test]
+fn trace_flag_writes_chrome_json() {
+    let dir = tmpdir("trace");
+    let input = write_toy_mtx(&dir);
+    let trace = dir.join("trace.json");
+    let output = dlb()
+        .args(["partition", "-k", "2", "--trace"])
+        .arg(&trace)
+        .arg(&input)
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+    let text = std::fs::read_to_string(&trace).unwrap();
+    assert!(text.contains("\"traceEvents\""), "not chrome trace JSON: {text}");
+    // The partitioner's root span must be present when tracing is
+    // compiled in (the default build).
+    assert!(text.contains("partition"), "missing root span: {text}");
+}
+
+#[test]
+fn simulate_runs_with_session_and_trace() {
+    let dir = tmpdir("sim");
+    let trace = dir.join("sim-trace.json");
+    let output = dlb()
+        .args([
+            "simulate",
+            "-k",
+            "4",
+            "--workload",
+            "amr",
+            "--epochs",
+            "2",
+            "--alpha",
+            "10",
+            "--trace",
+        ])
+        .arg(&trace)
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("makespan"), "stdout: {stdout}");
+    let text = std::fs::read_to_string(&trace).unwrap();
+    assert!(text.contains("\"traceEvents\""));
+    assert!(text.contains("epoch"), "missing epoch spans: {text}");
+}
+
 #[test]
 fn rejects_wrong_length_old_partition() {
     let dir = tmpdir("badold");

@@ -1,7 +1,7 @@
 //! End-to-end pipeline tests: dataset generation → static partition →
 //! epoch stream → repartitioning with every algorithm → invariants.
 
-use dlb::core::{repartition, simulate_epochs, Algorithm, RepartConfig, RepartProblem};
+use dlb::core::{repartition, Algorithm, RepartConfig, RepartProblem, Session};
 use dlb::graphpart::{partition_kway, GraphConfig};
 use dlb::hypergraph::metrics;
 use dlb::workloads::{Dataset, DatasetKind, EpochStream, Perturbation};
@@ -85,7 +85,13 @@ fn epoch_chain_keeps_identities_straight() {
 fn simulation_is_deterministic_given_seed() {
     let run = || {
         let (mut stream, _) = setup(DatasetKind::Xyce680s, 4, 6);
-        let s = simulate_epochs(&mut stream, 3, Algorithm::ZoltanRepart, 10.0, &RepartConfig::seeded(6));
+        let s = Session::new(RepartConfig::seeded(6))
+            .algorithm(Algorithm::ZoltanRepart)
+            .alpha(10.0)
+            .epochs(3)
+            .workload(&mut stream)
+            .run()
+            .unwrap();
         (s.mean_comm(), s.mean_migration(), s.mean_normalized_total())
     };
     assert_eq!(run(), run());
@@ -102,13 +108,13 @@ fn all_five_datasets_flow_through_the_pipeline() {
         let k = 4;
         let initial = partition_kway(&d.graph, k, &GraphConfig::seeded(5)).part;
         let mut stream = EpochStream::new(d.graph, Perturbation::weights(), k, initial, 5);
-        let s = simulate_epochs(
-            &mut stream,
-            2,
-            Algorithm::ZoltanRepart,
-            10.0,
-            &RepartConfig::seeded(5),
-        );
+        let s = Session::new(RepartConfig::seeded(5))
+            .algorithm(Algorithm::ZoltanRepart)
+            .alpha(10.0)
+            .epochs(2)
+            .workload(&mut stream)
+            .run()
+            .unwrap();
         assert_eq!(s.reports.len(), 2, "{}", kind.name());
         assert!(s.max_imbalance() <= 1.35, "{}: {}", kind.name(), s.max_imbalance());
     }

@@ -3,12 +3,28 @@
 //! single unlucky instance cannot flip them. These are the invariants
 //! EXPERIMENTS.md tracks at full experiment scale.
 
-use dlb::core::{simulate_epochs, Algorithm, RepartConfig};
+use dlb::core::{Algorithm, RepartConfig, Session, SimulationSummary};
 use dlb::graphpart::{partition_kway, GraphConfig};
 use dlb::hypergraph::convert::column_net_model_unit;
 use dlb::hypergraph::metrics;
 use dlb::partitioner::{partition_hypergraph, Config as HgConfig};
 use dlb::workloads::{Dataset, DatasetKind, EpochStream, PerturbKind, Perturbation};
+
+fn simulate(
+    stream: &mut EpochStream,
+    epochs: usize,
+    alg: Algorithm,
+    alpha: f64,
+    seed: u64,
+) -> SimulationSummary {
+    Session::new(RepartConfig::seeded(seed))
+        .algorithm(alg)
+        .alpha(alpha)
+        .epochs(epochs)
+        .workload(stream)
+        .run()
+        .unwrap()
+}
 
 fn mean_over_seeds(
     kind: DatasetKind,
@@ -28,7 +44,7 @@ fn mean_over_seeds(
             PerturbKind::Weights => Perturbation::weights(),
         };
         let mut stream = EpochStream::new(d.graph, p, k, initial, seed);
-        let s = simulate_epochs(&mut stream, 3, alg, alpha, &RepartConfig::seeded(seed));
+        let s = simulate(&mut stream, 3, alg, alpha, seed);
         total += s.mean_normalized_total();
         mig += s.mean_migration();
     }
@@ -121,7 +137,7 @@ fn repartitioners_restore_balance_under_refinement() {
             let initial = partition_kway(&d.graph, 4, &GraphConfig::seeded(seed)).part;
             let mut stream =
                 EpochStream::new(d.graph, Perturbation::weights(), 4, initial, seed);
-            let s = simulate_epochs(&mut stream, 3, alg, 10.0, &RepartConfig::seeded(seed));
+            let s = simulate(&mut stream, 3, alg, 10.0, seed);
             assert!(
                 s.max_imbalance() <= 1.25,
                 "{} seed {seed}: imbalance {}",
@@ -144,13 +160,7 @@ fn comm_improves_with_alpha() {
             let initial = partition_kway(&d.graph, 4, &GraphConfig::seeded(seed)).part;
             let mut stream =
                 EpochStream::new(d.graph, Perturbation::structure(), 4, initial, seed);
-            let s = simulate_epochs(
-                &mut stream,
-                3,
-                Algorithm::ZoltanRepart,
-                alpha,
-                &RepartConfig::seeded(seed),
-            );
+            let s = simulate(&mut stream, 3, Algorithm::ZoltanRepart, alpha, seed);
             comm += s.mean_comm();
         }
         comm / SEEDS.len() as f64
