@@ -7,10 +7,46 @@
 //! everywhere — leaf enumeration, vertex numbering, tie-breaking — so
 //! the whole AMR subsystem is deterministic by construction.
 
-/// The four face directions of a cell.
+/// A face direction of a cell.
 ///
-/// `0 = -x` (west), `1 = +x` (east), `2 = -y` (south), `3 = +y` (north).
-pub const NUM_DIRS: usize = 4;
+/// Replaces the old raw-`usize` direction API (where an out-of-range
+/// index panicked at runtime): the enum makes every direction value
+/// valid by construction, so [`Cell::neighbor`] and
+/// [`Cell::face_children`] are total functions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Direction {
+    /// `-x`.
+    West,
+    /// `+x`.
+    East,
+    /// `-y`.
+    South,
+    /// `+y`.
+    North,
+}
+
+impl Direction {
+    /// The four directions in canonical order (west, east, south,
+    /// north) — the iteration order everywhere in the mesh code, so the
+    /// AMR subsystem stays deterministic by construction.
+    pub const ALL: [Direction; 4] = [
+        Direction::West,
+        Direction::East,
+        Direction::South,
+        Direction::North,
+    ];
+
+    /// The opposite face direction.
+    #[inline]
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::West => Direction::East,
+            Direction::East => Direction::West,
+            Direction::South => Direction::North,
+            Direction::North => Direction::South,
+        }
+    }
+}
 
 /// One quadtree cell: refinement level plus grid coordinates at that
 /// level. Only cells stored in a [`crate::QuadMesh`]'s leaf set are part
@@ -76,25 +112,24 @@ impl Cell {
     /// The same-level neighbor in direction `dir`, or `None` past the
     /// domain boundary.
     #[inline]
-    pub fn neighbor(self, dir: usize) -> Option<Cell> {
+    pub fn neighbor(self, dir: Direction) -> Option<Cell> {
         let side = 1u32 << self.level;
         let (x, y) = (self.x, self.y);
         let (nx, ny) = match dir {
-            0 => (x.checked_sub(1)?, y),
-            1 => {
+            Direction::West => (x.checked_sub(1)?, y),
+            Direction::East => {
                 if x + 1 >= side {
                     return None;
                 }
                 (x + 1, y)
             }
-            2 => (x, y.checked_sub(1)?),
-            3 => {
+            Direction::South => (x, y.checked_sub(1)?),
+            Direction::North => {
                 if y + 1 >= side {
                     return None;
                 }
                 (x, y + 1)
             }
-            _ => panic!("direction {dir} out of range"),
         };
         Some(Cell { level: self.level, x: nx, y: ny })
     }
@@ -103,16 +138,15 @@ impl Cell {
     /// `dir` — used when descending into a *finer* neighbor: from a
     /// cell's perspective, the relevant children of its neighbor in
     /// direction `dir` are the neighbor's children on the *opposite*
-    /// face, `face_children(opposite(dir))`.
+    /// face, `face_children(dir.opposite())`.
     #[inline]
-    pub fn face_children(self, dir: usize) -> [Cell; 2] {
+    pub fn face_children(self, dir: Direction) -> [Cell; 2] {
         let c = self.children();
         match dir {
-            0 => [c[0], c[2]], // west face: left column
-            1 => [c[1], c[3]], // east face: right column
-            2 => [c[0], c[1]], // south face: bottom row
-            3 => [c[2], c[3]], // north face: top row
-            _ => panic!("direction {dir} out of range"),
+            Direction::West => [c[0], c[2]],  // left column
+            Direction::East => [c[1], c[3]],  // right column
+            Direction::South => [c[0], c[1]], // bottom row
+            Direction::North => [c[2], c[3]], // top row
         }
     }
 
@@ -124,12 +158,6 @@ impl Cell {
         let shift = self.level - ancestor.level;
         (self.x >> shift) == ancestor.x && (self.y >> shift) == ancestor.y
     }
-}
-
-/// The opposite face direction.
-#[inline]
-pub fn opposite(dir: usize) -> usize {
-    dir ^ 1
 }
 
 #[cfg(test)]
@@ -161,30 +189,53 @@ mod tests {
     #[test]
     fn neighbors_respect_boundary() {
         let c = Cell::new(1, 0, 0);
-        assert_eq!(c.neighbor(0), None);
-        assert_eq!(c.neighbor(2), None);
-        assert_eq!(c.neighbor(1), Some(Cell::new(1, 1, 0)));
-        assert_eq!(c.neighbor(3), Some(Cell::new(1, 0, 1)));
-        assert_eq!(Cell::new(1, 1, 1).neighbor(1), None);
-        assert_eq!(Cell::new(1, 1, 1).neighbor(3), None);
+        assert_eq!(c.neighbor(Direction::West), None);
+        assert_eq!(c.neighbor(Direction::South), None);
+        assert_eq!(c.neighbor(Direction::East), Some(Cell::new(1, 1, 0)));
+        assert_eq!(c.neighbor(Direction::North), Some(Cell::new(1, 0, 1)));
+        assert_eq!(Cell::new(1, 1, 1).neighbor(Direction::East), None);
+        assert_eq!(Cell::new(1, 1, 1).neighbor(Direction::North), None);
     }
 
     #[test]
     fn opposite_directions() {
-        assert_eq!(opposite(0), 1);
-        assert_eq!(opposite(1), 0);
-        assert_eq!(opposite(2), 3);
-        assert_eq!(opposite(3), 2);
+        assert_eq!(Direction::West.opposite(), Direction::East);
+        assert_eq!(Direction::East.opposite(), Direction::West);
+        assert_eq!(Direction::South.opposite(), Direction::North);
+        assert_eq!(Direction::North.opposite(), Direction::South);
+        for d in Direction::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+        }
     }
 
     #[test]
     fn face_children_touch_the_face() {
         let p = Cell::new(0, 0, 0);
         // East face children have x = 1 at level 1.
-        assert!(p.face_children(1).iter().all(|c| c.x == 1));
-        assert!(p.face_children(0).iter().all(|c| c.x == 0));
-        assert!(p.face_children(3).iter().all(|c| c.y == 1));
-        assert!(p.face_children(2).iter().all(|c| c.y == 0));
+        assert!(p.face_children(Direction::East).iter().all(|c| c.x == 1));
+        assert!(p.face_children(Direction::West).iter().all(|c| c.x == 0));
+        assert!(p.face_children(Direction::North).iter().all(|c| c.y == 1));
+        assert!(p.face_children(Direction::South).iter().all(|c| c.y == 0));
+    }
+
+    /// Neighboring and direction opposition round-trip: if `n` is `c`'s
+    /// neighbor in direction `d`, then `c` is `n`'s neighbor in
+    /// `d.opposite()`, at every interior cell of a grid.
+    #[test]
+    fn neighbor_direction_round_trip() {
+        for level in 1..=3u8 {
+            let side = 1u32 << level;
+            for y in 0..side {
+                for x in 0..side {
+                    let c = Cell::new(level, x, y);
+                    for d in Direction::ALL {
+                        if let Some(n) = c.neighbor(d) {
+                            assert_eq!(n.neighbor(d.opposite()), Some(c), "{c:?} via {d:?}");
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod lower;
 pub mod mesh;
 pub mod stream;
 
-pub use cell::{opposite, Cell, NUM_DIRS};
+pub use cell::{Cell, Direction};
 pub use feature::{indicator, seeded_features, Feature};
 pub use lower::{lower, LoweredMesh};
 pub use mesh::QuadMesh;

@@ -20,7 +20,7 @@
 use dlb_hypergraph::convert::column_net_model;
 use dlb_hypergraph::{CsrGraph, GraphBuilder, Hypergraph};
 
-use crate::cell::Cell;
+use crate::cell::{Cell, Direction};
 use crate::mesh::QuadMesh;
 use crate::AmrConfig;
 
@@ -47,7 +47,7 @@ pub fn lower(mesh: &QuadMesh, cfg: &AmrConfig) -> LoweredMesh {
         // Scanning only +x and +y discovers every face-adjacent pair
         // exactly once: for a pair split across a face, the west/south
         // cell sees the east/north cell regardless of which is finer.
-        for dir in [1usize, 3] {
+        for dir in [Direction::East, Direction::North] {
             for n in mesh.neighbor_leaves(c, dir) {
                 b.add_edge(v, index_of(n), 1.0);
             }
@@ -94,7 +94,8 @@ mod tests {
         let low = lower(&m, &cfg);
         for (v, &c) in low.cells.iter().enumerate() {
             // Independently recompute the face neighbors from the mesh.
-            let mut expect: BTreeSet<usize> = (0..4)
+            let mut expect: BTreeSet<usize> = Direction::ALL
+                .into_iter()
                 .flat_map(|dir| m.neighbor_leaves(c, dir))
                 .map(|n| low.cells.binary_search(&n).unwrap())
                 .collect();

@@ -15,7 +15,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use crate::cell::{opposite, Cell, NUM_DIRS};
+use crate::cell::{Cell, Direction};
 
 /// The leaf set of an adaptive quadtree over `[0,1]²`.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -92,7 +92,7 @@ impl QuadMesh {
     ///
     /// Returns at most one coarser/equal leaf, or the finer leaves along
     /// the face (any number for a non-leaf query cell).
-    pub fn neighbor_leaves(&self, c: Cell, dir: usize) -> Vec<Cell> {
+    pub fn neighbor_leaves(&self, c: Cell, dir: Direction) -> Vec<Cell> {
         let Some(n) = c.neighbor(dir) else {
             return Vec::new(); // domain boundary
         };
@@ -101,11 +101,11 @@ impl QuadMesh {
         }
         // The neighbor region is refined: descend along the shared face.
         let mut out = Vec::new();
-        self.collect_face_leaves(n, opposite(dir), &mut out);
+        self.collect_face_leaves(n, dir.opposite(), &mut out);
         out
     }
 
-    fn collect_face_leaves(&self, region: Cell, face: usize, out: &mut Vec<Cell>) {
+    fn collect_face_leaves(&self, region: Cell, face: Direction, out: &mut Vec<Cell>) {
         if self.leaves.contains(&region) {
             out.push(region);
             return;
@@ -153,7 +153,7 @@ impl QuadMesh {
         // marking is monotone — but keep traversal canonical anyway).
         let mut worklist: Vec<Cell> = marked.iter().copied().collect();
         while let Some(c) = worklist.pop() {
-            for dir in 0..NUM_DIRS {
+            for dir in Direction::ALL {
                 for n in self.neighbor_leaves(c, dir) {
                     if n.level < c.level && marked.insert(n) {
                         worklist.push(n);
@@ -197,7 +197,7 @@ impl QuadMesh {
                 continue;
             }
             let child_level = parent.level + 1;
-            let balanced = (0..NUM_DIRS).all(|dir| {
+            let balanced = Direction::ALL.iter().all(|&dir| {
                 self.neighbor_leaves(parent, dir)
                     .iter()
                     .all(|n| n.level <= child_level)
@@ -267,12 +267,12 @@ impl QuadMesh {
         }
         // 2:1 face balance.
         for c in &self.leaves {
-            for dir in 0..NUM_DIRS {
+            for dir in Direction::ALL {
                 for n in self.neighbor_leaves(*c, dir) {
                     let diff = (n.level as i32 - c.level as i32).abs();
                     if diff > 1 {
                         return Err(format!(
-                            "2:1 violated: {c:?} and {n:?} across dir {dir}"
+                            "2:1 violated: {c:?} and {n:?} across dir {dir:?}"
                         ));
                     }
                 }
@@ -358,12 +358,12 @@ mod tests {
         let ind = move |x: f64, y: f64| if x < 0.5 && y < 0.5 { 1.0 } else { 0.0 };
         m.adapt(ind, 0.5, 0.1);
         let east = Cell::new(1, 1, 0);
-        let ns = m.neighbor_leaves(east, 0);
+        let ns = m.neighbor_leaves(east, Direction::West);
         assert_eq!(ns.len(), 2, "west neighbor refined into two face leaves");
         assert!(ns.iter().all(|c| c.level == 2 && c.descends_from(sw)));
         // And from a fine leaf, the coarse neighbor comes back whole.
         let fine = Cell::new(2, 1, 0);
-        assert_eq!(m.neighbor_leaves(fine, 1), vec![east]);
+        assert_eq!(m.neighbor_leaves(fine, Direction::East), vec![east]);
     }
 
     #[test]

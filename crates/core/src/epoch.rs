@@ -10,14 +10,39 @@
 //! the [`crate::exec`] execution model each epoch, so the summary
 //! carries observed makespans next to the model costs.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use dlb_mpisim::Comm;
+use dlb_mpisim::{Comm, FaultPlan};
 use dlb_workloads::EpochSource;
 
 use crate::cost::CostBreakdown;
 use crate::driver::{repartition, repartition_parallel, Algorithm, RepartConfig, RepartProblem};
-use crate::exec::{measure_epoch, EpochExecution, NetworkModel};
+use crate::exec::{measure_epoch_with_faults, EpochExecution, NetworkModel};
+use crate::recover::recover_from_failure;
+
+/// One rank-failure recovery performed at an epoch boundary
+/// (DESIGN.md §12).
+#[derive(Clone, Debug)]
+pub struct RecoveryRecord {
+    /// The failed rank's id in the *launch-time* `0..k` world (fault
+    /// plans always speak original ids, however many ranks have already
+    /// died).
+    pub failed_rank: usize,
+    /// Epoch at whose boundary the failure was detected (1-based).
+    pub epoch: usize,
+    /// Surviving parts before this recovery.
+    pub k_before: usize,
+    /// Surviving parts after (always `k_before - 1`).
+    pub k_after: usize,
+    /// Vertices orphaned by the failure.
+    pub orphans: usize,
+    /// Model migration volume of the recovery move, including the
+    /// orphan restore.
+    pub migration: f64,
+    /// Measured migration-phase makespan of the recovery exchange in
+    /// seconds (`0.0` when the trial runs without a network model).
+    pub t_mig: f64,
+}
 
 /// Per-epoch measurements.
 #[derive(Clone, Debug)]
@@ -37,6 +62,11 @@ pub struct EpochReport {
     /// Measured execution of the epoch (only under the `_measured`
     /// simulation variants).
     pub execution: Option<EpochExecution>,
+    /// Rank-failure recoveries performed at this epoch's boundary
+    /// (empty on fault-free epochs). When non-empty, the epoch's
+    /// repartition *was* the recovery chain: `cost.migration` and the
+    /// execution's `t_mig`/`mig_volume` fold in every step.
+    pub recoveries: Vec<RecoveryRecord>,
 }
 
 /// Aggregate over a trial's epochs.
@@ -46,7 +76,9 @@ pub struct SimulationSummary {
     pub algorithm: Algorithm,
     /// α used.
     pub alpha: f64,
-    /// Number of parts.
+    /// Number of parts at launch. Rank failures shrink the live world
+    /// below this; see [`SimulationSummary::total_recoveries`] and the
+    /// per-epoch [`EpochReport::recoveries`].
     pub k: usize,
     /// Per-epoch reports, in order.
     pub reports: Vec<EpochReport>,
@@ -94,6 +126,16 @@ impl SimulationSummary {
         self.reports.iter().map(|r| r.imbalance).fold(1.0, f64::max)
     }
 
+    /// Rank-failure recoveries performed over the trial.
+    pub fn total_recoveries(&self) -> usize {
+        self.reports.iter().map(|r| r.recoveries.len()).sum()
+    }
+
+    /// Number of parts still alive after the trial's last epoch.
+    pub fn surviving_k(&self) -> usize {
+        self.k - self.total_recoveries()
+    }
+
     /// Mean measured epoch makespan in seconds, if the trial was run
     /// with a [`NetworkModel`] (`None` otherwise).
     pub fn mean_makespan(&self) -> Option<f64> {
@@ -133,8 +175,16 @@ fn mean(values: impl Iterator<Item = f64>) -> f64 {
 }
 
 /// The shared epoch loop: `comm` selects serial vs collective
-/// repartitioning; `network` turns on the measured execution model.
-/// Public API: [`crate::session::Session`].
+/// repartitioning; `network` turns on the measured execution model;
+/// `faults` installs a [`FaultPlan`] (rank failures recovered at epoch
+/// boundaries, message drop/delay injected into the measured migration
+/// world). Public API: [`crate::session::Session`].
+///
+/// Failure detection is plan-driven: every driver rank consults the
+/// shared plan at the epoch boundary (a perfect failure detector), so
+/// no extra collectives run and fault-free trials stay bit-identical
+/// to a build without this feature.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_epochs<S: EpochSource + ?Sized>(
     mut comm: Option<&mut Comm>,
     source: &mut S,
@@ -143,48 +193,166 @@ pub(crate) fn run_epochs<S: EpochSource + ?Sized>(
     alpha: f64,
     cfg: &RepartConfig,
     network: Option<&NetworkModel>,
+    faults: Option<&FaultPlan>,
 ) -> SimulationSummary {
-    let k = source.k();
+    let k0 = source.k();
+    if let Some(plan) = faults {
+        for f in plan.failures() {
+            assert!(f.rank < k0, "fault plan rank {} out of range for k = {k0}", f.rank);
+        }
+    }
+    // Live original ranks → current (compacted) part labels. Fault
+    // plans speak original ids; the partitions live in the compacted
+    // space of the survivors.
+    let mut orig_to_cur: Vec<Option<usize>> = (0..k0).map(Some).collect();
+    let mut cur_k = k0;
     let mut reports = Vec::with_capacity(num_epochs);
     for epoch in 1..=num_epochs {
-        let span = dlb_trace::span!("epoch", epoch = epoch, k = k);
+        let span = dlb_trace::span!("epoch", epoch = epoch, k = cur_k);
         dlb_trace::count(dlb_trace::Counter::Epochs, 1);
         let snapshot = source.next_epoch();
         span.attr("vertices", snapshot.graph.num_vertices());
-        let problem = RepartProblem {
-            hypergraph: &snapshot.hypergraph,
-            graph: &snapshot.graph,
-            old_part: &snapshot.old_part,
-            k,
-            alpha,
+        let dying: Vec<usize> = match faults {
+            Some(plan) => plan
+                .ranks_failing_at(epoch)
+                .into_iter()
+                .filter(|&r| orig_to_cur[r].is_some())
+                .collect(),
+            None => Vec::new(),
         };
-        let result = match comm.as_deref_mut() {
-            Some(comm) => repartition_parallel(comm, &problem, algorithm, cfg),
-            None => repartition(&problem, algorithm, cfg),
-        };
-        let execution = network.map(|net| {
-            measure_epoch(
-                &snapshot.hypergraph,
-                &snapshot.old_part,
-                &result.new_part,
-                k,
+        let report = if dying.is_empty() {
+            let problem = RepartProblem {
+                hypergraph: &snapshot.hypergraph,
+                graph: &snapshot.graph,
+                old_part: &snapshot.old_part,
+                k: cur_k,
                 alpha,
-                net,
-            )
-        });
-        source.commit_assignment(&snapshot, &result.new_part);
-        span.attr("moved", result.moved);
-        reports.push(EpochReport {
-            epoch,
-            cost: result.cost,
-            imbalance: result.imbalance,
-            moved: result.moved,
-            num_vertices: snapshot.graph.num_vertices(),
-            elapsed: result.elapsed,
-            execution,
-        });
+            };
+            let result = match comm.as_deref_mut() {
+                Some(comm) => repartition_parallel(comm, &problem, algorithm, cfg),
+                None => repartition(&problem, algorithm, cfg),
+            };
+            let execution = network.map(|net| {
+                measure_epoch_with_faults(
+                    &snapshot.hypergraph,
+                    &snapshot.old_part,
+                    &result.new_part,
+                    cur_k,
+                    alpha,
+                    net,
+                    faults,
+                )
+            });
+            source.commit_assignment(&snapshot, &result.new_part);
+            span.attr("moved", result.moved);
+            EpochReport {
+                epoch,
+                cost: result.cost,
+                imbalance: result.imbalance,
+                moved: result.moved,
+                num_vertices: snapshot.graph.num_vertices(),
+                elapsed: result.elapsed,
+                execution,
+                recoveries: Vec::new(),
+            }
+        } else {
+            // Failed ranks replace the epoch's repartition with a
+            // recovery chain: each dead rank shrinks the world by one
+            // and repartitions from the failure-time assignment (its
+            // vertices free, survivors tethered — DESIGN.md §12).
+            let start = Instant::now();
+            let mut old = snapshot.old_part.clone();
+            let mut recoveries = Vec::with_capacity(dying.len());
+            let mut steps = Vec::with_capacity(dying.len());
+            let mut moved = 0usize;
+            for &orig in &dying {
+                let c = orig_to_cur[orig].expect("filtered to live ranks");
+                let rspan = dlb_trace::span!(
+                    "recover.epoch",
+                    epoch = epoch,
+                    rank = orig,
+                    k_before = cur_k
+                );
+                dlb_trace::count(dlb_trace::Counter::FaultsInjected, 1);
+                dlb_trace::count(dlb_trace::Counter::RecoveriesRun, 1);
+                let out = recover_from_failure(
+                    comm.as_deref_mut(),
+                    &snapshot.hypergraph,
+                    &old,
+                    c,
+                    cur_k,
+                    alpha,
+                    cfg,
+                );
+                // The recovery exchange physically runs on the full
+                // pre-failure world: the dead rank ships all its data
+                // out, the simulation's stand-in for a checkpoint
+                // restore, so the recovery volume lands in t_mig.
+                let execution = network.map(|net| {
+                    measure_epoch_with_faults(
+                        &snapshot.hypergraph,
+                        &old,
+                        &out.exec_part,
+                        cur_k,
+                        alpha,
+                        net,
+                        faults,
+                    )
+                });
+                rspan.attr("orphans", out.orphans);
+                rspan.attr("migration", out.cost.migration);
+                if let Some(e) = &execution {
+                    rspan.attr("t_mig", e.t_mig);
+                }
+                recoveries.push(RecoveryRecord {
+                    failed_rank: orig,
+                    epoch,
+                    k_before: cur_k,
+                    k_after: cur_k - 1,
+                    orphans: out.orphans,
+                    migration: out.cost.migration,
+                    t_mig: execution.as_ref().map_or(0.0, |e| e.t_mig),
+                });
+                for slot in orig_to_cur.iter_mut().flatten() {
+                    if *slot > c {
+                        *slot -= 1;
+                    }
+                }
+                orig_to_cur[orig] = None;
+                cur_k -= 1;
+                moved += out.moved;
+                old = out.part.clone();
+                steps.push((out, execution));
+            }
+            // The epoch's report is the final step's, with the earlier
+            // steps' migration charges folded in.
+            let (last, last_exec) = steps.pop().expect("at least one dying rank");
+            let mut cost = last.cost;
+            let mut execution = last_exec;
+            for (step, exec) in &steps {
+                cost.migration += step.cost.migration;
+                if let (Some(e), Some(se)) = (execution.as_mut(), exec.as_ref()) {
+                    e.t_mig += se.t_mig;
+                    e.mig_volume += se.mig_volume;
+                }
+            }
+            source.commit_assignment(&snapshot, &old);
+            span.attr("moved", moved);
+            span.attr("recoveries", recoveries.len());
+            EpochReport {
+                epoch,
+                cost,
+                imbalance: last.imbalance,
+                moved,
+                num_vertices: snapshot.graph.num_vertices(),
+                elapsed: start.elapsed(),
+                execution,
+                recoveries,
+            }
+        };
+        reports.push(report);
     }
-    SimulationSummary { algorithm, alpha, k, reports }
+    SimulationSummary { algorithm, alpha, k: k0, reports }
 }
 
 /// Runs `num_epochs` epochs of `algorithm` over `source`.

@@ -47,20 +47,25 @@ pub mod epoch;
 pub mod exec;
 pub mod migrate;
 pub mod model;
+pub mod recover;
 pub mod remap;
 pub mod session;
 
 pub use cost::CostBreakdown;
 pub use driver::{repartition, Algorithm, RepartConfig, RepartProblem, RepartResult};
 pub use driver::repartition_parallel;
-pub use epoch::{EpochReport, SimulationSummary};
+pub use epoch::{EpochReport, RecoveryRecord, SimulationSummary};
 #[allow(deprecated)]
 pub use epoch::{
     simulate_epochs, simulate_epochs_measured, simulate_epochs_measured_parallel,
     simulate_epochs_parallel,
 };
-pub use exec::{measure_epoch, EpochExecution, NetworkModel};
+pub use exec::{measure_epoch, measure_epoch_with_faults, EpochExecution, NetworkModel};
 pub use session::{Session, SessionError};
 pub use migrate::{migrate_items, scatter_initial, MigrationStats};
 pub use model::RepartitionHypergraph;
+pub use recover::{recover_from_failure, RecoveryOutcome};
 pub use remap::remap_to_minimize_migration;
+// Re-exported so `Session::fault_plan` callers need not depend on
+// `dlb_mpisim` directly.
+pub use dlb_mpisim::FaultPlan;

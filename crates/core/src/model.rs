@@ -32,9 +32,34 @@ impl RepartitionHypergraph {
     /// Panics if `old_part` has the wrong length or references a part
     /// `>= k`, or if `alpha <= 0`.
     pub fn build(h: &Hypergraph, old_part: &[PartId], k: usize, alpha: f64) -> Self {
+        let anchored: Vec<Option<PartId>> = old_part.iter().map(|&p| Some(p)).collect();
+        Self::build_partial(h, &anchored, k, alpha)
+    }
+
+    /// [`RepartitionHypergraph::build`] for a *partial* old assignment:
+    /// vertices with `None` get **no migration net** — they are free, to
+    /// be placed wherever communication and balance dictate at zero
+    /// model-migration charge. This is how failure recovery poses its
+    /// problem (DESIGN.md §12): the dead rank's orphans are free, the
+    /// survivors stay tethered to their parts by ordinary migration
+    /// nets, and one fixed-vertex partitioning call onto the surviving
+    /// `k` parts is the whole recovery.
+    ///
+    /// # Panics
+    /// Panics if `old_part` has the wrong length or references a part
+    /// `>= k`, or if `alpha <= 0`.
+    pub fn build_partial(
+        h: &Hypergraph,
+        old_part: &[Option<PartId>],
+        k: usize,
+        alpha: f64,
+    ) -> Self {
         let n = h.num_vertices();
         assert_eq!(old_part.len(), n, "old partition length mismatch");
-        assert!(old_part.iter().all(|&p| p < k), "old partition references part >= k");
+        assert!(
+            old_part.iter().flatten().all(|&p| p < k),
+            "old partition references part >= k"
+        );
         assert!(alpha > 0.0, "alpha must be positive");
 
         let mut b = HypergraphBuilder::new(n + k);
@@ -53,8 +78,11 @@ impl RepartitionHypergraph {
             b.add_net(h.net_cost(j) * alpha, h.net(j).iter().copied());
         }
         // Migration nets: {v, u_old(v)} with cost = size of v's data.
+        // Free vertices (no old home) get none.
         for v in 0..n {
-            b.add_net(h.vertex_size(v), [v, n + old_part[v]]);
+            if let Some(p) = old_part[v] {
+                b.add_net(h.vertex_size(v), [v, n + p]);
+            }
         }
 
         let mut fixed = FixedAssignment::free(n + k);
@@ -235,6 +263,21 @@ mod tests {
         let h = Hypergraph::from_nets_unit(2, &[vec![0, 1]]);
         let model = RepartitionHypergraph::build(&h, &[0, 1], 2, 1.0);
         let _ = model.decode(&[0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn build_partial_omits_migration_nets_for_free_vertices() {
+        let mut h = Hypergraph::from_nets_unit(3, &[vec![0, 1, 2]]);
+        h.set_vertex_size(1, 7.0);
+        let model = RepartitionHypergraph::build_partial(&h, &[Some(0), None, Some(1)], 2, 2.0);
+        // 1 comm net + migration nets for v0 and v2 only; v1 is free.
+        assert_eq!(model.augmented.num_nets(), 3);
+        // Placing the free vertex on either part charges no migration:
+        // the objective difference is purely the (here unchanged) cut.
+        assert_eq!(model.objective(&[0, 0, 1]), model.objective(&[0, 1, 1]));
+        // The anchored model charges v1's size (7) for the same move.
+        let anchored = RepartitionHypergraph::build(&h, &[0, 0, 1], 2, 2.0);
+        assert_eq!(anchored.objective(&[0, 1, 1]) - anchored.objective(&[0, 0, 1]), 7.0);
     }
 
     #[test]

@@ -156,6 +156,21 @@ mod tests {
         assert_eq!(m, 1.0 + 1.0 + 1.0); // everything but the huge vertex
     }
 
+    /// Exercises the fallback guard: greedy matching can lose to the
+    /// labels as delivered. Overlaps O[0][1]=10, O[0][0]=9, O[1][1]=8:
+    /// greedy takes (new 0 → old 1) first, forcing (new 1 → old 0) and a
+    /// migration of 9 + 8 = 17, while the delivered labels only migrate
+    /// vertex 0 (size 10). The guard must return the delivered labels.
+    #[test]
+    fn fallback_keeps_delivered_labels_when_greedy_loses() {
+        let old = vec![1, 0, 1];
+        let new = vec![0, 0, 1];
+        let sizes = vec![10.0, 9.0, 8.0];
+        let remapped = remap_to_minimize_migration(&new, &old, &sizes, 2);
+        assert_eq!(remapped, new, "guard must fall back to the delivered labels");
+        assert_eq!(migration_volume(&sizes, &old, &remapped), 10.0);
+    }
+
     #[test]
     fn handles_empty_parts() {
         let old = vec![0, 0];

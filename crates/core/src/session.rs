@@ -38,7 +38,7 @@ use std::fmt;
 use std::path::PathBuf;
 
 use dlb_hypergraph::PartId;
-use dlb_mpisim::{run_spmd, Comm};
+use dlb_mpisim::{run_spmd, Comm, FaultPlan};
 use dlb_workloads::{EpochSnapshot, EpochSource};
 
 use crate::driver::{Algorithm, RepartConfig};
@@ -111,6 +111,7 @@ pub struct Session<'a> {
     epochs: usize,
     ranks: usize,
     network: Option<NetworkModel>,
+    faults: Option<FaultPlan>,
     source: Option<&'a mut dyn EpochSource>,
     factory: Option<SourceFactory<'a>>,
     trace_path: Option<PathBuf>,
@@ -127,6 +128,7 @@ impl<'a> Session<'a> {
             epochs: 1,
             ranks: 1,
             network: None,
+            faults: None,
             source: None,
             factory: None,
             trace_path: None,
@@ -174,6 +176,17 @@ impl<'a> Session<'a> {
     /// `measured(true)`).
     pub fn network(mut self, net: NetworkModel) -> Self {
         self.network = Some(net);
+        self
+    }
+
+    /// Installs a deterministic [`FaultPlan`]: scheduled rank failures
+    /// are recovered at epoch boundaries by repartitioning onto the
+    /// survivors, and message drop/delay probabilities are injected
+    /// into the measured migration exchanges (DESIGN.md §12). Plan rank
+    /// ids refer to the workload's `k` logical parts, so results are
+    /// identical at any [`ranks`](Session::ranks) setting.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 
@@ -251,6 +264,7 @@ impl<'a> Session<'a> {
             self.alpha,
             &self.cfg,
             self.network.as_ref(),
+            self.faults.as_ref(),
         ))
     }
 
@@ -285,6 +299,7 @@ impl<'a> Session<'a> {
                         self.alpha,
                         &self.cfg,
                         self.network.as_ref(),
+                        self.faults.as_ref(),
                     )
                 });
                 return Ok(summaries.into_iter().next().expect("at least one rank"));
@@ -298,6 +313,7 @@ impl<'a> Session<'a> {
                 self.alpha,
                 &self.cfg,
                 self.network.as_ref(),
+                self.faults.as_ref(),
             ));
         }
         let source = self.source.take().ok_or(SessionError::NoWorkload)?;
@@ -309,6 +325,7 @@ impl<'a> Session<'a> {
             self.alpha,
             &self.cfg,
             self.network.as_ref(),
+            self.faults.as_ref(),
         ))
     }
 }

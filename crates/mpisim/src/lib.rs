@@ -36,11 +36,13 @@
 mod comm;
 pub mod directory;
 mod dist;
+pub mod fault;
 pub mod plan;
 mod world;
 
-pub use comm::{Comm, CommStats};
+pub use comm::{Comm, CommError, CommStats};
 pub use directory::DistDirectory;
 pub use dist::BlockDist;
+pub use fault::{FaultPlan, FaultState, RankFailure};
 pub use plan::CommPlan;
-pub use world::run_spmd;
+pub use world::{run_spmd, run_spmd_with_faults, try_run_spmd, RankPanic, SpmdError};

@@ -73,8 +73,9 @@ impl CommPlan {
 
     /// Executes the exchange (collective): `items` must align with the
     /// `destinations` the plan was built from. Returns received items
-    /// grouped by source rank order. Payload bytes are tallied into
-    /// [`crate::CommStats`] per item (via [`Comm::alltoallv`]).
+    /// grouped by source rank order. Payload bytes are charged into
+    /// [`crate::CommStats`] as `len * size_of::<T>()` item bytes at the
+    /// send site (via [`Comm::alltoallv`]); receivers credit the same.
     ///
     /// # Panics
     /// Panics if `items` has the wrong length.

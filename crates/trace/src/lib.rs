@@ -140,11 +140,20 @@ pub enum Counter {
     /// Items physically moved by measured migration (summed over the
     /// execution world's ranks from the returned per-rank stats).
     MigrationItemsMoved,
+    /// Faults injected by an installed `FaultPlan`: one per scheduled
+    /// rank failure consumed by the epoch driver, plus one per message
+    /// drop/delay injected inside the measured execution world (counted
+    /// on that world's enrolled rank 0, so the value is invariant
+    /// across driver rank counts).
+    FaultsInjected,
+    /// Recovery repartitions run after a rank failure (one per dead
+    /// rank, counted in the epoch driver).
+    RecoveriesRun,
 }
 
 impl Counter {
     /// Every counter, in declaration (= export) order.
-    pub const ALL: [Counter; 18] = [
+    pub const ALL: [Counter; 20] = [
         Counter::CoarsenLevels,
         Counter::CoarsenMatchesAccepted,
         Counter::CoarsenMatchesRefusedFixed,
@@ -163,6 +172,8 @@ impl Counter {
         Counter::VcyclesKept,
         Counter::Epochs,
         Counter::MigrationItemsMoved,
+        Counter::FaultsInjected,
+        Counter::RecoveriesRun,
     ];
 
     /// Stable snake_case name used in exports.
@@ -186,6 +197,8 @@ impl Counter {
             Counter::VcyclesKept => "vcycles_kept",
             Counter::Epochs => "epochs",
             Counter::MigrationItemsMoved => "migration_items_moved",
+            Counter::FaultsInjected => "faults_injected",
+            Counter::RecoveriesRun => "recoveries_run",
         }
     }
 }

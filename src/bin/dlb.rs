@@ -36,6 +36,13 @@
 //!   --scale S         simulate only: amr — levels added to the default
 //!                     mesh (integer, default 0); structure/weights —
 //!                     dataset scale in (0, 1] (default 0.001)
+//!   --fault-plan SPEC simulate only: deterministic fault injection,
+//!                     SPEC = "SEED:directive,..." with directives
+//!                     rankR@E (logical rank R dies at epoch E, recovered
+//!                     by repartitioning onto the survivors), dropP /
+//!                     delayP (per-message drop/delay probability in the
+//!                     measured migration exchanges). Example:
+//!                     --fault-plan 7:rank2@2,drop0.05
 //! ```
 //!
 //! `partition`/`repartition` write one part id per line, one line per
@@ -55,8 +62,8 @@ use std::process::exit;
 
 use dlb::amr::{AmrConfig, AmrStream};
 use dlb::core::{
-    repartition, repartition_parallel, Algorithm, RepartConfig, RepartProblem, Session,
-    SimulationSummary,
+    repartition, repartition_parallel, Algorithm, FaultPlan, RepartConfig, RepartProblem,
+    Session, SimulationSummary,
 };
 use dlb::graphpart::{partition_kway, GraphConfig};
 use dlb::hypergraph::convert::{clique_expansion, column_net_model};
@@ -76,7 +83,7 @@ fn usage() -> ! {
          [--trace FILE] [--out FILE] INPUT\n  \
          dlb simulate    -k K --workload amr|structure|weights [--epochs E] [--alpha A] \
          [--algorithm NAME] [--scale S] [--seed N] [--threads N] \
-         [--ranks N [--distributed]] [--trace FILE]"
+         [--ranks N [--distributed]] [--fault-plan SPEC] [--trace FILE]"
     );
     exit(2);
 }
@@ -104,6 +111,7 @@ struct Cli {
     workload: Option<String>,
     epochs: usize,
     scale: Option<f64>,
+    fault_plan: Option<FaultPlan>,
 }
 
 fn parse_value<T: std::str::FromStr>(argv: &[String], i: usize, flag: &str) -> T {
@@ -133,6 +141,7 @@ fn parse_cli() -> Cli {
     let mut workload = None;
     let mut epochs = 4usize;
     let mut scale = None;
+    let mut fault_plan = None;
     let mut i = 1;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -201,6 +210,16 @@ fn parse_cli() -> Cli {
                 scale = Some(parse_value(&argv, i, "--scale"));
                 i += 2;
             }
+            "--fault-plan" => {
+                let spec = argv
+                    .get(i + 1)
+                    .unwrap_or_else(|| fail("--fault-plan expects a SEED:spec value"));
+                fault_plan = Some(
+                    FaultPlan::parse(spec)
+                        .unwrap_or_else(|e| fail(format!("bad --fault-plan: {e}"))),
+                );
+                i += 2;
+            }
             arg if !arg.starts_with('-') => {
                 input = Some(arg.to_string());
                 i += 1;
@@ -225,6 +244,7 @@ fn parse_cli() -> Cli {
         workload,
         epochs,
         scale,
+        fault_plan,
     }
 }
 
@@ -394,6 +414,17 @@ fn print_simulation(summary: &SimulationSummary, alpha: f64) {
             alpha,
             e.t_mig * 1e3
         );
+        for rec in &r.recoveries {
+            println!(
+                "       recovered rank {} ({} -> {} parts): {} orphans, migration {:.1}, t_mig {:.4} ms",
+                rec.failed_rank,
+                rec.k_before,
+                rec.k_after,
+                rec.orphans,
+                rec.migration,
+                rec.t_mig * 1e3
+            );
+        }
     }
     let (comp, comm, mig) = summary.mean_phase_times().expect("measured simulation");
     println!(
@@ -418,6 +449,17 @@ fn run_simulate(cli: &Cli, hg_cfg: HgConfig) {
         .ranks(cli.ranks)
         .measured(true)
         .workload_factory(|_rank| make_sim_source(cli));
+    if let Some(plan) = &cli.fault_plan {
+        for f in plan.failures() {
+            if f.rank >= cli.k {
+                fail(format!(
+                    "--fault-plan rank {} out of range for -k {}",
+                    f.rank, cli.k
+                ));
+            }
+        }
+        session = session.fault_plan(plan.clone());
+    }
     if let Some(path) = &cli.trace {
         session = session.trace_to(path);
     }

@@ -1,0 +1,187 @@
+//! Fault-injection and recovery end-to-end (DESIGN.md §12).
+//!
+//! A [`FaultPlan`] schedules logical-rank failures at epoch boundaries
+//! and message drop/delay inside the measured migration exchanges. The
+//! tests here pin down the subsystem's three contracts:
+//!
+//! 1. **Recovery works**: a rank failure mid-run shrinks the world to
+//!    `k − 1` via a forced repartition, the simulation completes, and
+//!    the recovery volume is visible in the measured `t_mig` and the
+//!    `RecoveriesRun` / `FaultsInjected` counters.
+//! 2. **Determinism**: at each driver rank count (2 and 4), the same
+//!    plan seed reproduces bit-identical recovered partitions and
+//!    makespans run to run (fault "ranks" live in the workload's
+//!    logical `k`-part world, so the plan means the same thing at any
+//!    driver world size).
+//! 3. **Fault-free purity**: an empty plan — and a drop/delay-only plan,
+//!    for the deterministic outputs — is bit-identical to no plan at
+//!    all. No extra collectives, no RNG draws on the fast path.
+
+use dlb::core::{Algorithm, FaultPlan, RepartConfig, Session, SimulationSummary};
+use dlb::graphpart::{partition_kway, GraphConfig};
+use dlb::workloads::{Dataset, DatasetKind, EpochStream, Perturbation};
+
+const ALPHA: f64 = 50.0;
+const SEED: u64 = 41;
+
+fn make_stream(k: usize) -> EpochStream {
+    let d = Dataset::generate(DatasetKind::Auto, 0.0008, SEED);
+    let init = partition_kway(&d.graph, k, &GraphConfig::seeded(SEED)).part;
+    EpochStream::new(d.graph, Perturbation::weights(), k, init, SEED)
+}
+
+fn session(k: usize, epochs: usize) -> Session<'static> {
+    Session::new(RepartConfig::seeded(SEED))
+        .algorithm(Algorithm::ZoltanRepart)
+        .alpha(ALPHA)
+        .epochs(epochs)
+        .measured(true)
+        .workload_factory(move |_| make_stream(k))
+}
+
+/// The deterministic fingerprint of a run: per-epoch model costs and
+/// measured makespans, all integer-valued or exactly reproducible
+/// `f64`s, compared bitwise.
+fn fingerprint(s: &SimulationSummary) -> Vec<(f64, f64, usize, f64)> {
+    s.reports
+        .iter()
+        .map(|r| {
+            (
+                r.cost.comm,
+                r.cost.migration,
+                r.moved,
+                r.execution.as_ref().expect("measured run").makespan(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn injected_failure_recovers_onto_survivors() {
+    let plan = FaultPlan::parse("7:rank2@2").unwrap();
+    let s = session(4, 4).fault_plan(plan).run().unwrap();
+    assert_eq!(s.reports.len(), 4, "simulation completes past the failure");
+    assert_eq!(s.total_recoveries(), 1);
+    assert_eq!(s.surviving_k(), 3);
+
+    let r = &s.reports[1]; // epoch 2
+    assert_eq!(r.recoveries.len(), 1);
+    let rec = &r.recoveries[0];
+    assert_eq!(rec.failed_rank, 2);
+    assert_eq!(rec.epoch, 2);
+    assert_eq!(rec.k_before, 4);
+    assert_eq!(rec.k_after, 3);
+    assert!(rec.orphans > 0, "the dead rank owned vertices");
+    assert!(rec.migration > 0.0);
+    // The recovery exchange lands in the measured makespan.
+    let e = r.execution.as_ref().unwrap();
+    assert!(e.t_mig > 0.0);
+    assert_eq!(rec.t_mig, e.t_mig, "single recovery: the epoch's t_mig is the recovery's");
+    assert!(
+        r.cost.migration >= rec.migration,
+        "epoch migration charge includes the recovery"
+    );
+    // Fault-free epochs report no recoveries.
+    for other in [0usize, 2, 3] {
+        assert!(s.reports[other].recoveries.is_empty());
+    }
+}
+
+#[test]
+fn two_failures_shrink_the_world_twice() {
+    let plan = FaultPlan::parse("11:rank0@2,rank3@3").unwrap();
+    let s = session(4, 4).fault_plan(plan).run().unwrap();
+    assert_eq!(s.total_recoveries(), 2);
+    assert_eq!(s.surviving_k(), 2);
+    assert_eq!(s.reports[1].recoveries[0].k_after, 3);
+    let second = &s.reports[2].recoveries[0];
+    assert_eq!(second.failed_rank, 3);
+    assert_eq!(second.k_before, 3);
+    assert_eq!(second.k_after, 2);
+    // A rank that already died is not recovered twice.
+    let again = FaultPlan::parse("11:rank1@1,rank1@2").unwrap();
+    let s = session(3, 3).fault_plan(again).run().unwrap();
+    assert_eq!(s.total_recoveries(), 1);
+}
+
+/// Acceptance criterion: at each driver rank count (2 and 4), the same
+/// FaultPlan seed reproduces bit-identical recovered partitions,
+/// recovery records, and makespans run to run. (Different rank counts
+/// legitimately choose different partitions — the repo-wide rule — so
+/// determinism is per configuration; failure detection itself is
+/// plan-driven and adds no collectives at any rank count.)
+#[test]
+fn recovery_is_reproducible_at_ranks_2_and_4() {
+    let run = |ranks: usize| {
+        let plan = FaultPlan::parse("7:rank1@2").unwrap();
+        session(4, 3).ranks(ranks).fault_plan(plan).run().unwrap()
+    };
+    for ranks in [2usize, 4] {
+        let a = run(ranks);
+        let b = run(ranks);
+        assert_eq!(fingerprint(&a), fingerprint(&b), "ranks = {ranks}");
+        assert_eq!(a.total_recoveries(), 1, "ranks = {ranks}");
+        assert_eq!(b.total_recoveries(), 1);
+        let (ra, rb) = (&a.reports[1].recoveries[0], &b.reports[1].recoveries[0]);
+        assert_eq!(ra.orphans, rb.orphans, "ranks = {ranks}");
+        assert_eq!(ra.migration, rb.migration, "ranks = {ranks}");
+        assert_eq!(ra.t_mig, rb.t_mig, "ranks = {ranks}");
+        assert_eq!((ra.k_before, ra.k_after), (4, 3));
+    }
+}
+
+/// Fault-free purity: a session with an *empty* plan (no failures, zero
+/// probabilities) is bitwise identical to a session with no plan.
+#[test]
+fn empty_plan_is_bit_identical_to_no_plan() {
+    let without = session(4, 3).run().unwrap();
+    let empty = FaultPlan::parse("5:").unwrap();
+    let with_empty = session(4, 3).fault_plan(empty).run().unwrap();
+    assert_eq!(fingerprint(&without), fingerprint(&with_empty));
+    assert_eq!(with_empty.total_recoveries(), 0);
+
+    let zero = FaultPlan::parse("5:drop0,delay0").unwrap();
+    let with_zero = session(4, 3).fault_plan(zero).run().unwrap();
+    assert_eq!(fingerprint(&without), fingerprint(&with_zero));
+}
+
+/// Message drops and delays are absorbed by the comm layer's
+/// retransmit/backoff, so every deterministic output — partitions,
+/// model costs, measured volumes and makespans — is unchanged; only the
+/// fault counters see the injections.
+#[test]
+fn message_faults_never_change_deterministic_outputs() {
+    let clean = session(4, 3).run().unwrap();
+    let noisy_plan = FaultPlan::parse("9:drop0.2,delay0.05").unwrap();
+    let noisy = session(4, 3).fault_plan(noisy_plan).run().unwrap();
+    assert_eq!(fingerprint(&clean), fingerprint(&noisy));
+    assert_eq!(noisy.total_recoveries(), 0);
+}
+
+/// Trace counters: a plan with a failure records `FaultsInjected` and
+/// `RecoveriesRun`; a fault-free run records neither.
+#[test]
+fn fault_counters_reflect_the_plan() {
+    let plan = FaultPlan::parse("13:rank1@2,drop0.3").unwrap();
+    let (s, report) = session(3, 3).fault_plan(plan).run_traced().unwrap();
+    assert_eq!(s.total_recoveries(), 1);
+    if dlb::trace::COMPILED_IN {
+        assert_eq!(report.counter(dlb::trace::Counter::RecoveriesRun), 1);
+        // One scheduled failure, plus every injected drop/delay in the
+        // measured migration worlds.
+        assert!(report.counter(dlb::trace::Counter::FaultsInjected) >= 1);
+    }
+
+    let (_, clean) = session(3, 3).run_traced().unwrap();
+    assert_eq!(clean.counter(dlb::trace::Counter::RecoveriesRun), 0);
+    assert_eq!(clean.counter(dlb::trace::Counter::FaultsInjected), 0);
+}
+
+/// A plan naming a rank outside the workload's `0..k` world is rejected
+/// up front, not discovered mid-run.
+#[test]
+#[should_panic(expected = "out of range")]
+fn out_of_range_plan_rank_panics_up_front() {
+    let plan = FaultPlan::parse("3:rank9@1").unwrap();
+    let _ = session(4, 2).fault_plan(plan).run();
+}
