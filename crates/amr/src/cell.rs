@@ -240,7 +240,7 @@ mod tests {
 
     #[test]
     fn canonical_order_is_level_major() {
-        let mut cells = vec![Cell::new(2, 3, 0), Cell::new(1, 0, 1), Cell::new(2, 0, 0)];
+        let mut cells = [Cell::new(2, 3, 0), Cell::new(1, 0, 1), Cell::new(2, 0, 0)];
         cells.sort();
         assert_eq!(cells[0].level, 1);
         assert!(cells[1] < cells[2]);

@@ -14,9 +14,23 @@
 //! model on top of repartitioning. Results are written as
 //! `BENCH_partitioner.json` in the current directory.
 //!
-//! Usage: `perf [--scale S] [--seed N] [--k K] [--repeats R]`
-//! (defaults: scale 0.02, seed 42, k 8, repeats 3; wall-clock per phase
-//! is the minimum over repeats).
+//! An RMAT section compares [`Determinism::Strict`] against
+//! [`Determinism::Fast`] on a large power-law hypergraph
+//! (`--rmat-scale` log2 vertices): Strict at 1 thread is the quality
+//! reference, Fast is timed at 1/2/4/8 threads with its cut asserted
+//! within `fast_cut_factor` of Strict and its imbalance within ε. When
+//! the host has only one core the multi-thread speedup assertion is
+//! skipped (recorded in the JSON) and the pool's overhead is bounded
+//! instead: Fast at 2–8 threads must stay within 10% of Fast at 1.
+//!
+//! Usage: `perf [--scale S] [--seed N] [--k K] [--repeats R]
+//! [--rmat-scale S] [--rmat-only] [--gate BASELINE.json]`
+//! (defaults: scale 0.02, rmat-scale 20, seed 42, k 8, repeats 3;
+//! wall-clock per phase is the minimum over repeats). `--rmat-only`
+//! runs just the RMAT section and writes `BENCH_rmat.json`; `--gate`
+//! compares the Fast full-partition wall against a checked-in baseline
+//! (normalized by a scalar calibration loop to absorb host-speed
+//! differences) and exits nonzero on a >15% regression.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -34,7 +48,7 @@ use dlb_partitioner::matching::ipm_matching_threads;
 use dlb_partitioner::par::dist::dist_multilevel_stats;
 use dlb_partitioner::par::driver::par_multilevel;
 use dlb_partitioner::refine::PartitionState;
-use dlb_partitioner::{partition_hypergraph, Config, FixedAssignment};
+use dlb_partitioner::{partition_hypergraph, Config, Determinism, FixedAssignment};
 use dlb_workloads::{Dataset, DatasetKind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -83,6 +97,206 @@ fn speedups(wall_ms: &[f64]) -> Vec<f64> {
     wall_ms.iter().map(|&w| if w > 0.0 { base / w } else { 0.0 }).collect()
 }
 
+/// Strict-vs-Fast measurements on the RMAT input, plus everything the
+/// regression gate and the JSON section need.
+struct RmatOut {
+    json: String,
+    /// Min over thread counts of the Fast full-partition wall — the
+    /// gated quantity.
+    fast_ms: f64,
+    /// Wall of the scalar calibration loop on this host, used to
+    /// normalize the gate across machines.
+    calib_ms: f64,
+}
+
+/// Fixed scalar workload (xorshift stream) timing the host's single-core
+/// speed. The gate compares `fast_ms / calib_ms` ratios, so a faster or
+/// slower CI machine does not read as a code regression.
+fn calibration_ms() -> f64 {
+    let t0 = Instant::now();
+    let mut acc = 0u64;
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    for _ in 0..100_000_000u64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        acc = acc.wrapping_add(x);
+    }
+    std::hint::black_box(acc);
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+/// Extracts the number following `"key":` in a flat JSON document.
+fn json_number(doc: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = doc.find(&pat)? + pat.len();
+    let rest = doc[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Times Strict (reference, 1 thread) vs Fast (1/2/4/8 threads) on a
+/// seeded RMAT hypergraph and asserts the Fast quality contract.
+fn run_rmat_section(rmat_scale: u32, seed: u64, k: usize, repeats: usize) -> RmatOut {
+    const EDGE_FACTOR: usize = 8;
+    eprintln!("generating RMAT scale {rmat_scale} (edge factor {EDGE_FACTOR}) ...");
+    let h = dlb_bench::rmat_hypergraph(rmat_scale, EDGE_FACTOR, seed);
+    let n = h.num_vertices();
+    eprintln!("rmat hypergraph: {} vertices, {} nets, {} pins", n, h.num_nets(), h.num_pins());
+
+    let calib_ms = calibration_ms();
+    let host_threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+
+    // Throughput profile: direct k-way (one multilevel instead of k-1
+    // bisections), fewer GHG attempts and FM pass-pairs. The section
+    // measures Strict-vs-Fast *relative* behavior on a million-vertex
+    // input; the quality-tuned defaults would multiply every wall by
+    // ~25x without changing the comparison.
+    let mut strict_cfg = Config::seeded(seed);
+    strict_cfg.scheme = dlb_partitioner::Scheme::DirectKway;
+    strict_cfg.initial.num_attempts = 2;
+    strict_cfg.refinement.max_passes = 2;
+    strict_cfg.threads = 1;
+    strict_cfg.determinism = Determinism::Strict;
+    let mut strict_result = None;
+    let strict_ms = time_ms(repeats, || {
+        strict_result = Some(partition_hypergraph(&h, k, &strict_cfg));
+    });
+    let strict = strict_result.unwrap();
+    let strict_imb = metrics::imbalance(&h, &strict.part, k);
+    eprintln!(
+        "  strict @1: {strict_ms:.1} ms, cut {:.1}, imbalance {strict_imb:.4}",
+        strict.cut
+    );
+
+    let mut fast_walls: Vec<f64> = Vec::new();
+    let mut fast_rows = String::new();
+    for (i, &t) in THREAD_COUNTS.iter().enumerate() {
+        let mut cfg = strict_cfg.clone();
+        cfg.threads = t;
+        cfg.determinism = Determinism::Fast;
+        let mut result = None;
+        let wall = time_ms(repeats, || {
+            result = Some(partition_hypergraph(&h, k, &cfg));
+        });
+        let r = result.unwrap();
+        let imb = metrics::imbalance(&h, &r.part, k);
+        let cut_ratio = if strict.cut > 0.0 { r.cut / strict.cut } else { 1.0 };
+        eprintln!(
+            "  fast @{t}: {wall:.1} ms, cut {:.1} ({cut_ratio:.4}x strict), imbalance {imb:.4}",
+            r.cut
+        );
+        if t == 1 {
+            assert!(
+                r.part == strict.part,
+                "Fast at 1 thread must be bit-identical to Strict"
+            );
+        }
+        assert!(
+            cut_ratio <= cfg.fast_cut_factor + 1e-9,
+            "Fast cut at {t} threads is {cut_ratio:.4}x Strict (allowed {:.2}x)",
+            cfg.fast_cut_factor
+        );
+        assert!(
+            imb <= 1.0 + cfg.epsilon + 1e-9,
+            "Fast imbalance {imb:.4} exceeds 1 + epsilon at {t} threads"
+        );
+        let _ = writeln!(
+            fast_rows,
+            "      {{\"threads\": {t}, \"wall_ms\": {wall:.4}, \"cut\": {:.4}, \
+             \"cut_ratio_vs_strict\": {cut_ratio:.6}, \"imbalance\": {imb:.6}}}{}",
+            r.cut,
+            if i + 1 < THREAD_COUNTS.len() { "," } else { "" }
+        );
+        fast_walls.push(wall);
+    }
+
+    // On a single-core host, parallel walls cannot beat serial; what we
+    // can bound is the pool's overhead — oversubscribed Fast runs must
+    // stay within 10% of the 1-thread wall. Multi-core hosts assert an
+    // actual win instead.
+    let max_ratio = fast_walls[1..]
+        .iter()
+        .map(|&w| w / fast_walls[0])
+        .fold(0.0f64, f64::max);
+    let speedup_check = if host_threads == 1 {
+        assert!(
+            max_ratio <= 1.10,
+            "Fast at 2-8 threads is {max_ratio:.3}x the 1-thread wall (allowed 1.10x)"
+        );
+        "skipped_host_threads_1"
+    } else {
+        let best = fast_walls[1..].iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(
+            best <= fast_walls[0] * 1.05,
+            "Fast multi-thread best {best:.1} ms never beats 1-thread {:.1} ms",
+            fast_walls[0]
+        );
+        "ran"
+    };
+    let fast_ms = fast_walls.iter().cloned().fold(f64::INFINITY, f64::min);
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "    \"scale\": {rmat_scale},");
+    let _ = writeln!(json, "    \"edge_factor\": {EDGE_FACTOR},");
+    let _ = writeln!(json, "    \"seed\": {seed},");
+    let _ = writeln!(json, "    \"k\": {k},");
+    let _ = writeln!(json, "    \"repeats\": {},", repeats.max(1));
+    let _ = writeln!(json, "    \"vertices\": {n},");
+    let _ = writeln!(json, "    \"nets\": {},", h.num_nets());
+    let _ = writeln!(json, "    \"pins\": {},", h.num_pins());
+    let _ = writeln!(json, "    \"host_threads\": {host_threads},");
+    let _ = writeln!(json, "    \"calibration_ms\": {calib_ms:.4},");
+    let _ = writeln!(
+        json,
+        "    \"strict\": {{\"threads\": 1, \"wall_ms\": {strict_ms:.4}, \
+         \"cut\": {:.4}, \"imbalance\": {strict_imb:.6}}},",
+        strict.cut
+    );
+    let _ = writeln!(json, "    \"fast\": [");
+    json.push_str(&fast_rows);
+    let _ = writeln!(json, "    ],");
+    let _ = writeln!(json, "    \"fast_full_partition_ms\": {fast_ms:.4},");
+    let _ = writeln!(json, "    \"fast_at_1_bit_identical_to_strict\": true,");
+    let _ = writeln!(json, "    \"max_fast_wall_ratio_vs_1thread\": {max_ratio:.4},");
+    let _ = writeln!(json, "    \"speedup_check\": \"{speedup_check}\"");
+    json.push_str("  }");
+    RmatOut { json, fast_ms, calib_ms }
+}
+
+/// Compares the Fast full-partition wall against a checked-in baseline,
+/// normalized by the calibration loop, and exits nonzero on a >15%
+/// regression.
+fn run_gate(path: &str, rmat: &RmatOut) {
+    let baseline = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("gate: cannot read baseline {path}: {e}");
+        std::process::exit(1);
+    });
+    let base_fast = json_number(&baseline, "fast_full_partition_ms").unwrap_or_else(|| {
+        eprintln!("gate: baseline {path} has no fast_full_partition_ms");
+        std::process::exit(1);
+    });
+    let base_calib = json_number(&baseline, "calibration_ms").filter(|&c| c > 0.0);
+    let (current, base) = match base_calib {
+        Some(bc) => (rmat.fast_ms / rmat.calib_ms, base_fast / bc),
+        None => (rmat.fast_ms, base_fast),
+    };
+    let ratio = current / base;
+    eprintln!(
+        "gate: fast {0:.1} ms (calib {1:.1} ms) vs baseline {base_fast:.1} ms -> \
+         normalized ratio {ratio:.3}",
+        rmat.fast_ms, rmat.calib_ms
+    );
+    if ratio > 1.15 {
+        eprintln!("gate: FAIL — Fast full_partition regressed {:.1}% (>15%)", (ratio - 1.0) * 1e2);
+        std::process::exit(1);
+    }
+    eprintln!("gate: ok");
+}
+
 /// One distributed V-cycle measurement at a fixed simulated rank count.
 struct DistRun {
     ranks: usize,
@@ -108,6 +322,27 @@ fn main() {
     let seed = parse_flag(&args, "--seed").unwrap_or(42.0) as u64;
     let k = parse_flag(&args, "--k").unwrap_or(8.0) as usize;
     let repeats = parse_flag(&args, "--repeats").unwrap_or(3.0) as usize;
+    let rmat_scale = parse_flag(&args, "--rmat-scale").unwrap_or(20.0) as u32;
+    let rmat_only = args.iter().any(|a| a == "--rmat-only");
+    let gate_path = args
+        .iter()
+        .position(|a| a == "--gate")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let rmat = run_rmat_section(rmat_scale, seed, k, repeats);
+    if let Some(path) = &gate_path {
+        run_gate(path, &rmat);
+    }
+    if rmat_only {
+        let mut json = String::from("{\n");
+        let _ = writeln!(json, "  \"bench\": \"partitioner_rmat\",");
+        let _ = writeln!(json, "  \"rmat\": {}", rmat.json);
+        json.push_str("}\n");
+        std::fs::write("BENCH_rmat.json", &json).expect("write BENCH_rmat.json");
+        print!("{json}");
+        return;
+    }
 
     let kind = DatasetKind::Cage14;
     eprintln!("generating {} at scale {scale} ...", kind.name());
@@ -384,6 +619,7 @@ fn main() {
         dlb_trace::COMPILED_IN,
         trace_report.spans.len()
     );
+    let _ = writeln!(json, "  \"rmat\": {},", rmat.json);
     let _ = writeln!(json, "  \"cut\": {cut:.4},");
     let _ = writeln!(json, "  \"imbalance\": {imbalance:.6},");
     let _ = writeln!(json, "  \"bit_identical_across_threads\": {identical}");

@@ -22,5 +22,7 @@
 
 pub mod chart;
 pub mod experiment;
+pub mod rmat;
 
 pub use experiment::{run_sweep, Row, SweepConfig, TimingMode, Workload};
+pub use rmat::rmat_hypergraph;

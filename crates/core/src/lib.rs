@@ -69,3 +69,4 @@ pub use remap::remap_to_minimize_migration;
 // Re-exported so `Session::fault_plan` callers need not depend on
 // `dlb_mpisim` directly.
 pub use dlb_mpisim::FaultPlan;
+pub use dlb_partitioner::Determinism;

@@ -39,6 +39,7 @@ use std::path::PathBuf;
 
 use dlb_hypergraph::PartId;
 use dlb_mpisim::{run_spmd, Comm, FaultPlan};
+use dlb_partitioner::Determinism;
 use dlb_workloads::{EpochSnapshot, EpochSource};
 
 use crate::driver::{Algorithm, RepartConfig};
@@ -158,6 +159,17 @@ impl<'a> Session<'a> {
     /// [`workload_factory`](Session::workload_factory).
     pub fn ranks(mut self, ranks: usize) -> Self {
         self.ranks = ranks;
+        self
+    }
+
+    /// Selects the shared-memory determinism contract for the epoch
+    /// partitioner: [`Determinism::Strict`] (the default) keeps results
+    /// bit-identical at every thread count, [`Determinism::Fast`] drops
+    /// the matching-order barrier for throughput. Multi-rank sessions
+    /// always run Strict regardless of this setting (the SPMD
+    /// collectives require rank-identical state).
+    pub fn determinism(mut self, determinism: Determinism) -> Self {
+        self.cfg.hypergraph.determinism = determinism;
         self
     }
 

@@ -12,9 +12,9 @@ use std::collections::HashMap;
 use dlb_hypergraph::{parallel, Hypergraph, HypergraphBuilder};
 use rand::rngs::StdRng;
 
-use crate::config::CoarseningConfig;
+use crate::config::{CoarseningConfig, Determinism};
 use crate::fixed::FixedAssignment;
-use crate::matching::{ipm_matching_threads, Matching};
+use crate::matching::{ipm_matching_mode, Matching};
 
 /// One coarsening level: the coarse hypergraph, the fine→coarse vertex
 /// map, and the coarse fixed assignment.
@@ -86,30 +86,16 @@ pub fn contract_threads(
     let mut dedup: HashMap<Box<[usize]>, usize> = HashMap::new();
     let mut collapsed_costs: Vec<f64> = Vec::new();
     let mut collapsed_pins: Vec<Box<[usize]>> = Vec::new();
-    if threads > 1 {
+    // Effective (not requested) concurrency: the chunked remap is
+    // result-identical to the serial loop, so on a host that can only
+    // run one thread the serial loop wins — no per-chunk result
+    // buffers, no pool dispatch.
+    if parallel::effective_concurrency(threads) > 1 {
         // Remap + sort + dedup each net's pins across workers, then merge
         // the surviving nets into the dedup map in net order — the same
         // insertion order as the serial loop, so collapsed net ids and
         // summed costs come out identical.
-        let remapped: Vec<Vec<(Box<[usize]>, f64)>> = parallel::map_chunks_with(
-            threads,
-            h.num_nets(),
-            parallel::DEFAULT_CHUNK,
-            Vec::<usize>::new,
-            |pins, _, range| {
-                let mut kept: Vec<(Box<[usize]>, f64)> = Vec::with_capacity(range.len());
-                for j in range {
-                    pins.clear();
-                    pins.extend(h.net(j).iter().map(|&v| fine_to_coarse[v]));
-                    pins.sort_unstable();
-                    pins.dedup();
-                    if pins.len() >= 2 {
-                        kept.push((pins.as_slice().into(), h.net_cost(j)));
-                    }
-                }
-                kept
-            },
-        );
+        let remapped = remap_nets_parallel(h, &fine_to_coarse, threads);
         for (key, cost) in remapped.into_iter().flatten() {
             match dedup.get(&key) {
                 Some(&idx) => collapsed_costs[idx] += cost,
@@ -150,6 +136,39 @@ pub fn contract_threads(
         fine_to_coarse,
         coarse_fixed: FixedAssignment::from_options(&cfixed_opts),
     }
+}
+
+/// The parallel remap stage of [`contract_threads`]: translate, sort,
+/// dedup each net's pins over fixed net chunks, dropping sub-2-pin
+/// nets. Chunk boundaries depend only on the net count and the caller
+/// consumes chunk results in net order, so the output is independent of
+/// the worker count.
+fn remap_nets_parallel(
+    h: &Hypergraph,
+    fine_to_coarse: &[usize],
+    threads: usize,
+) -> Vec<Vec<(Box<[usize]>, f64)>> {
+    parallel::map_chunks_with(
+        threads,
+        h.num_nets(),
+        parallel::DEFAULT_CHUNK,
+        // Arena-backed per-worker remap buffer (reused across calls
+        // and levels on persistent pool workers).
+        parallel::scratch_vec::<usize>,
+        |pins, _, range| {
+            let mut kept: Vec<(Box<[usize]>, f64)> = Vec::with_capacity(range.len());
+            for j in range {
+                pins.clear();
+                pins.extend(h.net(j).iter().map(|&v| fine_to_coarse[v]));
+                pins.sort_unstable();
+                pins.dedup();
+                if pins.len() >= 2 {
+                    kept.push((pins.as_slice().into(), h.net_cost(j)));
+                }
+            }
+            kept
+        },
+    )
 }
 
 /// A full coarsening hierarchy, finest first. `levels[i]` maps level `i`'s
@@ -200,6 +219,24 @@ pub fn coarsen_to_threads(
     rng: &mut StdRng,
     threads: usize,
 ) -> Hierarchy {
+    coarsen_to_mode(h, fixed, target_vertices, cfg, rng, threads, Determinism::Strict)
+}
+
+/// [`coarsen_to_threads`] with an explicit [`Determinism`] mode for the
+/// matcher. `Strict` keeps hierarchies bit-identical at any thread
+/// count; `Fast` (with `threads > 1`) matches concurrently, so the
+/// hierarchy depends on scheduling — contraction itself stays a
+/// deterministic function of whatever matching it is given.
+#[allow(clippy::too_many_arguments)]
+pub fn coarsen_to_mode(
+    h: &Hypergraph,
+    fixed: &FixedAssignment,
+    target_vertices: usize,
+    cfg: &CoarseningConfig,
+    rng: &mut StdRng,
+    threads: usize,
+    determinism: Determinism,
+) -> Hierarchy {
     let mut hierarchy = Hierarchy::default();
     let mut current = h.clone();
     let mut current_fixed = fixed.clone();
@@ -212,7 +249,8 @@ pub fn coarsen_to_threads(
             nets = current.num_nets(),
             pins = current.num_pins(),
         );
-        let matching = ipm_matching_threads(&current, &current_fixed, None, cfg, rng, threads);
+        let matching =
+            ipm_matching_mode(&current, &current_fixed, None, cfg, rng, threads, determinism);
         let before = current.num_vertices();
         let after = matching.coarse_count();
         // Unsuccessful coarsening: the paper stops when a step fails to
@@ -243,6 +281,46 @@ mod tests {
             mate[v] = u;
         }
         Matching { mate, num_pairs: pairs.len() }
+    }
+
+    /// The chunked remap stage yields exactly the serial translate /
+    /// sort / dedup / drop result in net order at every worker count —
+    /// exercised directly so it is covered even on hosts where
+    /// `effective_concurrency` routes [`contract_threads`] to the
+    /// serial loop.
+    #[test]
+    fn parallel_net_remap_matches_serial() {
+        let h = crate::tests::random_hypergraph(120, 300, 5, 77);
+        let m = {
+            let mut mate: Vec<usize> = (0..120).collect();
+            for v in (0..120).step_by(2) {
+                mate[v] = v + 1;
+                mate[v + 1] = v;
+            }
+            Matching { mate, num_pairs: 60 }
+        };
+        let fixed = FixedAssignment::free(120);
+        let lvl = contract(&h, &m, &fixed);
+
+        let mut serial: Vec<(Box<[usize]>, f64)> = Vec::new();
+        let mut pins: Vec<usize> = Vec::new();
+        for j in 0..h.num_nets() {
+            pins.clear();
+            pins.extend(h.net(j).iter().map(|&v| lvl.fine_to_coarse[v]));
+            pins.sort_unstable();
+            pins.dedup();
+            if pins.len() >= 2 {
+                serial.push((pins.as_slice().into(), h.net_cost(j)));
+            }
+        }
+        for threads in [2usize, 4, 16] {
+            let par: Vec<(Box<[usize]>, f64)> =
+                remap_nets_parallel(&h, &lvl.fine_to_coarse, threads)
+                    .into_iter()
+                    .flatten()
+                    .collect();
+            assert_eq!(par, serial, "threads {threads}");
+        }
     }
 
     #[test]

@@ -11,6 +11,35 @@ pub enum Scheme {
     DirectKway,
 }
 
+/// Reproducibility contract of the shared-memory parallel kernels.
+///
+/// The pipeline's kernels are parallelized two ways. Under
+/// [`Determinism::Strict`] every reduction follows the chunked-reduction
+/// rule (per-chunk results combined in ascending chunk order) and every
+/// order-sensitive decision — greedy matching selection above all — runs
+/// serially, so the partition is **bit-identical at any thread count**.
+/// Under [`Determinism::Fast`] the matcher pairs vertices concurrently
+/// with CAS on a shared mate array (deterministic tie-breaking by vertex
+/// id within each candidate list), dropping the serial selection
+/// barrier; the outcome depends on thread scheduling, so runs are not
+/// bitwise-reproducible, but quality is bounded instead: the cut stays
+/// within [`Config::fast_cut_factor`] of a Strict run and the imbalance
+/// cap ε is enforced exactly as in Strict.
+///
+/// `Fast` with an effective thread count of 1 dispatches to the exact
+/// Strict code path, so `Fast` at one thread *equals* Strict. The SPMD
+/// (multi-rank) drivers always run the Strict kernels — their
+/// collectives rely on rank-identical intermediate state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Determinism {
+    /// Bit-identical results at any thread count (the default).
+    #[default]
+    Strict,
+    /// Scheduling-dependent results with bounded quality; faster at
+    /// high thread counts because matching runs fully concurrently.
+    Fast,
+}
+
 /// Coarsening-phase parameters (Section 4.1).
 #[derive(Clone, Debug)]
 pub struct CoarseningConfig {
@@ -149,6 +178,16 @@ pub struct Config {
     /// bit-identical partitions (deterministic chunked reduction); `1`
     /// runs the exact serial code path.
     pub threads: usize,
+    /// Reproducibility contract for the shared-memory kernels (see
+    /// [`Determinism`]). `Strict` — the default — keeps results
+    /// bit-identical at any thread count; `Fast` trades that for
+    /// concurrent matching with quality bounds.
+    pub determinism: Determinism,
+    /// Quality bound asserted by the Fast-mode benchmarks and tests:
+    /// a Fast run's cut must stay within this factor of the Strict cut
+    /// on the same input (`1.1` = within 10%). The partitioner itself
+    /// never reads it — it parameterizes the Fast-mode contract checks.
+    pub fast_cut_factor: f64,
     /// Distributed-memory execution parameters.
     pub dist: DistConfig,
 }
@@ -164,6 +203,8 @@ impl Default for Config {
             refinement: RefinementConfig::default(),
             num_vcycles: 1,
             threads: 0,
+            determinism: Determinism::default(),
+            fast_cut_factor: 1.1,
             dist: DistConfig::default(),
         }
     }
@@ -205,6 +246,9 @@ pub enum ConfigError {
     /// `num_vcycles == 0`: the first V-cycle builds the partition, so at
     /// least one is required.
     ZeroVcycles,
+    /// `fast_cut_factor < 1` or non-finite: the Fast-mode quality bound
+    /// is relative to Strict, so a factor below 1 is unsatisfiable.
+    InvalidFastCutFactor(f64),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -220,6 +264,9 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::ZeroAttempts => write!(f, "initial attempts must be at least 1"),
             ConfigError::ZeroVcycles => write!(f, "num_vcycles must be at least 1"),
+            ConfigError::InvalidFastCutFactor(x) => {
+                write!(f, "fast-cut-factor must be finite and at least 1, got {x}")
+            }
         }
     }
 }
@@ -286,6 +333,19 @@ impl ConfigBuilder {
         self
     }
 
+    /// Reproducibility contract ([`Config::determinism`]).
+    pub fn determinism(mut self, determinism: Determinism) -> Self {
+        self.cfg.determinism = determinism;
+        self
+    }
+
+    /// Fast-mode cut bound relative to Strict
+    /// ([`Config::fast_cut_factor`]).
+    pub fn fast_cut_factor(mut self, factor: f64) -> Self {
+        self.cfg.fast_cut_factor = factor;
+        self
+    }
+
     /// Simulated SPMD ranks ([`DistConfig::ranks`]).
     pub fn ranks(mut self, ranks: usize) -> Self {
         self.cfg.dist.ranks = ranks;
@@ -327,6 +387,9 @@ impl ConfigBuilder {
         }
         if self.cfg.num_vcycles == 0 {
             return Err(ConfigError::ZeroVcycles);
+        }
+        if !(self.cfg.fast_cut_factor.is_finite() && self.cfg.fast_cut_factor >= 1.0) {
+            return Err(ConfigError::InvalidFastCutFactor(self.cfg.fast_cut_factor));
         }
         Ok(self.cfg)
     }
@@ -393,6 +456,27 @@ mod tests {
             Config::builder().num_vcycles(0).build().unwrap_err(),
             ConfigError::ZeroVcycles
         );
+    }
+
+    #[test]
+    fn determinism_defaults_to_strict() {
+        assert_eq!(Config::default().determinism, Determinism::Strict);
+        assert!((Config::default().fast_cut_factor - 1.1).abs() < 1e-12);
+        let c = Config::builder()
+            .determinism(Determinism::Fast)
+            .fast_cut_factor(1.25)
+            .build()
+            .unwrap();
+        assert_eq!(c.determinism, Determinism::Fast);
+        assert!((c.fast_cut_factor - 1.25).abs() < 1e-12);
+        assert_eq!(
+            Config::builder().fast_cut_factor(0.9).build().unwrap_err(),
+            ConfigError::InvalidFastCutFactor(0.9)
+        );
+        assert!(matches!(
+            Config::builder().fast_cut_factor(f64::INFINITY).build().unwrap_err(),
+            ConfigError::InvalidFastCutFactor(_)
+        ));
     }
 
     #[test]

@@ -26,6 +26,14 @@ use crate::fixed::FixedAssignment;
 
 const UNASSIGNED: usize = usize::MAX;
 
+/// Nets larger than this are ignored when computing growing affinities.
+/// A hub net's per-pin contribution (`cost / (s - 1)`) is noise, but its
+/// first scan would flood the frontier heap with thousands of
+/// equal-affinity pins — power-law coarse levels keep multi-thousand-pin
+/// nets. The same reasoning caps FM delta updates
+/// (`refine::MAX_NET_SIZE_FOR_UPDATES`).
+const MAX_NET_SIZE_FOR_AFFINITY: usize = 400;
+
 /// A heap candidate ordered by affinity (then by vertex id for
 /// determinism).
 struct Cand {
@@ -76,6 +84,14 @@ fn greedy_growing(
     unassigned_order.shuffle(rng);
     let mut cursor = 0usize; // next random seed candidate
 
+    // Each net distributes its affinity once per grown part, when its
+    // first pin is absorbed; absorbing further pins of the same net adds
+    // nothing. Rescanning on every absorption instead would cost
+    // `O(size^2)` per net and part — quadratic whenever coarsening
+    // stalls on a large power-law level. `net_stamp[j] == p` marks net
+    // `j` as spent for part `p`.
+    let mut net_stamp = vec![usize::MAX; h.num_nets()];
+
     // Grow parts 0..k-1; whatever remains lands in part k-1 (and, if that
     // would overflow, spills to the lightest part).
     for p in 0..k.saturating_sub(1) {
@@ -86,10 +102,15 @@ fn greedy_growing(
         let bump_neighbors = |v: usize,
                               affinity: &mut Vec<f64>,
                               heap: &mut BinaryHeap<Cand>,
-                              part: &Vec<usize>| {
+                              part: &Vec<usize>,
+                              net_stamp: &mut Vec<usize>| {
             for &j in h.vertex_nets(v) {
+                if net_stamp[j] == p {
+                    continue;
+                }
+                net_stamp[j] = p;
                 let size = h.net_size(j);
-                if size < 2 {
+                if !(2..=MAX_NET_SIZE_FOR_AFFINITY).contains(&size) {
                     continue;
                 }
                 let contrib = h.net_cost(j) / (size - 1) as f64;
@@ -105,7 +126,7 @@ fn greedy_growing(
         // Seed from the part's fixed vertices (their neighborhoods).
         for v in 0..n {
             if fixed.get(v) == Some(p) {
-                bump_neighbors(v, &mut affinity, &mut heap, &part);
+                bump_neighbors(v, &mut affinity, &mut heap, &part, &mut net_stamp);
             }
         }
 
@@ -144,7 +165,7 @@ fn greedy_growing(
             };
             part[v] = p;
             weights[p] += h.vertex_weight(v);
-            bump_neighbors(v, &mut affinity, &mut heap, &part);
+            bump_neighbors(v, &mut affinity, &mut heap, &part, &mut net_stamp);
         }
     }
 

@@ -11,11 +11,11 @@ use dlb_hypergraph::{metrics, parallel, Hypergraph, PartId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::coarsen::{coarsen_to_threads, contract_threads, CoarseLevel};
+use crate::coarsen::{coarsen_to_mode, contract_threads, CoarseLevel};
 use crate::config::{Config, PartTargets};
 use crate::fixed::FixedAssignment;
 use crate::initial::initial_partition;
-use crate::matching::ipm_matching_threads;
+use crate::matching::ipm_matching_mode;
 use crate::refine::{refine_threads, RefineScratch};
 
 /// Runs one multilevel V-cycle on `h` for the given targets (any number
@@ -43,7 +43,8 @@ pub(crate) fn multilevel(
     let ml_span = dlb_trace::span!("multilevel", vertices = h.num_vertices(), k = k);
 
     let coarse_target = (cfg.coarsening.coarse_to_factor * k).max(cfg.coarsening.min_coarse_vertices);
-    let hierarchy = coarsen_to_threads(h, fixed, coarse_target, &cfg.coarsening, rng, threads);
+    let hierarchy =
+        coarsen_to_mode(h, fixed, coarse_target, &cfg.coarsening, rng, threads, cfg.determinism);
     ml_span.attr("levels", hierarchy.levels.len());
 
     // Partition the coarsest hypergraph.
@@ -108,7 +109,15 @@ pub(crate) fn vcycle_refine(
             level = levels.len(),
             vertices = cur_h.num_vertices(),
         );
-        let m = ipm_matching_threads(&cur_h, &cur_fixed, Some(&cur_part), &cfg.coarsening, rng, threads);
+        let m = ipm_matching_mode(
+            &cur_h,
+            &cur_fixed,
+            Some(&cur_part),
+            &cfg.coarsening,
+            rng,
+            threads,
+            cfg.determinism,
+        );
         let before = cur_h.num_vertices();
         if ((before - m.coarse_count()) as f64) < before as f64 * cfg.coarsening.min_reduction {
             break;

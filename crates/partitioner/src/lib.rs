@@ -59,7 +59,7 @@ pub mod rb;
 pub mod refine;
 
 pub use config::{
-    CoarseningConfig, Config, ConfigBuilder, ConfigError, DistConfig, InitialConfig,
+    CoarseningConfig, Config, ConfigBuilder, ConfigError, Determinism, DistConfig, InitialConfig,
     RefinementConfig, Scheme,
 };
 pub use fixed::FixedAssignment;

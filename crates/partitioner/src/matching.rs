@@ -28,11 +28,13 @@
 //! are pair constants, the result is **bit-identical** to the serial
 //! matcher at any thread count.
 
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
 use dlb_hypergraph::{parallel, Hypergraph};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 
-use crate::config::CoarseningConfig;
+use crate::config::{CoarseningConfig, Determinism};
 use crate::fixed::FixedAssignment;
 
 /// A matching: `mate[v] == v` for unmatched vertices, otherwise the
@@ -122,7 +124,11 @@ pub fn ipm_matching_threads(
     let mut order: Vec<usize> = (0..n).collect();
     order.shuffle(rng);
 
-    if threads > 1 {
+    // Effective (not requested) concurrency: the parallel path is
+    // bit-identical but pays for materializing every vertex's candidate
+    // list — worth it only when the scoring pass actually runs on more
+    // than one core.
+    if parallel::effective_concurrency(threads) > 1 {
         return ipm_matching_parallel(h, fixed, parts, cfg, &order, threads);
     }
 
@@ -137,9 +143,10 @@ pub fn ipm_matching_threads(
     let mut refused_fixed = 0u64;
 
     // Sparse score accumulator: scores[w] for candidate partners w of the
-    // current vertex, reset via the touched list.
-    let mut scores = vec![0.0f64; n];
-    let mut touched: Vec<usize> = Vec::new();
+    // current vertex, reset via the touched list. Arena-backed: the
+    // O(n) buffer is reused across matching calls on this thread.
+    let mut scores = parallel::scratch_vec_filled::<f64>(n, 0.0);
+    let mut touched = parallel::scratch_vec::<usize>();
 
     for &u in &order {
         if mate[u] != u {
@@ -174,7 +181,7 @@ pub fn ipm_matching_threads(
         // computed but are skipped here, as in the paper).
         let mut best: Option<usize> = None;
         let mut best_score = 0.0;
-        for &w in &touched {
+        for &w in touched.iter() {
             let s = scores[w];
             scores[w] = 0.0;
             if !fixed.compatible(u, w) {
@@ -225,7 +232,10 @@ fn ipm_matching_parallel(
         threads,
         n,
         SCORE_CHUNK,
-        || (vec![0.0f64; n], Vec::<usize>::new()),
+        // Arena-backed per-worker buffers: pool workers are persistent,
+        // so the O(n) score accumulator is allocated once per worker per
+        // process, not once per matching call.
+        || (parallel::scratch_vec_filled::<f64>(n, 0.0), parallel::scratch_vec::<usize>()),
         |(scores, touched), _, range| {
             let mut lists: Vec<(Vec<(usize, f64)>, u64)> = Vec::with_capacity(range.len());
             for u in range {
@@ -312,6 +322,258 @@ fn ipm_matching_parallel(
     dlb_trace::count(dlb_trace::Counter::CoarsenMatchesRefusedFixed, refused_fixed);
     dlb_trace::count(dlb_trace::Counter::CoarsenMatchesAccepted, num_pairs as u64);
     Matching { mate, num_pairs }
+}
+
+/// [`ipm_matching_threads`] with an explicit [`Determinism`] mode.
+///
+/// `Strict` (or any run at one effective thread) is exactly
+/// [`ipm_matching_threads`]: bit-identical matchings at every thread
+/// count. `Fast` with more than one thread of *real* concurrency runs
+/// [CAS-based concurrent matching](ipm_matching_cas) instead: vertices
+/// pair concurrently on a shared atomic mate array with candidates
+/// selected in `(score desc, id asc)` order — a deterministic
+/// *preference* order, though the realized matching still depends on
+/// thread interleaving. The Fast path does not consume `rng` (there is
+/// no visit-order shuffle), which is fine because Fast makes no
+/// reproducibility promise beyond its quality bounds.
+///
+/// Dispatch keys on [`parallel::effective_concurrency`], not the raw
+/// request: an 8-thread request on a 1-core host executes serially, and
+/// serial CAS matching is strictly worse than the Strict matcher (same
+/// work, plus atomics, minus the bitwise guarantee). So Fast on an
+/// oversubscribed host degrades gracefully to the Strict path — still
+/// within Fast's quality contract, since Strict *is* the quality
+/// reference.
+#[allow(clippy::too_many_arguments)]
+pub fn ipm_matching_mode(
+    h: &Hypergraph,
+    fixed: &FixedAssignment,
+    parts: Option<&[usize]>,
+    cfg: &CoarseningConfig,
+    rng: &mut StdRng,
+    threads: usize,
+    determinism: Determinism,
+) -> Matching {
+    if determinism == Determinism::Fast && parallel::effective_concurrency(threads) > 1 {
+        return ipm_matching_cas(h, fixed, parts, cfg, threads);
+    }
+    ipm_matching_threads(h, fixed, parts, cfg, rng, threads)
+}
+
+/// Mate-array sentinel: vertex is unmatched and unclaimed.
+const FREE: usize = usize::MAX;
+/// Mate-array sentinel: vertex is transiently locked by a pairing CAS.
+const HELD: usize = usize::MAX - 1;
+/// Bounded spin count before a transiently-[`HELD`] vertex is treated as
+/// taken. The hold window is a few instructions, so this is generous.
+const HELD_SPINS: usize = 64;
+
+/// Outcome of one [`try_lock_pair`] attempt.
+enum PairAttempt {
+    /// `u` and `w` are now matched to each other.
+    Matched,
+    /// `u` itself was matched by another thread; stop trying.
+    SelfTaken,
+    /// `w` is matched (or persistently busy); try the next candidate.
+    PartnerTaken,
+}
+
+/// Marks candidate `w` as consumed in the argmax scan by sinking its
+/// score to `NEG_INFINITY` (real candidate scores are strictly positive).
+fn mark_consumed(cands: &mut [(usize, f64)], w: usize) {
+    for c in cands.iter_mut() {
+        if c.0 == w {
+            c.1 = f64::NEG_INFINITY;
+            return;
+        }
+    }
+}
+
+/// Atomically pairs `u` with `w` on the mate array: locks the
+/// lower-numbered endpoint first (a global acquisition order, so no two
+/// pairing attempts can deadlock), then the higher, then publishes the
+/// pair. Either lock failing releases everything acquired.
+fn try_lock_pair(slots: &[AtomicUsize], u: usize, w: usize) -> PairAttempt {
+    let (a, b) = if u < w { (u, w) } else { (w, u) };
+    let taken = |x: usize| if x == u { PairAttempt::SelfTaken } else { PairAttempt::PartnerTaken };
+
+    let mut spins = 0;
+    loop {
+        match slots[a].compare_exchange(FREE, HELD, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => break,
+            Err(HELD) if spins < HELD_SPINS => {
+                spins += 1;
+                std::hint::spin_loop();
+            }
+            Err(_) => return taken(a),
+        }
+    }
+    let mut spins = 0;
+    loop {
+        match slots[b].compare_exchange(FREE, HELD, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => break,
+            Err(HELD) if spins < HELD_SPINS => {
+                spins += 1;
+                std::hint::spin_loop();
+            }
+            Err(_) => {
+                slots[a].store(FREE, Ordering::Release);
+                return taken(b);
+            }
+        }
+    }
+    slots[a].store(b, Ordering::Release);
+    slots[b].store(a, Ordering::Release);
+    PairAttempt::Matched
+}
+
+/// CAS-based concurrent greedy matching — the Fast-mode matcher.
+///
+/// Workers sweep vertex chunks concurrently. Each still-free vertex
+/// scores its IPM candidates exactly as the serial matcher does, orders
+/// them by `(score desc, id asc)` — deterministic tie-breaking by vertex
+/// id — and then walks the list trying to [`try_lock_pair`] with each
+/// candidate until one sticks or the vertex itself gets matched from the
+/// other side. There is no selection barrier, so the realized matching
+/// depends on interleaving; symmetry and fixed-compatibility are
+/// guaranteed by construction ([`Matching::validate`] holds for every
+/// schedule), and matching quality — not bitwise output — is the
+/// contract ([`Determinism::Fast`]).
+fn ipm_matching_cas(
+    h: &Hypergraph,
+    fixed: &FixedAssignment,
+    parts: Option<&[usize]>,
+    cfg: &CoarseningConfig,
+    threads: usize,
+) -> Matching {
+    let n = h.num_vertices();
+    let slots: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(FREE)).collect();
+    let pins_scanned = AtomicU64::new(0);
+    let refused_fixed = AtomicU64::new(0);
+
+    parallel::map_chunks_with(
+        threads,
+        n,
+        SCORE_CHUNK,
+        || {
+            (
+                parallel::scratch_vec_filled::<f64>(n, 0.0),
+                parallel::scratch_vec::<usize>(),
+                parallel::scratch_vec::<(usize, f64)>(),
+            )
+        },
+        |(scores, touched, cands), _, range| {
+            let mut local_pins = 0u64;
+            let mut local_refused = 0u64;
+            // Visit high ids first: generators and matrix orderings tend
+            // to place hubs at low ids, and whichever endpoint of a pair
+            // is visited first pays the scoring scan. Letting the cheap
+            // leaf side claim the pair means the hub is already taken by
+            // the time it comes up and is skipped outright.
+            for u in range.rev() {
+                // Skip vertices already matched (HELD counts as taken —
+                // the hold is transient, but re-checking later costs more
+                // than the rare missed match is worth).
+                if slots[u].load(Ordering::Acquire) != FREE {
+                    continue;
+                }
+                touched.clear();
+                for &j in h.vertex_nets(u) {
+                    let size = h.net_size(j);
+                    if size < 2 || size > cfg.max_net_size_for_matching {
+                        continue;
+                    }
+                    let contrib = if cfg.scaled_ipm {
+                        h.net_cost(j) / (size - 1) as f64
+                    } else {
+                        h.net_cost(j)
+                    };
+                    if contrib <= 0.0 {
+                        continue;
+                    }
+                    local_pins += size as u64;
+                    for &w in h.net(j) {
+                        // Skip neighbors already claimed — the same
+                        // pruning the serial matcher gets from `mate[w]`.
+                        // The relaxed load is advisory (a racing worker
+                        // may claim `w` right after); staleness only
+                        // costs a failed lock attempt below.
+                        if w == u || slots[w].load(Ordering::Relaxed) < HELD {
+                            continue;
+                        }
+                        if scores[w] == 0.0 {
+                            touched.push(w);
+                        }
+                        scores[w] += contrib;
+                    }
+                }
+                cands.clear();
+                for &w in touched.iter() {
+                    let s = scores[w];
+                    scores[w] = 0.0;
+                    if !fixed.compatible(u, w) {
+                        local_refused += 1;
+                        continue;
+                    }
+                    if s > 0.0 && parts.is_none_or(|p| p[u] == p[w]) {
+                        cands.push((w, s));
+                    }
+                }
+                // Deterministic preference order: best score first, ties
+                // broken by the smaller vertex id. Almost every vertex
+                // locks its first choice, so a repeated argmax scan beats
+                // sorting the whole candidate list up front.
+                loop {
+                    let mut best: Option<(usize, f64)> = None;
+                    for &(w, s) in cands.iter() {
+                        if s.is_infinite() {
+                            continue; // consumed in an earlier round
+                        }
+                        match best {
+                            Some((bw, bs)) if s < bs || (s == bs && w > bw) => {}
+                            _ => best = Some((w, s)),
+                        }
+                    }
+                    let Some((w, _)) = best else { break };
+                    if slots[w].load(Ordering::Acquire) < HELD {
+                        // Already matched; consume without the CAS.
+                        mark_consumed(cands, w);
+                        continue;
+                    }
+                    match try_lock_pair(&slots, u, w) {
+                        PairAttempt::Matched | PairAttempt::SelfTaken => break,
+                        PairAttempt::PartnerTaken => mark_consumed(cands, w),
+                    }
+                }
+            }
+            pins_scanned.fetch_add(local_pins, Ordering::Relaxed);
+            refused_fixed.fetch_add(local_refused, Ordering::Relaxed);
+        },
+    );
+
+    // Quiesced: every slot is FREE or a real partner (all holds are
+    // released before a worker abandons an attempt).
+    let mate: Vec<usize> = slots
+        .iter()
+        .enumerate()
+        .map(|(v, s)| {
+            let m = s.load(Ordering::Acquire);
+            if m >= n {
+                debug_assert_eq!(m, FREE);
+                v
+            } else {
+                m
+            }
+        })
+        .collect();
+    let num_pairs = mate.iter().enumerate().filter(|&(v, &m)| v < m).count();
+
+    dlb_trace::count(dlb_trace::Counter::CoarsenPinsScanned, pins_scanned.into_inner());
+    dlb_trace::count(dlb_trace::Counter::CoarsenMatchesRefusedFixed, refused_fixed.into_inner());
+    dlb_trace::count(dlb_trace::Counter::CoarsenMatchesAccepted, num_pairs as u64);
+    let matching = Matching { mate, num_pairs };
+    debug_assert!(matching.validate(fixed).is_ok());
+    matching
 }
 
 #[cfg(test)]
@@ -417,9 +679,57 @@ mod tests {
         assert_eq!(a.mate, b.mate);
     }
 
+    /// Fast-mode CAS matching: always a *valid* matching (symmetric,
+    /// fixed-compatible, part-restricted) under every schedule, and a
+    /// non-trivial one on a matchable instance. Calls the CAS matcher
+    /// directly so the path is exercised even on hosts where
+    /// `effective_concurrency` would route the mode dispatch to Strict.
+    #[test]
+    fn cas_matching_is_valid_and_productive() {
+        use rand::Rng;
+        let h = crate::tests::random_hypergraph(400, 800, 6, 31);
+        let mut setup_rng = StdRng::seed_from_u64(5);
+        let mut fixed = FixedAssignment::free(400);
+        for v in 0..400 {
+            if setup_rng.gen_bool(0.2) {
+                fixed.fix(v, setup_rng.gen_range(0..4));
+            }
+        }
+        let parts: Vec<usize> = (0..400).map(|v| v % 4).collect();
+        for round in 0..10u64 {
+            for restriction in [None, Some(parts.as_slice())] {
+                let m = ipm_matching_cas(&h, &fixed, restriction, &cfg(), 4);
+                m.validate(&fixed).unwrap();
+                if let Some(p) = restriction {
+                    for (v, &mv) in m.mate.iter().enumerate() {
+                        assert_eq!(p[v], p[mv], "cross-part match under restriction");
+                    }
+                }
+                assert!(m.num_pairs > 50, "round {round}: only {} pairs", m.num_pairs);
+            }
+        }
+    }
+
+    /// Fast at one effective thread dispatches to the exact Strict
+    /// matcher, including RNG consumption.
+    #[test]
+    fn fast_mode_single_thread_equals_strict() {
+        let h = crate::tests::random_hypergraph(200, 400, 5, 13);
+        let fixed = FixedAssignment::free(200);
+        let strict = ipm_matching_mode(
+            &h, &fixed, None, &cfg(), &mut StdRng::seed_from_u64(3), 1, Determinism::Strict,
+        );
+        let fast = ipm_matching_mode(
+            &h, &fixed, None, &cfg(), &mut StdRng::seed_from_u64(3), 1, Determinism::Fast,
+        );
+        assert_eq!(fast.mate, strict.mate);
+    }
+
     /// The parallel scoring path reproduces the serial matcher exactly —
     /// same mate vector — at every thread count, with and without fixed
-    /// vertices and part restrictions.
+    /// vertices and part restrictions. Calls [`ipm_matching_parallel`]
+    /// directly so the path is exercised even on hosts where
+    /// `effective_concurrency` would route the dispatch to serial.
     #[test]
     fn parallel_matching_identical_to_serial() {
         use rand::Rng;
@@ -438,10 +748,12 @@ mod tests {
                     &h, &fixed, restriction, &cfg(), &mut StdRng::seed_from_u64(seed), 1,
                 );
                 serial.validate(&fixed).unwrap();
+                // The same shuffled visit order the dispatch would build.
+                let mut order: Vec<usize> = (0..300).collect();
+                order.shuffle(&mut StdRng::seed_from_u64(seed));
                 for threads in [2usize, 3, 8] {
-                    let par = ipm_matching_threads(
-                        &h, &fixed, restriction, &cfg(), &mut StdRng::seed_from_u64(seed), threads,
-                    );
+                    let par =
+                        ipm_matching_parallel(&h, &fixed, restriction, &cfg(), &order, threads);
                     assert_eq!(par.mate, serial.mate, "seed {seed} threads {threads}");
                     assert_eq!(par.num_pairs, serial.num_pairs);
                 }

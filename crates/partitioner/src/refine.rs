@@ -29,6 +29,11 @@ use crate::fixed::FixedAssignment;
 /// recomputed exactly). Keeps huge nets from making passes quadratic.
 const MAX_NET_SIZE_FOR_UPDATES: usize = 400;
 
+/// Chunk size for parallel FM gain seeding: a `best_move` walks all of a
+/// vertex's nets, so chunks are smaller than [`parallel::DEFAULT_CHUNK`]
+/// to keep workers even on skewed boundaries.
+const SEED_CHUNK: usize = 1024;
+
 /// Incrementally maintained partition state: per-net-per-part pin counts
 /// and part weights.
 pub struct PartitionState<'a> {
@@ -59,40 +64,45 @@ impl<'a> PartitionState<'a> {
     pub fn new_threads(h: &'a Hypergraph, k: usize, part: Vec<PartId>, threads: usize) -> Self {
         assert_eq!(part.len(), h.num_vertices());
         let threads = threads.max(1);
+        // Sigma table: each chunk of nets owns the `k`-strided window of
+        // the destination buffer directly — no per-chunk vectors, no
+        // concatenation pass.
         let mut sigma = vec![0u32; h.num_nets() * k];
         let part_ref = &part;
-        let chunks = parallel::map_chunks(
+        parallel::fill_chunks(
             threads,
             h.num_nets(),
             parallel::DEFAULT_CHUNK,
-            |_, range| {
-                let mut local = vec![0u32; range.len() * k];
+            k,
+            &mut sigma,
+            |_, range, window| {
                 for j in range.clone() {
                     let base = (j - range.start) * k;
                     for &v in h.net(j) {
-                        local[base + part_ref[v]] += 1;
+                        window[base + part_ref[v]] += 1;
                     }
                 }
-                (range.start, local)
             },
         );
-        for (start, local) in chunks {
-            sigma[start * k..start * k + local.len()].copy_from_slice(&local);
-        }
-        let partials = parallel::map_chunks(
+        // Part weights: per-chunk partial vectors live in one arena-backed
+        // flat buffer (chunk i owns window i), folded in chunk order —
+        // bit-identical at every thread count.
+        let n_chunks = parallel::num_chunks(h.num_vertices(), parallel::DEFAULT_CHUNK);
+        let mut partials = parallel::scratch_vec_filled::<f64>(n_chunks * k, 0.0);
+        parallel::fill_per_chunk(
             threads,
             h.num_vertices(),
             parallel::DEFAULT_CHUNK,
-            |_, range| {
-                let mut local = vec![0.0f64; k];
+            k,
+            &mut partials,
+            |_, range, window| {
                 for v in range {
-                    local[part_ref[v]] += h.vertex_weight(v);
+                    window[part_ref[v]] += h.vertex_weight(v);
                 }
-                local
             },
         );
         let mut weights = vec![0.0f64; k];
-        for local in partials {
+        for local in partials.chunks(k) {
             for p in 0..k {
                 weights[p] += local[p];
             }
@@ -285,20 +295,24 @@ impl<'a> PartitionState<'a> {
     /// pin-marking pass stays serial, so the result is order-identical
     /// at every thread count.
     pub fn boundary_vertices_into(&self, out: &mut Vec<usize>) {
-        let cut_net: Vec<bool> = parallel::map_chunks(
+        // Cut-net flags straight into an arena-backed buffer: one write
+        // per net, no per-chunk vectors (the buffer itself is reused
+        // across passes on this thread).
+        let mut cut_net = parallel::scratch_vec_filled::<bool>(self.h.num_nets(), false);
+        parallel::fill_chunks(
             self.threads,
             self.h.num_nets(),
             parallel::DEFAULT_CHUNK,
-            |_, range| {
-                range
-                    .map(|j| (0..self.k).filter(|&p| self.sigma(j, p) > 0).count() > 1)
-                    .collect::<Vec<bool>>()
+            1,
+            &mut cut_net,
+            |_, range, window| {
+                for j in range.clone() {
+                    window[j - range.start] =
+                        (0..self.k).filter(|&p| self.sigma(j, p) > 0).count() > 1;
+                }
             },
-        )
-        .into_iter()
-        .flatten()
-        .collect();
-        let mut boundary = vec![false; self.h.num_vertices()];
+        );
+        let mut boundary = parallel::scratch_vec_filled::<bool>(self.h.num_vertices(), false);
         for (j, &is_cut) in cut_net.iter().enumerate() {
             if is_cut {
                 for &v in self.h.net(j) {
@@ -537,14 +551,33 @@ fn fm_pass(
     let mut boundary = std::mem::take(&mut scratch.boundary);
     state.boundary_vertices_into(&mut boundary);
     boundary.shuffle(rng);
-    for &v in &boundary {
-        if fixed.is_fixed(v) {
-            continue;
-        }
-        if let Some((to, gain)) = state.best_move_metric(v, targets, cfg.metric, &mut scratch.mv) {
-            scratch.heap.push(Cand { gain, v, to });
-            scratch.queued[v] = true;
-        }
+    // Parallel gain seeding: the partition is frozen here, so
+    // `best_move_metric` is a pure function of (state, v) — computing
+    // seeds across workers (per-worker MoveScratch) and pushing them in
+    // boundary order is bit-identical to the serial loop in both
+    // determinism modes.
+    let state_ref: &PartitionState = state;
+    let seeds = parallel::map_chunks_with(
+        state_ref.threads,
+        boundary.len(),
+        SEED_CHUNK,
+        || MoveScratch::new(state_ref.k),
+        |mv, _, range| {
+            let mut out: Vec<(usize, PartId, f64)> = Vec::with_capacity(range.len());
+            for &v in &boundary[range] {
+                if fixed.is_fixed(v) {
+                    continue;
+                }
+                if let Some((to, gain)) = state_ref.best_move_metric(v, targets, cfg.metric, mv) {
+                    out.push((v, to, gain));
+                }
+            }
+            out
+        },
+    );
+    for (v, to, gain) in seeds.into_iter().flatten() {
+        scratch.heap.push(Cand { gain, v, to });
+        scratch.queued[v] = true;
     }
     scratch.boundary = boundary;
 

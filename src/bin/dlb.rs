@@ -71,18 +71,21 @@ use dlb::hypergraph::io::{read_hypergraph, read_matrix_market_graph};
 use dlb::hypergraph::{metrics, CsrGraph, Hypergraph};
 use dlb::mpisim::run_spmd;
 use dlb::partitioner::par::parallel_partition;
-use dlb::partitioner::Config as HgConfig;
+use dlb::partitioner::{Config as HgConfig, Determinism};
 use dlb::workloads::{AmrSource, Dataset, DatasetKind, EpochSource, EpochStream, Perturbation};
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  dlb partition   -k K [--epsilon E] [--seed N] [--threads N] \
+         [--determinism strict|fast] \
          [--ranks N [--distributed]] [--trace FILE] [--out FILE] INPUT\n  \
          dlb repartition -k K --old PARTFILE [--alpha A] [--algorithm NAME] \
-         [--epsilon E] [--seed N] [--threads N] [--ranks N [--distributed]] \
+         [--epsilon E] [--seed N] [--threads N] [--determinism strict|fast] \
+         [--ranks N [--distributed]] \
          [--trace FILE] [--out FILE] INPUT\n  \
          dlb simulate    -k K --workload amr|structure|weights [--epochs E] [--alpha A] \
          [--algorithm NAME] [--scale S] [--seed N] [--threads N] \
+         [--determinism strict|fast] \
          [--ranks N [--distributed]] [--fault-plan SPEC] [--trace FILE]"
     );
     exit(2);
@@ -104,6 +107,7 @@ struct Cli {
     seed: u64,
     ranks: usize,
     threads: usize,
+    determinism: Determinism,
     distributed: bool,
     trace: Option<String>,
     out: Option<String>,
@@ -133,6 +137,7 @@ fn parse_cli() -> Cli {
     let mut seed = 0u64;
     let mut ranks = 1usize;
     let mut threads = 0usize;
+    let mut determinism = Determinism::Strict;
     let mut distributed = false;
     let mut trace = None;
     let mut out = None;
@@ -177,6 +182,16 @@ fn parse_cli() -> Cli {
             }
             "--threads" => {
                 threads = parse_value(&argv, i, "--threads");
+                i += 2;
+            }
+            "--determinism" => {
+                determinism = match argv.get(i + 1).map(String::as_str) {
+                    Some("strict") => Determinism::Strict,
+                    Some("fast") => Determinism::Fast,
+                    other => fail(format!(
+                        "--determinism expects strict or fast, got {other:?}"
+                    )),
+                };
                 i += 2;
             }
             "--distributed" => {
@@ -237,6 +252,7 @@ fn parse_cli() -> Cli {
         seed,
         ranks,
         threads,
+        determinism,
         distributed,
         trace,
         out,
@@ -258,6 +274,7 @@ fn validated_hg_config(cli: &Cli) -> HgConfig {
         .epsilon(cli.epsilon)
         .seed(cli.seed)
         .threads(cli.threads)
+        .determinism(cli.determinism)
         .ranks(cli.ranks)
         .distributed(cli.distributed)
         .build()
@@ -441,6 +458,7 @@ fn print_simulation(summary: &SimulationSummary, alpha: f64) {
 fn run_simulate(cli: &Cli, hg_cfg: HgConfig) {
     let mut cfg = RepartConfig::seeded(cli.seed).with_epsilon(cli.epsilon);
     cfg.hypergraph.threads = hg_cfg.threads;
+    cfg.hypergraph.determinism = hg_cfg.determinism;
     cfg.hypergraph.dist = hg_cfg.dist;
     let mut session = Session::new(cfg)
         .algorithm(cli.algorithm)
@@ -524,6 +542,7 @@ fn main() {
             };
             let mut cfg = RepartConfig::seeded(cli.seed).with_epsilon(cli.epsilon);
             cfg.hypergraph.threads = hg_cfg.threads;
+            cfg.hypergraph.determinism = hg_cfg.determinism;
             cfg.hypergraph.dist = hg_cfg.dist;
             let r = with_trace(cli.trace.as_deref(), || {
                 if cli.ranks > 1 || cli.distributed {
