@@ -32,7 +32,7 @@ pub use cell::{Cell, Direction};
 pub use feature::{indicator, seeded_features, Feature};
 pub use lower::{lower, LoweredMesh};
 pub use mesh::QuadMesh;
-pub use stream::{AmrEpoch, AmrStream};
+pub use stream::{AmrDelta, AmrDeltaCell, AmrEpoch, AmrStream};
 
 /// Parameters of the AMR simulation and its lowering.
 #[derive(Clone, Copy, Debug, PartialEq)]

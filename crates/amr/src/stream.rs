@@ -10,11 +10,11 @@
 //! (canonical-order) surviving descendant lived. That "previous or
 //! creation part" is exactly what the paper's migration nets attach to.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use dlb_hypergraph::{CsrGraph, Hypergraph, PartId};
 
-use crate::cell::Cell;
+use crate::cell::{Cell, Direction};
 use crate::feature::{indicator, seeded_features, Feature};
 use crate::lower::{lower, LoweredMesh};
 use crate::mesh::QuadMesh;
@@ -31,6 +31,46 @@ pub struct AmrEpoch {
     pub cells: Vec<Cell>,
     /// Previous/creation part per vertex.
     pub old_part: Vec<PartId>,
+}
+
+/// A cell created by the current adaptation step, with the lowering
+/// attributes a patcher needs to splice it in.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AmrDeltaCell {
+    /// The new leaf.
+    pub cell: Cell,
+    /// Creation part (the parent's part for refined children, the first
+    /// surviving descendant's part for a coarsened parent).
+    pub old_part: PartId,
+    /// Subcycling weight, exactly as [`lower`] computes it.
+    pub weight: f64,
+    /// Migration data size (`state_bytes`).
+    pub size: f64,
+}
+
+/// The structural diff produced by one adaptation step — what changed
+/// between the previous epoch's leaf set and the current one.
+///
+/// `adjacency` is *complete for the change*: it lists the refreshed
+/// face-neighbor set of every new leaf and of every surviving leaf
+/// whose neighborhood was altered by the step, and of no others. A
+/// survivor's neighborhood changes only when a leaf across one of its
+/// faces appears or disappears, so scanning the new mesh's
+/// `neighbor_leaves` around every added *and* removed cell's region
+/// finds each such survivor.
+#[derive(Clone, Debug)]
+pub struct AmrDelta {
+    /// The new epoch's leaves, in canonical order.
+    pub cells: Vec<Cell>,
+    /// Former leaves no longer in the mesh, in canonical order.
+    pub removed: Vec<Cell>,
+    /// New leaves with creation parts and lowering attributes, in
+    /// canonical order.
+    pub added: Vec<AmrDeltaCell>,
+    /// `(cell, face neighbors)` for every cell whose neighborhood
+    /// changed, in canonical cell order; neighbor lists follow the
+    /// canonical direction order (west, east, south, north).
+    pub adjacency: Vec<(Cell, Vec<Cell>)>,
 }
 
 /// A stateful generator of AMR epochs.
@@ -135,6 +175,86 @@ impl AmrStream {
             hypergraph: low.hypergraph,
             cells: low.cells,
             old_part,
+        }
+    }
+
+    /// Generates the next epoch as a structural diff against the
+    /// previous one: features advance and the mesh re-adapts exactly as
+    /// in [`Self::next_epoch`], but instead of lowering the whole mesh
+    /// the step reports only what changed — removed leaves, created
+    /// leaves (with creation parts and lowering attributes), and the
+    /// refreshed neighborhoods of every cell the change touched.
+    ///
+    /// Advances the stream by one epoch; callers use this *instead of*
+    /// [`Self::next_epoch`] for the epoch in question.
+    ///
+    /// # Panics
+    /// Panics if no initial partition was set.
+    pub fn next_epoch_delta(&mut self) -> AmrDelta {
+        assert!(
+            !self.last_part.is_empty(),
+            "set_initial_partition must be called before the first epoch"
+        );
+        self.epochs_emitted += 1;
+        let before: BTreeSet<Cell> = self.mesh.leaves().collect();
+        for f in &mut self.features {
+            f.advance();
+        }
+        let sigma = self.cfg.sigma;
+        let fs = self.features.clone();
+        self.mesh.adapt_to_stable(
+            |x, y| indicator(&fs, sigma, x, y),
+            self.cfg.refine_threshold,
+            self.cfg.coarsen_threshold,
+        );
+        let after: BTreeSet<Cell> = self.mesh.leaves().collect();
+
+        let removed: Vec<Cell> = before.difference(&after).copied().collect();
+        let added_cells: Vec<Cell> = after.difference(&before).copied().collect();
+
+        // Every new leaf needs its neighborhood; every survivor whose
+        // neighborhood changed is face-adjacent to some added or
+        // removed cell's region, so scanning `neighbor_leaves` of the
+        // *new* mesh around each changed cell finds them all
+        // (`neighbor_leaves` accepts non-leaf query cells, which covers
+        // removed cells both finer and coarser than the current leaves).
+        let mut dirty: BTreeSet<Cell> = added_cells.iter().copied().collect();
+        for &c in removed.iter().chain(added_cells.iter()) {
+            for dir in Direction::ALL {
+                for n in self.mesh.neighbor_leaves(c, dir) {
+                    dirty.insert(n);
+                }
+            }
+        }
+        let adjacency: Vec<(Cell, Vec<Cell>)> = dirty
+            .iter()
+            .map(|&c| {
+                debug_assert!(self.mesh.is_leaf(c), "dirty cell {c:?} is not a leaf");
+                let mut ns = Vec::new();
+                for dir in Direction::ALL {
+                    ns.extend(self.mesh.neighbor_leaves(c, dir));
+                }
+                (c, ns)
+            })
+            .collect();
+
+        let base = self.mesh.base_level();
+        let added: Vec<AmrDeltaCell> = added_cells
+            .iter()
+            .map(|&c| AmrDeltaCell {
+                cell: c,
+                old_part: self.inherited_part(c),
+                // Bitwise the same expressions `lower` uses.
+                weight: (1u64 << (c.level - base)) as f64,
+                size: self.cfg.state_bytes,
+            })
+            .collect();
+
+        AmrDelta {
+            cells: after.iter().copied().collect(),
+            removed,
+            added,
+            adjacency,
         }
     }
 

@@ -11,8 +11,10 @@
 //! must strictly shrink as ranks grow) plus communication volumes.
 //! A final section times the AMR workload pipeline — quadtree
 //! adaptation + lowering per epoch, and the measured-makespan execution
-//! model on top of repartitioning. Results are written as
-//! `BENCH_partitioner.json` in the current directory.
+//! model on top of repartitioning — and the incremental repartitioning
+//! path (delta patch + warm-started refinement vs. full V-cycles every
+//! epoch), asserting a competitive ratio ≤ 1.0 at α = 10. Results are
+//! written as `BENCH_partitioner.json` in the current directory.
 //!
 //! An RMAT section compares [`Determinism::Strict`] against
 //! [`Determinism::Fast`] on a large power-law hypergraph
@@ -509,6 +511,62 @@ fn main() {
          measured {amr_measured_ms:.2} ms, mean makespan {amr_mean_makespan:.4} s"
     );
 
+    // --- Incremental repartitioning: delta patch + warm-started
+    // refinement vs. a full lowering + V-cycle every epoch, on the same
+    // AMR stream. The online competitive ratio (cumulative measured
+    // α·comm + migration volume vs. the scratch baseline) must stay at
+    // or below 1.0 at α = 10 — warm starts may trade nothing away.
+    // Drift threshold 1.0 is the maximal exercise of the warm path:
+    // every delta epoch warm-starts, no full-V-cycle fallback ever
+    // masks a quality gap. ---
+    let incr_alpha = 10.0;
+    let incr_threshold = 1.0;
+    let incr_epochs = 6usize;
+    eprintln!("incremental repartitioning ({incr_epochs} epochs, alpha {incr_alpha}) ...");
+    let mut scratch_summary = None;
+    let incr_scratch_ms = time_ms(repeats, || {
+        let mut source = make_amr_source();
+        let s = Session::new(repart_cfg.clone())
+            .algorithm(Algorithm::ZoltanRepart)
+            .alpha(incr_alpha)
+            .epochs(incr_epochs)
+            .measured(true)
+            .workload(&mut source)
+            .run()
+            .expect("valid session");
+        scratch_summary = Some(s);
+    });
+    let mut incr_summary = None;
+    let incr_warm_ms = time_ms(repeats, || {
+        let mut source = make_amr_source();
+        let s = Session::new(repart_cfg.clone())
+            .algorithm(Algorithm::ZoltanRepart)
+            .alpha(incr_alpha)
+            .epochs(incr_epochs)
+            .measured(true)
+            .incremental(true)
+            .drift_threshold(incr_threshold)
+            .workload(&mut source)
+            .run()
+            .expect("valid session");
+        incr_summary = Some(s);
+    });
+    let scratch_summary = scratch_summary.unwrap();
+    let incr_summary = incr_summary.unwrap();
+    let cr = incr_summary
+        .competitive_ratio_vs(&scratch_summary)
+        .expect("both runs measured the same epoch count");
+    let incr_ratio = cr.ratio().expect("nonzero baseline cost");
+    eprintln!(
+        "  patch+refine {incr_warm_ms:.2} ms vs full V-cycles {incr_scratch_ms:.2} ms; \
+         cost volume {:.1} vs {:.1} -> competitive ratio {incr_ratio:.4}",
+        cr.policy_cost, cr.baseline_cost
+    );
+    assert!(
+        incr_ratio <= 1.0 + 1e-9,
+        "incremental competitive ratio {incr_ratio:.4} exceeds 1.0 at alpha {incr_alpha}"
+    );
+
     // --- Phase attribution: one traced full partition, leaf coverage
     // of the span tree, and the cost of tracing itself (session active
     // vs. the no-session fast path, which must stay within noise). ---
@@ -610,6 +668,15 @@ fn main() {
         "  \"amr\": {{\"epochs\": {amr_epochs}, \"gen_ms\": {amr_gen_ms:.4}, \
          \"simulate_ms\": {amr_sim_ms:.4}, \"measured_ms\": {amr_measured_ms:.4}, \
          \"mean_makespan_s\": {amr_mean_makespan:.6}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"incremental\": {{\"epochs\": {incr_epochs}, \"alpha\": {incr_alpha}, \
+         \"drift_threshold\": {incr_threshold}, \
+         \"patch_refine_ms\": {incr_warm_ms:.4}, \"full_vcycle_ms\": {incr_scratch_ms:.4}, \
+         \"policy_cost_volume\": {:.4}, \"scratch_cost_volume\": {:.4}, \
+         \"competitive_ratio\": {incr_ratio:.6}}},",
+        cr.policy_cost, cr.baseline_cost
     );
     let _ = writeln!(
         json,

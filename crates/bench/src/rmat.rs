@@ -35,7 +35,7 @@ const RMAT_C: f64 = 0.19;
 /// edges are deduplicated per net, and vertices without out-edges emit
 /// no net, so `num_nets() <= num_vertices()`.
 pub fn rmat_hypergraph(scale: u32, edge_factor: usize, seed: u64) -> Hypergraph {
-    assert!(scale >= 1 && scale < usize::BITS, "scale {scale} out of range");
+    assert!((1..usize::BITS).contains(&scale), "scale {scale} out of range");
     let n: usize = 1 << scale;
     let num_edges = n * edge_factor;
     let mut rng = StdRng::seed_from_u64(seed);

@@ -206,6 +206,55 @@ pub fn repartition(
     finish(problem, new_part, start)
 }
 
+/// [`Algorithm::ZoltanRepart`] on a **pre-built** repartitioning model
+/// — the incremental path ([`crate::delta`]). The model must be the
+/// lowering of `problem` (the patch invariant guarantees bitwise
+/// equality with [`RepartitionHypergraph::build`] on it, so the cold
+/// path here returns exactly what [`repartition`] would).
+///
+/// `warm` seeds the partitioner from the previous assignment via
+/// [`dlb_partitioner::refine_partition_fixed`] — rebalance + refine +
+/// part-restricted V-cycles, no from-scratch coarsening; otherwise the
+/// full pipeline runs on the patched model.
+pub(crate) fn repartition_patched(
+    problem: &RepartProblem,
+    model: &RepartitionHypergraph,
+    warm: bool,
+    cfg: &RepartConfig,
+) -> RepartResult {
+    validate(problem);
+    assert_eq!(model.num_computation_vertices, problem.hypergraph.num_vertices());
+    assert_eq!(model.k, problem.k);
+    let _span = dlb_trace::span!(
+        "repartition",
+        algorithm = "Zoltan-repart",
+        k = problem.k,
+        alpha = problem.alpha,
+        warm = warm as usize,
+    );
+    let start = Instant::now();
+    let r = if warm {
+        let mut hcfg = cfg.hypergraph.clone();
+        hcfg.warm_start = true;
+        // At least one part-restricted keep-if-better V-cycle after the
+        // flat polish — that cycle is the warm seed's only chance to
+        // escape the previous epoch's basin.
+        hcfg.num_vcycles = hcfg.num_vcycles.max(2);
+        let seed = model.extend_assignment(problem.old_part);
+        dlb_partitioner::refine_partition_fixed(
+            &model.augmented,
+            problem.k,
+            &model.fixed,
+            &seed,
+            &hcfg,
+        )
+    } else {
+        partition_hypergraph_fixed(&model.augmented, problem.k, &model.fixed, &cfg.hypergraph)
+    };
+    let new_part = model.decode(&r.part);
+    finish(problem, new_part, start)
+}
+
 /// Runs one of the four algorithms collectively on an SPMD communicator.
 ///
 /// The hypergraph methods run the genuinely parallel partitioner of
@@ -377,6 +426,22 @@ mod tests {
         let r = repartition(&problem, Algorithm::ZoltanRepart, &RepartConfig::seeded(5));
         let recount = old.iter().zip(&r.new_part).filter(|(a, b)| a != b).count();
         assert_eq!(r.moved, recount);
+    }
+
+    #[test]
+    fn patched_cold_path_matches_repartition() {
+        let (g, h, old) = grid_problem(10, 10, 4);
+        let problem = RepartProblem { hypergraph: &h, graph: &g, old_part: &old, k: 4, alpha: 10.0 };
+        let cfg = RepartConfig::seeded(7);
+        let model = RepartitionHypergraph::build(&h, &old, 4, 10.0);
+        let a = repartition(&problem, Algorithm::ZoltanRepart, &cfg);
+        let b = repartition_patched(&problem, &model, false, &cfg);
+        assert_eq!(a.new_part, b.new_part, "cold patched path must equal the standard driver");
+        // The warm path optimizes the same objective under the same
+        // constraints, just from a warm seed.
+        let w = repartition_patched(&problem, &model, true, &cfg);
+        assert!(w.new_part.iter().all(|&p| p < 4));
+        assert!(w.imbalance <= 1.0 + cfg.epsilon + 1e-9, "imbalance {}", w.imbalance);
     }
 
     #[test]

@@ -6,19 +6,37 @@
 //! ([`dlb_workloads::AmrSource`]) — invokes one of the four algorithms
 //! per epoch, commits the new assignment back to the source (so the
 //! next epoch's dynamics and old-parts see it), and accumulates
-//! per-epoch cost and timing. The `_measured` variants additionally run
-//! the [`crate::exec`] execution model each epoch, so the summary
-//! carries observed makespans next to the model costs.
+//! per-epoch cost and timing. Measured sessions additionally run the
+//! [`crate::exec`] execution model each epoch, so the summary carries
+//! observed makespans next to the model costs; incremental sessions
+//! pull [`EpochUpdate`] deltas and patch the repartitioning model in
+//! place ([`crate::delta`]) under the [`IncrementalPolicy`] drift rule.
 
 use std::time::{Duration, Instant};
 
 use dlb_mpisim::{Comm, FaultPlan};
-use dlb_workloads::EpochSource;
+use dlb_workloads::{EpochSource, EpochUpdate};
 
 use crate::cost::CostBreakdown;
-use crate::driver::{repartition, repartition_parallel, Algorithm, RepartConfig, RepartProblem};
-use crate::exec::{measure_epoch_with_faults, EpochExecution, NetworkModel};
+use crate::delta::ModelPatcher;
+use crate::driver::{
+    repartition, repartition_parallel, repartition_patched, Algorithm, RepartConfig,
+    RepartProblem,
+};
+use crate::exec::{measure_epoch_with_faults, CompetitiveRatio, EpochExecution, NetworkModel};
 use crate::recover::recover_from_failure;
+
+/// The per-epoch drift policy of an incremental run: epochs whose delta
+/// touched less than `drift_threshold` of the mesh are patched and
+/// warm-start refined; epochs at or above it get a full V-cycle (on the
+/// patched model — the patch invariant makes that bit-identical to a
+/// scratch rebuild). `drift_threshold = 0.0` therefore reproduces the
+/// non-incremental pipeline's outputs exactly.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) struct IncrementalPolicy {
+    /// Warm-start when `touched_fraction < drift_threshold` (strict).
+    pub drift_threshold: f64,
+}
 
 /// One rank-failure recovery performed at an epoch boundary
 /// (DESIGN.md §12).
@@ -159,6 +177,23 @@ impl SimulationSummary {
         }
         Some(mean(self.reports.iter().map(|r| f(r.execution.as_ref().unwrap()))))
     }
+
+    /// Summed measured cost volume `α·comm + mig` (bytes) over the
+    /// trial — the objective the competitive ratio compares. `None`
+    /// unless every epoch was measured.
+    pub fn total_cost_volume(&self) -> Option<f64> {
+        if self.reports.is_empty() || self.reports.iter().any(|r| r.execution.is_none()) {
+            return None;
+        }
+        Some(self.reports.iter().map(|r| r.execution.as_ref().unwrap().cost_volume()).sum())
+    }
+
+    /// The online [`CompetitiveRatio`] of this (policy) run against a
+    /// `baseline` run of the same measured workload. `None` unless both
+    /// runs are measured over the same number of epochs.
+    pub fn competitive_ratio_vs(&self, baseline: &SimulationSummary) -> Option<CompetitiveRatio> {
+        CompetitiveRatio::from_summaries(self, baseline)
+    }
 }
 
 fn mean(values: impl Iterator<Item = f64>) -> f64 {
@@ -194,7 +229,13 @@ pub(crate) fn run_epochs<S: EpochSource + ?Sized>(
     cfg: &RepartConfig,
     network: Option<&NetworkModel>,
     faults: Option<&FaultPlan>,
+    incremental: Option<IncrementalPolicy>,
 ) -> SimulationSummary {
+    assert!(
+        incremental.is_none() || comm.is_none(),
+        "incremental repartitioning is serial-only (Session validates this)"
+    );
+    let mut patcher = incremental.map(|_| ModelPatcher::new());
     let k0 = source.k();
     if let Some(plan) = faults {
         for f in plan.failures() {
@@ -210,7 +251,24 @@ pub(crate) fn run_epochs<S: EpochSource + ?Sized>(
     for epoch in 1..=num_epochs {
         let span = dlb_trace::span!("epoch", epoch = epoch, k = cur_k);
         dlb_trace::count(dlb_trace::Counter::Epochs, 1);
-        let snapshot = source.next_epoch();
+        // Incremental runs pull a structural delta and patch the
+        // previous epoch's model in place; everything else (and any
+        // source falling back to a full snapshot) re-lowers from
+        // scratch. `patched` carries the spliced model plus the drift
+        // measure the policy decides on.
+        let (snapshot, patched) = match patcher.as_mut() {
+            Some(patcher) => match source.next_delta() {
+                EpochUpdate::Full(snap) => {
+                    patcher.prime(&snap);
+                    (snap, None)
+                }
+                EpochUpdate::Delta(d) => {
+                    let p = patcher.apply(&d, cur_k, alpha);
+                    (p.snapshot, Some((p.model, p.touched_fraction)))
+                }
+            },
+            None => (source.next_epoch(), None),
+        };
         span.attr("vertices", snapshot.graph.num_vertices());
         let dying: Vec<usize> = match faults {
             Some(plan) => plan
@@ -230,7 +288,31 @@ pub(crate) fn run_epochs<S: EpochSource + ?Sized>(
             };
             let result = match comm.as_deref_mut() {
                 Some(comm) => repartition_parallel(comm, &problem, algorithm, cfg),
-                None => repartition(&problem, algorithm, cfg),
+                None => match &patched {
+                    // Drift policy: a lightly-touched epoch reuses the
+                    // patched model and warm-starts refinement from the
+                    // old assignment; a heavily-drifted one runs the
+                    // full V-cycle pipeline on the (bit-identical)
+                    // patched model.
+                    Some((model, frac)) if algorithm == Algorithm::ZoltanRepart => {
+                        let policy = incremental.expect("patched implies incremental");
+                        let warm = *frac < policy.drift_threshold;
+                        if warm {
+                            dlb_trace::count(dlb_trace::Counter::DeltaEpochs, 1);
+                        } else {
+                            dlb_trace::count(dlb_trace::Counter::FullRebuilds, 1);
+                        }
+                        span.attr("touched_fraction", *frac);
+                        span.attr("warm_start", warm as usize);
+                        repartition_patched(&problem, model, warm, cfg)
+                    }
+                    _ => {
+                        if patcher.is_some() {
+                            dlb_trace::count(dlb_trace::Counter::FullRebuilds, 1);
+                        }
+                        repartition(&problem, algorithm, cfg)
+                    }
+                },
             };
             let execution = network.map(|net| {
                 measure_epoch_with_faults(
@@ -244,6 +326,9 @@ pub(crate) fn run_epochs<S: EpochSource + ?Sized>(
                 )
             });
             source.commit_assignment(&snapshot, &result.new_part);
+            if let Some(patcher) = patcher.as_mut() {
+                patcher.commit(&snapshot.to_base, &result.new_part);
+            }
             span.attr("moved", result.moved);
             EpochReport {
                 epoch,
@@ -260,6 +345,11 @@ pub(crate) fn run_epochs<S: EpochSource + ?Sized>(
             // recovery chain: each dead rank shrinks the world by one
             // and repartitions from the failure-time assignment (its
             // vertices free, survivors tethered — DESIGN.md §12).
+            // Incremental runs discard any patched model here — the
+            // recovery is a full rebuild by definition.
+            if patcher.is_some() {
+                dlb_trace::count(dlb_trace::Counter::FullRebuilds, 1);
+            }
             let start = Instant::now();
             let mut old = snapshot.old_part.clone();
             let mut recoveries = Vec::with_capacity(dying.len());
@@ -337,6 +427,9 @@ pub(crate) fn run_epochs<S: EpochSource + ?Sized>(
                 }
             }
             source.commit_assignment(&snapshot, &old);
+            if let Some(patcher) = patcher.as_mut() {
+                patcher.commit(&snapshot.to_base, &old);
+            }
             span.attr("moved", moved);
             span.attr("recoveries", recoveries.len());
             EpochReport {
@@ -353,101 +446,6 @@ pub(crate) fn run_epochs<S: EpochSource + ?Sized>(
         reports.push(report);
     }
     SimulationSummary { algorithm, alpha, k: k0, reports }
-}
-
-/// Runs `num_epochs` epochs of `algorithm` over `source`.
-///
-/// The source must be freshly constructed with the trial's initial
-/// static partition; the simulation mutates it (commits assignments).
-#[deprecated(since = "0.2.0", note = "use dlb_core::Session")]
-pub fn simulate_epochs<S: EpochSource + ?Sized>(
-    source: &mut S,
-    num_epochs: usize,
-    algorithm: Algorithm,
-    alpha: f64,
-    cfg: &RepartConfig,
-) -> SimulationSummary {
-    let mut adapter = crate::session::DynSource(source);
-    crate::session::Session::new(cfg.clone())
-        .algorithm(algorithm)
-        .alpha(alpha)
-        .epochs(num_epochs)
-        .workload(&mut adapter)
-        .run()
-        .expect("serial session with a workload cannot fail")
-}
-
-/// [`simulate_epochs`] plus the measured execution model: every epoch's
-/// partition is executed under `network` (ghost exchanges clocked,
-/// migration payloads physically moved on a `k`-rank SPMD world), so
-/// each report carries an [`EpochExecution`].
-#[deprecated(since = "0.2.0", note = "use dlb_core::Session with .network()")]
-pub fn simulate_epochs_measured<S: EpochSource + ?Sized>(
-    source: &mut S,
-    num_epochs: usize,
-    algorithm: Algorithm,
-    alpha: f64,
-    cfg: &RepartConfig,
-    network: &NetworkModel,
-) -> SimulationSummary {
-    let mut adapter = crate::session::DynSource(source);
-    crate::session::Session::new(cfg.clone())
-        .algorithm(algorithm)
-        .alpha(alpha)
-        .epochs(num_epochs)
-        .network(*network)
-        .workload(&mut adapter)
-        .run()
-        .expect("serial session with a workload cannot fail")
-}
-
-/// Parallel variant of [`simulate_epochs`]: the repartitioner runs
-/// collectively on `comm` (the hypergraph methods genuinely SPMD, the
-/// graph baselines replicated — see [`repartition_parallel`]). Every rank
-/// must drive an identically seeded source; all ranks return identical
-/// summaries.
-#[deprecated(since = "0.2.0", note = "use dlb_core::Session with .ranks() or .run_on()")]
-pub fn simulate_epochs_parallel<S: EpochSource + ?Sized>(
-    comm: &mut Comm,
-    source: &mut S,
-    num_epochs: usize,
-    algorithm: Algorithm,
-    alpha: f64,
-    cfg: &RepartConfig,
-) -> SimulationSummary {
-    let mut adapter = crate::session::DynSource(source);
-    crate::session::Session::new(cfg.clone())
-        .algorithm(algorithm)
-        .alpha(alpha)
-        .epochs(num_epochs)
-        .workload(&mut adapter)
-        .run_on(comm)
-        .expect("collective session with a workload cannot fail")
-}
-
-/// [`simulate_epochs_parallel`] plus the measured execution model. Every
-/// rank measures the (identical) partition against its own nested
-/// `k`-rank migration world, so all ranks still return identical
-/// summaries — `tests/amr_determinism.rs` relies on this.
-#[deprecated(since = "0.2.0", note = "use dlb_core::Session with .ranks()/.run_on() and .network()")]
-pub fn simulate_epochs_measured_parallel<S: EpochSource + ?Sized>(
-    comm: &mut Comm,
-    source: &mut S,
-    num_epochs: usize,
-    algorithm: Algorithm,
-    alpha: f64,
-    cfg: &RepartConfig,
-    network: &NetworkModel,
-) -> SimulationSummary {
-    let mut adapter = crate::session::DynSource(source);
-    crate::session::Session::new(cfg.clone())
-        .algorithm(algorithm)
-        .alpha(alpha)
-        .epochs(num_epochs)
-        .network(*network)
-        .workload(&mut adapter)
-        .run_on(comm)
-        .expect("collective session with a workload cannot fail")
 }
 
 #[cfg(test)]
@@ -575,18 +573,50 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_wrappers_still_work() {
-        // The old entry points must keep compiling and returning the same
-        // results as the Session they now delegate to (one release of
-        // grace for external callers).
-        #[allow(deprecated)]
-        let old = {
-            let mut stream = make_stream(DatasetKind::Auto, 2, Perturbation::structure(), 21);
-            simulate_epochs(&mut stream, 2, Algorithm::ZoltanRepart, 10.0, &RepartConfig::seeded(21))
+    fn incremental_with_zero_threshold_matches_full_rebuilds() {
+        // drift_threshold = 0 never warm-starts, and the patch
+        // invariant makes the patched model bit-identical to a fresh
+        // lowering — so the whole report sequence must match the
+        // non-incremental run exactly.
+        let k = 4;
+        let amr = dlb_amr::AmrConfig::small();
+        let make = || {
+            let stream = dlb_amr::AmrStream::new(amr, k, 17);
+            let low = stream.initial_lowering();
+            let init: Vec<_> = (0..low.graph.num_vertices()).map(|v| v % k).collect();
+            dlb_workloads::AmrSource::new(stream, &init)
         };
-        let mut stream = make_stream(DatasetKind::Auto, 2, Perturbation::structure(), 21);
-        let new = run(&mut stream, 2, Algorithm::ZoltanRepart, 10.0, &RepartConfig::seeded(21));
-        assert_eq!(old.mean_comm(), new.mean_comm());
-        assert_eq!(old.mean_migration(), new.mean_migration());
+        let cfg = RepartConfig::seeded(17);
+        let mut a = make();
+        let inc = Session::new(cfg.clone())
+            .algorithm(Algorithm::ZoltanRepart)
+            .alpha(10.0)
+            .epochs(4)
+            .measured(true)
+            .incremental(true)
+            .drift_threshold(0.0)
+            .workload(&mut a)
+            .run()
+            .unwrap();
+        let mut b = make();
+        let full = Session::new(cfg)
+            .algorithm(Algorithm::ZoltanRepart)
+            .alpha(10.0)
+            .epochs(4)
+            .measured(true)
+            .workload(&mut b)
+            .run()
+            .unwrap();
+        assert_eq!(inc.reports.len(), full.reports.len());
+        for (i, f) in inc.reports.iter().zip(&full.reports) {
+            assert_eq!(i.cost.comm, f.cost.comm);
+            assert_eq!(i.cost.migration, f.cost.migration);
+            assert_eq!(i.moved, f.moved);
+            assert_eq!(i.num_vertices, f.num_vertices);
+            assert_eq!(i.execution.unwrap().cost_volume(), f.execution.unwrap().cost_volume());
+        }
+        let cr = inc.competitive_ratio_vs(&full).expect("both measured");
+        assert_eq!(cr.ratio(), Some(1.0), "identical runs have ratio exactly 1");
+        assert_eq!(inc.total_cost_volume(), full.total_cost_volume());
     }
 }

@@ -91,6 +91,66 @@ impl EpochExecution {
     }
 }
 
+/// Online competitive-ratio tracker for incremental repartitioning:
+/// cumulative measured cost volume (`α·comm + mig` bytes, see
+/// [`EpochExecution::cost_volume`]) of a policy run against a
+/// from-scratch baseline run, accumulated epoch by epoch in the online
+/// style of competitive analysis.
+///
+/// A ratio ≤ 1 means the incremental policy's summed objective is no
+/// worse than rebuilding and repartitioning from scratch every epoch —
+/// the acceptance bar for the delta subsystem (BENCH §incremental).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CompetitiveRatio {
+    /// Summed policy cost volume over the epochs recorded so far.
+    pub policy_cost: f64,
+    /// Summed baseline cost volume over the same epochs.
+    pub baseline_cost: f64,
+    /// Epochs recorded.
+    pub epochs: usize,
+}
+
+impl CompetitiveRatio {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulates one epoch's policy and baseline cost volumes.
+    pub fn record(&mut self, policy_cost_volume: f64, baseline_cost_volume: f64) {
+        self.policy_cost += policy_cost_volume;
+        self.baseline_cost += baseline_cost_volume;
+        self.epochs += 1;
+    }
+
+    /// Cumulative `policy / baseline` cost ratio, or `None` while the
+    /// baseline has accumulated no cost (nothing to compete against).
+    pub fn ratio(&self) -> Option<f64> {
+        if self.baseline_cost > 0.0 {
+            Some(self.policy_cost / self.baseline_cost)
+        } else {
+            None
+        }
+    }
+
+    /// Builds the tracker from two *measured* simulation summaries over
+    /// the same workload, pairing epochs in order. `None` unless both
+    /// runs are measured and cover the same number of epochs.
+    pub fn from_summaries(
+        policy: &crate::epoch::SimulationSummary,
+        baseline: &crate::epoch::SimulationSummary,
+    ) -> Option<Self> {
+        if policy.reports.len() != baseline.reports.len() || policy.reports.is_empty() {
+            return None;
+        }
+        let mut cr = Self::new();
+        for (p, b) in policy.reports.iter().zip(&baseline.reports) {
+            cr.record(p.execution?.cost_volume(), b.execution?.cost_volume());
+        }
+        Some(cr)
+    }
+}
+
 /// Measures one epoch: executes the migration exchange on a `k`-rank
 /// SPMD world and clocks all three phases under `net`.
 ///
@@ -319,6 +379,19 @@ mod tests {
         let e = measure_epoch(&h, &old, &old, 2, 1.0, &NetworkModel::default());
         // Part 1 owns vertices 2,3,6,7 with weights 2+100+2+2.
         assert_eq!(e.t_comp, 1e-6 * 106.0);
+    }
+
+    #[test]
+    fn competitive_ratio_accumulates_online() {
+        let mut cr = CompetitiveRatio::new();
+        assert_eq!(cr.ratio(), None, "no baseline yet");
+        cr.record(10.0, 20.0);
+        assert_eq!(cr.ratio(), Some(0.5));
+        cr.record(30.0, 20.0);
+        assert_eq!(cr.epochs, 2);
+        assert_eq!(cr.ratio(), Some(1.0));
+        assert_eq!(cr.policy_cost, 40.0);
+        assert_eq!(cr.baseline_cost, 40.0);
     }
 
     #[test]

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod cost;
+pub mod delta;
 pub mod driver;
 pub mod epoch;
 pub mod exec;
@@ -52,16 +53,14 @@ pub mod remap;
 pub mod session;
 
 pub use cost::CostBreakdown;
+pub use delta::{ModelPatcher, PatchedEpoch};
 pub use driver::{repartition, Algorithm, RepartConfig, RepartProblem, RepartResult};
 pub use driver::repartition_parallel;
 pub use epoch::{EpochReport, RecoveryRecord, SimulationSummary};
-#[allow(deprecated)]
-pub use epoch::{
-    simulate_epochs, simulate_epochs_measured, simulate_epochs_measured_parallel,
-    simulate_epochs_parallel,
+pub use exec::{
+    measure_epoch, measure_epoch_with_faults, CompetitiveRatio, EpochExecution, NetworkModel,
 };
-pub use exec::{measure_epoch, measure_epoch_with_faults, EpochExecution, NetworkModel};
-pub use session::{Session, SessionError};
+pub use session::{Session, SessionError, DEFAULT_DRIFT_THRESHOLD};
 pub use migrate::{migrate_items, scatter_initial, MigrationStats};
 pub use model::RepartitionHypergraph;
 pub use recover::{recover_from_failure, RecoveryOutcome};

@@ -1,10 +1,9 @@
 //! The unified entry point for multi-epoch simulations.
 //!
 //! Historically the epoch loop was reachable through four near-identical
-//! free functions (`simulate_epochs`, `simulate_epochs_measured`,
-//! `simulate_epochs_parallel`, `simulate_epochs_measured_parallel`) whose
-//! argument lists grew with every feature. [`Session`] collapses them
-//! into one builder:
+//! free functions (`simulate_epochs` and its measured/parallel variants)
+//! whose argument lists grew with every feature; they are gone, and
+//! [`Session`] is the only way in:
 //!
 //! ```
 //! use dlb_core::{Algorithm, RepartConfig, Session};
@@ -30,21 +29,31 @@
 //! identically seeded source, multi-rank sessions take a
 //! [`workload_factory`](Session::workload_factory) instead of a borrowed
 //! source. `.measured(true)` (or [`network`](Session::network)) turns on
-//! the measured execution model, and [`trace_to`](Session::trace_to) /
-//! [`run_traced`](Session::run_traced) wrap the run in a
-//! [`dlb_trace`] session.
+//! the measured execution model, [`incremental`](Session::incremental)
+//! switches to delta-driven model patching with warm-started V-cycles
+//! (serial-only; see [`crate::delta`]), and
+//! [`trace_to`](Session::trace_to) / [`run_traced`](Session::run_traced)
+//! wrap the run in a [`dlb_trace`] session.
 
 use std::fmt;
 use std::path::PathBuf;
 
-use dlb_hypergraph::PartId;
 use dlb_mpisim::{run_spmd, Comm, FaultPlan};
 use dlb_partitioner::Determinism;
-use dlb_workloads::{EpochSnapshot, EpochSource};
+use dlb_workloads::EpochSource;
 
 use crate::driver::{Algorithm, RepartConfig};
-use crate::epoch::{run_epochs, SimulationSummary};
+use crate::epoch::{run_epochs, IncrementalPolicy, SimulationSummary};
 use crate::exec::NetworkModel;
+
+/// Default drift threshold for [`Session::incremental`] runs: epochs
+/// whose delta touches less than this fraction of the mesh warm-start;
+/// heavier drift triggers a full V-cycle on the patched model. The
+/// touched fraction counts the *dirty closure* — changed cells plus
+/// every survivor whose neighborhood was rewired — which on the AMR
+/// workload lands mostly in 0.3–0.7, so the default sits inside that
+/// band: moderate epochs warm-start, heavy ones rebuild.
+pub const DEFAULT_DRIFT_THRESHOLD: f64 = 0.6;
 
 /// Why a [`Session`] refused to run (or failed to finish).
 #[derive(Debug)]
@@ -61,6 +70,10 @@ pub enum SessionError {
     },
     /// `ranks == 0` — an SPMD world needs at least one rank.
     ZeroRanks,
+    /// [`Session::incremental`] was combined with a multi-rank or
+    /// distributed configuration; the delta patcher keeps serial state,
+    /// so incremental sessions must run on one rank.
+    IncrementalNeedsSerial,
     /// Tracing was requested on [`Session::run_on`]; a per-rank trace
     /// session would deadlock the collective, so open the trace around
     /// the whole SPMD world instead (e.g. via [`Session::ranks`]).
@@ -85,6 +98,10 @@ impl fmt::Display for SessionError {
                 "a {ranks}-rank session needs a per-rank source: use .workload_factory()"
             ),
             SessionError::ZeroRanks => write!(f, "ranks must be at least 1"),
+            SessionError::IncrementalNeedsSerial => write!(
+                f,
+                "incremental repartitioning is serial-only: drop .ranks()/.run_on() or .incremental()"
+            ),
             SessionError::TraceInsideSpmd => write!(
                 f,
                 "cannot open a trace session per rank; trace the world opener instead"
@@ -113,6 +130,8 @@ pub struct Session<'a> {
     ranks: usize,
     network: Option<NetworkModel>,
     faults: Option<FaultPlan>,
+    incremental: bool,
+    drift_threshold: f64,
     source: Option<&'a mut dyn EpochSource>,
     factory: Option<SourceFactory<'a>>,
     trace_path: Option<PathBuf>,
@@ -130,6 +149,8 @@ impl<'a> Session<'a> {
             ranks: 1,
             network: None,
             faults: None,
+            incremental: false,
+            drift_threshold: DEFAULT_DRIFT_THRESHOLD,
             source: None,
             factory: None,
             trace_path: None,
@@ -188,6 +209,27 @@ impl<'a> Session<'a> {
     /// `measured(true)`).
     pub fn network(mut self, net: NetworkModel) -> Self {
         self.network = Some(net);
+        self
+    }
+
+    /// Switches to incremental repartitioning: the epoch loop pulls
+    /// structural deltas ([`dlb_workloads::EpochSource::next_delta`]),
+    /// patches the repartitioning model in place ([`crate::delta`]),
+    /// and warm-starts the partitioner when the epoch's drift is below
+    /// the [`drift_threshold`](Session::drift_threshold). Sources
+    /// without native delta support transparently fall back to full
+    /// snapshots. Serial-only.
+    pub fn incremental(mut self, on: bool) -> Self {
+        self.incremental = on;
+        self
+    }
+
+    /// Sets the drift threshold for [`incremental`](Session::incremental)
+    /// sessions (default [`DEFAULT_DRIFT_THRESHOLD`]). An epoch
+    /// warm-starts when its touched fraction is strictly below this, so
+    /// `0.0` reproduces the full-rebuild pipeline's outputs exactly.
+    pub fn drift_threshold(mut self, threshold: f64) -> Self {
+        self.drift_threshold = threshold;
         self
     }
 
@@ -267,6 +309,9 @@ impl<'a> Session<'a> {
         if self.trace_path.is_some() {
             return Err(SessionError::TraceInsideSpmd);
         }
+        if self.incremental {
+            return Err(SessionError::IncrementalNeedsSerial);
+        }
         let source = self.source.take().ok_or(SessionError::NoWorkload)?;
         Ok(run_epochs(
             Some(comm),
@@ -277,6 +322,7 @@ impl<'a> Session<'a> {
             &self.cfg,
             self.network.as_ref(),
             self.faults.as_ref(),
+            None,
         ))
     }
 
@@ -290,7 +336,14 @@ impl<'a> Session<'a> {
         if self.ranks > 1 && self.factory.is_none() {
             return Err(SessionError::RanksNeedFactory { ranks: self.ranks });
         }
+        if self.incremental && (self.ranks > 1 || self.cfg.hypergraph.dist.distributed) {
+            return Err(SessionError::IncrementalNeedsSerial);
+        }
         Ok(self)
+    }
+
+    fn policy(&self) -> Option<IncrementalPolicy> {
+        self.incremental.then_some(IncrementalPolicy { drift_threshold: self.drift_threshold })
     }
 
     fn execute(mut self) -> Result<SimulationSummary, SessionError> {
@@ -312,6 +365,7 @@ impl<'a> Session<'a> {
                         &self.cfg,
                         self.network.as_ref(),
                         self.faults.as_ref(),
+                        None,
                     )
                 });
                 return Ok(summaries.into_iter().next().expect("at least one rank"));
@@ -326,8 +380,10 @@ impl<'a> Session<'a> {
                 &self.cfg,
                 self.network.as_ref(),
                 self.faults.as_ref(),
+                self.policy(),
             ));
         }
+        let policy = self.policy();
         let source = self.source.take().ok_or(SessionError::NoWorkload)?;
         Ok(run_epochs(
             None,
@@ -338,29 +394,8 @@ impl<'a> Session<'a> {
             &self.cfg,
             self.network.as_ref(),
             self.faults.as_ref(),
+            policy,
         ))
-    }
-}
-
-/// Object-safe shim that lets the deprecated `S: ?Sized` wrappers feed
-/// any source into the dyn-based builder.
-pub(crate) struct DynSource<'s, S: EpochSource + ?Sized>(pub &'s mut S);
-
-impl<S: EpochSource + ?Sized> EpochSource for DynSource<'_, S> {
-    fn k(&self) -> usize {
-        self.0.k()
-    }
-
-    fn epochs_emitted(&self) -> usize {
-        self.0.epochs_emitted()
-    }
-
-    fn next_epoch(&mut self) -> EpochSnapshot {
-        self.0.next_epoch()
-    }
-
-    fn commit_assignment(&mut self, snapshot: &EpochSnapshot, part: &[PartId]) {
-        self.0.commit_assignment(snapshot, part)
     }
 }
 
@@ -444,6 +479,82 @@ mod tests {
             .run()
             .unwrap_err();
         assert!(matches!(err, SessionError::ZeroRanks), "{err}");
+    }
+
+    #[test]
+    fn incremental_needs_serial() {
+        let err = Session::new(RepartConfig::default())
+            .incremental(true)
+            .ranks(2)
+            .workload_factory(|_| make_stream(2, 6))
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SessionError::IncrementalNeedsSerial), "{err}");
+
+        let mut cfg = RepartConfig::default();
+        cfg.hypergraph.dist.distributed = true;
+        let err = Session::new(cfg)
+            .incremental(true)
+            .workload_factory(|_| make_stream(2, 6))
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SessionError::IncrementalNeedsSerial), "{err}");
+    }
+
+    #[test]
+    fn incremental_session_runs_on_fallback_sources() {
+        // EpochStream has no native deltas; the default full-snapshot
+        // fallback must keep incremental sessions working unchanged.
+        let mut stream = make_stream(2, 12);
+        let inc = Session::new(RepartConfig::seeded(12))
+            .alpha(10.0)
+            .epochs(2)
+            .incremental(true)
+            .workload(&mut stream)
+            .run()
+            .unwrap();
+        let mut stream = make_stream(2, 12);
+        let full = Session::new(RepartConfig::seeded(12))
+            .alpha(10.0)
+            .epochs(2)
+            .workload(&mut stream)
+            .run()
+            .unwrap();
+        for (a, b) in inc.reports.iter().zip(&full.reports) {
+            assert_eq!(a.cost.comm, b.cost.comm);
+            assert_eq!(a.cost.migration, b.cost.migration);
+            assert_eq!(a.moved, b.moved);
+        }
+    }
+
+    #[test]
+    fn incremental_amr_session_counts_delta_epochs() {
+        let k = 4;
+        let amr = dlb_amr::AmrConfig::small();
+        let stream = dlb_amr::AmrStream::new(amr, k, 41);
+        let low = stream.initial_lowering();
+        let init: Vec<_> = (0..low.graph.num_vertices()).map(|v| v % k).collect();
+        let mut source = dlb_workloads::AmrSource::new(stream, &init);
+        let trace = dlb_trace::session();
+        let s = Session::new(RepartConfig::seeded(41))
+            .alpha(10.0)
+            .epochs(4)
+            .incremental(true)
+            .drift_threshold(1.0)
+            .workload(&mut source)
+            .run()
+            .unwrap();
+        let report = trace.finish();
+        assert_eq!(s.reports.len(), 4);
+        if dlb_trace::COMPILED_IN {
+            // Epoch 1 primes from the full snapshot; with the threshold
+            // at 1.0 every later epoch warm-starts from its delta.
+            assert_eq!(report.counter(dlb_trace::Counter::DeltaEpochs), 3);
+            assert_eq!(report.counter(dlb_trace::Counter::FullRebuilds), 1);
+            assert!(report.counter(dlb_trace::Counter::CellsPatched) > 0);
+            assert!(report.find("delta.patch").is_some());
+            assert!(report.find("partition.warm").is_some());
+        }
     }
 
     #[test]

@@ -188,6 +188,12 @@ pub struct Config {
     /// on the same input (`1.1` = within 10%). The partitioner itself
     /// never reads it — it parameterizes the Fast-mode contract checks.
     pub fast_cut_factor: f64,
+    /// Allow [`crate::refine_partition_fixed`] to seed from a caller
+    /// partition and run refine-only (part-restricted) V-cycles instead
+    /// of the full coarsen→initial→refine pipeline. When `false` the
+    /// warm entry falls back to the full pipeline, so a disabled knob
+    /// reproduces today's behavior bit for bit.
+    pub warm_start: bool,
     /// Distributed-memory execution parameters.
     pub dist: DistConfig,
 }
@@ -205,6 +211,7 @@ impl Default for Config {
             threads: 0,
             determinism: Determinism::default(),
             fast_cut_factor: 1.1,
+            warm_start: false,
             dist: DistConfig::default(),
         }
     }
@@ -343,6 +350,13 @@ impl ConfigBuilder {
     /// ([`Config::fast_cut_factor`]).
     pub fn fast_cut_factor(mut self, factor: f64) -> Self {
         self.cfg.fast_cut_factor = factor;
+        self
+    }
+
+    /// Enable warm-started refine-only partitioning
+    /// ([`Config::warm_start`]).
+    pub fn warm_start(mut self, on: bool) -> Self {
+        self.cfg.warm_start = on;
         self
     }
 

@@ -147,6 +147,78 @@ pub fn partition_hypergraph_fixed(
     result
 }
 
+/// Warm-started, refine-only partitioning: seeds from `seed_part` (the
+/// previous epoch's assignment in the repartitioning loop) and improves
+/// it with an FM pass plus part-restricted V-cycles, skipping the
+/// coarsen→initial pipeline entirely.
+///
+/// Requires `cfg.warm_start`; when the knob is off the seed is ignored
+/// and the call falls back to [`partition_hypergraph_fixed`], so a
+/// disabled warm start reproduces the full pipeline bit for bit.
+///
+/// Fixed vertices are forced onto their parts before refinement (the
+/// seed need not respect them); an imbalanced seed is repaired by the
+/// refiner's greedy rebalance step. Deterministic under the same
+/// contract as the full pipeline: `Strict` runs are bit-identical at
+/// any thread count.
+///
+/// # Panics
+/// Panics if `k == 0`, on length mismatches, if a fixed or seed part id
+/// is `>= k`.
+pub fn refine_partition_fixed(
+    h: &Hypergraph,
+    k: usize,
+    fixed: &FixedAssignment,
+    seed_part: &[PartId],
+    cfg: &Config,
+) -> PartitionResult {
+    assert!(k > 0, "k must be positive");
+    assert_eq!(fixed.len(), h.num_vertices(), "fixed assignment length mismatch");
+    assert_eq!(seed_part.len(), h.num_vertices(), "seed partition length mismatch");
+    assert!(seed_part.iter().all(|&p| p < k), "seed part out of range for k={k}");
+    if let Some(p) = fixed.max_part() {
+        assert!(p < k, "fixed part {p} out of range for k={k}");
+    }
+    if !cfg.warm_start {
+        return partition_hypergraph_fixed(h, k, fixed, cfg);
+    }
+
+    let root = dlb_trace::span!(
+        "partition.warm",
+        vertices = h.num_vertices(),
+        nets = h.num_nets(),
+        pins = h.num_pins(),
+        k = k,
+    );
+    let mut part: Vec<PartId> = seed_part.to_vec();
+    for v in 0..part.len() {
+        if let Some(p) = fixed.get(v) {
+            part[v] = p;
+        }
+    }
+    // Same seed derivation as the full pipeline's V-cycle block, so a
+    // warm and a cold run at the same `cfg.seed` draw from the same
+    // stream.
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed ^ 0x5EED_C1C1E);
+    let targets = config::PartTargets::uniform(h.total_vertex_weight(), k, cfg.epsilon);
+    let threads = dlb_hypergraph::parallel::resolve_threads(cfg.threads);
+    let mut scratch = refine::RefineScratch::new();
+    // One flat FM pass first: restores balance (greedy rebalance runs
+    // inside) and polishes the seed locally...
+    refine::refine_threads(h, &targets, fixed, &mut part, &cfg.refinement, &mut rng, threads, &mut scratch);
+    // ...then the part-restricted V-cycles of the iterated pipeline,
+    // kept only when they improve the cut.
+    let part = kway::iterate_vcycles(h, &targets, fixed, part, cfg, &mut rng, threads, &mut scratch);
+    debug_assert!(fixed.is_respected_by(&part));
+    let result = {
+        let _span = dlb_trace::span!("evaluate");
+        PartitionResult::evaluate(h, part, k)
+    };
+    drop(root);
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -286,6 +358,49 @@ mod tests {
         let h = random_hypergraph(200, 400, 5, 17);
         let a = partition_hypergraph(&h, 4, &Config::seeded(42));
         let b = partition_hypergraph(&h, 4, &Config::seeded(42));
+        assert_eq!(a.part, b.part);
+    }
+
+    #[test]
+    fn warm_start_disabled_falls_back_to_full_pipeline() {
+        let h = grid_hypergraph(10, 10);
+        let cfg = Config::seeded(21); // warm_start: false
+        let seed: Vec<usize> = (0..100).map(|v| v % 4).collect();
+        let cold = partition_hypergraph(&h, 4, &cfg);
+        let warm = refine_partition_fixed(&h, 4, &FixedAssignment::free(100), &seed, &cfg);
+        assert_eq!(cold.part, warm.part, "disabled warm start must ignore the seed");
+    }
+
+    #[test]
+    fn warm_start_repairs_and_respects_constraints() {
+        let h = grid_hypergraph(12, 12);
+        let mut cfg = Config::seeded(23);
+        cfg.warm_start = true;
+        cfg.num_vcycles = 2;
+        // A badly imbalanced seed that also violates the fixture.
+        let seed: Vec<usize> = vec![0; 144];
+        let mut fixed = FixedAssignment::free(144);
+        fixed.fix(143, 3);
+        let r = refine_partition_fixed(&h, 4, &fixed, &seed, &cfg);
+        assert_eq!(r.part[143], 3, "fixed vertex escaped");
+        assert!(
+            r.imbalance <= 1.0 + cfg.epsilon + 1e-9,
+            "warm start did not restore balance: {}",
+            r.imbalance
+        );
+        assert!(r.cut > 0.0);
+    }
+
+    #[test]
+    fn warm_start_is_deterministic() {
+        let h = random_hypergraph(150, 300, 5, 31);
+        let mut cfg = Config::seeded(42);
+        cfg.warm_start = true;
+        cfg.num_vcycles = 2;
+        let seed: Vec<usize> = (0..150).map(|v| (v * 7) % 4).collect();
+        let fixed = FixedAssignment::free(150);
+        let a = refine_partition_fixed(&h, 4, &fixed, &seed, &cfg);
+        let b = refine_partition_fixed(&h, 4, &fixed, &seed, &cfg);
         assert_eq!(a.part, b.part);
     }
 

@@ -784,8 +784,7 @@ mod tests {
         let before = cutsize(&h, &part, 2, CutMetric::CutNet);
         let t = uniform_targets(&h, 2);
         let fixed = FixedAssignment::free(64);
-        let mut cfg = RefinementConfig::default();
-        cfg.metric = CutMetric::CutNet;
+        let cfg = RefinementConfig { metric: CutMetric::CutNet, ..Default::default() };
         let mut rng = StdRng::seed_from_u64(8);
         refine(&h, &t, &fixed, &mut part, &cfg, &mut rng);
         let after = cutsize(&h, &part, 2, CutMetric::CutNet);

@@ -149,11 +149,22 @@ pub enum Counter {
     /// Recovery repartitions run after a rank failure (one per dead
     /// rank, counted in the epoch driver).
     RecoveriesRun,
+    /// Epochs served by the incremental path via a patched model with a
+    /// warm-started (refine-only) repartition — counted in the epoch
+    /// driver's drift policy.
+    DeltaEpochs,
+    /// Epochs in an incremental run that fell back to a full V-cycle
+    /// (drift at/above threshold, non-repartitioning algorithm, or a
+    /// full-snapshot update) — counted in the epoch driver.
+    FullRebuilds,
+    /// Cells touched by delta patching: removed + added + reweighted +
+    /// survivors whose nets were spliced (counted in `ModelPatcher`).
+    CellsPatched,
 }
 
 impl Counter {
     /// Every counter, in declaration (= export) order.
-    pub const ALL: [Counter; 20] = [
+    pub const ALL: [Counter; 23] = [
         Counter::CoarsenLevels,
         Counter::CoarsenMatchesAccepted,
         Counter::CoarsenMatchesRefusedFixed,
@@ -174,6 +185,9 @@ impl Counter {
         Counter::MigrationItemsMoved,
         Counter::FaultsInjected,
         Counter::RecoveriesRun,
+        Counter::DeltaEpochs,
+        Counter::FullRebuilds,
+        Counter::CellsPatched,
     ];
 
     /// Stable snake_case name used in exports.
@@ -199,6 +213,9 @@ impl Counter {
             Counter::MigrationItemsMoved => "migration_items_moved",
             Counter::FaultsInjected => "faults_injected",
             Counter::RecoveriesRun => "recoveries_run",
+            Counter::DeltaEpochs => "delta_epochs",
+            Counter::FullRebuilds => "full_rebuilds",
+            Counter::CellsPatched => "cells_patched",
         }
     }
 }

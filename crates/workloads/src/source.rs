@@ -15,6 +15,94 @@ use dlb_hypergraph::PartId;
 
 use crate::epoch::{EpochSnapshot, EpochStream};
 
+/// A newly created vertex in an [`EpochDelta`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeltaVertex {
+    /// Persistent base id of the vertex.
+    pub base: usize,
+    /// Computational weight (balance constraint).
+    pub weight: f64,
+    /// Migration data size (cost of the vertex's migration net).
+    pub size: f64,
+    /// The part the vertex was *created* on — where its migration net
+    /// anchors for its first epoch.
+    pub old_part: PartId,
+}
+
+/// A surviving vertex whose weight or size changed between epochs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeltaReweight {
+    /// Persistent base id of the vertex.
+    pub base: usize,
+    /// New computational weight.
+    pub weight: f64,
+    /// New migration data size.
+    pub size: f64,
+}
+
+/// The refreshed adjacency of one vertex whose neighborhood changed.
+///
+/// In the column-net model the net owned by vertex `v` is
+/// `{v} ∪ adj(v)`, so a changed neighborhood splices exactly one net.
+/// The owner is implicit; `neighbors` lists the other pins by base id,
+/// in any order (the patcher canonicalizes).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeltaNet {
+    /// Persistent base id of the owning vertex.
+    pub base: usize,
+    /// Base ids of the owner's face/structure neighbors after the
+    /// change. Must be kept symmetric across the delta: if `u` lists
+    /// `v`, some net entry must also give `v`'s refreshed list with `u`.
+    pub neighbors: Vec<usize>,
+}
+
+/// A structural diff between two consecutive epochs, expressed in the
+/// source's persistent base-id space.
+///
+/// The diff is *complete*: every vertex whose weight, size, or
+/// neighborhood differs from the previous epoch appears in `added`,
+/// `reweighted`, or `nets`. Applying it to the previous epoch's state
+/// (see `dlb_core::delta::ModelPatcher`) must reproduce the epoch that
+/// [`EpochSource::next_epoch`] would have emitted, bit for bit.
+///
+/// Delta-capable sources must use unit edge weights in their adjacency
+/// graphs (true of the AMR lowering); sources with weighted edges
+/// should keep the full-snapshot fallback.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EpochDelta {
+    /// Base id of each vertex of the *new* epoch, in the epoch's
+    /// canonical vertex order — the order spine the patcher rebuilds
+    /// the CSR structures along.
+    pub to_base: Vec<usize>,
+    /// Base ids present in the previous epoch but not in this one
+    /// (coarsened away / deleted).
+    pub removed: Vec<usize>,
+    /// Vertices appearing for the first time since the previous epoch
+    /// (refined into existence / re-inserted).
+    pub added: Vec<DeltaVertex>,
+    /// Surviving vertices whose weight or size changed.
+    pub reweighted: Vec<DeltaReweight>,
+    /// Refreshed nets: one entry per vertex whose neighborhood changed
+    /// (every added vertex, plus touched survivors).
+    pub nets: Vec<DeltaNet>,
+}
+
+/// What [`EpochSource::next_delta`] yields: either a structural diff
+/// against the previous epoch, or a full snapshot when no cheaper
+/// description exists (first epoch, non-incremental source, or drift
+/// too large to be worth diffing).
+// The Full variant dominates the size, but updates are transient —
+// returned once and destructured immediately — so boxing would buy
+// nothing but an allocation per epoch.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug)]
+pub enum EpochUpdate {
+    /// A complete epoch snapshot; resets any incremental state.
+    Full(EpochSnapshot),
+    /// A structural diff against the previously emitted epoch.
+    Delta(EpochDelta),
+}
+
 /// A stateful generator of repartitioning epochs.
 ///
 /// The protocol mirrors the paper's Section 3 loop: `next_epoch` yields
@@ -30,6 +118,18 @@ pub trait EpochSource {
 
     /// Generates the next epoch.
     fn next_epoch(&mut self) -> EpochSnapshot;
+
+    /// Generates the next epoch as an incremental update.
+    ///
+    /// Advances the source exactly like [`Self::next_epoch`] (one call
+    /// per epoch — callers use one method or the other, not both). The
+    /// default emits a [`EpochUpdate::Full`] snapshot so existing
+    /// sources work unchanged under the incremental driver; sources
+    /// with native change tracking (the AMR quadtree) override it to
+    /// return [`EpochUpdate::Delta`].
+    fn next_delta(&mut self) -> EpochUpdate {
+        EpochUpdate::Full(self.next_epoch())
+    }
 
     /// Records the assignment chosen for `snapshot` (which must be the
     /// most recently emitted epoch).
@@ -49,6 +149,10 @@ impl<S: EpochSource + ?Sized> EpochSource for Box<S> {
 
     fn next_epoch(&mut self) -> EpochSnapshot {
         (**self).next_epoch()
+    }
+
+    fn next_delta(&mut self) -> EpochUpdate {
+        (**self).next_delta()
     }
 
     fn commit_assignment(&mut self, snapshot: &EpochSnapshot, part: &[PartId]) {
@@ -107,6 +211,24 @@ impl AmrSource {
         &self.stream
     }
 
+    /// The stable base id of `c`, if the cell has ever appeared in an
+    /// emitted epoch. Newly refined cells get their id the moment the
+    /// epoch (full or delta) naming them is emitted, so deltas can
+    /// reference them immediately.
+    pub fn base_id_of(&self, c: Cell) -> Option<usize> {
+        self.base_id.get(&c).copied()
+    }
+
+    /// The cell behind base id `base`, if one was ever registered.
+    pub fn cell_of(&self, base: usize) -> Option<Cell> {
+        self.id_cell.get(base).copied()
+    }
+
+    /// Number of base ids handed out so far (registry size).
+    pub fn num_base_ids(&self) -> usize {
+        self.id_cell.len()
+    }
+
     fn register(&mut self, c: Cell) -> usize {
         if let Some(&id) = self.base_id.get(&c) {
             return id;
@@ -136,6 +258,52 @@ impl EpochSource for AmrSource {
             to_base,
             old_part: e.old_part,
         }
+    }
+
+    /// Native delta support: the first epoch is emitted as a full
+    /// snapshot (there is no previous epoch to diff against); every
+    /// later epoch is the quadtree's refine/coarsen diff, translated
+    /// from cell space into the persistent base-id space.
+    fn next_delta(&mut self) -> EpochUpdate {
+        if self.stream.epochs_emitted() == 0 {
+            return EpochUpdate::Full(self.next_epoch());
+        }
+        let d = self.stream.next_epoch_delta();
+        // Register the new mesh's cells first (newly refined cells get
+        // their stable ids here) so every lookup below is infallible.
+        let to_base: Vec<usize> = d.cells.iter().map(|&c| self.register(c)).collect();
+        let removed: Vec<usize> = d
+            .removed
+            .iter()
+            .map(|c| self.base_id[c])
+            .collect();
+        let added: Vec<DeltaVertex> = d
+            .added
+            .iter()
+            .map(|a| DeltaVertex {
+                base: self.base_id[&a.cell],
+                weight: a.weight,
+                size: a.size,
+                old_part: a.old_part,
+            })
+            .collect();
+        let nets: Vec<DeltaNet> = d
+            .adjacency
+            .iter()
+            .map(|(c, ns)| DeltaNet {
+                base: self.base_id[c],
+                neighbors: ns.iter().map(|n| self.base_id[n]).collect(),
+            })
+            .collect();
+        // AMR weights are a function of the (immutable) cell level and
+        // sizes are uniform, so surviving cells never reweight.
+        EpochUpdate::Delta(EpochDelta {
+            to_base,
+            removed,
+            added,
+            reweighted: Vec::new(),
+            nets,
+        })
     }
 
     fn commit_assignment(&mut self, snapshot: &EpochSnapshot, part: &[PartId]) {

@@ -43,6 +43,15 @@
 //!                     delayP (per-message drop/delay probability in the
 //!                     measured migration exchanges). Example:
 //!                     --fault-plan 7:rank2@2,drop0.05
+//!   --incremental     simulate only (serial): pull structural deltas
+//!                     from the workload, patch the repartitioning
+//!                     model in place, and warm-start the partitioner
+//!                     on low-drift epochs; a from-scratch baseline run
+//!                     follows and the competitive ratio is printed
+//!   --drift-threshold T  with --incremental: warm-start epochs whose
+//!                     touched fraction is < T (default 0.6; 0 keeps
+//!                     every epoch on the full-rebuild path, which
+//!                     reproduces the non-incremental outputs exactly)
 //! ```
 //!
 //! `partition`/`repartition` write one part id per line, one line per
@@ -63,7 +72,7 @@ use std::process::exit;
 use dlb::amr::{AmrConfig, AmrStream};
 use dlb::core::{
     repartition, repartition_parallel, Algorithm, FaultPlan, RepartConfig, RepartProblem,
-    Session, SimulationSummary,
+    Session, SimulationSummary, DEFAULT_DRIFT_THRESHOLD,
 };
 use dlb::graphpart::{partition_kway, GraphConfig};
 use dlb::hypergraph::convert::{clique_expansion, column_net_model};
@@ -86,7 +95,8 @@ fn usage() -> ! {
          dlb simulate    -k K --workload amr|structure|weights [--epochs E] [--alpha A] \
          [--algorithm NAME] [--scale S] [--seed N] [--threads N] \
          [--determinism strict|fast] \
-         [--ranks N [--distributed]] [--fault-plan SPEC] [--trace FILE]"
+         [--ranks N [--distributed]] [--fault-plan SPEC] \
+         [--incremental [--drift-threshold T]] [--trace FILE]"
     );
     exit(2);
 }
@@ -116,6 +126,8 @@ struct Cli {
     epochs: usize,
     scale: Option<f64>,
     fault_plan: Option<FaultPlan>,
+    incremental: bool,
+    drift_threshold: Option<f64>,
 }
 
 fn parse_value<T: std::str::FromStr>(argv: &[String], i: usize, flag: &str) -> T {
@@ -147,6 +159,8 @@ fn parse_cli() -> Cli {
     let mut epochs = 4usize;
     let mut scale = None;
     let mut fault_plan = None;
+    let mut incremental = false;
+    let mut drift_threshold = None;
     let mut i = 1;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -225,6 +239,14 @@ fn parse_cli() -> Cli {
                 scale = Some(parse_value(&argv, i, "--scale"));
                 i += 2;
             }
+            "--incremental" => {
+                incremental = true;
+                i += 1;
+            }
+            "--drift-threshold" => {
+                drift_threshold = Some(parse_value::<f64>(&argv, i, "--drift-threshold"));
+                i += 2;
+            }
             "--fault-plan" => {
                 let spec = argv
                     .get(i + 1)
@@ -261,6 +283,8 @@ fn parse_cli() -> Cli {
         epochs,
         scale,
         fault_plan,
+        incremental,
+        drift_threshold,
     }
 }
 
@@ -456,17 +480,16 @@ fn print_simulation(summary: &SimulationSummary, alpha: f64) {
 }
 
 fn run_simulate(cli: &Cli, hg_cfg: HgConfig) {
+    if cli.incremental && (cli.ranks > 1 || cli.distributed) {
+        fail("--incremental is serial-only; drop --ranks/--distributed");
+    }
+    if cli.drift_threshold.is_some() && !cli.incremental {
+        fail("--drift-threshold requires --incremental");
+    }
     let mut cfg = RepartConfig::seeded(cli.seed).with_epsilon(cli.epsilon);
     cfg.hypergraph.threads = hg_cfg.threads;
     cfg.hypergraph.determinism = hg_cfg.determinism;
     cfg.hypergraph.dist = hg_cfg.dist;
-    let mut session = Session::new(cfg)
-        .algorithm(cli.algorithm)
-        .alpha(cli.alpha)
-        .epochs(cli.epochs)
-        .ranks(cli.ranks)
-        .measured(true)
-        .workload_factory(|_rank| make_sim_source(cli));
     if let Some(plan) = &cli.fault_plan {
         for f in plan.failures() {
             if f.rank >= cli.k {
@@ -476,20 +499,58 @@ fn run_simulate(cli: &Cli, hg_cfg: HgConfig) {
                 ));
             }
         }
-        session = session.fault_plan(plan.clone());
     }
+    let build = |incremental: bool| {
+        let mut session = Session::new(cfg.clone())
+            .algorithm(cli.algorithm)
+            .alpha(cli.alpha)
+            .epochs(cli.epochs)
+            .ranks(cli.ranks)
+            .measured(true)
+            .workload_factory(|_rank| make_sim_source(cli));
+        if incremental {
+            session = session
+                .incremental(true)
+                .drift_threshold(cli.drift_threshold.unwrap_or(DEFAULT_DRIFT_THRESHOLD));
+        }
+        if let Some(plan) = &cli.fault_plan {
+            session = session.fault_plan(plan.clone());
+        }
+        session
+    };
+    let mut session = build(cli.incremental);
     if let Some(path) = &cli.trace {
         session = session.trace_to(path);
     }
     let summary = session.run().unwrap_or_else(|e| fail(e));
     eprintln!(
-        "{} on {} epochs, k={}, alpha={}",
+        "{}{} on {} epochs, k={}, alpha={}",
         cli.algorithm.name(),
+        if cli.incremental { " (incremental)" } else { "" },
         summary.reports.len(),
         cli.k,
         cli.alpha
     );
     print_simulation(&summary, cli.alpha);
+    if cli.incremental {
+        // The competitive ratio needs the from-scratch baseline on an
+        // identically seeded fresh workload.
+        eprintln!("baseline: full rebuild + V-cycle every epoch (same seed)");
+        let baseline = build(false).run().unwrap_or_else(|e| fail(e));
+        let cr = summary
+            .competitive_ratio_vs(&baseline)
+            .expect("both simulate runs are measured over the same epochs");
+        match cr.ratio() {
+            Some(ratio) => println!(
+                "incremental cost volume {:.1} vs scratch {:.1} over {} epochs: competitive ratio {:.4}",
+                cr.policy_cost, cr.baseline_cost, cr.epochs, ratio
+            ),
+            None => println!(
+                "incremental cost volume {:.1}; baseline accrued no cost (nothing to compete against)",
+                cr.policy_cost
+            ),
+        }
+    }
 }
 
 fn main() {

@@ -1,0 +1,89 @@
+//! Determinism of the incremental (delta-patched, warm-started)
+//! repartitioning path: one seed, one answer, regardless of thread
+//! count — and with the drift threshold at zero, the incremental
+//! session must be indistinguishable from the full-rebuild session,
+//! bit for bit, because every epoch then takes the cold path on a
+//! patched model that is itself bitwise equal to a fresh lowering.
+
+use dlb::amr::{AmrConfig, AmrStream};
+use dlb::core::{Algorithm, RepartConfig, Session, SimulationSummary};
+use dlb::graphpart::{partition_kway, GraphConfig};
+use dlb::workloads::AmrSource;
+
+const EPOCHS: usize = 4;
+const K: usize = 4;
+
+fn amr_source(seed: u64) -> AmrSource {
+    let stream = AmrStream::new(AmrConfig::small(), K, seed);
+    let low = stream.initial_lowering();
+    let initial = partition_kway(&low.graph, K, &GraphConfig::seeded(seed)).part;
+    AmrSource::new(stream, &initial)
+}
+
+/// Everything a run decides or measures, per epoch, bit-exact.
+fn fingerprint(s: &SimulationSummary) -> Vec<(usize, usize, f64, f64, f64, f64)> {
+    s.reports
+        .iter()
+        .map(|r| {
+            let e = r.execution.expect("measured simulation");
+            (r.num_vertices, r.moved, r.cost.comm, r.cost.migration, r.imbalance, e.makespan())
+        })
+        .collect()
+}
+
+fn run(seed: u64, threads: usize, incremental: bool, drift_threshold: f64) -> SimulationSummary {
+    let mut cfg = RepartConfig::seeded(seed);
+    cfg.hypergraph.threads = threads;
+    let mut source = amr_source(seed);
+    let mut session = Session::new(cfg)
+        .algorithm(Algorithm::ZoltanRepart)
+        .alpha(10.0)
+        .epochs(EPOCHS)
+        .measured(true);
+    if incremental {
+        session = session.incremental(true).drift_threshold(drift_threshold);
+    }
+    session.workload(&mut source).run().unwrap()
+}
+
+/// Rerunning the identical incremental configuration reproduces the
+/// identical epoch stream, partitions, and measurements.
+#[test]
+fn incremental_same_seed_same_answer() {
+    let a = fingerprint(&run(11, 1, true, 1.0));
+    let b = fingerprint(&run(11, 1, true, 1.0));
+    assert_eq!(a, b);
+    assert_ne!(
+        fingerprint(&run(12, 1, true, 1.0)),
+        a,
+        "different seeds should explore different streams"
+    );
+}
+
+/// The warm-started refinement path must honor the same
+/// deterministic-reduction guarantee as the full V-cycle: thread count
+/// changes nothing.
+#[test]
+fn incremental_thread_count_invariant() {
+    let one = fingerprint(&run(13, 1, true, 1.0));
+    for threads in [2usize, 8] {
+        let multi = fingerprint(&run(13, threads, true, 1.0));
+        assert_eq!(one, multi, "threads={threads} diverged from threads=1");
+    }
+}
+
+/// `drift_threshold = 0` disables warm starts entirely (the comparison
+/// is strict `<`), so every epoch runs a full V-cycle on the patched
+/// model — which the patch invariant makes bitwise equal to a fresh
+/// lowering. The two sessions must therefore agree exactly.
+#[test]
+fn zero_threshold_reproduces_full_rebuilds() {
+    for seed in [7u64, 23] {
+        let scratch = fingerprint(&run(seed, 2, false, 0.0));
+        let incremental = fingerprint(&run(seed, 2, true, 0.0));
+        assert_eq!(
+            incremental, scratch,
+            "seed {seed}: drift_threshold=0 diverged from the non-incremental session"
+        );
+    }
+}
