@@ -38,7 +38,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use dlb_amr::{AmrConfig, AmrStream};
-use dlb_core::{Algorithm, RepartConfig, Session};
+use dlb_core::{Algorithm, RepartConfig, ResizeChoice, Session, WorldPlan};
 use dlb_graphpart::{partition_kway, GraphConfig};
 use dlb_hypergraph::convert::column_net_model_unit;
 use dlb_workloads::AmrSource;
@@ -567,6 +567,58 @@ fn main() {
         "incremental competitive ratio {incr_ratio:.4} exceeds 1.0 at alpha {incr_alpha}"
     );
 
+    // --- Elastic worlds: planned grow/shrink resizes on the same AMR
+    // stream at α = 10, with the measured cost model arbitrating
+    // repartition-vs-scratch per resize. Reported: the per-resize
+    // candidate costs and the choice split. At low α the candidates
+    // run close — a resize forces a large reshuffle either way, which
+    // is exactly why the driver arbitrates per resize instead of
+    // hard-coding either method. ---
+    let ela_alpha = 10.0;
+    let ela_epochs = 8usize;
+    eprintln!("elastic resizes ({ela_epochs} epochs, alpha {ela_alpha}) ...");
+    let ela_plan = WorldPlan::new(seed).join(k, 2).leave(1, 4).join(1, 6).leave(k, 8);
+    let mut ela_summary = None;
+    let ela_ms = time_ms(repeats, || {
+        let mut source = make_amr_source();
+        let s = Session::new(repart_cfg.clone())
+            .algorithm(Algorithm::ZoltanRepart)
+            .alpha(ela_alpha)
+            .epochs(ela_epochs)
+            .measured(true)
+            .world_plan(ela_plan.clone())
+            .workload(&mut source)
+            .run()
+            .expect("valid session");
+        ela_summary = Some(s);
+    });
+    let ela_summary = ela_summary.unwrap();
+    let ela_records: Vec<_> =
+        ela_summary.reports.iter().flat_map(|r| r.resizes.iter()).collect();
+    assert_eq!(ela_records.len(), 4, "the plan schedules four resizes");
+    let ela_repart_wins =
+        ela_records.iter().filter(|r| r.choice == ResizeChoice::Repart).count();
+    let ela_repart_cost =
+        ela_records.iter().map(|r| r.repart_cost).sum::<f64>() / ela_records.len() as f64;
+    let ela_scratch_cost =
+        ela_records.iter().map(|r| r.scratch_cost).sum::<f64>() / ela_records.len() as f64;
+    for r in &ela_records {
+        eprintln!(
+            "  epoch {:>2}: {} -> {} parts via {:<7} repart {:>12.1} vs scratch {:>12.1}",
+            r.epoch,
+            r.k_before,
+            r.k_after,
+            r.choice.name(),
+            r.repart_cost,
+            r.scratch_cost
+        );
+    }
+    eprintln!(
+        "  {ela_repart_wins}/{} chose repart; mean candidate cost {ela_repart_cost:.1} \
+         (repart) vs {ela_scratch_cost:.1} (scratch); wall {ela_ms:.2} ms",
+        ela_records.len()
+    );
+
     // --- Phase attribution: one traced full partition, leaf coverage
     // of the span tree, and the cost of tracing itself (session active
     // vs. the no-session fast path, which must stay within noise). ---
@@ -677,6 +729,14 @@ fn main() {
          \"policy_cost_volume\": {:.4}, \"scratch_cost_volume\": {:.4}, \
          \"competitive_ratio\": {incr_ratio:.6}}},",
         cr.policy_cost, cr.baseline_cost
+    );
+    let _ = writeln!(
+        json,
+        "  \"elastic\": {{\"epochs\": {ela_epochs}, \"alpha\": {ela_alpha}, \
+         \"resizes\": {}, \"chose_repart\": {ela_repart_wins}, \
+         \"mean_repart_cost\": {ela_repart_cost:.4}, \
+         \"mean_scratch_cost\": {ela_scratch_cost:.4}, \"wall_ms\": {ela_ms:.4}}},",
+        ela_records.len()
     );
     let _ = writeln!(
         json,

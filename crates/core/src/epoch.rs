@@ -14,7 +14,7 @@
 
 use std::time::{Duration, Instant};
 
-use dlb_mpisim::{Comm, FaultPlan};
+use dlb_mpisim::{Comm, FaultPlan, WorldMembership};
 use dlb_workloads::{EpochSource, EpochUpdate};
 
 use crate::cost::CostBreakdown;
@@ -23,6 +23,7 @@ use crate::driver::{
     repartition, repartition_parallel, repartition_patched, Algorithm, RepartConfig,
     RepartProblem,
 };
+use crate::elastic::{perform_resize, ResizeChoice, ResizeRecord, WorldPlan};
 use crate::exec::{measure_epoch_with_faults, CompetitiveRatio, EpochExecution, NetworkModel};
 use crate::recover::recover_from_failure;
 
@@ -85,6 +86,14 @@ pub struct EpochReport {
     /// repartition *was* the recovery chain: `cost.migration` and the
     /// execution's `t_mig`/`mig_volume` fold in every step.
     pub recoveries: Vec<RecoveryRecord>,
+    /// Planned world resizes performed at this epoch's boundary (at
+    /// most one — all net joins and leaves of the epoch apply in a
+    /// single repartition). Folds into the epoch's report exactly like
+    /// a recovery step.
+    pub resizes: Vec<ResizeRecord>,
+    /// Parts alive after this epoch's boundary events (failures and
+    /// planned resizes applied).
+    pub world_k: usize,
 }
 
 /// Aggregate over a trial's epochs.
@@ -94,9 +103,10 @@ pub struct SimulationSummary {
     pub algorithm: Algorithm,
     /// α used.
     pub alpha: f64,
-    /// Number of parts at launch. Rank failures shrink the live world
-    /// below this; see [`SimulationSummary::total_recoveries`] and the
-    /// per-epoch [`EpochReport::recoveries`].
+    /// Number of parts at launch. Rank failures and planned resizes
+    /// move the live world away from this; see
+    /// [`SimulationSummary::world_timeline`] and the per-epoch
+    /// [`EpochReport::recoveries`] / [`EpochReport::resizes`].
     pub k: usize,
     /// Per-epoch reports, in order.
     pub reports: Vec<EpochReport>,
@@ -149,9 +159,23 @@ impl SimulationSummary {
         self.reports.iter().map(|r| r.recoveries.len()).sum()
     }
 
-    /// Number of parts still alive after the trial's last epoch.
+    /// Planned world resizes performed over the trial.
+    pub fn total_resizes(&self) -> usize {
+        self.reports.iter().map(|r| r.resizes.len()).sum()
+    }
+
+    /// The per-epoch world-size timeline `(epoch, parts alive after its
+    /// boundary events)` — covering planned grow and shrink as well as
+    /// failures. [`SimulationSummary::surviving_k`] is its final entry.
+    pub fn world_timeline(&self) -> Vec<(usize, usize)> {
+        self.reports.iter().map(|r| (r.epoch, r.world_k)).collect()
+    }
+
+    /// Number of parts still alive after the trial's last epoch — the
+    /// final entry of [`SimulationSummary::world_timeline`] (the launch
+    /// `k` for an empty trial).
     pub fn surviving_k(&self) -> usize {
-        self.k - self.total_recoveries()
+        self.reports.last().map_or(self.k, |r| r.world_k)
     }
 
     /// Mean measured epoch makespan in seconds, if the trial was run
@@ -213,12 +237,15 @@ fn mean(values: impl Iterator<Item = f64>) -> f64 {
 /// repartitioning; `network` turns on the measured execution model;
 /// `faults` installs a [`FaultPlan`] (rank failures recovered at epoch
 /// boundaries, message drop/delay injected into the measured migration
-/// world). Public API: [`crate::session::Session`].
+/// world); `world` installs a [`WorldPlan`] (planned rank arrivals and
+/// departures applied as elastic resizes at epoch boundaries, after any
+/// failures). Public API: [`crate::session::Session`].
 ///
 /// Failure detection is plan-driven: every driver rank consults the
 /// shared plan at the epoch boundary (a perfect failure detector), so
 /// no extra collectives run and fault-free trials stay bit-identical
-/// to a build without this feature.
+/// to a build without this feature. World plans are consumed the same
+/// way, so plan-free (and net-no-op) epochs are bitwise unaffected.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_epochs<S: EpochSource + ?Sized>(
     mut comm: Option<&mut Comm>,
@@ -229,26 +256,40 @@ pub(crate) fn run_epochs<S: EpochSource + ?Sized>(
     cfg: &RepartConfig,
     network: Option<&NetworkModel>,
     faults: Option<&FaultPlan>,
+    world: Option<&WorldPlan>,
     incremental: Option<IncrementalPolicy>,
 ) -> SimulationSummary {
     assert!(
         incremental.is_none() || comm.is_none(),
         "incremental repartitioning is serial-only (Session validates this)"
     );
+    assert!(
+        incremental.is_none() || world.is_none(),
+        "world plans are incompatible with incremental repartitioning (Session validates this)"
+    );
     let mut patcher = incremental.map(|_| ModelPatcher::new());
     let k0 = source.k();
     if let Some(plan) = faults {
+        let joinable = world.map(|w| w.join_ranks()).unwrap_or_default();
         for f in plan.failures() {
-            assert!(f.rank < k0, "fault plan rank {} out of range for k = {k0}", f.rank);
+            assert!(
+                f.rank < k0 || joinable.contains(&f.rank),
+                "fault plan rank {} out of range for k = {k0}",
+                f.rank
+            );
         }
     }
-    // Live original ranks → current (compacted) part labels. Fault
-    // plans speak original ids; the partitions live in the compacted
-    // space of the survivors.
-    let mut orig_to_cur: Vec<Option<usize>> = (0..k0).map(Some).collect();
-    let mut cur_k = k0;
+    if let Some(plan) = world {
+        if let Err(e) = plan.validate(k0, num_epochs, faults) {
+            panic!("invalid world plan: {e}");
+        }
+    }
+    // The membership of the live world: original rank ids (what the
+    // plans speak) in current-label order (where the partitions live).
+    let mut membership = WorldMembership::launch(k0);
     let mut reports = Vec::with_capacity(num_epochs);
     for epoch in 1..=num_epochs {
+        let cur_k = membership.k();
         let span = dlb_trace::span!("epoch", epoch = epoch, k = cur_k);
         dlb_trace::count(dlb_trace::Counter::Epochs, 1);
         // Incremental runs pull a structural delta and patch the
@@ -274,11 +315,24 @@ pub(crate) fn run_epochs<S: EpochSource + ?Sized>(
             Some(plan) => plan
                 .ranks_failing_at(epoch)
                 .into_iter()
-                .filter(|&r| orig_to_cur[r].is_some())
+                .filter(|&r| membership.is_live(r))
                 .collect(),
             None => Vec::new(),
         };
-        let report = if dying.is_empty() {
+        // The epoch's *net* planned resize, filtered exactly as
+        // `WorldPlan::validate` simulates it: joins of ranks that will
+        // still be live after this epoch's failures are dropped, as are
+        // leaves of ranks that are dead (or dying right now — the fault
+        // already removes them).
+        let planned: Option<(Vec<usize>, Vec<usize>)> = world
+            .map(|p| {
+                let (mut joins, mut leaves) = p.resize_at(epoch);
+                joins.retain(|r| !membership.is_live(*r) || dying.contains(r));
+                leaves.retain(|r| membership.is_live(*r) && !dying.contains(r));
+                (joins, leaves)
+            })
+            .filter(|(j, l)| !(j.is_empty() && l.is_empty()));
+        let report = if dying.is_empty() && planned.is_none() {
             let problem = RepartProblem {
                 hypergraph: &snapshot.hypergraph,
                 graph: &snapshot.graph,
@@ -339,29 +393,36 @@ pub(crate) fn run_epochs<S: EpochSource + ?Sized>(
                 elapsed: result.elapsed,
                 execution,
                 recoveries: Vec::new(),
+                resizes: Vec::new(),
+                world_k: membership.k(),
             }
         } else {
-            // Failed ranks replace the epoch's repartition with a
-            // recovery chain: each dead rank shrinks the world by one
-            // and repartitions from the failure-time assignment (its
-            // vertices free, survivors tethered — DESIGN.md §12).
-            // Incremental runs discard any patched model here — the
-            // recovery is a full rebuild by definition.
+            // Boundary events replace the epoch's repartition. First
+            // the failure-recovery chain: each dead rank shrinks the
+            // world by one and repartitions from the failure-time
+            // assignment (its vertices free, survivors tethered —
+            // DESIGN.md §12). Then at most one planned elastic resize
+            // applies the epoch's net joins and leaves in a single
+            // repartition (DESIGN.md §15). Incremental runs discard
+            // any patched model here — these are full rebuilds by
+            // definition.
             if patcher.is_some() {
                 dlb_trace::count(dlb_trace::Counter::FullRebuilds, 1);
             }
             let start = Instant::now();
             let mut old = snapshot.old_part.clone();
             let mut recoveries = Vec::with_capacity(dying.len());
-            let mut steps = Vec::with_capacity(dying.len());
+            let mut resizes = Vec::new();
+            let mut steps: Vec<(CostBreakdown, f64, Option<EpochExecution>)> = Vec::new();
             let mut moved = 0usize;
             for &orig in &dying {
-                let c = orig_to_cur[orig].expect("filtered to live ranks");
+                let k_before = membership.k();
+                let c = membership.label_of(orig).expect("filtered to live ranks");
                 let rspan = dlb_trace::span!(
                     "recover.epoch",
                     epoch = epoch,
                     rank = orig,
-                    k_before = cur_k
+                    k_before = k_before
                 );
                 dlb_trace::count(dlb_trace::Counter::FaultsInjected, 1);
                 dlb_trace::count(dlb_trace::Counter::RecoveriesRun, 1);
@@ -370,7 +431,7 @@ pub(crate) fn run_epochs<S: EpochSource + ?Sized>(
                     &snapshot.hypergraph,
                     &old,
                     c,
-                    cur_k,
+                    k_before,
                     alpha,
                     cfg,
                 );
@@ -383,7 +444,7 @@ pub(crate) fn run_epochs<S: EpochSource + ?Sized>(
                         &snapshot.hypergraph,
                         &old,
                         &out.exec_part,
-                        cur_k,
+                        k_before,
                         alpha,
                         net,
                         faults,
@@ -397,30 +458,74 @@ pub(crate) fn run_epochs<S: EpochSource + ?Sized>(
                 recoveries.push(RecoveryRecord {
                     failed_rank: orig,
                     epoch,
-                    k_before: cur_k,
-                    k_after: cur_k - 1,
+                    k_before,
+                    k_after: k_before - 1,
                     orphans: out.orphans,
                     migration: out.cost.migration,
                     t_mig: execution.as_ref().map_or(0.0, |e| e.t_mig),
                 });
-                for slot in orig_to_cur.iter_mut().flatten() {
-                    if *slot > c {
-                        *slot -= 1;
+                membership.remove(orig);
+                moved += out.moved;
+                old = out.part;
+                steps.push((out.cost, out.imbalance, execution));
+            }
+            if let Some((joins, leaves)) = planned {
+                let k_before = membership.k();
+                let leave_labels = membership.resize(&leaves, &joins);
+                let k_after = membership.k();
+                let rspan = dlb_trace::span!(
+                    "resize.epoch",
+                    epoch = epoch,
+                    k_before = k_before,
+                    k_after = k_after
+                );
+                dlb_trace::count(dlb_trace::Counter::ResizesRun, 1);
+                dlb_trace::count(dlb_trace::Counter::RanksJoined, joins.len() as u64);
+                dlb_trace::count(dlb_trace::Counter::RanksDeparted, leaves.len() as u64);
+                let out = perform_resize(
+                    comm.as_deref_mut(),
+                    &snapshot.hypergraph,
+                    &old,
+                    &leave_labels,
+                    joins.len(),
+                    k_before,
+                    alpha,
+                    cfg,
+                    network,
+                    faults,
+                );
+                match out.choice {
+                    ResizeChoice::Repart => {
+                        dlb_trace::count(dlb_trace::Counter::ResizeChoseRepart, 1)
+                    }
+                    ResizeChoice::Scratch => {
+                        dlb_trace::count(dlb_trace::Counter::ResizeChoseScratch, 1)
                     }
                 }
-                orig_to_cur[orig] = None;
-                cur_k -= 1;
+                rspan.attr("migration", out.cost.migration);
+                rspan.attr("chose_scratch", (out.choice == ResizeChoice::Scratch) as usize);
+                resizes.push(ResizeRecord {
+                    epoch,
+                    joined: joins,
+                    departed: leaves,
+                    k_before,
+                    k_after,
+                    choice: out.choice,
+                    repart_cost: out.repart_cost,
+                    scratch_cost: out.scratch_cost,
+                    migration: out.cost.migration,
+                    t_mig: out.execution.as_ref().map_or(0.0, |e| e.t_mig),
+                });
                 moved += out.moved;
-                old = out.part.clone();
-                steps.push((out, execution));
+                old = out.part;
+                steps.push((out.cost, out.imbalance, out.execution));
             }
             // The epoch's report is the final step's, with the earlier
             // steps' migration charges folded in.
-            let (last, last_exec) = steps.pop().expect("at least one dying rank");
-            let mut cost = last.cost;
-            let mut execution = last_exec;
-            for (step, exec) in &steps {
-                cost.migration += step.cost.migration;
+            let (mut cost, imbalance, mut execution) =
+                steps.pop().expect("at least one boundary event");
+            for (step_cost, _, exec) in &steps {
+                cost.migration += step_cost.migration;
                 if let (Some(e), Some(se)) = (execution.as_mut(), exec.as_ref()) {
                     e.t_mig += se.t_mig;
                     e.mig_volume += se.mig_volume;
@@ -432,15 +537,18 @@ pub(crate) fn run_epochs<S: EpochSource + ?Sized>(
             }
             span.attr("moved", moved);
             span.attr("recoveries", recoveries.len());
+            span.attr("resizes", resizes.len());
             EpochReport {
                 epoch,
                 cost,
-                imbalance: last.imbalance,
+                imbalance,
                 moved,
                 num_vertices: snapshot.graph.num_vertices(),
                 elapsed: start.elapsed(),
                 execution,
                 recoveries,
+                resizes,
+                world_k: membership.k(),
             }
         };
         reports.push(report);

@@ -44,6 +44,7 @@
 pub mod cost;
 pub mod delta;
 pub mod driver;
+pub mod elastic;
 pub mod epoch;
 pub mod exec;
 pub mod migrate;
@@ -56,6 +57,10 @@ pub use cost::CostBreakdown;
 pub use delta::{ModelPatcher, PatchedEpoch};
 pub use driver::{repartition, Algorithm, RepartConfig, RepartProblem, RepartResult};
 pub use driver::repartition_parallel;
+pub use elastic::{
+    science_fingerprint, AuditLedger, AuditedSource, ResizeChoice, ResizeRecord, WorldChange,
+    WorldEvent, WorldPlan,
+};
 pub use epoch::{EpochReport, RecoveryRecord, SimulationSummary};
 pub use exec::{
     measure_epoch, measure_epoch_with_faults, CompetitiveRatio, EpochExecution, NetworkModel,
@@ -64,7 +69,7 @@ pub use session::{Session, SessionError, DEFAULT_DRIFT_THRESHOLD};
 pub use migrate::{migrate_items, scatter_initial, MigrationStats};
 pub use model::RepartitionHypergraph;
 pub use recover::{recover_from_failure, RecoveryOutcome};
-pub use remap::remap_to_minimize_migration;
+pub use remap::{remap_to_minimize_migration, remap_to_minimize_migration_partial};
 // Re-exported so `Session::fault_plan` callers need not depend on
 // `dlb_mpisim` directly.
 pub use dlb_mpisim::FaultPlan;

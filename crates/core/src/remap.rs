@@ -24,13 +24,34 @@ pub fn remap_to_minimize_migration(
     sizes: &[f64],
     k: usize,
 ) -> Vec<PartId> {
+    let partial: Vec<Option<PartId>> = old_part.iter().map(|&p| Some(p)).collect();
+    remap_to_minimize_migration_partial(new_part, &partial, sizes, k)
+}
+
+/// [`remap_to_minimize_migration`] for a *partial* old assignment:
+/// vertices with `None` have no old home in the current label space
+/// (failure orphans; vertices whose part just departed in an elastic
+/// resize) and pay their migration wherever they land, so they
+/// contribute nothing to the overlap matrix and never sway the
+/// permutation.
+///
+/// # Panics
+/// Panics on length mismatches or labels `>= k`.
+pub fn remap_to_minimize_migration_partial(
+    new_part: &[PartId],
+    old_part: &[Option<PartId>],
+    sizes: &[f64],
+    k: usize,
+) -> Vec<PartId> {
     assert_eq!(new_part.len(), old_part.len());
     assert_eq!(new_part.len(), sizes.len());
 
-    // Overlap matrix.
+    // Overlap matrix over the anchored vertices only.
     let mut overlap = vec![0.0f64; k * k];
     for ((&np, &op), &s) in new_part.iter().zip(old_part).zip(sizes) {
-        assert!(np < k && op < k, "part label out of range");
+        assert!(np < k, "part label out of range");
+        let Some(op) = op else { continue };
+        assert!(op < k, "part label out of range");
         overlap[np * k + op] += s;
     }
 
@@ -68,13 +89,14 @@ pub fn remap_to_minimize_migration(
         .collect();
 
     // Greedy matching is a heuristic; guard against the rare case where
-    // it loses to the labels as delivered.
+    // it loses to the labels as delivered. Free vertices migrate under
+    // any labeling, so they cancel out of the comparison.
     let migration = |labels: &[PartId]| -> f64 {
         labels
             .iter()
             .zip(old_part)
             .zip(sizes)
-            .filter(|((a, b), _)| a != b)
+            .filter(|((&a, &b), _)| b.is_some_and(|b| a != b))
             .map(|(_, &s)| s)
             .sum()
     };
@@ -169,6 +191,17 @@ mod tests {
         let remapped = remap_to_minimize_migration(&new, &old, &sizes, 2);
         assert_eq!(remapped, new, "guard must fall back to the delivered labels");
         assert_eq!(migration_volume(&sizes, &old, &remapped), 10.0);
+    }
+
+    #[test]
+    fn partial_remap_ignores_free_vertices() {
+        // v3 is free (its old part left the world): however heavy, it
+        // must not drag new label 1 anywhere.
+        let old = vec![Some(0), Some(0), Some(1), None];
+        let new = vec![0, 0, 1, 1];
+        let sizes = vec![1.0, 1.0, 1.0, 1000.0];
+        let remapped = remap_to_minimize_migration_partial(&new, &old, &sizes, 2);
+        assert_eq!(remapped, vec![0, 0, 1, 1]);
     }
 
     #[test]

@@ -43,6 +43,7 @@ use dlb_partitioner::Determinism;
 use dlb_workloads::EpochSource;
 
 use crate::driver::{Algorithm, RepartConfig};
+use crate::elastic::WorldPlan;
 use crate::epoch::{run_epochs, IncrementalPolicy, SimulationSummary};
 use crate::exec::NetworkModel;
 
@@ -74,6 +75,11 @@ pub enum SessionError {
     /// distributed configuration; the delta patcher keeps serial state,
     /// so incremental sessions must run on one rank.
     IncrementalNeedsSerial,
+    /// [`Session::incremental`] was combined with
+    /// [`Session::world_plan`]; a resize changes `k` under the patched
+    /// model's embedded partition vertices, so elastic sessions must
+    /// re-lower per epoch.
+    IncrementalElastic,
     /// Tracing was requested on [`Session::run_on`]; a per-rank trace
     /// session would deadlock the collective, so open the trace around
     /// the whole SPMD world instead (e.g. via [`Session::ranks`]).
@@ -101,6 +107,10 @@ impl fmt::Display for SessionError {
             SessionError::IncrementalNeedsSerial => write!(
                 f,
                 "incremental repartitioning is serial-only: drop .ranks()/.run_on() or .incremental()"
+            ),
+            SessionError::IncrementalElastic => write!(
+                f,
+                "world plans are incompatible with incremental repartitioning: drop .world_plan() or .incremental()"
             ),
             SessionError::TraceInsideSpmd => write!(
                 f,
@@ -130,6 +140,7 @@ pub struct Session<'a> {
     ranks: usize,
     network: Option<NetworkModel>,
     faults: Option<FaultPlan>,
+    world: Option<WorldPlan>,
     incremental: bool,
     drift_threshold: f64,
     source: Option<&'a mut dyn EpochSource>,
@@ -149,6 +160,7 @@ impl<'a> Session<'a> {
             ranks: 1,
             network: None,
             faults: None,
+            world: None,
             incremental: false,
             drift_threshold: DEFAULT_DRIFT_THRESHOLD,
             source: None,
@@ -244,6 +256,19 @@ impl<'a> Session<'a> {
         self
     }
 
+    /// Installs a [`WorldPlan`]: scheduled rank arrivals and departures
+    /// are applied as elastic resizes at epoch boundaries — growing
+    /// onto the joining spares or shrinking onto the survivors via a
+    /// fixed-vertex repartition, with the cost model arbitrating
+    /// repartition-vs-scratch per resize (DESIGN.md §15). Like fault
+    /// plans, the schedule speaks logical part ids, so results are
+    /// identical at any [`ranks`](Session::ranks) setting. Incompatible
+    /// with [`incremental`](Session::incremental).
+    pub fn world_plan(mut self, plan: WorldPlan) -> Self {
+        self.world = Some(plan);
+        self
+    }
+
     /// Drives the session from a borrowed source (serial sessions only;
     /// the source is mutated as assignments are committed).
     pub fn workload<S: EpochSource>(mut self, source: &'a mut S) -> Self {
@@ -322,6 +347,7 @@ impl<'a> Session<'a> {
             &self.cfg,
             self.network.as_ref(),
             self.faults.as_ref(),
+            self.world.as_ref(),
             None,
         ))
     }
@@ -338,6 +364,9 @@ impl<'a> Session<'a> {
         }
         if self.incremental && (self.ranks > 1 || self.cfg.hypergraph.dist.distributed) {
             return Err(SessionError::IncrementalNeedsSerial);
+        }
+        if self.incremental && self.world.is_some() {
+            return Err(SessionError::IncrementalElastic);
         }
         Ok(self)
     }
@@ -365,6 +394,7 @@ impl<'a> Session<'a> {
                         &self.cfg,
                         self.network.as_ref(),
                         self.faults.as_ref(),
+                        self.world.as_ref(),
                         None,
                     )
                 });
@@ -380,6 +410,7 @@ impl<'a> Session<'a> {
                 &self.cfg,
                 self.network.as_ref(),
                 self.faults.as_ref(),
+                self.world.as_ref(),
                 self.policy(),
             ));
         }
@@ -394,6 +425,7 @@ impl<'a> Session<'a> {
             &self.cfg,
             self.network.as_ref(),
             self.faults.as_ref(),
+            self.world.as_ref(),
             policy,
         ))
     }

@@ -22,6 +22,8 @@
 
 use std::time::Duration;
 
+use crate::spec;
+
 /// Default length of one injected in-transit delay.
 const DEFAULT_DELAY: Duration = Duration::from_micros(500);
 
@@ -101,36 +103,20 @@ impl FaultPlan {
     /// Parses the `SEED:spec` grammar (see the type docs). Returns a
     /// human-readable error for malformed specs.
     pub fn parse(s: &str) -> Result<FaultPlan, String> {
-        let (seed_str, spec) = s
-            .split_once(':')
-            .ok_or_else(|| format!("fault plan '{s}' must be SEED:spec (e.g. 42:rank1@2)"))?;
-        let seed: u64 = seed_str
-            .trim()
-            .parse()
-            .map_err(|_| format!("fault plan seed '{seed_str}' is not a u64"))?;
+        let (seed, directives) = spec::split_seed_spec(s, "fault", "42:rank1@2")?;
         let mut plan = FaultPlan::new(seed);
-        for directive in spec.split(',').map(str::trim).filter(|d| !d.is_empty()) {
+        for directive in directives {
             if let Some(rest) = directive.strip_prefix("rank") {
-                let (rank_str, epoch_str) = rest
-                    .split_once('@')
-                    .ok_or_else(|| format!("'{directive}': expected rank<R>@<E>"))?;
-                let rank: usize = rank_str
-                    .parse()
-                    .map_err(|_| format!("'{directive}': rank '{rank_str}' is not a usize"))?;
-                let epoch: usize = epoch_str
-                    .parse()
-                    .map_err(|_| format!("'{directive}': epoch '{epoch_str}' is not a usize"))?;
-                if epoch == 0 {
-                    return Err(format!("'{directive}': epochs are 1-based"));
-                }
+                let (rank, epoch) = spec::parse_rank_at_epoch(directive, rest)?;
                 plan.failures.push(RankFailure { rank, epoch });
             } else if let Some(p_str) = directive.strip_prefix("drop") {
-                plan.drop_prob = parse_prob(directive, p_str)?;
+                plan.drop_prob = spec::parse_prob(directive, p_str)?;
             } else if let Some(p_str) = directive.strip_prefix("delay") {
-                plan.delay_prob = parse_prob(directive, p_str)?;
+                plan.delay_prob = spec::parse_prob(directive, p_str)?;
             } else {
-                return Err(format!(
-                    "unknown fault directive '{directive}' (expected rank<R>@<E>, drop<P> or delay<P>)"
+                return Err(spec::unknown_directive(
+                    directive,
+                    "rank<R>@<E>, drop<P> or delay<P>",
                 ));
             }
         }
@@ -177,16 +163,6 @@ impl FaultPlan {
             delay: self.delay,
         }
     }
-}
-
-fn parse_prob(directive: &str, p_str: &str) -> Result<f64, String> {
-    let p: f64 = p_str
-        .parse()
-        .map_err(|_| format!("'{directive}': '{p_str}' is not a probability"))?;
-    if !(0.0..=1.0).contains(&p) {
-        return Err(format!("'{directive}': probability {p} outside [0, 1]"));
-    }
-    Ok(p)
 }
 
 /// Per-rank message-fault state: a deterministic RNG stream plus the

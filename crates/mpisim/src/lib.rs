@@ -37,12 +37,15 @@ mod comm;
 pub mod directory;
 mod dist;
 pub mod fault;
+pub mod membership;
 pub mod plan;
+pub mod spec;
 mod world;
 
 pub use comm::{Comm, CommError, CommStats};
 pub use directory::DistDirectory;
 pub use dist::BlockDist;
 pub use fault::{FaultPlan, FaultState, RankFailure};
+pub use membership::WorldMembership;
 pub use plan::CommPlan;
 pub use world::{run_spmd, run_spmd_with_faults, try_run_spmd, RankPanic, SpmdError};

@@ -160,11 +160,26 @@ pub enum Counter {
     /// Cells touched by delta patching: removed + added + reweighted +
     /// survivors whose nets were spliced (counted in `ModelPatcher`).
     CellsPatched,
+    /// Planned world resizes performed at epoch boundaries (one per
+    /// epoch with a net `WorldPlan` change, counted in the epoch
+    /// driver).
+    ResizesRun,
+    /// Ranks that joined the world through planned resizes.
+    RanksJoined,
+    /// Ranks that departed the world through planned resizes (planned
+    /// leaves only; failures count under `RecoveriesRun`).
+    RanksDeparted,
+    /// Resizes where the measured cost model picked the fixed-vertex
+    /// repartition candidate (counted in the epoch driver's arbitration).
+    ResizeChoseRepart,
+    /// Resizes where the measured cost model picked the scratch-partition
+    /// + remap candidate.
+    ResizeChoseScratch,
 }
 
 impl Counter {
     /// Every counter, in declaration (= export) order.
-    pub const ALL: [Counter; 23] = [
+    pub const ALL: [Counter; 28] = [
         Counter::CoarsenLevels,
         Counter::CoarsenMatchesAccepted,
         Counter::CoarsenMatchesRefusedFixed,
@@ -188,6 +203,11 @@ impl Counter {
         Counter::DeltaEpochs,
         Counter::FullRebuilds,
         Counter::CellsPatched,
+        Counter::ResizesRun,
+        Counter::RanksJoined,
+        Counter::RanksDeparted,
+        Counter::ResizeChoseRepart,
+        Counter::ResizeChoseScratch,
     ];
 
     /// Stable snake_case name used in exports.
@@ -216,6 +236,11 @@ impl Counter {
             Counter::DeltaEpochs => "delta_epochs",
             Counter::FullRebuilds => "full_rebuilds",
             Counter::CellsPatched => "cells_patched",
+            Counter::ResizesRun => "resizes_run",
+            Counter::RanksJoined => "ranks_joined",
+            Counter::RanksDeparted => "ranks_departed",
+            Counter::ResizeChoseRepart => "resize_chose_repart",
+            Counter::ResizeChoseScratch => "resize_chose_scratch",
         }
     }
 }

@@ -107,10 +107,12 @@ impl EpochStream {
     /// Records the assignment the load balancer chose for an epoch, so
     /// the next epoch's old parts (and part-targeted perturbations) see
     /// it. `snapshot` must be the epoch the assignment belongs to.
+    /// Labels at or beyond the launch `k` are accepted — elastic worlds
+    /// grow the label space past it — but the part-targeted
+    /// perturbations only ever target the launch parts.
     pub fn commit_assignment(&mut self, snapshot: &EpochSnapshot, part: &[PartId]) {
         assert_eq!(part.len(), snapshot.to_base.len());
         for (v, &base_v) in snapshot.to_base.iter().enumerate() {
-            assert!(part[v] < self.k);
             self.last_part[base_v] = part[v];
         }
     }
@@ -130,7 +132,7 @@ impl EpochStream {
         let n = self.base.num_vertices();
         let affected = self.pick_parts(self.perturbation.structure_parts_fraction);
         let mut candidates: Vec<usize> = (0..n)
-            .filter(|&v| affected[self.last_part[v]])
+            .filter(|&v| affected.get(self.last_part[v]).copied().unwrap_or(false))
             .collect();
         candidates.shuffle(&mut self.rng);
         let quota = ((n as f64 * self.perturbation.delete_fraction) as usize)
@@ -159,7 +161,7 @@ impl EpochStream {
         let affected = self.pick_parts(self.perturbation.weight_parts_fraction);
         let (lo, hi) = self.perturbation.factor_range;
         for v in 0..n {
-            if affected[self.last_part[v]] {
+            if affected.get(self.last_part[v]).copied().unwrap_or(false) {
                 let f = self.rng.gen_range(lo..hi);
                 self.current_weight[v] = self.original_weight[v] * f;
                 self.current_size[v] = self.original_size[v] * f;

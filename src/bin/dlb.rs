@@ -43,6 +43,15 @@
 //!                     delayP (per-message drop/delay probability in the
 //!                     measured migration exchanges). Example:
 //!                     --fault-plan 7:rank2@2,drop0.05
+//!   --world-plan SPEC simulate only: planned elastic resizes of the
+//!                     rank set, SPEC = "SEED:directive,..." with
+//!                     directives joinR@E (rank R joins at epoch E) and
+//!                     leaveR@E (rank R departs; its vertices migrate
+//!                     out). Each resize repartitions onto the new
+//!                     world, with the measured cost model choosing
+//!                     repartition-vs-scratch per resize. Composable
+//!                     with --fault-plan. Example:
+//!                     --world-plan 42:join4@2,leave0@3
 //!   --incremental     simulate only (serial): pull structural deltas
 //!                     from the workload, patch the repartitioning
 //!                     model in place, and warm-start the partitioner
@@ -72,7 +81,7 @@ use std::process::exit;
 use dlb::amr::{AmrConfig, AmrStream};
 use dlb::core::{
     repartition, repartition_parallel, Algorithm, FaultPlan, RepartConfig, RepartProblem,
-    Session, SimulationSummary, DEFAULT_DRIFT_THRESHOLD,
+    Session, SimulationSummary, WorldPlan, DEFAULT_DRIFT_THRESHOLD,
 };
 use dlb::graphpart::{partition_kway, GraphConfig};
 use dlb::hypergraph::convert::{clique_expansion, column_net_model};
@@ -95,7 +104,7 @@ fn usage() -> ! {
          dlb simulate    -k K --workload amr|structure|weights [--epochs E] [--alpha A] \
          [--algorithm NAME] [--scale S] [--seed N] [--threads N] \
          [--determinism strict|fast] \
-         [--ranks N [--distributed]] [--fault-plan SPEC] \
+         [--ranks N [--distributed]] [--fault-plan SPEC] [--world-plan SPEC] \
          [--incremental [--drift-threshold T]] [--trace FILE]"
     );
     exit(2);
@@ -126,6 +135,7 @@ struct Cli {
     epochs: usize,
     scale: Option<f64>,
     fault_plan: Option<FaultPlan>,
+    world_plan: Option<WorldPlan>,
     incremental: bool,
     drift_threshold: Option<f64>,
 }
@@ -159,6 +169,7 @@ fn parse_cli() -> Cli {
     let mut epochs = 4usize;
     let mut scale = None;
     let mut fault_plan = None;
+    let mut world_plan = None;
     let mut incremental = false;
     let mut drift_threshold = None;
     let mut i = 1;
@@ -257,6 +268,16 @@ fn parse_cli() -> Cli {
                 );
                 i += 2;
             }
+            "--world-plan" => {
+                let spec = argv
+                    .get(i + 1)
+                    .unwrap_or_else(|| fail("--world-plan expects a SEED:spec value"));
+                world_plan = Some(
+                    WorldPlan::parse(spec)
+                        .unwrap_or_else(|e| fail(format!("bad --world-plan: {e}"))),
+                );
+                i += 2;
+            }
             arg if !arg.starts_with('-') => {
                 input = Some(arg.to_string());
                 i += 1;
@@ -283,6 +304,7 @@ fn parse_cli() -> Cli {
         epochs,
         scale,
         fault_plan,
+        world_plan,
         incremental,
         drift_threshold,
     }
@@ -466,6 +488,20 @@ fn print_simulation(summary: &SimulationSummary, alpha: f64) {
                 rec.t_mig * 1e3
             );
         }
+        for rec in &r.resizes {
+            println!(
+                "       resized {} -> {} parts (+{:?} -{:?}) via {}: repart {:.1} vs scratch {:.1}, migration {:.1}, t_mig {:.4} ms",
+                rec.k_before,
+                rec.k_after,
+                rec.joined,
+                rec.departed,
+                rec.choice.name(),
+                rec.repart_cost,
+                rec.scratch_cost,
+                rec.migration,
+                rec.t_mig * 1e3
+            );
+        }
     }
     let (comp, comm, mig) = summary.mean_phase_times().expect("measured simulation");
     println!(
@@ -491,13 +527,23 @@ fn run_simulate(cli: &Cli, hg_cfg: HgConfig) {
     cfg.hypergraph.determinism = hg_cfg.determinism;
     cfg.hypergraph.dist = hg_cfg.dist;
     if let Some(plan) = &cli.fault_plan {
+        let joinable =
+            cli.world_plan.as_ref().map(WorldPlan::join_ranks).unwrap_or_default();
         for f in plan.failures() {
-            if f.rank >= cli.k {
+            if f.rank >= cli.k && !joinable.contains(&f.rank) {
                 fail(format!(
                     "--fault-plan rank {} out of range for -k {}",
                     f.rank, cli.k
                 ));
             }
+        }
+    }
+    if let Some(plan) = &cli.world_plan {
+        if cli.incremental {
+            fail("--world-plan is incompatible with --incremental");
+        }
+        if let Err(e) = plan.validate(cli.k, cli.epochs, cli.fault_plan.as_ref()) {
+            fail(format!("bad --world-plan: {e}"));
         }
     }
     let build = |incremental: bool| {
@@ -515,6 +561,9 @@ fn run_simulate(cli: &Cli, hg_cfg: HgConfig) {
         }
         if let Some(plan) = &cli.fault_plan {
             session = session.fault_plan(plan.clone());
+        }
+        if let Some(plan) = &cli.world_plan {
+            session = session.world_plan(plan.clone());
         }
         session
     };

@@ -1,0 +1,339 @@
+//! Elastic worlds end-to-end (DESIGN.md §15).
+//!
+//! A [`WorldPlan`] schedules planned rank arrivals and departures; the
+//! epoch driver applies them at epoch boundaries as fixed-vertex
+//! resizes, with the cost model arbitrating repartition-vs-scratch per
+//! resize. The tests pin down the subsystem's contracts:
+//!
+//! 1. **Resizing works**: grows populate the joining spares, shrinks
+//!    evacuate the leavers, the records carry both candidate costs, and
+//!    the world timeline tracks every change.
+//! 2. **Determinism**: chained shrink→grow→shrink schedules reproduce
+//!    bit-identical outputs run to run at driver rank counts 1, 2, 4.
+//! 3. **Plan-free purity**: an empty plan — and a plan whose every
+//!    epoch nets to no change — is bitwise identical to no plan at all.
+//! 4. **Chaos-soak determinism**: composing a WorldPlan with a
+//!    FaultPlan over hundreds of epochs of the AMR workload leaves the
+//!    delivered science (per-epoch mesh fingerprints, partition
+//!    excluded) bit-identical to a churn-free run, at driver ranks
+//!    {2, 4} × threads {1, 2}.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use dlb::amr::{AmrConfig, AmrStream};
+use dlb::core::{
+    Algorithm, AuditLedger, AuditedSource, FaultPlan, RepartConfig, Session, SimulationSummary,
+    WorldPlan,
+};
+use dlb::graphpart::{partition_kway, GraphConfig};
+use dlb::workloads::{AmrSource, Dataset, DatasetKind, EpochStream, Perturbation};
+
+const ALPHA: f64 = 50.0;
+const SEED: u64 = 23;
+
+fn make_stream(k: usize) -> EpochStream {
+    let d = Dataset::generate(DatasetKind::Auto, 0.0008, SEED);
+    let init = partition_kway(&d.graph, k, &GraphConfig::seeded(SEED)).part;
+    EpochStream::new(d.graph, Perturbation::weights(), k, init, SEED)
+}
+
+fn session(k: usize, epochs: usize) -> Session<'static> {
+    Session::new(RepartConfig::seeded(SEED))
+        .algorithm(Algorithm::ZoltanRepart)
+        .alpha(ALPHA)
+        .epochs(epochs)
+        .measured(true)
+        .workload_factory(move |_| make_stream(k))
+}
+
+/// The deterministic fingerprint of a run: per-epoch model costs,
+/// movement, world size, and measured makespans, compared bitwise.
+fn fingerprint(s: &SimulationSummary) -> Vec<(f64, f64, usize, usize, f64)> {
+    s.reports
+        .iter()
+        .map(|r| {
+            (
+                r.cost.comm,
+                r.cost.migration,
+                r.moved,
+                r.world_k,
+                r.execution.as_ref().expect("measured run").makespan(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn planned_grow_populates_the_joiner() {
+    let plan = WorldPlan::parse("7:join4@2").unwrap();
+    let s = session(4, 4).world_plan(plan).run().unwrap();
+    assert_eq!(s.reports.len(), 4);
+    assert_eq!(s.total_resizes(), 1);
+    assert_eq!(s.surviving_k(), 5);
+    assert_eq!(s.world_timeline(), vec![(1, 4), (2, 5), (3, 5), (4, 5)]);
+
+    let r = &s.reports[1]; // epoch 2
+    assert_eq!(r.resizes.len(), 1);
+    let rec = &r.resizes[0];
+    assert_eq!(rec.epoch, 2);
+    assert_eq!(rec.joined, vec![4]);
+    assert!(rec.departed.is_empty());
+    assert_eq!((rec.k_before, rec.k_after), (4, 5));
+    assert!(rec.repart_cost > 0.0 && rec.scratch_cost > 0.0, "both candidates were priced");
+    // Growth must actually use the spare: the next epoch's commit ran
+    // on 5 parts, so balance over 5 pulls migration onto the joiner.
+    assert!(rec.migration > 0.0, "vertices moved onto the joiner");
+    assert_eq!(rec.t_mig, r.execution.as_ref().unwrap().t_mig, "single resize owns the t_mig");
+    for other in [0usize, 2, 3] {
+        assert!(s.reports[other].resizes.is_empty());
+    }
+}
+
+#[test]
+fn planned_shrink_evacuates_the_leaver() {
+    let plan = WorldPlan::parse("7:leave1@3").unwrap();
+    let s = session(4, 4).world_plan(plan).run().unwrap();
+    assert_eq!(s.total_resizes(), 1);
+    assert_eq!(s.surviving_k(), 3);
+    assert_eq!(s.world_timeline(), vec![(1, 4), (2, 4), (3, 3), (4, 3)]);
+    let rec = &s.reports[2].resizes[0];
+    assert_eq!(rec.departed, vec![1]);
+    assert_eq!((rec.k_before, rec.k_after), (4, 3));
+    assert!(rec.migration > 0.0, "the leaver's vertices shipped out");
+    // The evacuation is physical: it lands in the measured migration.
+    assert!(rec.t_mig > 0.0);
+}
+
+#[test]
+fn faults_and_resizes_compose_at_one_boundary() {
+    // Rank 2 dies at epoch 2's boundary AND the plan grows by one: the
+    // recovery chain runs first, then the resize, in one epoch.
+    let faults = FaultPlan::parse("5:rank2@2").unwrap();
+    let world = WorldPlan::parse("5:join4@2").unwrap();
+    let s = session(4, 3).fault_plan(faults).world_plan(world).run().unwrap();
+    assert_eq!(s.total_recoveries(), 1);
+    assert_eq!(s.total_resizes(), 1);
+    let r = &s.reports[1];
+    assert_eq!(r.recoveries[0].k_after, 3);
+    assert_eq!((r.resizes[0].k_before, r.resizes[0].k_after), (3, 4));
+    assert_eq!(r.world_k, 4);
+    // A failed rank may be re-admitted by a later planned join.
+    let faults = FaultPlan::parse("5:rank2@2").unwrap();
+    let world = WorldPlan::parse("5:join2@3").unwrap();
+    let s = session(4, 4).fault_plan(faults).world_plan(world).run().unwrap();
+    assert_eq!(s.world_timeline(), vec![(1, 4), (2, 3), (3, 4), (4, 4)]);
+}
+
+/// Acceptance criterion: a chained shrink→grow→shrink schedule is
+/// bit-identical run to run at each driver rank count in {1, 2, 4}.
+#[test]
+fn chained_resizes_are_reproducible_at_ranks_1_2_and_4() {
+    let run = |ranks: usize| {
+        let plan = WorldPlan::parse("9:leave2@2,join4@3,join5@3,leave0@4").unwrap();
+        session(4, 5).ranks(ranks).world_plan(plan).run().unwrap()
+    };
+    for ranks in [1usize, 2, 4] {
+        let a = run(ranks);
+        let b = run(ranks);
+        assert_eq!(fingerprint(&a), fingerprint(&b), "ranks = {ranks}");
+        assert_eq!(a.total_resizes(), 3, "ranks = {ranks}");
+        assert_eq!(a.world_timeline(), vec![(1, 4), (2, 3), (3, 5), (4, 4), (5, 4)]);
+        for (ra, rb) in a.reports.iter().zip(&b.reports) {
+            for (x, y) in ra.resizes.iter().zip(&rb.resizes) {
+                assert_eq!(x.choice, y.choice, "ranks = {ranks}");
+                assert_eq!(x.repart_cost, y.repart_cost, "ranks = {ranks}");
+                assert_eq!(x.scratch_cost, y.scratch_cost, "ranks = {ranks}");
+                assert_eq!(x.migration, y.migration, "ranks = {ranks}");
+            }
+        }
+    }
+}
+
+/// Plan-free purity: an empty plan, and a plan whose join and leave of
+/// the same rank cancel at the same epoch, are bitwise identical to no
+/// plan at all — the no-op epochs take the fast path untouched.
+#[test]
+fn noop_plans_are_bit_identical_to_no_plan() {
+    let without = session(4, 3).run().unwrap();
+    let empty = WorldPlan::parse("5:").unwrap();
+    let with_empty = session(4, 3).world_plan(empty).run().unwrap();
+    assert_eq!(fingerprint(&without), fingerprint(&with_empty));
+    assert_eq!(with_empty.total_resizes(), 0);
+
+    let cancelled = WorldPlan::parse("5:join7@2,leave7@2").unwrap();
+    let with_cancelled = session(4, 3).world_plan(cancelled).run().unwrap();
+    assert_eq!(fingerprint(&without), fingerprint(&with_cancelled));
+    assert_eq!(with_cancelled.total_resizes(), 0);
+}
+
+/// Trace counters: each resize increments `ResizesRun`, the join/leave
+/// tallies, and exactly one of the `resize_chose_*` counters.
+#[test]
+fn resize_counters_reflect_the_plan() {
+    let plan = WorldPlan::parse("3:join4@2,leave0@3").unwrap();
+    let (s, report) = session(4, 3).world_plan(plan).run_traced().unwrap();
+    assert_eq!(s.total_resizes(), 2);
+    if dlb::trace::COMPILED_IN {
+        use dlb::trace::Counter;
+        assert_eq!(report.counter(Counter::ResizesRun), 2);
+        assert_eq!(report.counter(Counter::RanksJoined), 1);
+        assert_eq!(report.counter(Counter::RanksDeparted), 1);
+        assert_eq!(
+            report.counter(Counter::ResizeChoseRepart)
+                + report.counter(Counter::ResizeChoseScratch),
+            2,
+            "every resize records its arbitration"
+        );
+        assert!(report.find("resize.epoch").is_some());
+    }
+
+    let (_, clean) = session(4, 2).run_traced().unwrap();
+    assert_eq!(clean.counter(dlb::trace::Counter::ResizesRun), 0);
+}
+
+/// A schedule that would ever empty the world is rejected up front, not
+/// discovered mid-run.
+#[test]
+#[should_panic(expected = "empties the world")]
+fn world_exhausting_plan_panics_up_front() {
+    let plan = WorldPlan::parse("3:leave0@1,leave1@2").unwrap();
+    let _ = session(2, 3).world_plan(plan).run();
+}
+
+// ---------------------------------------------------------------------
+// The chaos soak.
+// ---------------------------------------------------------------------
+
+const SOAK_EPOCHS: usize = 200;
+const SOAK_SEED: u64 = 99;
+const SOAK_K: usize = 4;
+
+fn soak_source() -> AmrSource {
+    let stream = AmrStream::new(AmrConfig::small(), SOAK_K, SOAK_SEED);
+    let low = stream.initial_lowering();
+    let init: Vec<_> = (0..low.graph.num_vertices()).map(|v| v % SOAK_K).collect();
+    AmrSource::new(stream, &init)
+}
+
+/// A 20-epoch churn cycle repeated over the soak: the world breathes
+/// 4 → 5 → 6 → 5 → 4 → 5 → 4, with ranks departing and rejoining.
+fn soak_world_plan() -> WorldPlan {
+    let mut plan = WorldPlan::new(SOAK_SEED);
+    for cycle in 0..SOAK_EPOCHS / 20 {
+        let base = cycle * 20;
+        plan = plan
+            .join(4, base + 3)
+            .join(5, base + 5)
+            .leave(1, base + 8)
+            .leave(4, base + 12)
+            .join(1, base + 15)
+            .leave(5, base + 18);
+    }
+    // Failed ranks get re-admitted mid-soak (see soak_fault_plan).
+    plan.join(2, 60).join(0, 120)
+}
+
+/// Two hard failures composed on top of the planned churn, plus message
+/// drop/delay noise in every measured migration exchange.
+fn soak_fault_plan() -> FaultPlan {
+    FaultPlan::parse("77:rank2@41,rank0@101,drop0.1,delay0.05").unwrap()
+}
+
+fn soak_config(threads: usize) -> RepartConfig {
+    let mut cfg = RepartConfig::seeded(SOAK_SEED);
+    cfg.hypergraph.threads = threads;
+    cfg
+}
+
+/// The churn-free baseline ledger: per-epoch science fingerprints of
+/// the bare AMR workload, no plans installed.
+fn baseline_ledger() -> Vec<u64> {
+    let mut source = AuditedSource::new(soak_source());
+    let ledger = source.ledger();
+    let s = Session::new(soak_config(1))
+        .algorithm(Algorithm::ZoltanRepart)
+        .alpha(ALPHA)
+        .epochs(SOAK_EPOCHS)
+        .measured(true)
+        .workload(&mut source)
+        .run()
+        .unwrap();
+    assert_eq!(s.reports.len(), SOAK_EPOCHS);
+    let digests = ledger.lock().unwrap().clone();
+    assert_eq!(digests.len(), SOAK_EPOCHS);
+    digests
+}
+
+/// One churned soak run: WorldPlan × FaultPlan over the same workload,
+/// with every driver rank's emitted epochs audited into its own ledger.
+fn churned_ledgers(ranks: usize, threads: usize) -> (SimulationSummary, BTreeMap<usize, Vec<u64>>) {
+    let ledgers: Arc<Mutex<BTreeMap<usize, AuditLedger>>> =
+        Arc::new(Mutex::new(BTreeMap::new()));
+    let registry = Arc::clone(&ledgers);
+    let summary = Session::new(soak_config(threads))
+        .algorithm(Algorithm::ZoltanRepart)
+        .alpha(ALPHA)
+        .epochs(SOAK_EPOCHS)
+        .ranks(ranks)
+        .measured(true)
+        .fault_plan(soak_fault_plan())
+        .world_plan(soak_world_plan())
+        .workload_factory(move |rank| {
+            let ledger: AuditLedger = Arc::new(Mutex::new(Vec::new()));
+            registry.lock().unwrap().insert(rank, Arc::clone(&ledger));
+            AuditedSource::with_ledger(soak_source(), ledger)
+        })
+        .run()
+        .unwrap();
+    let digests = ledgers
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(&rank, ledger)| (rank, ledger.lock().unwrap().clone()))
+        .collect();
+    (summary, digests)
+}
+
+/// Acceptance criterion: over hundreds of epochs of composed planned
+/// churn and hard failures, the delivered science stays bit-identical
+/// to a churn-free run — at driver ranks {2, 4} × threads {1, 2} —
+/// and the soak exercised real resizes and recoveries throughout.
+#[test]
+fn chaos_soak_is_bit_identical_to_churn_free_run() {
+    let baseline = baseline_ledger();
+    let mut fingerprints = Vec::new();
+    for ranks in [2usize, 4] {
+        for threads in [1usize, 2] {
+            let (summary, ledgers) = churned_ledgers(ranks, threads);
+            assert_eq!(summary.reports.len(), SOAK_EPOCHS, "ranks={ranks} threads={threads}");
+            assert!(
+                summary.total_resizes() >= 50,
+                "the soak must churn: {} resizes at ranks={ranks} threads={threads}",
+                summary.total_resizes()
+            );
+            assert_eq!(summary.total_recoveries(), 2, "ranks={ranks} threads={threads}");
+            assert_eq!(summary.surviving_k(), SOAK_K, "every cycle returns to the launch world");
+            assert_eq!(ledgers.len(), ranks, "every driver rank audited its source");
+            for (rank, digests) in &ledgers {
+                assert_eq!(
+                    digests, &baseline,
+                    "rank {rank} of ranks={ranks} threads={threads} diverged from churn-free"
+                );
+            }
+            fingerprints.push(((ranks, threads), fingerprint(&summary)));
+        }
+    }
+    // Same churn, same threads contract: thread count never changes the
+    // delivered outputs (Strict determinism), so per-rank-count the two
+    // thread settings must agree bitwise — and so must a repeat run.
+    for ranks in [2usize, 4] {
+        let at = |t: usize| {
+            &fingerprints.iter().find(|((r, th), _)| *r == ranks && *th == t).unwrap().1
+        };
+        assert_eq!(at(1), at(2), "thread count changed outputs at ranks={ranks}");
+    }
+    let (repeat, _) = churned_ledgers(2, 2);
+    let first = &fingerprints.iter().find(|((r, t), _)| (*r, *t) == (2, 2)).unwrap().1;
+    assert_eq!(first, &fingerprint(&repeat), "chaos soak must be reproducible run to run");
+}
