@@ -54,6 +54,12 @@ pub struct AmrConfig {
     pub coarsen_threshold: f64,
     /// Migration payload per cell in bytes (vertex size and net cost).
     pub state_bytes: f64,
+    /// Emit two-constraint load vectors from [`lower`]: constraint 0
+    /// stays the sub-cycling flops weight `2^(level − base)`, constraint
+    /// 1 is the cell's resident state in bytes (`state_bytes`). Off by
+    /// default — the scalar lowering is bitwise unchanged, and flops
+    /// remain the only balance constraint.
+    pub multi_constraint: bool,
 }
 
 impl Default for AmrConfig {
@@ -67,6 +73,7 @@ impl Default for AmrConfig {
             refine_threshold: 0.4,
             coarsen_threshold: 0.1,
             state_bytes: 40.0,
+            multi_constraint: false,
         }
     }
 }

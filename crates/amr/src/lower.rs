@@ -16,6 +16,14 @@
 //!
 //! Weights, sizes, and net costs are all integer-valued `f64`s, which
 //! keeps every downstream cost sum exact and order-independent.
+//!
+//! With [`AmrConfig::multi_constraint`] the hypergraph carries
+//! two-constraint load vectors — constraint 0 the flops weight above,
+//! constraint 1 the resident state bytes — so the partitioner balances
+//! compute and memory footprint simultaneously. The two columns
+//! genuinely diverge on an adapted mesh: flops grow like
+//! `2^(ℓ − base)` with depth while every cell's state is the same
+//! `state_bytes`.
 
 use dlb_hypergraph::convert::column_net_model;
 use dlb_hypergraph::{CsrGraph, GraphBuilder, Hypergraph};
@@ -54,7 +62,15 @@ pub fn lower(mesh: &QuadMesh, cfg: &AmrConfig) -> LoweredMesh {
         }
     }
     let graph = b.build();
-    let hypergraph = column_net_model(&graph, |v| graph.vertex_size(v));
+    let mut hypergraph = column_net_model(&graph, |v| graph.vertex_size(v));
+    // Two-constraint lowering: balance flops AND resident state bytes.
+    // The flops column is exactly the scalar weights, so constraint 0 of
+    // the multi-constraint hypergraph is bitwise the scalar lowering.
+    if cfg.multi_constraint {
+        let flops: Vec<f64> = (0..cells.len()).map(|v| graph.vertex_weight(v)).collect();
+        let bytes = vec![cfg.state_bytes; cells.len()];
+        hypergraph.set_loads(dlb_hypergraph::VertexLoads::from_columns(vec![flops, bytes]));
+    }
     LoweredMesh { graph, hypergraph, cells }
 }
 
@@ -104,6 +120,32 @@ mod tests {
             assert_eq!(got, expect, "net of cell {c:?}");
             assert_eq!(low.hypergraph.net_cost(v), cfg.state_bytes);
         }
+    }
+
+    #[test]
+    fn multi_constraint_lowering_diverges_bytes_from_flops() {
+        let m = sample_mesh();
+        let cfg = AmrConfig { multi_constraint: true, ..AmrConfig::default() };
+        let low = lower(&m, &cfg);
+        let scalar = lower(&m, &AmrConfig::default());
+        assert_eq!(scalar.hypergraph.load_arity(), 1);
+        assert_eq!(low.hypergraph.load_arity(), 2);
+        // Constraint 0 is bitwise the scalar lowering's weights.
+        assert_eq!(
+            low.hypergraph.loads().scalar(),
+            scalar.hypergraph.loads().scalar()
+        );
+        for (v, &c) in low.cells.iter().enumerate() {
+            assert_eq!(
+                low.hypergraph.vertex_load(v, 0),
+                (1u64 << (c.level - m.base_level())) as f64
+            );
+            assert_eq!(low.hypergraph.vertex_load(v, 1), cfg.state_bytes);
+        }
+        // An adapted mesh has refined cells, so the columns are not
+        // proportional: flops vary with level, bytes do not.
+        let flops = low.hypergraph.loads().constraint(0);
+        assert!(flops.iter().any(|&w| w != flops[0]), "mesh must be adapted");
     }
 
     #[test]

@@ -42,7 +42,7 @@ use dlb_core::{Algorithm, RepartConfig, ResizeChoice, Session, WorldPlan};
 use dlb_graphpart::{partition_kway, GraphConfig};
 use dlb_hypergraph::convert::column_net_model_unit;
 use dlb_workloads::AmrSource;
-use dlb_hypergraph::{metrics, Hypergraph};
+use dlb_hypergraph::{metrics, Hypergraph, VertexLoads};
 use dlb_mpisim::run_spmd;
 use dlb_partitioner::coarsen::coarsen_to_threads;
 use dlb_partitioner::config::PartTargets;
@@ -50,7 +50,10 @@ use dlb_partitioner::matching::ipm_matching_threads;
 use dlb_partitioner::par::dist::dist_multilevel_stats;
 use dlb_partitioner::par::driver::par_multilevel;
 use dlb_partitioner::refine::PartitionState;
-use dlb_partitioner::{partition_hypergraph, Config, Determinism, FixedAssignment};
+use dlb_partitioner::{
+    partition_hypergraph, refine_partition_fixed, targets_for, Config, Determinism,
+    FixedAssignment,
+};
 use dlb_workloads::{Dataset, DatasetKind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -619,6 +622,114 @@ fn main() {
         ela_records.len()
     );
 
+    // --- Multi-constraint loads (DESIGN.md §16): arity-1 must be free
+    // (bit-identical partition, wall within noise of the default scalar
+    // path), and a 2-constraint run must reach feasibility on every
+    // constraint. Cage gets a synthetic degree-proportional second
+    // constraint; the AMR lowering supplies the real flops-vs-bytes
+    // divergence, where an aux-skewed warm start provably forces the
+    // greedy repair pass to engage. ---
+    eprintln!("multi-constraint loads ...");
+    let mc_cfg = {
+        let mut c = Config::seeded(seed);
+        c.threads = 1;
+        c
+    };
+    let arity1_default_ms = time_ms(repeats, || {
+        let r = partition_hypergraph(&h, k, &mc_cfg);
+        assert!(r.cut >= 0.0);
+    });
+    let h_arity1 = {
+        let mut h1 = h.clone();
+        h1.set_loads(VertexLoads::from_scalar(h.loads().scalar().to_vec()));
+        h1
+    };
+    let mut arity1_part = Vec::new();
+    let arity1_typed_ms = time_ms(repeats, || {
+        arity1_part = partition_hypergraph(&h_arity1, k, &mc_cfg).part;
+    });
+    assert_eq!(arity1_part, parts[0], "typed arity-1 loads changed the partition");
+
+    let h_cage2 = {
+        let mut h2 = h.clone();
+        let flops = h.loads().scalar().to_vec();
+        let bytes: Vec<f64> = (0..n).map(|v| 1.0 + h.vertex_degree(v) as f64).collect();
+        h2.set_loads(VertexLoads::from_columns(vec![flops, bytes]));
+        h2
+    };
+    let cage2_cfg = {
+        let mut c = Config::builder().seed(seed).epsilons(&[0.05, 0.10]).build().unwrap();
+        c.threads = 1;
+        c
+    };
+    let mut cage2_part = Vec::new();
+    let mut cage2_cut = 0.0;
+    let cage_arity2_ms = time_ms(repeats, || {
+        let r = partition_hypergraph(&h_cage2, k, &cage2_cfg);
+        cage2_cut = r.cut;
+        cage2_part = r.part;
+    });
+    let cage2_imb = metrics::imbalance_per_constraint(&h_cage2, &cage2_part, k);
+
+    let amr_mc_cfg = AmrConfig { multi_constraint: true, ..AmrConfig::default() };
+    let amr_h = AmrStream::new(amr_mc_cfg, k, seed).initial_lowering().hypergraph;
+    assert_eq!(amr_h.load_arity(), 2, "multi-constraint lowering must carry 2 columns");
+    let amr_n = amr_h.num_vertices();
+    let amr2_cfg = {
+        let mut c = Config::builder().seed(seed).epsilons(&[0.05, 0.10]).build().unwrap();
+        c.threads = 1;
+        c
+    };
+    let mut amr2_part = Vec::new();
+    let mut amr2_cut = 0.0;
+    let amr_arity2_ms = time_ms(repeats, || {
+        let r = partition_hypergraph(&amr_h, k, &amr2_cfg);
+        amr2_cut = r.cut;
+        amr2_part = r.part;
+    });
+    let amr2_imb = metrics::imbalance_per_constraint(&amr_h, &amr2_part, k);
+    let amr_targets = targets_for(&amr_h, k, &amr2_cfg);
+    let amr_feasible = amr_targets.feasible(
+        &metrics::part_weights(&amr_h, &amr2_part, k),
+        &metrics::aux_part_loads(&amr_h, &amr2_part, k),
+    );
+    let amr_scalar_cut = {
+        let mut h1 = amr_h.clone();
+        h1.set_loads(VertexLoads::from_scalar(amr_h.loads().constraint(0).to_vec()));
+        partition_hypergraph(&h1, k, &mc_cfg).cut
+    };
+    // Warm-start from a seed that piles half the cells onto part 0:
+    // the byte constraint (uniform per cell) is violated at entry, so
+    // the refiner must invoke the repair pass to recover feasibility.
+    let mc_session = dlb_trace::session();
+    let warm = {
+        let mut c = amr2_cfg.clone();
+        c.warm_start = true;
+        let seed_part: Vec<usize> =
+            (0..amr_n).map(|v| if v < amr_n / 2 { 0 } else { v * k / amr_n }).collect();
+        refine_partition_fixed(&amr_h, k, &FixedAssignment::free(amr_n), &seed_part, &c)
+    };
+    let mc_report = mc_session.finish();
+    let repair_invocations = mc_report.counter(dlb_trace::Counter::RepairInvocations);
+    let repair_moves = mc_report.counter(dlb_trace::Counter::RepairMovesApplied);
+    let warm_feasible = amr_targets.feasible(
+        &metrics::part_weights(&amr_h, &warm.part, k),
+        &metrics::aux_part_loads(&amr_h, &warm.part, k),
+    );
+    eprintln!(
+        "  cage arity-1 {arity1_default_ms:.2} ms (typed {arity1_typed_ms:.2} ms, identical), \
+         arity-2 {cage_arity2_ms:.2} ms, cut {cut:.0} -> {cage2_cut:.0}, \
+         imbalance [{:.4}, {:.4}]",
+        cage2_imb[0], cage2_imb[1]
+    );
+    eprintln!(
+        "  amr ({amr_n} cells) arity-2 {amr_arity2_ms:.2} ms, cut {amr_scalar_cut:.0} -> \
+         {amr2_cut:.0}, imbalance [{:.4}, {:.4}], feasible {amr_feasible}; \
+         warm repair: {repair_invocations} invocation(s), {repair_moves} move(s), \
+         feasible {warm_feasible}",
+        amr2_imb[0], amr2_imb[1]
+    );
+
     // --- Phase attribution: one traced full partition, leaf coverage
     // of the span tree, and the cost of tracing itself (session active
     // vs. the no-session fast path, which must stay within noise). ---
@@ -740,6 +851,22 @@ fn main() {
     );
     let _ = writeln!(
         json,
+        "  \"multiconstraint\": {{\
+         \"cage\": {{\"arity1_default_ms\": {arity1_default_ms:.4}, \
+         \"arity1_typed_ms\": {arity1_typed_ms:.4}, \"arity1_identical\": true, \
+         \"arity2_ms\": {cage_arity2_ms:.4}, \"cut_arity1\": {cut:.4}, \
+         \"cut_arity2\": {cage2_cut:.4}, \
+         \"imbalance_per_constraint\": [{:.6}, {:.6}]}}, \
+         \"amr\": {{\"vertices\": {amr_n}, \"arity2_ms\": {amr_arity2_ms:.4}, \
+         \"cut_scalar\": {amr_scalar_cut:.4}, \"cut_arity2\": {amr2_cut:.4}, \
+         \"imbalance_per_constraint\": [{:.6}, {:.6}], \"feasible\": {amr_feasible}, \
+         \"warm_repair_invocations\": {repair_invocations}, \
+         \"warm_repair_moves_applied\": {repair_moves}, \
+         \"warm_feasible\": {warm_feasible}}}}},",
+        cage2_imb[0], cage2_imb[1], amr2_imb[0], amr2_imb[1]
+    );
+    let _ = writeln!(
+        json,
         "  \"trace\": {{\"compiled_in\": {}, \"untraced_ms\": {untraced_ms:.4}, \
          \"traced_ms\": {traced_ms:.4}, \"overhead\": {trace_overhead:.4}, \
          \"leaf_coverage\": {leaf_coverage:.4}, \"spans\": {}}},",
@@ -761,4 +888,20 @@ fn main() {
         "per-rank owned pin storage should strictly decrease with rank count: {:?}",
         dist_runs.iter().map(|r| (r.ranks, r.max_rank_owned_pins)).collect::<Vec<_>>()
     );
+    assert!(amr_feasible, "2-constraint AMR partition violates a constraint: {amr2_imb:?}");
+    assert!(
+        arity1_typed_ms <= arity1_default_ms * 1.5 + 5.0,
+        "typed arity-1 loads cost more than noise over the scalar path: \
+         {arity1_typed_ms:.2} ms vs {arity1_default_ms:.2} ms"
+    );
+    assert!(
+        warm_feasible,
+        "warm-started 2-constraint refinement left a constraint violated"
+    );
+    if dlb_trace::COMPILED_IN {
+        assert!(
+            repair_invocations >= 1,
+            "aux-skewed warm start never engaged the repair pass"
+        );
+    }
 }

@@ -118,6 +118,20 @@ impl RepartConfig {
         self.graph.epsilon = epsilon;
         self
     }
+
+    /// Per-constraint tolerances for multi-constraint epochs:
+    /// `epsilons[0]` is the primary ε (applied to every engine like
+    /// [`RepartConfig::with_epsilon`]); the rest become the hypergraph
+    /// engine's auxiliary tolerances
+    /// ([`dlb_partitioner::Config::aux_epsilons`]). The graph baselines
+    /// stay scalar — they only ever see constraint 0.
+    pub fn with_epsilons(mut self, epsilons: &[f64]) -> Self {
+        if let Some((&first, rest)) = epsilons.split_first() {
+            self = self.with_epsilon(first);
+            self.hypergraph.aux_epsilons = rest.to_vec();
+        }
+        self
+    }
 }
 
 /// The outcome of one repartitioning call.

@@ -321,7 +321,7 @@ mod tests {
         }
         let mut h = Hypergraph::from_nets(8, &nets, vec![4.0; 8]);
         h.set_vertex_sizes(vec![4.0; 8]);
-        h.set_vertex_weights(vec![2.0; 8]);
+        h.set_loads(dlb_hypergraph::VertexLoads::from_scalar(vec![2.0; 8]));
         let old = vec![0, 0, 1, 1, 0, 0, 1, 1]; // left/right halves
         let new = vec![0, 0, 0, 1, 0, 0, 1, 1]; // vertex 2 moves home
         (h, old, new)

@@ -73,6 +73,22 @@ impl RepartitionHypergraph {
             b.set_vertex_weight(n + i, 0.0);
             b.set_vertex_size(n + i, 0.0);
         }
+        // Multi-constraint epochs: the computation vertices keep their
+        // full load vectors; partition vertices are zero on every
+        // constraint. Never reached at arity 1 (the scalar weights set
+        // above already are the loads).
+        let arity = h.load_arity();
+        if arity > 1 {
+            let columns: Vec<Vec<f64>> = (0..arity)
+                .map(|c| {
+                    let mut col = Vec::with_capacity(n + k);
+                    col.extend((0..n).map(|v| h.vertex_load(v, c)));
+                    col.resize(n + k, 0.0);
+                    col
+                })
+                .collect();
+            b.set_loads(dlb_hypergraph::VertexLoads::from_columns(columns));
+        }
         // Communication nets, scaled by α.
         for j in 0..h.num_nets() {
             b.add_net(h.net_cost(j) * alpha, h.net(j).iter().copied());

@@ -84,7 +84,7 @@ impl DistHypergraph {
                 cost.push(h.net_cost(j));
             }
         }
-        let owned_wgt = h.vertex_weights()[my_range.clone()].to_vec();
+        let owned_wgt = h.loads().scalar()[my_range.clone()].to_vec();
         Self::assemble(rank, vdist, h.num_nets(), net_ids, xpins, pins, cost, owned_wgt)
     }
 
@@ -583,7 +583,7 @@ mod tests {
                     assert_eq!(g.net(j), h.net(j), "size={size} net={j}");
                     assert_eq!(g.net_cost(j), h.net_cost(j));
                 }
-                assert_eq!(g.vertex_weights(), h.vertex_weights());
+                assert_eq!(g.loads().scalar(), h.loads().scalar());
             }
         }
     }

@@ -78,7 +78,7 @@ pub fn clique_expansion(h: &Hypergraph) -> CsrGraph {
         }
     }
     let mut g = CsrGraph::from_edges(n, &edges);
-    g.set_vertex_weights(h.vertex_weights().to_vec());
+    g.set_vertex_weights(h.loads().scalar().to_vec());
     g.set_vertex_sizes(h.vertex_sizes().to_vec());
     g
 }

@@ -7,14 +7,18 @@
 //! * **vertex → nets** (the *pin transpose*): `xnets`/`vnets` arrays, so
 //!   the nets incident to vertex `v` are `vnets[xnets[v]..xnets[v+1]]`.
 //!
-//! Each vertex carries a *weight* `w_i` (computational load used by the
-//! balance constraint, Eq. (1) of the paper) and a *size* (the amount of
-//! data that must move if the vertex migrates — the cost of its migration
-//! net in the repartitioning model of Section 3). Each net carries a
-//! *cost* `c_j` (communication data volume, the coefficient in the k-1
-//! cut, Eq. (2)).
+//! Each vertex carries a [`VertexLoads`] resource vector whose primary
+//! (constraint-0) entry is the *weight* `w_i` (computational load used by
+//! the balance constraint, Eq. (1) of the paper; further constraints are
+//! additional balanced resources such as memory bytes) and a *size* (the
+//! amount of data that must move if the vertex migrates — the cost of its
+//! migration net in the repartitioning model of Section 3). Each net
+//! carries a *cost* `c_j` (communication data volume, the coefficient in
+//! the k-1 cut, Eq. (2)).
 
 use std::fmt;
+
+use crate::loads::VertexLoads;
 
 /// A hypergraph with vertex weights, vertex sizes, and net costs.
 ///
@@ -29,7 +33,7 @@ pub struct Hypergraph {
     pins: Vec<usize>,
     xnets: Vec<usize>,
     vnets: Vec<usize>,
-    vwgt: Vec<f64>,
+    loads: VertexLoads,
     vsize: Vec<f64>,
     ncost: Vec<f64>,
 }
@@ -99,10 +103,24 @@ impl Hypergraph {
         self.xnets[v + 1] - self.xnets[v]
     }
 
-    /// Computational weight of vertex `v` (balance constraint).
+    /// Computational weight of vertex `v` — the primary (constraint-0)
+    /// load of the balance constraint.
     #[inline]
     pub fn vertex_weight(&self, v: usize) -> f64 {
-        self.vwgt[v]
+        self.loads.scalar()[v]
+    }
+
+    /// Load of vertex `v` under balance constraint `c`.
+    #[inline]
+    pub fn vertex_load(&self, v: usize, c: usize) -> f64 {
+        self.loads.get(v, c)
+    }
+
+    /// Number of balance constraints every vertex carries (1 = the
+    /// classic scalar-weight pipeline).
+    #[inline]
+    pub fn load_arity(&self) -> usize {
+        self.loads.arity()
     }
 
     /// Migration data size of vertex `v` (cost of its migration net).
@@ -117,10 +135,10 @@ impl Hypergraph {
         self.ncost[j]
     }
 
-    /// All vertex weights.
+    /// The typed per-vertex load vectors.
     #[inline]
-    pub fn vertex_weights(&self) -> &[f64] {
-        &self.vwgt
+    pub fn loads(&self) -> &VertexLoads {
+        &self.loads
     }
 
     /// All vertex sizes.
@@ -135,9 +153,14 @@ impl Hypergraph {
         &self.ncost
     }
 
-    /// Sum of all vertex weights.
+    /// Sum of all vertex weights (primary loads).
     pub fn total_vertex_weight(&self) -> f64 {
-        self.vwgt.iter().sum()
+        self.loads.scalar().iter().sum()
+    }
+
+    /// Sum of constraint `c` over all vertices.
+    pub fn total_load(&self, c: usize) -> f64 {
+        self.loads.total(c)
     }
 
     /// Sum of all vertex sizes.
@@ -145,10 +168,15 @@ impl Hypergraph {
         self.vsize.iter().sum()
     }
 
-    /// Sets the weight of vertex `v`.
+    /// Sets the weight (primary load) of vertex `v`.
     pub fn set_vertex_weight(&mut self, v: usize, w: f64) {
         assert!(w >= 0.0, "vertex weight must be non-negative");
-        self.vwgt[v] = w;
+        self.loads.set(v, 0, w);
+    }
+
+    /// Sets constraint `c` of vertex `v`.
+    pub fn set_vertex_load(&mut self, v: usize, c: usize, w: f64) {
+        self.loads.set(v, c, w);
     }
 
     /// Sets the migration size of vertex `v`.
@@ -163,10 +191,13 @@ impl Hypergraph {
         self.ncost[j] = c;
     }
 
-    /// Replaces all vertex weights.
-    pub fn set_vertex_weights(&mut self, w: Vec<f64>) {
-        assert_eq!(w.len(), self.num_vertices);
-        self.vwgt = w;
+    /// Replaces the per-vertex load vectors (any arity).
+    ///
+    /// # Panics
+    /// Panics if `loads` does not cover exactly `num_vertices` vertices.
+    pub fn set_loads(&mut self, loads: VertexLoads) {
+        assert_eq!(loads.len(), self.num_vertices, "one load vector per vertex");
+        self.loads = loads;
     }
 
     /// Replaces all vertex sizes.
@@ -196,9 +227,10 @@ impl Hypergraph {
         if self.xnets.len() != self.num_vertices + 1 {
             return Err("xnets length must be num_vertices + 1".into());
         }
-        if self.vwgt.len() != self.num_vertices || self.vsize.len() != self.num_vertices {
-            return Err("weight/size arrays must have num_vertices entries".into());
+        if self.loads.len() != self.num_vertices || self.vsize.len() != self.num_vertices {
+            return Err("load/size arrays must have num_vertices entries".into());
         }
+        self.loads.validate()?;
         if self.pins.len() != self.vnets.len() {
             return Err("pin count must equal transpose pin count".into());
         }
@@ -236,8 +268,8 @@ impl Hypergraph {
                 }
             }
         }
-        if self.vwgt.iter().chain(&self.vsize).chain(&self.ncost).any(|&x| x < 0.0 || !x.is_finite()) {
-            return Err("weights, sizes and costs must be finite and non-negative".into());
+        if self.vsize.iter().chain(&self.ncost).any(|&x| x < 0.0 || !x.is_finite()) {
+            return Err("sizes and costs must be finite and non-negative".into());
         }
         Ok(())
     }
@@ -290,7 +322,7 @@ pub struct HypergraphBuilder {
     xpins: Vec<usize>,
     pins: Vec<usize>,
     ncost: Vec<f64>,
-    vwgt: Vec<f64>,
+    loads: VertexLoads,
     vsize: Vec<f64>,
     seen: Vec<u64>,
     stamp: u64,
@@ -305,7 +337,7 @@ impl HypergraphBuilder {
             xpins: vec![0],
             pins: Vec::new(),
             ncost: Vec::new(),
-            vwgt: vec![1.0; num_vertices],
+            loads: VertexLoads::ones(num_vertices),
             vsize: vec![1.0; num_vertices],
             seen: vec![0; num_vertices],
             stamp: 0,
@@ -332,10 +364,20 @@ impl HypergraphBuilder {
         self.ncost.len() - 1
     }
 
-    /// Sets the computational weight of a vertex (default `1.0`).
+    /// Sets the computational weight (primary load) of a vertex
+    /// (default `1.0`).
     pub fn set_vertex_weight(&mut self, v: usize, w: f64) {
         assert!(w >= 0.0);
-        self.vwgt[v] = w;
+        self.loads.set(v, 0, w);
+    }
+
+    /// Replaces the per-vertex load vectors (any arity).
+    ///
+    /// # Panics
+    /// Panics if `loads` does not cover exactly `num_vertices` vertices.
+    pub fn set_loads(&mut self, loads: VertexLoads) {
+        assert_eq!(loads.len(), self.num_vertices, "one load vector per vertex");
+        self.loads = loads;
     }
 
     /// Sets the migration size of a vertex (default `1.0`).
@@ -356,7 +398,7 @@ impl HypergraphBuilder {
             xpins,
             pins,
             ncost,
-            vwgt,
+            loads,
             vsize,
             ..
         } = self;
@@ -384,7 +426,7 @@ impl HypergraphBuilder {
             pins,
             xnets,
             vnets,
-            vwgt,
+            loads,
             vsize,
             ncost,
         }
@@ -473,6 +515,38 @@ mod tests {
     fn out_of_range_pin_panics() {
         let mut b = HypergraphBuilder::new(2);
         b.add_net(1.0, [0, 5]);
+    }
+
+    #[test]
+    fn multi_constraint_loads_roundtrip() {
+        let mut h = sample();
+        assert_eq!(h.load_arity(), 1);
+        let loads = VertexLoads::from_columns(vec![
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],
+            vec![40.0; 5],
+        ]);
+        h.set_loads(loads);
+        assert_eq!(h.load_arity(), 2);
+        assert_eq!(h.vertex_weight(2), 3.0, "constraint 0 is the scalar weight");
+        assert_eq!(h.vertex_load(2, 1), 40.0);
+        assert_eq!(h.total_vertex_weight(), 15.0);
+        assert_eq!(h.total_load(1), 200.0);
+        h.set_vertex_weight(2, 9.0);
+        assert_eq!(h.loads().get(2, 0), 9.0);
+        h.set_vertex_load(0, 1, 80.0);
+        assert_eq!(h.loads().constraint(1), &[80.0, 40.0, 40.0, 40.0, 40.0]);
+        h.validate().unwrap();
+    }
+
+    #[test]
+    fn builder_accepts_multi_constraint_loads() {
+        let mut b = HypergraphBuilder::new(3);
+        b.add_net(1.0, [0, 1, 2]);
+        b.set_loads(VertexLoads::from_columns(vec![vec![1.0, 1.0, 2.0], vec![8.0, 0.0, 4.0]]));
+        let h = b.build();
+        assert_eq!(h.load_arity(), 2);
+        assert_eq!(h.vertex_load(0, 1), 8.0);
+        h.validate().unwrap();
     }
 
     #[test]

@@ -4,10 +4,17 @@
 //! *"Hypergraph-based Dynamic Load Balancing for Adaptive Scientific
 //! Computations"*. It provides:
 //!
-//! * [`Hypergraph`] — a compressed (CSR-like) hypergraph with vertex
-//!   weights (computational load), vertex sizes (migration data size) and
-//!   net costs (communication data size), plus the pin transpose needed by
-//!   partitioners.
+//! * [`Hypergraph`] — a compressed (CSR-like) hypergraph carrying three
+//!   distinct per-element quantities: typed per-vertex *loads*
+//!   ([`VertexLoads`], a fixed-arity resource vector whose primary
+//!   constraint is the computational weight and whose further constraints
+//!   are additional balanced resources such as memory bytes), per-vertex
+//!   *sizes* (migration data volume, the cost of a vertex's migration
+//!   net), and per-net *costs* (communication data volume, the k-1 cut
+//!   coefficient) — plus the pin transpose needed by partitioners. A
+//!   k-way partition is *feasible* only when **every** load constraint is
+//!   within its imbalance tolerance ([`balance::PartTargets`]); arity 1
+//!   reduces bitwise to the classic scalar-weight pipeline.
 //! * [`CsrGraph`] — a symmetric weighted graph in compressed sparse row
 //!   form, used by the ParMETIS-like baseline partitioner.
 //! * [`metrics`] — partition-quality metrics: the connectivity-1 (*k-1*)
@@ -38,13 +45,15 @@ pub mod convert;
 pub mod graph;
 pub mod hypergraph;
 pub mod io;
+pub mod loads;
 pub mod metrics;
 pub mod parallel;
 pub mod subset;
 
-pub use balance::PartTargets;
+pub use balance::{AuxTargets, PartTargets};
 pub use graph::{CsrGraph, DegreeStats, GraphBuilder};
 pub use hypergraph::{Hypergraph, HypergraphBuilder};
+pub use loads::VertexLoads;
 
 /// A partition identifier. Parts are dense indices `0..k`.
 pub type PartId = usize;

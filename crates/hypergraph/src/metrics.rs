@@ -24,6 +24,46 @@ pub fn part_weights(h: &Hypergraph, part: &[PartId], k: usize) -> Vec<f64> {
     w
 }
 
+/// Per-constraint per-part loads under `part`: row `c` is the total of
+/// load constraint `c` in every part. Row `0` is bit-identical to
+/// [`part_weights`] (the primary constraint *is* the scalar weight, and
+/// both accumulate in vertex order).
+///
+/// # Panics
+/// Panics if an assignment is `>= k` or `part` has the wrong length.
+pub fn part_loads(h: &Hypergraph, part: &[PartId], k: usize) -> Vec<Vec<f64>> {
+    assert_eq!(part.len(), h.num_vertices());
+    let arity = h.load_arity();
+    let mut w = vec![vec![0.0; k]; arity];
+    for c in 0..arity {
+        let col = h.loads().constraint(c);
+        let row = &mut w[c];
+        for (v, &p) in part.iter().enumerate() {
+            assert!(p < k, "vertex {v} assigned to out-of-range part {p}");
+            row[p] += col[v];
+        }
+    }
+    w
+}
+
+/// Per-part loads of the *auxiliary* constraints only (`1..arity`), in
+/// the layout [`crate::balance::PartTargets::feasible`] expects. Empty at
+/// arity 1.
+pub fn aux_part_loads(h: &Hypergraph, part: &[PartId], k: usize) -> Vec<Vec<f64>> {
+    let mut rows = part_loads(h, part, k);
+    rows.remove(0);
+    rows
+}
+
+/// Per-constraint imbalance: `imbalance_of_weights` of every row of
+/// [`part_loads`]. Entry `0` equals [`imbalance`].
+pub fn imbalance_per_constraint(h: &Hypergraph, part: &[PartId], k: usize) -> Vec<f64> {
+    part_loads(h, part, k)
+        .iter()
+        .map(|row| imbalance_of_weights(row))
+        .collect()
+}
+
 /// Per-part total vertex weight for a graph.
 pub fn graph_part_weights(g: &CsrGraph, part: &[PartId], k: usize) -> Vec<f64> {
     assert_eq!(part.len(), g.num_vertices());
@@ -286,6 +326,33 @@ mod tests {
         assert_eq!(w, vec![4.0, 2.0]);
         // max 4 / avg 3
         assert!((imbalance(&h, &part, 2) - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn part_loads_per_constraint() {
+        use crate::VertexLoads;
+        let mut h = Hypergraph::from_nets_unit(4, &[vec![0, 1, 2, 3]]);
+        h.set_loads(VertexLoads::from_columns(vec![
+            vec![3.0, 1.0, 1.0, 1.0],  // primary
+            vec![8.0, 2.0, 4.0, 16.0], // bytes
+        ]));
+        let part = vec![0, 0, 1, 1];
+        let loads = part_loads(&h, &part, 2);
+        assert_eq!(loads[0], part_weights(&h, &part, 2));
+        assert_eq!(loads[0], vec![4.0, 2.0]);
+        assert_eq!(loads[1], vec![10.0, 20.0]);
+        assert_eq!(aux_part_loads(&h, &part, 2), vec![vec![10.0, 20.0]]);
+        let imb = imbalance_per_constraint(&h, &part, 2);
+        assert_eq!(imb[0], imbalance(&h, &part, 2));
+        assert!((imb[1] - 20.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aux_part_loads_empty_at_arity_one() {
+        let h = Hypergraph::from_nets_unit(3, &[vec![0, 1, 2]]);
+        let part = vec![0, 1, 0];
+        assert!(aux_part_loads(&h, &part, 2).is_empty());
+        assert_eq!(imbalance_per_constraint(&h, &part, 2).len(), 1);
     }
 
     #[test]

@@ -81,6 +81,15 @@ pub fn induced_subhypergraph(h: &Hypergraph, keep: &[bool]) -> InducedHypergraph
         b.set_vertex_weight(new_v, h.vertex_weight(old_v));
         b.set_vertex_size(new_v, h.vertex_size(old_v));
     }
+    // Auxiliary load columns restrict alongside the vertices (never
+    // reached at arity 1, where the scalar copy above is complete).
+    let arity = h.load_arity();
+    if arity > 1 {
+        let columns: Vec<Vec<f64>> = (0..arity)
+            .map(|c| to_base.iter().map(|&old_v| h.vertex_load(old_v, c)).collect())
+            .collect();
+        b.set_loads(crate::VertexLoads::from_columns(columns));
+    }
     let mut pins: Vec<usize> = Vec::new();
     for j in 0..h.num_nets() {
         pins.clear();

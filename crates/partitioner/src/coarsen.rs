@@ -83,6 +83,23 @@ pub fn contract_threads(
         b.set_vertex_weight(c, w);
         b.set_vertex_size(c, s);
     }
+    // Auxiliary load constraints sum per coarse vertex in the same fine
+    // order as the primary column. The scalar pipeline (arity 1) never
+    // enters this block, so its coarse weights stay bit-identical.
+    let arity = h.load_arity();
+    if arity > 1 {
+        let mut columns = Vec::with_capacity(arity);
+        columns.push(cw.clone());
+        for c in 1..arity {
+            let col = h.loads().constraint(c);
+            let mut cc = vec![0.0f64; nc];
+            for v in 0..n {
+                cc[fine_to_coarse[v]] += col[v];
+            }
+            columns.push(cc);
+        }
+        b.set_loads(dlb_hypergraph::VertexLoads::from_columns(columns));
+    }
     let mut dedup: HashMap<Box<[usize]>, usize> = HashMap::new();
     let mut collapsed_costs: Vec<f64> = Vec::new();
     let mut collapsed_pins: Vec<Box<[usize]>> = Vec::new();

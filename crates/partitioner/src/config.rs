@@ -154,8 +154,21 @@ impl Default for DistConfig {
 #[derive(Clone, Debug)]
 pub struct Config {
     /// Allowed imbalance ε of Eq. (1): every part must satisfy
-    /// `W_p ≤ (1+ε) W_avg`.
+    /// `W_p ≤ (1+ε) W_avg`. With multi-constraint loads this is the
+    /// primary (constraint-0) tolerance.
     pub epsilon: f64,
+    /// Tolerances for the auxiliary load constraints `1..arity`
+    /// (`aux_epsilons[c-1]` for constraint `c`). Empty in the scalar
+    /// pipeline. Constraints beyond this list fall back to `epsilon`.
+    pub aux_epsilons: Vec<f64>,
+    /// Per-part capacity vectors for heterogeneous ranks:
+    /// `part_capacities[p][c]` is part `p`'s capacity share of
+    /// constraint `c`. Targets become proportional to the capacity
+    /// column instead of uniform. `None` (the default) keeps uniform
+    /// targets. Honored by the serial recursive-bisection and
+    /// direct-k-way drivers; the SPMD drivers support auxiliary
+    /// epsilons but not per-part capacities.
+    pub part_capacities: Option<Vec<Vec<f64>>>,
     /// RNG seed; equal seeds give identical partitions.
     pub seed: u64,
     /// K-way scheme.
@@ -202,6 +215,8 @@ impl Default for Config {
     fn default() -> Self {
         Config {
             epsilon: 0.05,
+            aux_epsilons: Vec::new(),
+            part_capacities: None,
             seed: 0,
             scheme: Scheme::default(),
             coarsening: CoarseningConfig::default(),
@@ -221,6 +236,22 @@ impl Config {
     /// The default configuration with a specific seed.
     pub fn seeded(seed: u64) -> Self {
         Config { seed, ..Config::default() }
+    }
+
+    /// Number of balance constraints this configuration specifies
+    /// tolerances for (1 + auxiliary epsilons).
+    pub fn arity(&self) -> usize {
+        1 + self.aux_epsilons.len()
+    }
+
+    /// The tolerance of constraint `c` (0 = primary). Constraints with
+    /// no explicit auxiliary epsilon inherit the primary `epsilon`.
+    pub fn epsilon_for(&self, c: usize) -> f64 {
+        if c == 0 {
+            self.epsilon
+        } else {
+            self.aux_epsilons.get(c - 1).copied().unwrap_or(self.epsilon)
+        }
     }
 
     /// A validating builder over the default configuration. Prefer this
@@ -256,6 +287,26 @@ pub enum ConfigError {
     /// `fast_cut_factor < 1` or non-finite: the Fast-mode quality bound
     /// is relative to Strict, so a factor below 1 is unsatisfiable.
     InvalidFastCutFactor(f64),
+    /// Constraint-arity mismatch: capacity rows disagree in length, or
+    /// the capacity row count does not match the part count `k`.
+    ArityMismatch {
+        /// The arity (or part count) the rest of the configuration
+        /// implies.
+        expected: usize,
+        /// The conflicting count actually supplied.
+        got: usize,
+    },
+    /// A per-part capacity entry is zero, negative, or non-finite — no
+    /// load could ever be placed under it.
+    NonPositiveCapacity(f64),
+    /// The number of epsilons (1 primary + auxiliaries) differs from the
+    /// constraint arity implied by the capacity vectors.
+    EpsilonCountMismatch {
+        /// Epsilons supplied (primary + auxiliary).
+        epsilons: usize,
+        /// Constraint arity of the capacity vectors.
+        arity: usize,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -273,6 +324,19 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroVcycles => write!(f, "num_vcycles must be at least 1"),
             ConfigError::InvalidFastCutFactor(x) => {
                 write!(f, "fast-cut-factor must be finite and at least 1, got {x}")
+            }
+            ConfigError::ArityMismatch { expected, got } => {
+                write!(f, "constraint arity mismatch: expected {expected}, got {got}")
+            }
+            ConfigError::NonPositiveCapacity(c) => {
+                write!(f, "part capacities must be positive and finite, got {c}")
+            }
+            ConfigError::EpsilonCountMismatch { epsilons, arity } => {
+                write!(
+                    f,
+                    "epsilon count ({epsilons}) must equal the constraint arity ({arity}) \
+                     of the part capacities"
+                )
             }
         }
     }
@@ -312,6 +376,24 @@ impl ConfigBuilder {
     /// Allowed imbalance ε.
     pub fn epsilon(mut self, epsilon: f64) -> Self {
         self.cfg.epsilon = epsilon;
+        self
+    }
+
+    /// Per-constraint imbalance tolerances: `epsilons[0]` is the primary
+    /// ε, the rest become [`Config::aux_epsilons`]. An empty slice
+    /// leaves the configuration unchanged.
+    pub fn epsilons(mut self, epsilons: &[f64]) -> Self {
+        if let Some((&first, rest)) = epsilons.split_first() {
+            self.cfg.epsilon = first;
+            self.cfg.aux_epsilons = rest.to_vec();
+        }
+        self
+    }
+
+    /// Per-part capacity vectors (`capacities[p][c]`) for heterogeneous
+    /// ranks ([`Config::part_capacities`]).
+    pub fn part_capacities(mut self, capacities: Vec<Vec<f64>>) -> Self {
+        self.cfg.part_capacities = Some(capacities);
         self
     }
 
@@ -405,11 +487,86 @@ impl ConfigBuilder {
         if !(self.cfg.fast_cut_factor.is_finite() && self.cfg.fast_cut_factor >= 1.0) {
             return Err(ConfigError::InvalidFastCutFactor(self.cfg.fast_cut_factor));
         }
+        for &e in &self.cfg.aux_epsilons {
+            if !(e.is_finite() && e > 0.0) {
+                return Err(ConfigError::InvalidEpsilon(e));
+            }
+        }
+        if let Some(caps) = &self.cfg.part_capacities {
+            if caps.is_empty() {
+                return Err(ConfigError::ArityMismatch { expected: self.k.unwrap_or(2), got: 0 });
+            }
+            let arity = caps[0].len();
+            if arity == 0 {
+                return Err(ConfigError::ArityMismatch { expected: 1, got: 0 });
+            }
+            for row in caps {
+                if row.len() != arity {
+                    return Err(ConfigError::ArityMismatch { expected: arity, got: row.len() });
+                }
+                for &c in row {
+                    if !(c.is_finite() && c > 0.0) {
+                        return Err(ConfigError::NonPositiveCapacity(c));
+                    }
+                }
+            }
+            if let Some(k) = self.k {
+                if caps.len() != k {
+                    return Err(ConfigError::ArityMismatch { expected: k, got: caps.len() });
+                }
+            }
+            let epsilons = 1 + self.cfg.aux_epsilons.len();
+            if epsilons != arity {
+                return Err(ConfigError::EpsilonCountMismatch { epsilons, arity });
+            }
+        }
         Ok(self.cfg)
     }
 }
 
-pub use dlb_hypergraph::balance::PartTargets;
+pub use dlb_hypergraph::balance::{AuxTargets, PartTargets};
+
+/// Assembles the k-way balance targets `cfg` implies for `h`.
+///
+/// * Scalar hypergraph, no capacities: exactly
+///   `PartTargets::uniform(h.total_vertex_weight(), k, cfg.epsilon)` —
+///   the classic pipeline's targets, bit for bit.
+/// * Multi-constraint hypergraph: one [`AuxTargets`] per auxiliary load
+///   constraint of `h`, with tolerance [`Config::epsilon_for`].
+/// * With [`Config::part_capacities`]: targets become proportional to
+///   the capacity column of each constraint (`target_c[p] =
+///   total_c · caps[p][c] / Σ_q caps[q][c]`). A constraint beyond the
+///   capacity arity falls back to the primary capacity column.
+///
+/// # Panics
+/// Panics if capacities are present with a row count other than `k`
+/// (use [`Config::builder`] to surface this as a [`ConfigError`]).
+pub fn targets_for(h: &dlb_hypergraph::Hypergraph, k: usize, cfg: &Config) -> PartTargets {
+    let arity = h.load_arity();
+    let col = |caps: &[Vec<f64>], c: usize| -> Vec<f64> {
+        caps.iter().map(|row| row.get(c).copied().unwrap_or(row[0])).collect()
+    };
+    let mut targets = match &cfg.part_capacities {
+        None => PartTargets::uniform(h.total_vertex_weight(), k, cfg.epsilon),
+        Some(caps) => {
+            assert_eq!(caps.len(), k, "part_capacities must have one row per part");
+            PartTargets::proportional_f64(h.total_vertex_weight(), &col(caps, 0), cfg.epsilon)
+        }
+    };
+    if arity > 1 {
+        let aux = (1..arity)
+            .map(|c| {
+                let eps = cfg.epsilon_for(c);
+                match &cfg.part_capacities {
+                    None => AuxTargets::uniform(h.total_load(c), k, eps),
+                    Some(caps) => AuxTargets::proportional(h.total_load(c), &col(caps, c), eps),
+                }
+            })
+            .collect();
+        targets = targets.with_aux(aux);
+    }
+    targets
+}
 
 #[cfg(test)]
 mod tests {
@@ -491,6 +648,69 @@ mod tests {
             Config::builder().fast_cut_factor(f64::INFINITY).build().unwrap_err(),
             ConfigError::InvalidFastCutFactor(_)
         ));
+    }
+
+    #[test]
+    fn builder_accepts_multi_constraint_knobs() {
+        let c = Config::builder()
+            .k(2)
+            .epsilons(&[0.05, 0.10])
+            .part_capacities(vec![vec![2.0, 16.0], vec![1.0, 8.0]])
+            .build()
+            .unwrap();
+        assert_eq!(c.arity(), 2);
+        assert_eq!(c.epsilon, 0.05);
+        assert_eq!(c.aux_epsilons, vec![0.10]);
+        assert_eq!(c.epsilon_for(0), 0.05);
+        assert_eq!(c.epsilon_for(1), 0.10);
+        assert_eq!(c.epsilon_for(9), 0.05); // falls back to primary
+        assert_eq!(c.part_capacities.unwrap().len(), 2);
+    }
+
+    #[test]
+    fn builder_rejects_multi_constraint_mismatches() {
+        // Ragged capacity rows.
+        assert_eq!(
+            Config::builder()
+                .epsilons(&[0.05, 0.05])
+                .part_capacities(vec![vec![1.0, 1.0], vec![1.0]])
+                .build()
+                .unwrap_err(),
+            ConfigError::ArityMismatch { expected: 2, got: 1 }
+        );
+        // Row count must match k.
+        assert_eq!(
+            Config::builder()
+                .k(3)
+                .part_capacities(vec![vec![1.0], vec![1.0]])
+                .build()
+                .unwrap_err(),
+            ConfigError::ArityMismatch { expected: 3, got: 2 }
+        );
+        // Non-positive capacity.
+        assert_eq!(
+            Config::builder()
+                .k(2)
+                .part_capacities(vec![vec![1.0], vec![0.0]])
+                .build()
+                .unwrap_err(),
+            ConfigError::NonPositiveCapacity(0.0)
+        );
+        // Epsilon count must equal capacity arity.
+        assert_eq!(
+            Config::builder()
+                .k(2)
+                .epsilons(&[0.05])
+                .part_capacities(vec![vec![1.0, 2.0], vec![1.0, 2.0]])
+                .build()
+                .unwrap_err(),
+            ConfigError::EpsilonCountMismatch { epsilons: 1, arity: 2 }
+        );
+        // Bad auxiliary epsilon.
+        assert_eq!(
+            Config::builder().epsilons(&[0.05, -0.1]).build().unwrap_err(),
+            ConfigError::InvalidEpsilon(-0.1)
+        );
     }
 
     #[test]

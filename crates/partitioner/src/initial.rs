@@ -26,6 +26,57 @@ use crate::fixed::FixedAssignment;
 
 const UNASSIGNED: usize = usize::MAX;
 
+/// Auxiliary part-load tracker for the construction heuristics. For
+/// scalar targets it holds no storage and every method is a no-op, so
+/// the arity-1 pipeline performs no additional float operations.
+struct AuxTracker {
+    /// `weights[(c-1)*k + p]`; empty for scalar targets.
+    weights: Vec<f64>,
+    k: usize,
+}
+
+impl AuxTracker {
+    /// Tracker seeded from the already-assigned entries of `part`.
+    fn new(h: &Hypergraph, targets: &PartTargets, part: &[PartId]) -> Self {
+        let k = targets.k();
+        let mut weights = Vec::new();
+        if !targets.aux.is_empty() {
+            weights = vec![0.0f64; targets.aux.len() * k];
+            for c in 1..=targets.aux.len() {
+                let col = h.loads().constraint(c);
+                let row = &mut weights[(c - 1) * k..c * k];
+                for (v, &p) in part.iter().enumerate() {
+                    if p != UNASSIGNED {
+                        row[p] += col[v];
+                    }
+                }
+            }
+        }
+        AuxTracker { weights, k }
+    }
+
+    /// Records the assignment of `v` to `p`.
+    #[inline]
+    fn add(&mut self, h: &Hypergraph, v: usize, p: PartId) {
+        if !self.weights.is_empty() {
+            for c in 1..=self.weights.len() / self.k {
+                self.weights[(c - 1) * self.k + p] += h.vertex_load(v, c);
+            }
+        }
+    }
+
+    /// True when assigning `v` to `p` keeps every auxiliary cap.
+    #[inline]
+    fn fits(&self, h: &Hypergraph, targets: &PartTargets, v: usize, p: PartId) -> bool {
+        for (i, a) in targets.aux.iter().enumerate() {
+            if self.weights[i * self.k + p] + h.vertex_load(v, i + 1) > a.cap(p) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
 /// Nets larger than this are ignored when computing growing affinities.
 /// A hub net's per-pin contribution (`cost / (s - 1)`) is noise, but its
 /// first scan would flood the frontier heap with thousands of
@@ -79,6 +130,7 @@ fn greedy_growing(
         }
     }
 
+    let mut aux = AuxTracker::new(h, targets, &part);
     let mut affinity = vec![0.0f64; n];
     let mut unassigned_order: Vec<usize> = (0..n).filter(|&v| part[v] == UNASSIGNED).collect();
     unassigned_order.shuffle(rng);
@@ -165,17 +217,18 @@ fn greedy_growing(
             };
             part[v] = p;
             weights[p] += h.vertex_weight(v);
+            aux.add(h, v, p);
             bump_neighbors(v, &mut affinity, &mut heap, &part, &mut net_stamp);
         }
     }
 
-    // Remainder goes to the last part unless that would bust its cap and
-    // some lighter part can take it.
+    // Remainder goes to the last part unless that would bust its cap
+    // (on any constraint) and some lighter part can take it.
     for v in 0..n {
         if part[v] == UNASSIGNED {
             let w = h.vertex_weight(v);
             let last = k - 1;
-            let p = if weights[last] + w <= targets.cap(last) {
+            let p = if weights[last] + w <= targets.cap(last) && aux.fits(h, targets, v, last) {
                 last
             } else {
                 (0..k)
@@ -187,6 +240,7 @@ fn greedy_growing(
             };
             part[v] = p;
             weights[p] += w;
+            aux.add(h, v, p);
         }
     }
     part
@@ -220,6 +274,7 @@ fn fixed_affinity(
         }
     }
 
+    let mut aux = AuxTracker::new(h, targets, &part);
     // Affinity of every free vertex to every part with fixed pins.
     let mut affinity = vec![0.0f64; n * k];
     for j in 0..h.num_nets() {
@@ -254,7 +309,7 @@ fn fixed_affinity(
         let w = h.vertex_weight(v);
         let choice = if best > 0.0 {
             (0..k)
-                .filter(|&p| weights[p] + w <= targets.cap(p))
+                .filter(|&p| weights[p] + w <= targets.cap(p) && aux.fits(h, targets, v, p))
                 .max_by(|&a, &b| affinity[v * k + a].total_cmp(&affinity[v * k + b]))
         } else {
             None
@@ -263,6 +318,7 @@ fn fixed_affinity(
             Some(p) => {
                 part[v] = p;
                 weights[p] += w;
+                aux.add(h, v, p);
             }
             None => leftovers.push(v),
         }
@@ -276,6 +332,7 @@ fn fixed_affinity(
             .unwrap();
         part[v] = p;
         weights[p] += w;
+        aux.add(h, v, p);
     }
     let _ = rng;
     part
@@ -314,13 +371,20 @@ fn random_balanced(
 }
 
 /// Scores an assignment: k-1 cut plus a large penalty for exceeding the
-/// balance caps, so a balanced worse-cut solution beats an unbalanced
-/// better-cut one.
+/// balance caps — on any constraint — so a feasible worse-cut solution
+/// beats an infeasible better-cut one. The auxiliary term is gated, so
+/// scalar scores are bit-identical to the single-constraint formula.
 pub fn score(h: &Hypergraph, part: &[PartId], targets: &PartTargets) -> f64 {
     let k = targets.k();
     let cut = metrics::cutsize_connectivity(h, part, k);
     let weights = metrics::part_weights(h, part, k);
-    let violation = (targets.violation(&weights) - targets.epsilon).max(0.0);
+    let mut violation = (targets.violation(&weights) - targets.epsilon).max(0.0);
+    if !targets.aux.is_empty() {
+        let aux_loads = metrics::aux_part_loads(h, part, k);
+        for (a, row) in targets.aux.iter().zip(&aux_loads) {
+            violation += (a.violation(row) - a.epsilon).max(0.0);
+        }
+    }
     let total_cost: f64 = h.net_costs().iter().sum();
     cut + violation * (1.0 + total_cost)
 }

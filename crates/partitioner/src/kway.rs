@@ -191,7 +191,11 @@ pub(crate) fn iterate_vcycles(
             metrics::cutsize_par(h, &candidate, k, metric, threads)
         };
         let w = metrics::part_weights_par(h, &candidate, k, threads);
-        let feasible = (0..k).all(|p| w[p] <= targets.cap(p) + 1e-9);
+        let mut feasible = (0..k).all(|p| w[p] <= targets.cap(p) + 1e-9);
+        if feasible && !targets.aux.is_empty() {
+            let aux_loads = metrics::aux_part_loads(h, &candidate, k);
+            feasible = targets.feasible(&w, &aux_loads);
+        }
         let kept = cut < best_cut && feasible;
         span.attr("kept", kept);
         if kept {
@@ -211,7 +215,7 @@ pub fn partition_kway(
     cfg: &Config,
 ) -> Vec<PartId> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let targets = PartTargets::uniform(h.total_vertex_weight(), k, cfg.epsilon);
+    let targets = crate::config::targets_for(h, k, cfg);
     let threads = parallel::resolve_threads(cfg.threads);
     let mut scratch = RefineScratch::new();
     multilevel(h, &targets, fixed, cfg, &mut rng, threads, &mut scratch)

@@ -59,8 +59,8 @@ pub mod rb;
 pub mod refine;
 
 pub use config::{
-    CoarseningConfig, Config, ConfigBuilder, ConfigError, Determinism, DistConfig, InitialConfig,
-    RefinementConfig, Scheme,
+    targets_for, AuxTargets, CoarseningConfig, Config, ConfigBuilder, ConfigError, Determinism,
+    DistConfig, InitialConfig, PartTargets, RefinementConfig, Scheme,
 };
 pub use fixed::FixedAssignment;
 
@@ -132,11 +132,32 @@ pub fn partition_hypergraph_fixed(
     let part = {
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed ^ 0x5EED_C1C1E);
-        let targets =
-            config::PartTargets::uniform(h.total_vertex_weight(), k, cfg.epsilon);
+        let targets = config::targets_for(h, k, cfg);
         let threads = dlb_hypergraph::parallel::resolve_threads(cfg.threads);
         let mut scratch = refine::RefineScratch::new();
-        kway::iterate_vcycles(h, &targets, fixed, part, cfg, &mut rng, threads, &mut scratch)
+        let mut part =
+            kway::iterate_vcycles(h, &targets, fixed, part, cfg, &mut rng, threads, &mut scratch);
+        // Composed bisections meet each auxiliary constraint per side but
+        // can still overshoot a final part; one flat k-way pass lets the
+        // repair step fix that globally, with FM recovering the cut.
+        // Never reached at arity 1.
+        if !targets.aux.is_empty() {
+            let w = metrics::part_weights(h, &part, k);
+            let aux = metrics::aux_part_loads(h, &part, k);
+            if !targets.feasible(&w, &aux) {
+                refine::refine_threads(
+                    h,
+                    &targets,
+                    fixed,
+                    &mut part,
+                    &cfg.refinement,
+                    &mut rng,
+                    threads,
+                    &mut scratch,
+                );
+            }
+        }
+        part
     };
     debug_assert!(fixed.is_respected_by(&part));
     let result = {
@@ -201,7 +222,7 @@ pub fn refine_partition_fixed(
     // stream.
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed ^ 0x5EED_C1C1E);
-    let targets = config::PartTargets::uniform(h.total_vertex_weight(), k, cfg.epsilon);
+    let targets = config::targets_for(h, k, cfg);
     let threads = dlb_hypergraph::parallel::resolve_threads(cfg.threads);
     let mut scratch = refine::RefineScratch::new();
     // One flat FM pass first: restores balance (greedy rebalance runs

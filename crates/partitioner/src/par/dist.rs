@@ -88,8 +88,11 @@ impl DistStats {
 #[derive(Clone)]
 struct DistLevel {
     dh: DistHypergraph,
-    /// Replicated vertex weights (`vwgt[v]` for every global `v`).
+    /// Replicated primary vertex weights (`vwgt[v]` for every global `v`).
     vwgt: Vec<f64>,
+    /// Replicated auxiliary load columns (`aux[c-1][v]` is constraint `c`
+    /// of vertex `v`); empty in the scalar pipeline.
+    aux: Vec<Vec<f64>>,
     /// Replicated vertex sizes (data-migration volumes).
     vsize: Vec<f64>,
     /// Replicated fixed-vertex constraint.
@@ -100,7 +103,8 @@ impl DistLevel {
     fn from_replicated(h: &Hypergraph, fixed: &FixedAssignment, rank: usize, size: usize) -> Self {
         DistLevel {
             dh: DistHypergraph::from_replicated(h, rank, size),
-            vwgt: h.vertex_weights().to_vec(),
+            vwgt: h.loads().scalar().to_vec(),
+            aux: (1..h.load_arity()).map(|c| h.loads().constraint(c).to_vec()).collect(),
             vsize: h.vertex_sizes().to_vec(),
             fixed: fixed.clone(),
         }
@@ -110,6 +114,15 @@ impl DistLevel {
     fn gather(&self, comm: &mut Comm) -> (Hypergraph, FixedAssignment) {
         let mut gh = self.dh.gather_replicated(comm);
         gh.set_vertex_sizes(self.vsize.clone());
+        if !self.aux.is_empty() {
+            // The gathered replica only carries the scalar column; restore
+            // the full load vectors so the replicated coarse solve sees
+            // every constraint.
+            let mut columns = Vec::with_capacity(1 + self.aux.len());
+            columns.push(self.vwgt.clone());
+            columns.extend(self.aux.iter().cloned());
+            gh.set_loads(dlb_hypergraph::VertexLoads::from_columns(columns));
+        }
         (gh, self.fixed.clone())
     }
 }
@@ -353,6 +366,16 @@ fn dist_contract(comm: &mut Comm, d: &DistLevel, matching: &Matching) -> (DistLe
             cfixed_opts[c] = Some(p);
         }
     }
+    // Auxiliary constraints sum per coarse vertex in the same fine order
+    // (separate gated loop: the scalar pipeline adds no float ops).
+    let mut caux: Vec<Vec<f64>> = Vec::with_capacity(d.aux.len());
+    for col in &d.aux {
+        let mut cc = vec![0.0f64; nc];
+        for v in 0..n {
+            cc[fine_to_coarse[v]] += col[v];
+        }
+        caux.push(cc);
+    }
 
     // Owners submit remapped nets to their pin-set's shard rank.
     let nranks = comm.size();
@@ -439,6 +462,7 @@ fn dist_contract(comm: &mut Comm, d: &DistLevel, matching: &Matching) -> (DistLe
     let coarse = DistLevel {
         dh,
         vwgt: cw,
+        aux: caux,
         vsize: cs,
         fixed: FixedAssignment::from_options(&cfixed_opts),
     };
@@ -469,6 +493,10 @@ struct DistState<'a> {
     /// `sigma[lj*k + p]` = pins of local net `lj` in part `p`.
     sigma: Vec<u32>,
     weights: Vec<f64>,
+    /// Per-part auxiliary loads, `aux_weights[(c-1)*k + p]`; empty when
+    /// the level carries no auxiliary columns (mirror of
+    /// `PartitionState::aux_weights`).
+    aux_weights: Vec<f64>,
     part: Vec<PartId>,
 }
 
@@ -502,7 +530,18 @@ impl<'a> DistState<'a> {
                 weights[p] += local[p];
             }
         }
-        DistState { level, k, sigma, weights, part }
+        // Serial gated accumulation, like `PartitionState::new_threads`.
+        let mut aux_weights = Vec::new();
+        if !level.aux.is_empty() {
+            aux_weights = vec![0.0f64; level.aux.len() * k];
+            for (i, col) in level.aux.iter().enumerate() {
+                let row = &mut aux_weights[i * k..(i + 1) * k];
+                for (v, &p) in part.iter().enumerate() {
+                    row[p] += col[v];
+                }
+            }
+        }
+        DistState { level, k, sigma, weights, aux_weights, part }
     }
 
     #[inline]
@@ -525,7 +564,25 @@ impl<'a> DistState<'a> {
         let w = self.level.vwgt[v];
         self.weights[p] -= w;
         self.weights[q] += w;
+        if !self.aux_weights.is_empty() {
+            for (i, col) in self.level.aux.iter().enumerate() {
+                self.aux_weights[i * self.k + p] -= col[v];
+                self.aux_weights[i * self.k + q] += col[v];
+            }
+        }
         self.part[v] = q;
+    }
+
+    /// Mirror of `PartitionState::aux_fits`: true when moving `v` into
+    /// `q` respects every auxiliary cap (no-op for scalar targets).
+    #[inline]
+    fn aux_fits(&self, v: usize, q: PartId, targets: &PartTargets) -> bool {
+        for (i, a) in targets.aux.iter().enumerate() {
+            if self.aux_weights[i * self.k + q] + self.level.aux[i][v] > a.cap(q) {
+                return false;
+            }
+        }
+        true
     }
 
     /// Exact gain of moving owned vertex `v` to `q` (an owned vertex's
@@ -582,7 +639,7 @@ impl<'a> DistState<'a> {
         let w = self.level.vwgt[v];
         let mut best: Option<(PartId, f64)> = None;
         for &q in &scratch.cands {
-            if self.weights[q] + w > targets.cap(q) {
+            if self.weights[q] + w > targets.cap(q) || !self.aux_fits(v, q, targets) {
                 continue;
             }
             let gain = base - (total - scratch.present[q]);
@@ -758,7 +815,7 @@ fn dist_pass(
                     false
                 } else {
                     let w = state.level.vwgt[v];
-                    if state.weights[to] + w > targets.cap(to) {
+                    if state.weights[to] + w > targets.cap(to) || !state.aux_fits(v, to, targets) {
                         false
                     } else {
                         let gain = state.gain(v, to);
@@ -790,6 +847,11 @@ fn dist_pass(
 }
 
 /// Distributed refinement at one level — mirror of [`par_refine`].
+///
+/// Multi-constraint caps are enforced on every move via `aux_fits`, but
+/// the greedy repair pass has no distributed mirror: repair quality for
+/// multi-constraint runs flows through the gathered replicated coarse
+/// solve (which calls `refine_threads`) and the replicated levels.
 fn dist_refine(
     comm: &mut Comm,
     level: &DistLevel,

@@ -55,8 +55,11 @@ pub fn parallel_partition_fixed(
     assert_eq!(fixed.len(), h.num_vertices());
     let depth = (k.max(2) as f64).log2().ceil().max(1.0);
     let eps = (1.0 + cfg.epsilon).powf(1.0 / depth) - 1.0;
+    let aux_eps: Vec<f64> = (1..h.load_arity())
+        .map(|c| (1.0 + cfg.epsilon_for(c)).powf(1.0 / depth) - 1.0)
+        .collect();
     let mut salt = 0u64;
-    let part = recurse(comm, h, k, fixed, cfg, eps, &mut salt);
+    let part = recurse(comm, h, k, fixed, cfg, eps, &aux_eps, &mut salt);
     debug_assert!(fixed.is_respected_by(&part));
     PartitionResult::evaluate(h, part, k)
 }
@@ -71,6 +74,7 @@ pub fn parallel_partition(
     parallel_partition_fixed(comm, h, k, &FixedAssignment::free(h.num_vertices()), cfg)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn recurse(
     comm: &mut Comm,
     h: &Hypergraph,
@@ -78,6 +82,7 @@ fn recurse(
     fixed: &FixedAssignment,
     cfg: &Config,
     eps: f64,
+    aux_eps: &[f64],
     salt: &mut u64,
 ) -> Vec<PartId> {
     if k == 1 {
@@ -95,7 +100,23 @@ fn recurse(
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(*salt)));
 
     let side_fixed = fixed.bisection_sides(k0);
-    let targets = PartTargets::proportional(h.total_vertex_weight(), &[k0, k1], eps);
+    let mut targets = PartTargets::proportional(h.total_vertex_weight(), &[k0, k1], eps);
+    // Auxiliary constraints ride along with side targets proportional to
+    // the final part counts (the SPMD drivers support aux epsilons but
+    // not per-part capacities). Never reached at arity 1.
+    let arity = h.load_arity();
+    if arity > 1 {
+        let aux = (1..arity)
+            .map(|c| {
+                crate::config::AuxTargets::proportional(
+                    h.total_load(c),
+                    &[k0 as f64, k1 as f64],
+                    aux_eps.get(c - 1).copied().unwrap_or(eps),
+                )
+            })
+            .collect();
+        targets = targets.with_aux(aux);
+    }
     let sides = driver::multilevel(comm, h, &targets, &side_fixed, cfg, &mut rng);
 
     let keep0: Vec<bool> = sides.iter().map(|&s| s == 0).collect();
@@ -113,8 +134,8 @@ fn recurse(
             .collect::<Vec<_>>(),
     );
 
-    let part0 = recurse(comm, &side0.hypergraph, k0, &fixed0, cfg, eps, salt);
-    let part1 = recurse(comm, &side1.hypergraph, k1, &fixed1, cfg, eps, salt);
+    let part0 = recurse(comm, &side0.hypergraph, k0, &fixed0, cfg, eps, aux_eps, salt);
+    let part1 = recurse(comm, &side1.hypergraph, k1, &fixed1, cfg, eps, aux_eps, salt);
 
     let mut part = vec![0usize; h.num_vertices()];
     for (new_v, &old_v) in side0.to_base.iter().enumerate() {

@@ -83,7 +83,7 @@ fn par_pass(
                 continue;
             }
             let w = h.vertex_weight(v);
-            if state.weights[to] + w > targets.cap(to) {
+            if state.weights[to] + w > targets.cap(to) || !state.aux_fits(v, to, targets) {
                 continue;
             }
             let gain = state.gain(v, to);
@@ -122,6 +122,12 @@ pub fn par_refine(
     // cheap relative to FM).
     let mut scratch = MoveScratch::new(k);
     crate::refine::rebalance(&mut state, targets, fixed, &mut scratch);
+    // Auxiliary feasibility repair: deterministic given identical state,
+    // so ranks run it redundantly in lockstep like `rebalance`. Never
+    // reached at arity 1.
+    if !targets.aux.is_empty() && !state.feasible(targets) {
+        crate::refine::greedy_repair(&mut state, targets, fixed);
+    }
 
     for _ in 0..cfg.max_passes {
         let moved = par_pass(comm, &mut state, targets, fixed, h, rng);

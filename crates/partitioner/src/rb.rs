@@ -14,7 +14,7 @@ use dlb_hypergraph::{parallel, Hypergraph, PartId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::config::{Config, PartTargets};
+use crate::config::{AuxTargets, Config, PartTargets};
 use crate::fixed::FixedAssignment;
 use crate::kway::multilevel;
 use crate::refine::RefineScratch;
@@ -24,6 +24,22 @@ use crate::refine::RefineScratch;
 fn per_level_epsilon(epsilon: f64, k: usize) -> f64 {
     let depth = (k.max(2) as f64).log2().ceil().max(1.0);
     (1.0 + epsilon).powf(1.0 / depth) - 1.0
+}
+
+/// Side-target context threaded through the bisection recursion:
+/// per-level tolerances for every constraint, plus the per-part
+/// capacity rows when the machine is heterogeneous. The scalar
+/// no-capacity case carries an empty `aux_eps` and `caps: None`, and
+/// `recurse` then computes exactly the targets it always has.
+struct SideTargets<'a> {
+    /// Per-bisection primary tolerance.
+    eps: f64,
+    /// Per-bisection tolerance of auxiliary constraint `c` at index
+    /// `c - 1`; constraints beyond the list fall back to `eps`.
+    aux_eps: Vec<f64>,
+    /// Capacity rows (`caps[p][c]`) of the final parts this subtree
+    /// will produce; `None` = homogeneous parts.
+    caps: Option<&'a [Vec<f64>]>,
 }
 
 /// Partitions `h` into `k` parts by recursive bisection, honoring
@@ -41,6 +57,12 @@ pub fn partition_recursive(
 /// `shares[p] / Σ shares` of the total weight (e.g. processor speeds on
 /// a heterogeneous machine). Each bisection splits the share vector, so
 /// the side targets compose correctly at every level.
+///
+/// When [`Config::part_capacities`] is set, the capacity rows override
+/// `shares` for the target computation (column `c` drives constraint
+/// `c`); the share vector then only fixes the part count. Auxiliary
+/// load constraints of `h` get their own side targets with per-level
+/// tolerances derived from [`Config::epsilon_for`].
 pub fn partition_recursive_shares(
     h: &Hypergraph,
     shares: &[usize],
@@ -51,10 +73,20 @@ pub fn partition_recursive_shares(
     assert!(k > 0, "need at least one part");
     assert!(shares.iter().all(|&s| s > 0), "shares must be positive");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let eps = per_level_epsilon(cfg.epsilon, k);
     let threads = parallel::resolve_threads(cfg.threads);
     let mut scratch = RefineScratch::new();
-    recurse(h, shares, fixed, cfg, eps, &mut rng, threads, &mut scratch)
+    let caps = cfg.part_capacities.as_deref();
+    if let Some(c) = caps {
+        assert_eq!(c.len(), k, "part_capacities must have one row per part");
+    }
+    let side = SideTargets {
+        eps: per_level_epsilon(cfg.epsilon, k),
+        aux_eps: (1..h.load_arity())
+            .map(|c| per_level_epsilon(cfg.epsilon_for(c), k))
+            .collect(),
+        caps,
+    };
+    recurse(h, shares, fixed, cfg, &side, &mut rng, threads, &mut scratch)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -63,7 +95,7 @@ fn recurse(
     shares: &[usize],
     fixed: &FixedAssignment,
     cfg: &Config,
-    eps: f64,
+    side: &SideTargets<'_>,
     rng: &mut StdRng,
     threads: usize,
     scratch: &mut RefineScratch,
@@ -78,11 +110,39 @@ fn recurse(
 
     let k0 = k.div_ceil(2);
 
-    // Bisect with side targets proportional to the final part shares.
+    // Bisect with side targets proportional to the final part shares
+    // (or, on a heterogeneous machine, to the capacity column sums).
     let side_fixed = fixed.bisection_sides(k0);
     let share0: usize = shares[..k0].iter().sum();
     let share1: usize = shares[k0..].iter().sum();
-    let targets = PartTargets::proportional(h.total_vertex_weight(), &[share0, share1], eps);
+    let cap_sums = |caps: &[Vec<f64>], c: usize| -> [f64; 2] {
+        let sum = |rows: &[Vec<f64>]| -> f64 {
+            rows.iter().map(|row| row.get(c).copied().unwrap_or(row[0])).sum()
+        };
+        [sum(&caps[..k0]), sum(&caps[k0..])]
+    };
+    let mut targets = match side.caps {
+        None => PartTargets::proportional(h.total_vertex_weight(), &[share0, share1], side.eps),
+        Some(caps) => PartTargets::proportional_f64(
+            h.total_vertex_weight(),
+            &cap_sums(caps, 0),
+            side.eps,
+        ),
+    };
+    let arity = h.load_arity();
+    if arity > 1 {
+        let aux = (1..arity)
+            .map(|c| {
+                let eps = side.aux_eps.get(c - 1).copied().unwrap_or(side.eps);
+                let sides = match side.caps {
+                    None => [share0 as f64, share1 as f64],
+                    Some(caps) => cap_sums(caps, c),
+                };
+                AuxTargets::proportional(h.total_load(c), &sides, eps)
+            })
+            .collect();
+        targets = targets.with_aux(aux);
+    }
     let sides = multilevel(h, &targets, &side_fixed, cfg, rng, threads, scratch);
     debug_assert_eq!(sides.len(), h.num_vertices());
 
@@ -107,8 +167,17 @@ fn recurse(
             .collect::<Vec<_>>(),
     );
 
-    let part0 = recurse(&side0.hypergraph, &shares[..k0], &fixed0, cfg, eps, rng, threads, scratch);
-    let part1 = recurse(&side1.hypergraph, &shares[k0..], &fixed1, cfg, eps, rng, threads, scratch);
+    let sub = |lo: usize, hi: usize| SideTargets {
+        eps: side.eps,
+        aux_eps: side.aux_eps.clone(),
+        caps: side.caps.map(|c| &c[lo..hi]),
+    };
+    let side_a = sub(0, k0);
+    let side_b = sub(k0, k);
+    let part0 =
+        recurse(&side0.hypergraph, &shares[..k0], &fixed0, cfg, &side_a, rng, threads, scratch);
+    let part1 =
+        recurse(&side1.hypergraph, &shares[k0..], &fixed1, cfg, &side_b, rng, threads, scratch);
 
     let mut part = vec![0usize; h.num_vertices()];
     for (new_v, &old_v) in side0.to_base.iter().enumerate() {

@@ -12,6 +12,15 @@
 //! Gains use the k-1 metric directly: moving `v` from `p` to `q` changes
 //! the cut by `Σ_{n ∋ v} c_n·([σ(n,p)=1] − [σ(n,q)=0])`, where `σ(n,p)`
 //! is the number of `n`'s pins in part `p`.
+//!
+//! With multi-constraint loads every move is additionally capped on each
+//! auxiliary constraint, and a separate **greedy repair** pass
+//! ([`greedy_repair`]) recovers feasibility when FM stalls: it moves the
+//! highest-gain vertices out of the most-violated constraint's heaviest
+//! part, accepting only moves that strictly shrink the largest relative
+//! overshoot. At arity 1 neither the aux checks nor the repair pass
+//! execute a single floating-point operation, so scalar runs stay
+//! bitwise identical.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -47,6 +56,10 @@ pub struct PartitionState<'a> {
     sigma: Vec<u32>,
     /// Total vertex weight per part.
     pub weights: Vec<f64>,
+    /// Per-part totals of the auxiliary load constraints, flattened as
+    /// `aux_weights[(c-1)*k + p]`. Empty when the hypergraph is scalar
+    /// (arity 1), so the scalar pipeline never touches it.
+    pub aux_weights: Vec<f64>,
     /// Current assignment.
     pub part: Vec<PartId>,
 }
@@ -107,7 +120,22 @@ impl<'a> PartitionState<'a> {
                 weights[p] += local[p];
             }
         }
-        PartitionState { h, k, threads, sigma, weights, part }
+        // Auxiliary constraints are new behavior, so a serial (and hence
+        // thread-count-independent) accumulation suffices; arity 1 skips
+        // this entirely.
+        let arity = h.load_arity();
+        let mut aux_weights = Vec::new();
+        if arity > 1 {
+            aux_weights = vec![0.0f64; (arity - 1) * k];
+            for c in 1..arity {
+                let col = h.loads().constraint(c);
+                let row = &mut aux_weights[(c - 1) * k..c * k];
+                for (v, &p) in part.iter().enumerate() {
+                    row[p] += col[v];
+                }
+            }
+        }
+        PartitionState { h, k, threads, sigma, weights, aux_weights, part }
     }
 
     #[inline]
@@ -128,7 +156,51 @@ impl<'a> PartitionState<'a> {
         let w = self.h.vertex_weight(v);
         self.weights[p] -= w;
         self.weights[q] += w;
+        if !self.aux_weights.is_empty() {
+            for c in 1..self.h.load_arity() {
+                let l = self.h.vertex_load(v, c);
+                self.aux_weights[(c - 1) * self.k + p] -= l;
+                self.aux_weights[(c - 1) * self.k + q] += l;
+            }
+        }
         self.part[v] = q;
+    }
+
+    /// Per-part load of auxiliary constraint `c` (1-based, `c ∈ 1..arity`).
+    #[inline]
+    pub fn aux_weight(&self, c: usize, p: usize) -> f64 {
+        self.aux_weights[(c - 1) * self.k + p]
+    }
+
+    /// True when moving `v` into `q` respects every auxiliary cap. A
+    /// no-op (empty loop, no float ops) when `targets` is scalar.
+    #[inline]
+    pub fn aux_fits(&self, v: usize, q: PartId, targets: &PartTargets) -> bool {
+        for (i, a) in targets.aux.iter().enumerate() {
+            if self.aux_weights[i * self.k + q] + self.h.vertex_load(v, i + 1) > a.cap(q) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// True iff every part is within its cap on every constraint of
+    /// `targets` (with a tiny slack for float noise).
+    pub fn feasible(&self, targets: &PartTargets) -> bool {
+        let slack = 1e-9;
+        for p in 0..self.k {
+            if self.weights[p] > targets.cap(p) + slack {
+                return false;
+            }
+        }
+        for (i, a) in targets.aux.iter().enumerate() {
+            for p in 0..self.k {
+                if self.aux_weights[i * self.k + p] > a.cap(p) + slack {
+                    return false;
+                }
+            }
+        }
+        true
     }
 
     /// The gain (cut decrease) of moving `v` to `q` under the k-1 metric.
@@ -216,7 +288,7 @@ impl<'a> PartitionState<'a> {
         let w = self.h.vertex_weight(v);
         let mut best: Option<(PartId, f64)> = None;
         for &q in &scratch.cands {
-            if self.weights[q] + w > targets.cap(q) {
+            if self.weights[q] + w > targets.cap(q) || !self.aux_fits(v, q, targets) {
                 continue;
             }
             let gain = base - (total - scratch.present[q]);
@@ -262,7 +334,7 @@ impl<'a> PartitionState<'a> {
         let w = self.h.vertex_weight(v);
         let mut best: Option<(PartId, f64)> = None;
         for &q in &scratch.cands {
-            if self.weights[q] + w > targets.cap(q) {
+            if self.weights[q] + w > targets.cap(q) || !self.aux_fits(v, q, targets) {
                 continue;
             }
             let gain = self.gain_metric(v, q, metric);
@@ -533,6 +605,272 @@ pub(crate) fn rebalance(
     }
 }
 
+/// Greedy rebalancing repair for multi-constraint feasibility (Maas et
+/// al.): while any constraint of any part exceeds its cap, relocate one
+/// vertex that carries load on a violated constraint out of its part —
+/// choosing, over every such vertex and destination, the move that
+/// minimizes the resulting global maximum relative violation (cut gain
+/// breaks ties). When no single relocation helps, it falls back to
+/// *swapping* a vertex of a most-violated part against one elsewhere —
+/// the escape needed when the only parts with headroom on the violated
+/// constraint are saturated on another. Every step must strictly shrink
+/// the descending-sorted vector of all per-(constraint, part)
+/// violations in lexicographic order, so the pass terminates and never
+/// cycles. Returns the number of vertex moves applied (a swap counts
+/// two).
+///
+/// This runs only when auxiliary constraints are present and plain FM
+/// (whose moves all respect the caps) cannot restore feasibility; the
+/// scalar pipeline never reaches it.
+pub(crate) fn greedy_repair(
+    state: &mut PartitionState,
+    targets: &PartTargets,
+    fixed: &FixedAssignment,
+) -> usize {
+    dlb_trace::count(dlb_trace::Counter::RepairInvocations, 1);
+    let n = state.h.num_vertices();
+    let k = state.k;
+    let arity = targets.arity();
+    assert!(
+        arity <= state.h.load_arity(),
+        "balance targets reference more constraints than the hypergraph carries"
+    );
+    let cap = |c: usize, p: usize| -> f64 {
+        if c == 0 {
+            targets.cap(p)
+        } else {
+            targets.aux_cap(c, p)
+        }
+    };
+    let load_of = |state: &PartitionState, c: usize, p: usize| -> f64 {
+        if c == 0 {
+            state.weights[p]
+        } else {
+            state.aux_weight(c, p)
+        }
+    };
+    // Largest relative overshoot over all (constraint, part) pairs, with
+    // its argmax. Zero-capacity parts count as violated when loaded.
+    let max_violation = |state: &PartitionState| -> (f64, usize, usize) {
+        let mut best = (0.0, 0, 0);
+        for c in 0..arity {
+            for p in 0..k {
+                let cp = cap(c, p);
+                let w = load_of(state, c, p);
+                let over = if cp > 0.0 {
+                    w / cp - 1.0
+                } else if w > 0.0 {
+                    f64::INFINITY
+                } else {
+                    0.0
+                };
+                if over > best.0 {
+                    best = (over, c, p);
+                }
+            }
+        }
+        best
+    };
+    let over_of = |w: f64, cp: f64| -> f64 {
+        if cp > 0.0 {
+            w / cp - 1.0
+        } else if w > 0.0 {
+            f64::INFINITY
+        } else {
+            0.0
+        }
+    };
+    // Lexicographic progress test. The pass's well-founded measure is the
+    // descending-sorted vector of all `arity * k` relative violations; a
+    // step is kept only if it makes that vector strictly smaller, which
+    // both drives the maximum down *and* lets the pass chip away at
+    // secondary violations when the maximum is momentarily immovable
+    // (merging the identical untouched entries into two sorted sequences
+    // preserves their order, so the comparison reduces to the touched
+    // entries alone). Strictly decreasing measure: no cycles.
+    fn lex_improves(old_t: &mut [f64], new_t: &mut [f64]) -> bool {
+        old_t.sort_by(|x, y| y.partial_cmp(x).unwrap());
+        new_t.sort_by(|x, y| y.partial_cmp(x).unwrap());
+        for (o, nw) in old_t.iter().zip(new_t.iter()) {
+            if *nw < *o - 1e-12 {
+                return true;
+            }
+            if *nw > *o + 1e-12 {
+                return false;
+            }
+        }
+        false
+    }
+    let mut old_t = vec![0.0f64; 2 * arity];
+    let mut new_t = vec![0.0f64; 2 * arity];
+    let mut moves = 0usize;
+    let max_moves = 2 * n + 16;
+    while moves < max_moves {
+        let (viol, _, _) = max_violation(state);
+        if viol <= 1e-9 {
+            break; // feasible on every constraint
+        }
+        // Violation matrix and, per constraint, the top-three violations
+        // with their parts: a step only touches two parts, so the
+        // resulting global maximum is O(arity) to evaluate from these.
+        let over: Vec<Vec<f64>> = (0..arity)
+            .map(|c| (0..k).map(|p| over_of(load_of(state, c, p), cap(c, p))).collect())
+            .collect();
+        let mut top3 = vec![[(f64::NEG_INFINITY, usize::MAX); 3]; arity];
+        for (c, top) in top3.iter_mut().enumerate() {
+            for (p, &o) in over[c].iter().enumerate() {
+                if o > top[0].0 {
+                    top[2] = top[1];
+                    top[1] = top[0];
+                    top[0] = (o, p);
+                } else if o > top[1].0 {
+                    top[2] = top[1];
+                    top[1] = (o, p);
+                } else if o > top[2].0 {
+                    top[2] = (o, p);
+                }
+            }
+        }
+        let others_max = |c: usize, a: usize, q: usize| -> f64 {
+            for &(o, p) in &top3[c] {
+                if p != a && p != q {
+                    return o;
+                }
+            }
+            f64::NEG_INFINITY
+        };
+        // Anchor parts: every part violated on some constraint. A vertex
+        // is a relocation candidate if it carries load on one of its
+        // part's violated constraints.
+        let violated: Vec<Vec<usize>> = (0..k)
+            .map(|p| (0..arity).filter(|&c| over[c][p] > 1e-9).collect())
+            .collect();
+        // Over every movable vertex of a violated part and every
+        // destination, the relocation that minimizes the resulting
+        // global maximum violation, among those making lexicographic
+        // progress; among equals, the one whose touched parts end
+        // lowest, then the best cut gain.
+        let mut best: Option<(usize, PartId, f64, f64, f64)> = None;
+        for v in 0..n {
+            let a = state.part[v];
+            if violated[a].is_empty() || fixed.is_fixed(v) {
+                continue;
+            }
+            if !violated[a].iter().any(|&c| state.h.vertex_load(v, c) > 0.0) {
+                continue;
+            }
+            for q in 0..k {
+                if q == a {
+                    continue;
+                }
+                let mut after = 0.0f64;
+                let mut touched = f64::NEG_INFINITY;
+                for c in 0..arity {
+                    let lv = state.h.vertex_load(v, c);
+                    let from = over_of(load_of(state, c, a) - lv, cap(c, a));
+                    let to = over_of(load_of(state, c, q) + lv, cap(c, q));
+                    old_t[2 * c] = over[c][a];
+                    old_t[2 * c + 1] = over[c][q];
+                    new_t[2 * c] = from;
+                    new_t[2 * c + 1] = to;
+                    after = after.max(from).max(to).max(others_max(c, a, q));
+                    touched = touched.max(from).max(to);
+                }
+                if !lex_improves(&mut old_t, &mut new_t) {
+                    continue;
+                }
+                let g = state.gain(v, q);
+                let better = match best {
+                    None => true,
+                    Some((_, _, ba, bt, bg)) => {
+                        after < ba - 1e-12
+                            || (after < ba + 1e-12
+                                && (touched < bt - 1e-12
+                                    || (touched < bt + 1e-12 && g > bg + 1e-12)))
+                    }
+                };
+                if better {
+                    best = Some((v, q, after, touched, g));
+                }
+            }
+        }
+        if let Some((v, q, _, _, _)) = best {
+            state.apply(v, q);
+            moves += 1;
+            continue;
+        }
+        // No relocation makes progress — typically the remaining slack
+        // sits on parts that are themselves at a cap on another
+        // constraint (e.g. byte headroom only on flop-saturated parts).
+        // A *swap* trades a vertex of an overloaded part against one
+        // elsewhere, changing both parts' loads by the difference; swaps
+        // anchor at each constraint's most-violated part.
+        let mut anchors: Vec<usize> = (0..arity)
+            .filter(|&c| top3[c][0].0 > 1e-9)
+            .map(|c| top3[c][0].1)
+            .collect();
+        anchors.sort_unstable();
+        anchors.dedup();
+        let mut best_swap: Option<(usize, usize, f64, f64, f64)> = None;
+        for &a in &anchors {
+            for v in 0..n {
+                if state.part[v] != a || fixed.is_fixed(v) {
+                    continue;
+                }
+                if !violated[a].iter().any(|&c| state.h.vertex_load(v, c) > 0.0) {
+                    continue;
+                }
+                for u in 0..n {
+                    let q = state.part[u];
+                    if q == a || fixed.is_fixed(u) {
+                        continue;
+                    }
+                    let mut after = 0.0f64;
+                    let mut touched = f64::NEG_INFINITY;
+                    for c in 0..arity {
+                        let d = state.h.vertex_load(v, c) - state.h.vertex_load(u, c);
+                        let from = over_of(load_of(state, c, a) - d, cap(c, a));
+                        let to = over_of(load_of(state, c, q) + d, cap(c, q));
+                        old_t[2 * c] = over[c][a];
+                        old_t[2 * c + 1] = over[c][q];
+                        new_t[2 * c] = from;
+                        new_t[2 * c + 1] = to;
+                        after = after.max(from).max(to).max(others_max(c, a, q));
+                        touched = touched.max(from).max(to);
+                    }
+                    if !lex_improves(&mut old_t, &mut new_t) {
+                        continue;
+                    }
+                    let g = state.gain(v, q) + state.gain(u, a);
+                    let better = match best_swap {
+                        None => true,
+                        Some((_, _, ba, bt, bg)) => {
+                            after < ba - 1e-12
+                                || (after < ba + 1e-12
+                                    && (touched < bt - 1e-12
+                                        || (touched < bt + 1e-12 && g > bg + 1e-12)))
+                        }
+                    };
+                    if better {
+                        best_swap = Some((v, u, after, touched, g));
+                    }
+                }
+            }
+        }
+        let (v, u, _, _, _) = match best_swap {
+            Some(s) => s,
+            None => break, // no step makes progress — stop, stay deterministic
+        };
+        let a = state.part[v];
+        let q = state.part[u];
+        state.apply(v, q);
+        state.apply(u, a);
+        moves += 2;
+    }
+    dlb_trace::count(dlb_trace::Counter::RepairMovesApplied, moves as u64);
+    moves
+}
+
 /// One FM pass with rollback. Returns the cut improvement kept.
 fn fm_pass(
     state: &mut PartitionState,
@@ -686,10 +1024,22 @@ pub fn refine_threads(
     if k < 2 || h.num_vertices() == 0 {
         return 0.0;
     }
+    let multi = !targets.aux.is_empty();
+    if multi {
+        assert!(
+            targets.arity() <= h.load_arity(),
+            "balance targets reference more constraints than the hypergraph carries"
+        );
+    }
     let mut state = PartitionState::new_threads(h, k, std::mem::take(part), threads);
     scratch.mv.ensure(k);
 
     rebalance(&mut state, targets, fixed, &mut scratch.mv);
+    // Primary-only rebalancing cannot see auxiliary violations; repair
+    // them before FM so the pass starts from a feasible assignment.
+    if multi && !state.feasible(targets) {
+        greedy_repair(&mut state, targets, fixed);
+    }
 
     let mut total = 0.0;
     for _ in 0..cfg.max_passes {
@@ -698,6 +1048,12 @@ pub fn refine_threads(
         if improvement <= 1e-12 {
             break;
         }
+    }
+    // FM only makes cap-respecting moves, so it preserves feasibility —
+    // but if repair could not finish above, try once more now that FM
+    // has untangled the cut, and let one extra pass recover cut quality.
+    if multi && !state.feasible(targets) && greedy_repair(&mut state, targets, fixed) > 0 {
+        total += fm_pass(&mut state, targets, fixed, cfg, scratch, rng);
     }
     *part = state.part;
     total

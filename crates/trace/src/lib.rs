@@ -175,11 +175,16 @@ pub enum Counter {
     /// Resizes where the measured cost model picked the scratch-partition
     /// + remap candidate.
     ResizeChoseScratch,
+    /// Invocations of the multi-constraint greedy repair pass (serial
+    /// refiner; never incremented by scalar arity-1 runs).
+    RepairInvocations,
+    /// Vertex moves kept by the greedy repair pass.
+    RepairMovesApplied,
 }
 
 impl Counter {
     /// Every counter, in declaration (= export) order.
-    pub const ALL: [Counter; 28] = [
+    pub const ALL: [Counter; 30] = [
         Counter::CoarsenLevels,
         Counter::CoarsenMatchesAccepted,
         Counter::CoarsenMatchesRefusedFixed,
@@ -208,6 +213,8 @@ impl Counter {
         Counter::RanksDeparted,
         Counter::ResizeChoseRepart,
         Counter::ResizeChoseScratch,
+        Counter::RepairInvocations,
+        Counter::RepairMovesApplied,
     ];
 
     /// Stable snake_case name used in exports.
@@ -241,6 +248,8 @@ impl Counter {
             Counter::RanksDeparted => "ranks_departed",
             Counter::ResizeChoseRepart => "resize_chose_repart",
             Counter::ResizeChoseScratch => "resize_chose_scratch",
+            Counter::RepairInvocations => "repair_invocations",
+            Counter::RepairMovesApplied => "repair_moves_applied",
         }
     }
 }

@@ -15,7 +15,14 @@
 //!   --algorithm NAME  zoltan-repart | zoltan-scratch | parmetis-repart |
 //!                     parmetis-scratch (repartition/simulate; default
 //!                     zoltan-repart)
-//!   --epsilon E       allowed imbalance (default 0.05)
+//!   --epsilon E       allowed imbalance (default 0.05). Repeatable with
+//!                     --constraints: the c-th occurrence is constraint
+//!                     c's tolerance; constraints without their own flag
+//!                     inherit the first (primary) value
+//!   --constraints N   number of balance constraints (default 1).
+//!                     N=2 with --workload amr lowers two-constraint
+//!                     load vectors (flops and state bytes) so the
+//!                     partitioner balances both at once
 //!   --seed N          RNG seed (default 0)
 //!   --ranks N         run the SPMD parallel partitioner on N simulated
 //!                     ranks (default 1 = serial)
@@ -104,6 +111,7 @@ fn usage() -> ! {
          dlb simulate    -k K --workload amr|structure|weights [--epochs E] [--alpha A] \
          [--algorithm NAME] [--scale S] [--seed N] [--threads N] \
          [--determinism strict|fast] \
+         [--constraints N [--epsilon E]...] \
          [--ranks N [--distributed]] [--fault-plan SPEC] [--world-plan SPEC] \
          [--incremental [--drift-threshold T]] [--trace FILE]"
     );
@@ -122,7 +130,8 @@ struct Cli {
     k: usize,
     alpha: f64,
     algorithm: Algorithm,
-    epsilon: f64,
+    epsilons: Vec<f64>,
+    constraints: usize,
     seed: u64,
     ranks: usize,
     threads: usize,
@@ -155,7 +164,8 @@ fn parse_cli() -> Cli {
     let mut k = None;
     let mut alpha = 100.0;
     let mut algorithm = Algorithm::ZoltanRepart;
-    let mut epsilon = 0.05;
+    let mut epsilons: Vec<f64> = Vec::new();
+    let mut constraints = 1usize;
     let mut seed = 0u64;
     let mut ranks = 1usize;
     let mut threads = 0usize;
@@ -194,7 +204,11 @@ fn parse_cli() -> Cli {
                 i += 2;
             }
             "--epsilon" => {
-                epsilon = parse_value(&argv, i, "--epsilon");
+                epsilons.push(parse_value(&argv, i, "--epsilon"));
+                i += 2;
+            }
+            "--constraints" => {
+                constraints = parse_value(&argv, i, "--constraints");
                 i += 2;
             }
             "--seed" => {
@@ -291,7 +305,8 @@ fn parse_cli() -> Cli {
         k: k.unwrap_or_else(|| usage()),
         alpha,
         algorithm,
-        epsilon,
+        epsilons,
+        constraints,
         seed,
         ranks,
         threads,
@@ -310,6 +325,29 @@ fn parse_cli() -> Cli {
     }
 }
 
+/// Resolves `--constraints` and the repeatable `--epsilon` flags into
+/// one tolerance per constraint: occurrence `c` of `--epsilon` is
+/// constraint `c`'s tolerance, and constraints without their own flag
+/// inherit the primary (first) value. Rejects `--constraints 0` and
+/// more `--epsilon` flags than constraints with exit code 2.
+fn effective_epsilons(cli: &Cli) -> Vec<f64> {
+    if cli.constraints == 0 {
+        fail("--constraints must be at least 1");
+    }
+    if cli.epsilons.len() > cli.constraints {
+        fail(format!(
+            "{} --epsilon flags for {} constraint(s); pass --constraints {} or drop one",
+            cli.epsilons.len(),
+            cli.constraints,
+            cli.epsilons.len()
+        ));
+    }
+    let primary = cli.epsilons.first().copied().unwrap_or(0.05);
+    let mut eps = vec![primary; cli.constraints];
+    eps[..cli.epsilons.len()].copy_from_slice(&cli.epsilons);
+    eps
+}
+
 /// Validates the numeric knobs through the partitioner's checked builder
 /// and returns the assembled config. Rejects `k < 2`, `ranks == 0`, bad
 /// ε, etc. with exit code 2 *before* any driver runs (the drivers would
@@ -317,7 +355,7 @@ fn parse_cli() -> Cli {
 fn validated_hg_config(cli: &Cli) -> HgConfig {
     HgConfig::builder()
         .k(cli.k)
-        .epsilon(cli.epsilon)
+        .epsilons(&effective_epsilons(cli))
         .seed(cli.seed)
         .threads(cli.threads)
         .determinism(cli.determinism)
@@ -420,7 +458,8 @@ fn write_partition(out: &Option<String>, part: &[usize]) {
 fn make_sim_source(cli: &Cli) -> Box<dyn EpochSource> {
     match cli.workload.as_deref() {
         Some("amr") => {
-            let amr_cfg = AmrConfig::for_scale(cli.scale.unwrap_or(0.0) as u8);
+            let mut amr_cfg = AmrConfig::for_scale(cli.scale.unwrap_or(0.0) as u8);
+            amr_cfg.multi_constraint = cli.constraints == 2;
             if let Err(e) = amr_cfg.validate() {
                 eprintln!("bad AMR config: {e}");
                 exit(1);
@@ -519,10 +558,25 @@ fn run_simulate(cli: &Cli, hg_cfg: HgConfig) {
     if cli.incremental && (cli.ranks > 1 || cli.distributed) {
         fail("--incremental is serial-only; drop --ranks/--distributed");
     }
+    if cli.constraints > 1 {
+        match cli.workload.as_deref() {
+            Some("amr") if cli.constraints == 2 => {}
+            Some("amr") => fail(format!(
+                "--workload amr lowers exactly 2 constraints (flops, state bytes); \
+                 got --constraints {}",
+                cli.constraints
+            )),
+            _ => fail("--constraints > 1 requires --workload amr"),
+        }
+        if cli.incremental {
+            fail("--constraints > 1 is not supported with --incremental \
+                  (the delta patcher maintains scalar weights)");
+        }
+    }
     if cli.drift_threshold.is_some() && !cli.incremental {
         fail("--drift-threshold requires --incremental");
     }
-    let mut cfg = RepartConfig::seeded(cli.seed).with_epsilon(cli.epsilon);
+    let mut cfg = RepartConfig::seeded(cli.seed).with_epsilons(&effective_epsilons(cli));
     cfg.hypergraph.threads = hg_cfg.threads;
     cfg.hypergraph.determinism = hg_cfg.determinism;
     cfg.hypergraph.dist = hg_cfg.dist;
@@ -609,6 +663,9 @@ fn main() {
         run_simulate(&cli, hg_cfg);
         return;
     }
+    if cli.constraints > 1 {
+        fail("--constraints > 1 requires simulate --workload amr (file inputs are scalar)");
+    }
     let input = cli.input.clone().unwrap_or_else(|| usage());
     let (hypergraph, graph) = load(&input);
     eprintln!(
@@ -650,7 +707,7 @@ fn main() {
                 k: cli.k,
                 alpha: cli.alpha,
             };
-            let mut cfg = RepartConfig::seeded(cli.seed).with_epsilon(cli.epsilon);
+            let mut cfg = RepartConfig::seeded(cli.seed).with_epsilons(&effective_epsilons(&cli));
             cfg.hypergraph.threads = hg_cfg.threads;
             cfg.hypergraph.determinism = hg_cfg.determinism;
             cfg.hypergraph.dist = hg_cfg.dist;

@@ -161,6 +161,63 @@ fn rejects_invalid_ranks_and_threads_up_front() {
 }
 
 #[test]
+fn rejects_invalid_multi_constraint_flags_up_front() {
+    assert_rejected(
+        &["simulate", "-k", "2", "--workload", "amr", "--constraints", "0"],
+        "--constraints must be at least 1",
+    );
+    // More --epsilon flags than declared constraints.
+    assert_rejected(
+        &[
+            "simulate", "-k", "2", "--workload", "amr", "--constraints", "2", "--epsilon",
+            "0.05", "--epsilon", "0.1", "--epsilon", "0.2",
+        ],
+        "--epsilon flags for",
+    );
+    // Multi-constraint runs need the AMR workload's two-constraint lowering.
+    assert_rejected(
+        &["simulate", "-k", "2", "--workload", "structure", "--constraints", "2"],
+        "requires --workload amr",
+    );
+    assert_rejected(
+        &["simulate", "-k", "2", "--workload", "amr", "--constraints", "3"],
+        "exactly 2 constraints",
+    );
+    // File inputs carry scalar weights only.
+    assert_rejected(
+        &["partition", "-k", "2", "--constraints", "2", "x.mtx"],
+        "file inputs are scalar",
+    );
+}
+
+#[test]
+fn simulate_two_constraint_amr_runs() {
+    let output = dlb()
+        .args([
+            "simulate",
+            "-k",
+            "4",
+            "--workload",
+            "amr",
+            "--epochs",
+            "2",
+            "--alpha",
+            "10",
+            "--constraints",
+            "2",
+            "--epsilon",
+            "0.05",
+            "--epsilon",
+            "0.10",
+        ])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("makespan"), "stdout: {stdout}");
+}
+
+#[test]
 fn trace_flag_writes_chrome_json() {
     let dir = tmpdir("trace");
     let input = write_toy_mtx(&dir);
