@@ -7,8 +7,12 @@
 //! workload (cage14), verifies that every thread count produces the
 //! bit-identical partition, then runs the distributed V-cycle at
 //! several simulated rank counts, verifying bit-identity against the
-//! replicated driver and recording per-rank peak pin storage (which
-//! must strictly shrink as ranks grow) plus communication volumes.
+//! replicated driver and recording per-rank pin storage and **total
+//! resident bytes** (owner-computes nets + per-vertex arrays + halos;
+//! both must strictly shrink as ranks grow, on any input) plus
+//! communication volumes. A memory-budget section partitions an
+//! instance sized above a configured single-rank replicated budget at
+//! 16/64 simulated ranks, each rank staying below the budget.
 //! A final section times the AMR workload pipeline — quadtree
 //! adaptation + lowering per epoch, and the measured-makespan execution
 //! model on top of repartitioning — and the incremental repartitioning
@@ -26,13 +30,16 @@
 //! instead: Fast at 2–8 threads must stay within 10% of Fast at 1.
 //!
 //! Usage: `perf [--scale S] [--seed N] [--k K] [--repeats R]
-//! [--rmat-scale S] [--rmat-only] [--gate BASELINE.json]`
-//! (defaults: scale 0.02, rmat-scale 20, seed 42, k 8, repeats 3;
-//! wall-clock per phase is the minimum over repeats). `--rmat-only`
-//! runs just the RMAT section and writes `BENCH_rmat.json`; `--gate`
-//! compares the Fast full-partition wall against a checked-in baseline
-//! (normalized by a scalar calibration loop to absorb host-speed
-//! differences) and exits nonzero on a >15% regression.
+//! [--rmat-scale S] [--rmat-only] [--dist-memory]
+//! [--dist-memory-scale S] [--gate BASELINE.json]`
+//! (defaults: scale 0.02, rmat-scale 20, dist-memory-scale 0.003,
+//! seed 42, k 8, repeats 3; wall-clock per phase is the minimum over
+//! repeats). `--rmat-only` runs just the RMAT section and writes
+//! `BENCH_rmat.json`; `--dist-memory` runs just the memory-budget
+//! section and writes `BENCH_dist_memory.json`; `--gate` compares the
+//! Fast full-partition wall against a checked-in baseline (normalized
+//! by a scalar calibration loop to absorb host-speed differences) and
+//! exits nonzero on a >15% regression.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -302,17 +309,116 @@ fn run_gate(path: &str, rmat: &RmatOut) {
     eprintln!("gate: ok");
 }
 
+/// Single-rank replicated memory budget for the `dist_memory` section:
+/// the generated instance's residency under replication must exceed
+/// this, and every rank of the 16- and 64-rank distributed runs must
+/// stay below it.
+const DIST_MEMORY_BUDGET_BYTES: usize = 8 << 20;
+/// Rank counts exercised by the `dist_memory` section.
+const DIST_MEMORY_RANKS: [usize; 2] = [16, 64];
+
+struct DistMemorySection {
+    json: String,
+    ok: bool,
+}
+
+/// Partitions a random-net cage-style instance sized *above* the
+/// single-rank replicated budget at 16 and 64 simulated ranks, and
+/// checks every rank's total residency (pins + metadata + per-vertex
+/// arrays) stays *below* it — the capability the replicated driver
+/// cannot offer at any rank count, since it keeps the whole instance
+/// everywhere.
+fn run_dist_memory_section(scale: f64, seed: u64, k: usize) -> DistMemorySection {
+    let kind = DatasetKind::Cage14;
+    eprintln!("dist-memory: generating {} at scale {scale} ...", kind.name());
+    let dataset = Dataset::generate(kind, scale, seed);
+    let h: Hypergraph = column_net_model_unit(&dataset.graph);
+    eprintln!(
+        "dist-memory: {} vertices, {} nets, {} pins",
+        h.num_vertices(),
+        h.num_nets(),
+        h.num_pins()
+    );
+    let fixed = FixedAssignment::free(h.num_vertices());
+    let targets = PartTargets::uniform(h.total_vertex_weight(), k, 0.05);
+    let mut cfg = Config::seeded(seed);
+    cfg.threads = 1;
+    cfg.dist.distributed = true;
+    // A small gather point keeps the redundant per-rank coarse solve
+    // cheap — at 64 simulated ranks on an oversubscribed host those
+    // solves serialize, and they are the section's wall-clock floor.
+    cfg.dist.gather_threshold = 256;
+
+    let run_at = |ranks: usize| -> (usize, bool) {
+        let results = run_spmd(ranks, |comm| {
+            // The serialized coarse solves also mean a rank can sit in
+            // the winner allreduce for minutes while peers compute;
+            // widen the deadlock guard so it cannot misfire here.
+            comm.set_recv_timeout(std::time::Duration::from_secs(600));
+            let mut rng = StdRng::seed_from_u64(seed);
+            dist_multilevel_stats(comm, &h, &targets, &fixed, &cfg, &mut rng)
+        });
+        let agree = results.iter().all(|(p, _)| *p == results[0].0);
+        let distributed = results.iter().all(|(_, s)| s.dist_levels > 0);
+        let max_bytes = results.iter().map(|(_, s)| s.total_resident_bytes).max().unwrap();
+        (max_bytes, agree && distributed)
+    };
+
+    // At one rank, owner-computes storage *is* the whole instance: its
+    // residency is what every rank of a replicated run would hold.
+    let (replicated_bytes, _) = run_at(1);
+    let over_budget = replicated_bytes > DIST_MEMORY_BUDGET_BYTES;
+    eprintln!(
+        "dist-memory: replicated residency {replicated_bytes} B, budget \
+         {DIST_MEMORY_BUDGET_BYTES} B (instance over budget: {over_budget})"
+    );
+    let mut ok = over_budget;
+    let mut per_rank: Vec<(usize, usize)> = Vec::new();
+    for &ranks in &DIST_MEMORY_RANKS {
+        eprintln!("dist-memory: distributed V-cycle on {ranks} simulated rank(s) ...");
+        let (max_bytes, healthy) = run_at(ranks);
+        let fits = max_bytes <= DIST_MEMORY_BUDGET_BYTES;
+        eprintln!("  max per-rank resident {max_bytes} B (fits budget: {fits})");
+        ok &= healthy && fits;
+        per_rank.push((ranks, max_bytes));
+    }
+    // More ranks, strictly less per-rank residency.
+    ok &= per_rank.windows(2).all(|w| w[1].1 < w[0].1);
+
+    let mut json = String::from("{");
+    let _ = write!(
+        json,
+        "\"budget_bytes\": {DIST_MEMORY_BUDGET_BYTES}, \
+         \"replicated_bytes\": {replicated_bytes}, \
+         \"replicated_over_budget\": {over_budget}, \"runs\": ["
+    );
+    for (i, (ranks, bytes)) in per_rank.iter().enumerate() {
+        let _ = write!(
+            json,
+            "{{\"ranks\": {ranks}, \"max_rank_resident_bytes\": {bytes}}}{}",
+            if i + 1 < per_rank.len() { ", " } else { "" }
+        );
+    }
+    let _ = write!(json, "], \"ok\": {ok}}}");
+    DistMemorySection { json, ok }
+}
+
 /// One distributed V-cycle measurement at a fixed simulated rank count.
 struct DistRun {
     ranks: usize,
     /// Max over ranks of the per-rank pin storage for the cycle,
-    /// including ghost copies of remote pins.
+    /// including stub copies of this rank's own pins under remote nets.
     max_rank_pins: usize,
     /// Max over ranks of the canonical (owned-net) pin storage — the
     /// share that scales as `|pins|/p` regardless of net locality.
     max_rank_owned_pins: usize,
     /// Max over ranks of the largest per-level ghost count.
     max_rank_ghosts: usize,
+    /// Max over ranks of the rank's **total** residency for the cycle:
+    /// pins, per-net metadata, and every per-vertex array (weights,
+    /// sizes, fixed flags, partition slice, projection maps, ghost
+    /// caches). The end-to-end memory figure the harness gates on.
+    max_rank_resident_bytes: usize,
     /// Messages sent, summed over all ranks.
     messages_sent: u64,
     /// Payload bytes sent, summed over all ranks.
@@ -329,11 +435,25 @@ fn main() {
     let repeats = parse_flag(&args, "--repeats").unwrap_or(3.0) as usize;
     let rmat_scale = parse_flag(&args, "--rmat-scale").unwrap_or(20.0) as u32;
     let rmat_only = args.iter().any(|a| a == "--rmat-only");
+    let dist_memory_only = args.iter().any(|a| a == "--dist-memory");
+    let dist_memory_scale = parse_flag(&args, "--dist-memory-scale").unwrap_or(0.003);
     let gate_path = args
         .iter()
         .position(|a| a == "--gate")
         .and_then(|i| args.get(i + 1))
         .cloned();
+
+    if dist_memory_only {
+        let section = run_dist_memory_section(dist_memory_scale, seed, k);
+        let mut json = String::from("{\n");
+        let _ = writeln!(json, "  \"bench\": \"partitioner_dist_memory\",");
+        let _ = writeln!(json, "  \"dist_memory\": {}", section.json);
+        json.push_str("}\n");
+        std::fs::write("BENCH_dist_memory.json", &json).expect("write BENCH_dist_memory.json");
+        print!("{json}");
+        assert!(section.ok, "dist-memory budget section failed (see stderr)");
+        return;
+    }
 
     let rmat = run_rmat_section(rmat_scale, seed, k, repeats);
     if let Some(path) = &gate_path {
@@ -430,6 +550,7 @@ fn main() {
             max_rank_pins: 0,
             max_rank_owned_pins: 0,
             max_rank_ghosts: 0,
+            max_rank_resident_bytes: 0,
             messages_sent: 0,
             bytes_sent: 0,
             identical: true,
@@ -439,14 +560,18 @@ fn main() {
             run.max_rank_pins = run.max_rank_pins.max(stats.total_local_pins);
             run.max_rank_owned_pins = run.max_rank_owned_pins.max(stats.total_owned_pins);
             run.max_rank_ghosts = run.max_rank_ghosts.max(stats.peak_ghosts);
+            run.max_rank_resident_bytes =
+                run.max_rank_resident_bytes.max(stats.total_resident_bytes);
             run.messages_sent += comm_stats.messages_sent;
             run.bytes_sent += comm_stats.bytes_sent;
         }
         eprintln!(
-            "  max per-rank pins {} (owned {}), ghosts {}, msgs {}, bytes {}, identical {}",
+            "  max per-rank pins {} (owned {}), ghosts {}, resident {} B, msgs {}, bytes {}, \
+             identical {}",
             run.max_rank_pins,
             run.max_rank_owned_pins,
             run.max_rank_ghosts,
+            run.max_rank_resident_bytes,
             run.messages_sent,
             run.bytes_sent,
             run.identical
@@ -454,13 +579,23 @@ fn main() {
         dist_runs.push(run);
     }
     let dist_identical = dist_runs.iter().all(|r| r.identical);
-    // The canonical per-rank share must shrink with rank count; the
-    // ghost-inclusive figure additionally shrinks on localized inputs
-    // (meshes), but cage14's generator uses uniformly random net
-    // membership, which no 1D distribution localizes.
+    // Under owner-computes storage every per-rank figure shrinks with
+    // the rank count on *any* input, localized or not: a net's full pin
+    // list lives only at its owner and a stub holds only this rank's own
+    // pins, so cage14's uniformly random net membership no longer
+    // inflates a replicated ghost layer. The harness gates on both the
+    // canonical (owned) pin share and the end-to-end resident bytes.
     let pins_shrink = dist_runs
         .windows(2)
         .all(|w| w[1].max_rank_owned_pins < w[0].max_rank_owned_pins);
+    let bytes_shrink = dist_runs
+        .windows(2)
+        .all(|w| w[1].max_rank_resident_bytes < w[0].max_rank_resident_bytes);
+
+    // --- Memory budget: ranks 16/64 partition an instance whose
+    // replicated residency exceeds the configured single-rank budget,
+    // each rank staying below it. ---
+    let dist_memory = run_dist_memory_section(dist_memory_scale, seed, k);
 
     // --- AMR workload pipeline: epoch generation (adapt + lower) and
     // the measured-makespan overhead on top of plain repartitioning. ---
@@ -812,12 +947,14 @@ fn main() {
         let _ = writeln!(
             json,
             "    {{\"ranks\": {}, \"max_rank_pins\": {}, \"max_rank_owned_pins\": {}, \
-             \"max_rank_ghosts\": {}, \"messages_sent\": {}, \"bytes_sent\": {}, \
+             \"max_rank_ghosts\": {}, \"max_rank_resident_bytes\": {}, \
+             \"messages_sent\": {}, \"bytes_sent\": {}, \
              \"bit_identical_to_replicated\": {}}}{}",
             run.ranks,
             run.max_rank_pins,
             run.max_rank_owned_pins,
             run.max_rank_ghosts,
+            run.max_rank_resident_bytes,
             run.messages_sent,
             run.bytes_sent,
             run.identical,
@@ -826,6 +963,8 @@ fn main() {
     }
     let _ = writeln!(json, "  ],");
     let _ = writeln!(json, "  \"dist_rank_owned_pins_strictly_decreasing\": {pins_shrink},");
+    let _ = writeln!(json, "  \"dist_rank_resident_bytes_strictly_decreasing\": {bytes_shrink},");
+    let _ = writeln!(json, "  \"dist_memory\": {},", dist_memory.json.trim_end());
     let _ = writeln!(
         json,
         "  \"amr\": {{\"epochs\": {amr_epochs}, \"gen_ms\": {amr_gen_ms:.4}, \
@@ -888,6 +1027,12 @@ fn main() {
         "per-rank owned pin storage should strictly decrease with rank count: {:?}",
         dist_runs.iter().map(|r| (r.ranks, r.max_rank_owned_pins)).collect::<Vec<_>>()
     );
+    assert!(
+        bytes_shrink,
+        "per-rank total resident bytes should strictly decrease with rank count: {:?}",
+        dist_runs.iter().map(|r| (r.ranks, r.max_rank_resident_bytes)).collect::<Vec<_>>()
+    );
+    assert!(dist_memory.ok, "dist-memory budget section failed (see stderr)");
     assert!(amr_feasible, "2-constraint AMR partition violates a constraint: {amr2_imb:?}");
     assert!(
         arity1_typed_ms <= arity1_default_ms * 1.5 + 5.0,

@@ -1,28 +1,39 @@
-//! Block-distributed hypergraph storage (owner/ghost decomposition).
+//! Block-distributed hypergraph storage (owner-computes nets + ghost
+//! pin halos).
 //!
 //! The paper's parallel refinement lives inside Zoltan's PHG, where the
-//! hypergraph is *distributed*: each rank stores only the pins of the
-//! hyperedges it can see, plus ghost (halo) copies of remote vertices,
-//! so per-rank memory scales as `|pins|/p + ghosts` instead of `|pins|`.
-//! This crate provides that storage layer for the simulated SPMD
-//! machine in `dlb-mpisim`:
+//! hypergraph is *distributed*: no rank holds the whole structure, so
+//! per-rank memory scales as `O((|pins| + n)/p + halo)` instead of
+//! `O(|pins| + n)`. This crate provides that storage layer for the
+//! simulated SPMD machine in `dlb-mpisim`:
 //!
-//! * [`DistHypergraph`] — vertices block-distributed via
-//!   [`BlockDist`], hyperedges replicated onto every rank that owns at
-//!   least one of their pins (so a rank sees *all* nets of its owned
-//!   vertices), with exactly one of those ranks designated the net's
-//!   owner for metrics and for submitting the net during contraction.
+//! * [`DistHypergraph`] — vertices block-distributed via [`BlockDist`];
+//!   each net's **full pin list lives only on its owner rank**. Every
+//!   other rank that owns at least one of the net's pins holds a compact
+//!   *stub*: the net's global id, cost, global size, owner rank, and
+//!   only this rank's own pins in net order — exactly the incidence the
+//!   matching and FM kernels read locally. Remote pins of *owned* nets
+//!   become ghost vertices; stub pins are owned by construction, so the
+//!   ghost list stays proportional to the owned-net halo rather than to
+//!   every net the rank touches.
 //! * [`GhostExchange`] — a reusable [`CommPlan`]-based halo update that
-//!   pulls per-vertex data (weights, fixed flags, match or partition
-//!   state) from owner ranks into ghost-aligned buffers.
+//!   pulls per-vertex data (parts, weights, match targets) from owner
+//!   ranks into ghost-aligned buffers, plus an **incremental** push path
+//!   ([`GhostExchange::push_dirty`], wrapped by [`GhostHalo`]): owners
+//!   send only the entries whose value changed since the last sync, so
+//!   a quiet FM round costs bytes proportional to the moved vertices,
+//!   not to the halo (PMondriaan-style dirty push; the delta bytes are
+//!   charged to `CommStats` like any other exchange).
 //! * Distributed metrics — `cut_k1`, part weights and imbalance
 //!   computed from owned data plus an `allreduce`.
 //!
-//! The layout deliberately keeps the *pin storage* — the asymptotically
-//! dominant term — distributed while O(n) per-vertex arrays may stay
-//! replicated in the algorithms above (see DESIGN.md §9); that is what
-//! lets the distributed V-cycle in `dlb-partitioner` stay bit-identical
-//! to the replicated SPMD driver.
+//! Per-vertex state in the algorithms above (part vector, loads, sizes,
+//! fixed assignments, contraction maps) is block-distributed alongside
+//! the vertices and accessed through the halo; see DESIGN.md §9 and
+//! §17. Local nets are kept sorted by global net id, and pin order
+//! within a net (full list or stub) preserves the replicated
+//! hypergraph's order — both invariants are load-bearing for the
+//! bit-identical distributed V-cycle in `dlb-partitioner`.
 
 // Index-heavy kernels iterate several parallel arrays at once; classic
 // indexed loops read better there than zipped iterator chains.
@@ -32,14 +43,31 @@
 use dlb_hypergraph::{Hypergraph, PartId};
 use dlb_mpisim::{BlockDist, Comm, CommPlan};
 
+/// One rank's share of one net, as routed during distributed
+/// contraction: either the full pin list (for the owner) or the stub
+/// (this rank's own pins in net order).
+#[derive(Clone, Debug)]
+pub struct NetShare {
+    /// Global net id.
+    pub gid: usize,
+    /// Net cost.
+    pub cost: f64,
+    /// Global pin count of the net.
+    pub global_size: usize,
+    /// The rank that stores the full pin list.
+    pub owner: usize,
+    /// Pins carried by this share: the full list when `owner` is the
+    /// receiving rank, otherwise the receiver's own pins in net order.
+    pub pins: Vec<usize>,
+}
+
 /// One rank's share of a block-distributed hypergraph.
 ///
-/// Vertices are owned by contiguous blocks ([`BlockDist`]); a net is
-/// *local* to every rank owning at least one of its pins and stores its
-/// **full** pin list there (remote pins become ghosts). Local nets are
-/// kept sorted by global net id, and pin order within a net preserves
-/// the order of the replicated hypergraph it mirrors — both invariants
-/// are load-bearing for the bit-identical distributed V-cycle.
+/// Vertices are owned by contiguous blocks ([`BlockDist`]). A net is
+/// *local* to every rank owning at least one of its pins; the net's
+/// **owner** rank stores the full pin list, every other local rank
+/// stores a stub with only its own pins. Local nets are sorted by
+/// global net id and pin order follows the replicated hypergraph.
 #[derive(Clone, Debug)]
 pub struct DistHypergraph {
     rank: usize,
@@ -47,13 +75,21 @@ pub struct DistHypergraph {
     num_nets_global: usize,
     /// Global ids of local nets, strictly ascending.
     net_ids: Vec<usize>,
+    /// Per local net: does this rank store the full pin list?
+    owned: Vec<bool>,
+    /// Per local net: the owning rank.
+    owner_rank: Vec<usize>,
+    /// Per local net: global pin count (stubs store fewer pins).
+    gsize: Vec<usize>,
     /// CSR offsets into `pins`, one slot per local net.
     xpins: Vec<usize>,
-    /// Global vertex ids, full pin list per local net.
+    /// Global vertex ids: the full pin list for owned nets, this rank's
+    /// own pins (in net order) for stubs.
     pins: Vec<usize>,
     /// Cost per local net.
     cost: Vec<f64>,
-    /// Non-owned vertices appearing in `pins`, sorted ascending.
+    /// Remote pins of *owned* nets, sorted ascending (stub pins are
+    /// owned, so these are the only non-owned vertices stored).
     ghosts: Vec<usize>,
     /// Weight per owned vertex (indexed by `v - my_range().start`).
     owned_wgt: Vec<f64>,
@@ -67,73 +103,89 @@ impl DistHypergraph {
     /// Builds rank `rank`'s share of `h` under a `size`-rank block
     /// distribution. Purely local — every rank derives its share from
     /// the replicated input without communication (the simulation
-    /// analogue of reading a pre-distributed file in parallel).
+    /// analogue of reading a pre-distributed file in parallel). Ranks
+    /// that own no vertices (more ranks than vertices) get an empty but
+    /// fully valid share.
     pub fn from_replicated(h: &Hypergraph, rank: usize, size: usize) -> Self {
         let vdist = BlockDist::new(h.num_vertices(), size);
         let my_range = vdist.range(rank);
-        let mut net_ids = Vec::new();
-        let mut xpins = vec![0usize];
-        let mut pins = Vec::new();
-        let mut cost = Vec::new();
+        let mut shares = Vec::new();
         for j in 0..h.num_nets() {
             let net = h.net(j);
-            if net.iter().any(|v| my_range.contains(v)) {
-                net_ids.push(j);
-                pins.extend_from_slice(net);
-                xpins.push(pins.len());
-                cost.push(h.net_cost(j));
+            // Owner = owner of the pin at position `id % size`; rotating
+            // over pin positions balances ownership even when every
+            // net's first pin falls in the same vertex block.
+            let owner = vdist.owner(net[j % net.len()]);
+            let pins: Vec<usize> = if owner == rank {
+                net.to_vec()
+            } else {
+                net.iter().copied().filter(|v| my_range.contains(v)).collect()
+            };
+            if pins.is_empty() {
+                continue;
             }
+            shares.push(NetShare {
+                gid: j,
+                cost: h.net_cost(j),
+                global_size: net.len(),
+                owner,
+                pins,
+            });
         }
-        let owned_wgt = h.loads().scalar()[my_range.clone()].to_vec();
-        Self::assemble(rank, vdist, h.num_nets(), net_ids, xpins, pins, cost, owned_wgt)
+        let owned_wgt = h.loads().scalar()[my_range].to_vec();
+        Self::from_local_nets(h.num_vertices(), h.num_nets(), rank, size, shares, owned_wgt)
     }
 
-    /// Builds a rank's share directly from its local nets — used by
+    /// Builds a rank's share directly from its net shares — used by
     /// distributed contraction, where no rank ever materializes the
-    /// replicated coarse hypergraph. `net_ids` must be strictly
-    /// ascending global ids; `nets[i]` holds the full pin list of
-    /// `net_ids[i]` (every net must include at least one owned pin).
-    #[allow(clippy::too_many_arguments)]
+    /// replicated coarse hypergraph. `shares` must be sorted strictly
+    /// ascending by `gid`; the owner share must carry the full pin
+    /// list, stubs only the receiver's own pins in net order.
     pub fn from_local_nets(
         num_vertices: usize,
         num_nets_global: usize,
         rank: usize,
         size: usize,
-        net_ids: Vec<usize>,
-        cost: Vec<f64>,
-        nets: Vec<Vec<usize>>,
+        shares: Vec<NetShare>,
         owned_wgt: Vec<f64>,
     ) -> Self {
         let vdist = BlockDist::new(num_vertices, size);
-        assert!(net_ids.windows(2).all(|w| w[0] < w[1]), "net ids must be ascending");
-        assert_eq!(net_ids.len(), nets.len());
-        assert_eq!(net_ids.len(), cost.len());
-        let mut xpins = Vec::with_capacity(nets.len() + 1);
+        assert!(shares.windows(2).all(|w| w[0].gid < w[1].gid), "net ids must be ascending");
+        let mut net_ids = Vec::with_capacity(shares.len());
+        let mut owned = Vec::with_capacity(shares.len());
+        let mut owner_rank = Vec::with_capacity(shares.len());
+        let mut gsize = Vec::with_capacity(shares.len());
+        let mut cost = Vec::with_capacity(shares.len());
+        let mut xpins = Vec::with_capacity(shares.len() + 1);
         xpins.push(0);
         let mut pins = Vec::new();
-        for net in &nets {
-            pins.extend_from_slice(net);
+        for s in shares {
+            let is_owner = s.owner == rank;
+            debug_assert!(
+                !is_owner || s.pins.len() == s.global_size,
+                "owner share of net {} must carry the full pin list",
+                s.gid
+            );
+            net_ids.push(s.gid);
+            owned.push(is_owner);
+            owner_rank.push(s.owner);
+            gsize.push(s.global_size);
+            cost.push(s.cost);
+            pins.extend_from_slice(&s.pins);
             xpins.push(pins.len());
         }
-        Self::assemble(rank, vdist, num_nets_global, net_ids, xpins, pins, cost, owned_wgt)
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn assemble(
-        rank: usize,
-        vdist: BlockDist,
-        num_nets_global: usize,
-        net_ids: Vec<usize>,
-        xpins: Vec<usize>,
-        pins: Vec<usize>,
-        cost: Vec<f64>,
-        owned_wgt: Vec<f64>,
-    ) -> Self {
         let my_range = vdist.range(rank);
         assert_eq!(owned_wgt.len(), my_range.len());
-        // Ghost list: sorted distinct non-owned pins.
-        let mut ghosts: Vec<usize> =
-            pins.iter().copied().filter(|v| !my_range.contains(v)).collect();
+        // Ghost list: sorted distinct remote pins of owned nets. Stub
+        // pins are owned by construction and need no ghost slots.
+        let mut ghosts: Vec<usize> = Vec::new();
+        for lj in 0..net_ids.len() {
+            if owned[lj] {
+                ghosts.extend(
+                    pins[xpins[lj]..xpins[lj + 1]].iter().copied().filter(|v| !my_range.contains(v)),
+                );
+            }
+        }
         ghosts.sort_unstable();
         ghosts.dedup();
         let mut dh = DistHypergraph {
@@ -141,6 +193,9 @@ impl DistHypergraph {
             vdist,
             num_nets_global,
             net_ids,
+            owned,
+            owner_rank,
+            gsize,
             xpins,
             pins,
             cost,
@@ -210,7 +265,7 @@ impl DistHypergraph {
         self.vdist.range(self.rank)
     }
 
-    /// Number of local (visible) nets.
+    /// Number of local (visible) nets: owned nets plus stubs.
     #[inline]
     pub fn num_local_nets(&self) -> usize {
         self.net_ids.len()
@@ -222,8 +277,17 @@ impl DistHypergraph {
         self.net_ids[lj]
     }
 
-    /// Full pin list (global vertex ids) of local net `lj`, in the same
-    /// order as the replicated hypergraph stores it.
+    /// Local index of the net with global id `gid`, if this rank sees
+    /// it (as owner or stub holder). Local nets are stored ascending by
+    /// global id, so this is a binary search.
+    #[inline]
+    pub fn local_net_index(&self, gid: usize) -> Option<usize> {
+        self.net_ids.binary_search(&gid).ok()
+    }
+
+    /// Locally stored pins of net `lj` (global vertex ids): the full
+    /// list in replicated order when this rank owns the net, otherwise
+    /// the stub — this rank's own pins in net order.
     #[inline]
     pub fn net_pins(&self, lj: usize) -> &[usize] {
         &self.pins[self.xpins[lj]..self.xpins[lj + 1]]
@@ -235,27 +299,29 @@ impl DistHypergraph {
         self.cost[lj]
     }
 
-    /// Global size of local net `lj` (local nets store full pin lists).
+    /// Global pin count of local net `lj` (stubs carry the true global
+    /// size even though they store fewer pins).
     #[inline]
     pub fn net_size(&self, lj: usize) -> usize {
-        self.xpins[lj + 1] - self.xpins[lj]
+        self.gsize[lj]
     }
 
-    /// True if this rank is the designated owner of local net `lj`: the
-    /// owner of the pin at position `global_id % size`. Exactly one rank
-    /// owns each net, that rank necessarily sees it, and rotating the
-    /// choice over pin positions balances net ownership even when every
-    /// net's *first* pin falls in the same vertex block (the minimum of
-    /// a handful of uniform pin ids almost always lands in rank 0's
-    /// block, which would concentrate all ownership there).
+    /// True if this rank stores the full pin list of local net `lj`.
+    /// Exactly one rank owns each net, and the owner always sees it.
     #[inline]
     pub fn owns_net(&self, lj: usize) -> bool {
-        let pins = self.net_pins(lj);
-        self.vdist.owner(pins[self.net_ids[lj] % pins.len()]) == self.rank
+        self.owned[lj]
     }
 
-    /// Local pin storage on this rank — the memory-scaling figure of
-    /// merit (≈ |pins|/p plus ghost overlap).
+    /// The rank that owns local net `lj` (stores its full pin list).
+    #[inline]
+    pub fn net_owner(&self, lj: usize) -> usize {
+        self.owner_rank[lj]
+    }
+
+    /// Local pin entries on this rank: full lists of owned nets plus
+    /// stub entries — the memory-scaling figure of merit
+    /// (≈ `|pins|/p` owned plus a halo term).
     #[inline]
     pub fn local_pin_count(&self) -> usize {
         self.pins.len()
@@ -263,18 +329,23 @@ impl DistHypergraph {
 
     /// Pins of the nets this rank *owns* — the canonical share of the
     /// global pin storage, with each net counted exactly once (at its
-    /// owner). Sums to the hypergraph's total pin count across ranks;
-    /// `local_pin_count() - owned_pin_count()` is the ghost-copy
-    /// overhead, which depends on how well the vertex order localizes
-    /// nets (small for banded/geometric inputs, large for random nets).
+    /// owner). Sums to the hypergraph's total pin count across ranks.
     pub fn owned_pin_count(&self) -> usize {
         (0..self.num_local_nets())
-            .filter(|&lj| self.owns_net(lj))
-            .map(|lj| self.net_size(lj))
+            .filter(|&lj| self.owned[lj])
+            .map(|lj| self.xpins[lj + 1] - self.xpins[lj])
             .sum()
     }
 
-    /// Ghost vertices (sorted ascending global ids).
+    /// Stub pin entries (halo incidence): `local_pin_count() -
+    /// owned_pin_count()`. Each entry is one of this rank's own pins
+    /// listed under a remotely owned net.
+    pub fn halo_pin_count(&self) -> usize {
+        self.local_pin_count() - self.owned_pin_count()
+    }
+
+    /// Ghost vertices (sorted ascending global ids): the distinct
+    /// remote pins of this rank's owned nets.
     #[inline]
     pub fn ghosts(&self) -> &[usize] {
         &self.ghosts
@@ -286,9 +357,34 @@ impl DistHypergraph {
         &self.owned_wgt
     }
 
+    /// Position of global vertex `v` in [`DistHypergraph::ghosts`], if
+    /// it is a ghost of this rank.
+    #[inline]
+    pub fn ghost_index(&self, v: usize) -> Option<usize> {
+        self.ghosts.binary_search(&v).ok()
+    }
+
+    /// Resident bytes of this rank's share of the *hypergraph* itself:
+    /// pin entries (owned full lists + stubs) with their transpose,
+    /// ghost ids, per-net metadata, and the owned weight block. The
+    /// driver adds its own per-vertex working arrays on top; everything
+    /// here is `O((|pins| + nets + n)/p + halo)` — no term is
+    /// proportional to the global instance.
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.pins.len() * size_of::<usize>()
+            + self.slot_nets.len() * size_of::<usize>()
+            + self.xpins.len() * size_of::<usize>()
+            + self.xslot.len() * size_of::<usize>()
+            + self.ghosts.len() * size_of::<usize>()
+            + self.owned_wgt.len() * size_of::<f64>()
+            + self.net_ids.len()
+                * (3 * size_of::<usize>() + size_of::<f64>() + size_of::<bool>())
+    }
+
     /// The storage slot of global vertex `v` — owned offset for owned
-    /// vertices, `owned + ghost_index` for ghosts, `None` if `v` does
-    /// not appear in any local net and is not owned.
+    /// vertices, `owned + ghost_index` for ghosts, `None` if `v` is
+    /// neither owned nor a ghost of an owned net.
     #[inline]
     pub fn slot(&self, v: usize) -> Option<usize> {
         let my_range = self.my_range();
@@ -301,8 +397,9 @@ impl DistHypergraph {
 
     /// Indices of local nets containing vertex `v`, ascending. For an
     /// owned vertex this is its complete incidence list (every net of
-    /// an owned vertex is local by construction); for any other vertex
-    /// it is the locally visible subset. Unknown vertices get `&[]`.
+    /// an owned vertex is local — as an owned net or a stub — by
+    /// construction); for a ghost it is the owned nets listing it.
+    /// Unknown vertices get `&[]`.
     pub fn vertex_local_nets(&self, v: usize) -> &[usize] {
         match self.slot(v) {
             Some(s) => &self.slot_nets[self.xslot[s]..self.xslot[s + 1]],
@@ -313,10 +410,11 @@ impl DistHypergraph {
     /// Gathers the full hypergraph onto every rank (collective):
     /// owner ranks contribute their nets, and each rank rebuilds the
     /// replicated structure with nets in global-id order. Vertex
-    /// weights come from an allgather of the owned blocks.
+    /// weights come from an allgather of the owned blocks. Ranks that
+    /// own nothing contribute empty batches.
     pub fn gather_replicated(&self, comm: &mut Comm) -> Hypergraph {
         let mine: Vec<(usize, f64, Vec<usize>)> = (0..self.num_local_nets())
-            .filter(|&lj| self.owns_net(lj))
+            .filter(|&lj| self.owned[lj])
             .map(|lj| (self.net_ids[lj], self.cost[lj], self.net_pins(lj).to_vec()))
             .collect();
         let mut all: Vec<(usize, f64, Vec<usize>)> =
@@ -336,9 +434,10 @@ impl DistHypergraph {
     }
 
     /// Distributed connectivity−1 cut (collective): each net is counted
-    /// once, by its owner, and partial sums are combined with an
-    /// `allreduce`. `owned_part` holds the parts of this rank's owned
-    /// vertices; ghost parts are fetched through `exch`.
+    /// once, by its owner (which stores its full pin list), and partial
+    /// sums are combined with an `allreduce`. `owned_part` holds the
+    /// parts of this rank's owned vertices; ghost parts are fetched
+    /// through `exch`.
     pub fn cut_k1(
         &self,
         comm: &mut Comm,
@@ -353,7 +452,7 @@ impl DistHypergraph {
         let mut seen = vec![false; k];
         let mut local = 0.0;
         for lj in 0..self.num_local_nets() {
-            if !self.owns_net(lj) {
+            if !self.owned[lj] {
                 continue;
             }
             let mut lambda = 0usize;
@@ -399,15 +498,17 @@ impl DistHypergraph {
 }
 
 /// A reusable halo update: pulls per-vertex values from owner ranks
-/// into buffers aligned with [`DistHypergraph::ghosts`].
+/// into buffers aligned with a ghost id list (by default
+/// [`DistHypergraph::ghosts`]).
 ///
 /// Built once per distribution (collective); each [`GhostExchange::pull`]
-/// is then a single plan execution carrying only the requested values.
+/// is then a single plan execution carrying only the requested values,
+/// and [`GhostExchange::push_dirty`] moves just a changed subset.
 pub struct GhostExchange {
     /// Reply plan: owners → ghost holders.
     inverse: CommPlan,
-    /// For each ghost (in `send_positions` order), the owned offset the
-    /// owner rank serves it from.
+    /// For each incoming query (grouped by source rank, the grouping of
+    /// `inverse.send_counts()`), the owned offset it is served from.
     serve: Vec<usize>,
     /// Scatter map: reply `j` answers ghost `positions[j]`.
     positions: Vec<usize>,
@@ -417,13 +518,22 @@ pub struct GhostExchange {
 impl GhostExchange {
     /// Builds the exchange for `dh`'s ghost list (collective).
     pub fn build(comm: &mut Comm, dh: &DistHypergraph) -> Self {
-        let dests: Vec<usize> = dh.ghosts.iter().map(|&g| dh.vdist.owner(g)).collect();
+        Self::build_for_ids(comm, &dh.vdist, &dh.ghosts)
+    }
+
+    /// Builds an exchange for an arbitrary list of remote vertex ids
+    /// under `dist` (collective). `ids[i]` must not be owned by the
+    /// calling rank; pulls return values aligned with `ids`. Used for
+    /// ad-hoc halos such as the coarse-vertex targets of a contraction
+    /// map during projection.
+    pub fn build_for_ids(comm: &mut Comm, dist: &BlockDist, ids: &[usize]) -> Self {
+        let dests: Vec<usize> = ids.iter().map(|&g| dist.owner(g)).collect();
         let plan = CommPlan::build(comm, &dests);
-        let queried = plan.execute(comm, &dh.ghosts);
+        let queried = plan.execute(comm, ids);
+        let owner_range = dist.range(comm.rank());
         let serve: Vec<usize> = queried
             .iter()
             .map(|&g| {
-                let owner_range = dh.vdist.range(comm.rank());
                 assert!(owner_range.contains(&g), "ghost query reached the wrong owner");
                 g - owner_range.start
             })
@@ -432,7 +542,7 @@ impl GhostExchange {
             positions: plan.send_positions().to_vec(),
             inverse: plan.invert(),
             serve,
-            num_ghosts: dh.ghosts.len(),
+            num_ghosts: ids.len(),
         }
     }
 
@@ -442,7 +552,8 @@ impl GhostExchange {
     }
 
     /// Fetches `owned[offset]` from each ghost's owner (collective).
-    /// Returns values aligned with [`DistHypergraph::ghosts`].
+    /// Returns values aligned with the id list the exchange was built
+    /// for.
     pub fn pull<T: Clone + Send + 'static>(&self, comm: &mut Comm, owned: &[T]) -> Vec<T> {
         let replies: Vec<T> = self.serve.iter().map(|&i| owned[i].clone()).collect();
         let back = self.inverse.execute(comm, &replies);
@@ -451,6 +562,131 @@ impl GhostExchange {
             out[pos] = Some(back[j].clone());
         }
         out.into_iter().map(|v| v.expect("every ghost answered")).collect()
+    }
+
+    /// Incremental halo update (collective): pushes `owned[offset]` to
+    /// the ranks ghosting it, but **only** for offsets flagged in
+    /// `dirty`, patching the ghost-aligned buffer `ghost_vals` in
+    /// place. Returns the patched entries as `(ghost slot, old, new)`
+    /// triples — each slot answers one owner vertex, so a slot appears
+    /// at most once — letting callers apply exact deltas (e.g. sigma
+    /// row updates in distributed FM). The wire carries one
+    /// `(slot, value)` pair per dirty ghost copy — a quiet round costs
+    /// bytes proportional to the changes, not the halo — and
+    /// `CommStats` charges those delta bytes like any other
+    /// `alltoallv`.
+    pub fn push_dirty<T: Clone + Send + 'static>(
+        &self,
+        comm: &mut Comm,
+        owned: &[T],
+        dirty: &[bool],
+        ghost_vals: &mut [T],
+    ) -> Vec<(usize, T, T)> {
+        assert_eq!(ghost_vals.len(), self.num_ghosts);
+        let nranks = comm.size();
+        // Serve entries are grouped by querying rank exactly as the
+        // inverse plan sends replies; walk the grouping and keep only
+        // the dirty offsets, tagging each with its index *within* the
+        // group so the receiver can find the ghost it answers.
+        let mut outgoing: Vec<Vec<(u32, T)>> = (0..nranks).map(|_| Vec::new()).collect();
+        let mut pos = 0usize;
+        for (holder, &count) in self.inverse.send_counts().iter().enumerate() {
+            for idx in 0..count {
+                let off = self.serve[pos];
+                if dirty[off] {
+                    outgoing[holder].push((idx as u32, owned[off].clone()));
+                }
+                pos += 1;
+            }
+        }
+        let incoming = comm.alltoallv(outgoing);
+        // My queries to owner `o` occupied a contiguous group of the
+        // original plan's send order; `positions` maps group entries
+        // back to ghost indices.
+        let query_counts = self.inverse.recv_counts();
+        let mut start = 0usize;
+        let mut updates = Vec::new();
+        for (owner, batch) in incoming.into_iter().enumerate() {
+            for (idx, val) in batch {
+                let slot = self.positions[start + idx as usize];
+                let old = std::mem::replace(&mut ghost_vals[slot], val.clone());
+                updates.push((slot, old, val));
+            }
+            start += query_counts[owner];
+        }
+        updates
+    }
+}
+
+/// A ghost-value cache with dirty-bitmap maintenance: the first
+/// [`GhostHalo::sync`] pulls the full halo, every later sync pushes
+/// only the owned entries marked dirty since the previous one
+/// (PMondriaan-style incremental exchange; see DESIGN.md §17).
+pub struct GhostHalo<T> {
+    exch: GhostExchange,
+    cache: Vec<T>,
+    synced: bool,
+    /// Dirty flags over *owned offsets* (the push side of the halo).
+    dirty: Vec<bool>,
+    any_dirty: bool,
+}
+
+impl<T: Clone + Send + 'static> GhostHalo<T> {
+    /// Wraps `exch` with an empty cache; `owned_len` is the length of
+    /// this rank's owned block (the dirty bitmap's domain).
+    pub fn new(exch: GhostExchange, owned_len: usize) -> Self {
+        GhostHalo {
+            exch,
+            cache: Vec::new(),
+            synced: false,
+            dirty: vec![false; owned_len],
+            any_dirty: false,
+        }
+    }
+
+    /// The underlying exchange.
+    pub fn exchange(&self) -> &GhostExchange {
+        &self.exch
+    }
+
+    /// Flags an owned offset as changed since the last sync; the next
+    /// [`GhostHalo::sync`] will push it to every rank ghosting it.
+    pub fn mark_dirty(&mut self, owned_offset: usize) {
+        self.dirty[owned_offset] = true;
+        self.any_dirty = true;
+    }
+
+    /// Brings every rank's ghost cache up to date (collective — all
+    /// ranks must call even when locally clean). The first call pulls
+    /// the full halo; later calls push only dirty entries.
+    pub fn sync(&mut self, comm: &mut Comm, owned: &[T]) -> &[T] {
+        self.sync_updates(comm, owned);
+        &self.cache
+    }
+
+    /// Like [`GhostHalo::sync`], but returns the ghost entries that
+    /// changed this round as `(ghost slot, old, new)` triples (empty on
+    /// the initial full pull — callers treat that pull as the baseline).
+    /// Collective like `sync`.
+    pub fn sync_updates(&mut self, comm: &mut Comm, owned: &[T]) -> Vec<(usize, T, T)> {
+        let updates = if !self.synced {
+            self.cache = self.exch.pull(comm, owned);
+            self.synced = true;
+            Vec::new()
+        } else {
+            self.exch.push_dirty(comm, owned, &self.dirty, &mut self.cache)
+        };
+        if self.any_dirty {
+            self.dirty.iter_mut().for_each(|d| *d = false);
+            self.any_dirty = false;
+        }
+        updates
+    }
+
+    /// The ghost values as of the last sync.
+    pub fn values(&self) -> &[T] {
+        debug_assert!(self.synced, "GhostHalo read before first sync");
+        &self.cache
     }
 }
 
@@ -502,12 +738,35 @@ mod tests {
             let mut owner_count = vec![0usize; h.num_nets()];
             for dh in &shares {
                 assert!(dh.local_pin_count() <= h.num_pins());
+                let my_range = dh.my_range();
                 for lj in 0..dh.num_local_nets() {
-                    assert_eq!(dh.net_pins(lj), h.net(dh.net_global_id(lj)));
+                    let j = dh.net_global_id(lj);
+                    // Stubs still report the global size.
+                    assert_eq!(dh.net_size(lj), h.net(j).len());
                     if dh.owns_net(lj) {
-                        owner_count[dh.net_global_id(lj)] += 1;
+                        assert_eq!(dh.net_pins(lj), h.net(j));
+                        assert_eq!(dh.net_owner(lj), dh.rank());
+                        owner_count[j] += 1;
+                    } else {
+                        // Stub: exactly this rank's own pins, net order.
+                        let expect: Vec<usize> = h
+                            .net(j)
+                            .iter()
+                            .copied()
+                            .filter(|v| my_range.contains(v))
+                            .collect();
+                        assert_eq!(dh.net_pins(lj), expect, "stub pins, net {j}");
+                        assert!(!expect.is_empty());
                     }
                 }
+                // Ghosts are exactly the remote pins of owned nets.
+                for &g in dh.ghosts() {
+                    assert!(!my_range.contains(&g));
+                }
+                assert_eq!(
+                    dh.halo_pin_count() + dh.owned_pin_count(),
+                    dh.local_pin_count()
+                );
             }
             assert_eq!(owner_count, vec![1; h.num_nets()], "size={size}");
             // Owned (canonical) pin storage partitions the global pins.
@@ -518,6 +777,23 @@ mod tests {
                 assert_eq!(shares[0].owned_pin_count(), h.num_pins());
                 assert!(shares[0].ghosts().is_empty());
             }
+        }
+    }
+
+    /// Total per-rank storage (pins + ghosts + weights + metadata)
+    /// must shrink as ranks are added, even on uniformly random nets —
+    /// the owner/stub scheme stores each full pin list exactly once.
+    #[test]
+    fn resident_bytes_scale_down_with_ranks() {
+        let h = sample(211);
+        let mut prev = usize::MAX;
+        for size in [1usize, 2, 4, 8] {
+            let peak = (0..size)
+                .map(|r| DistHypergraph::from_replicated(&h, r, size).resident_bytes())
+                .max()
+                .unwrap();
+            assert!(peak < prev, "size={size}: {peak} !< {prev}");
+            prev = peak;
         }
     }
 
@@ -535,6 +811,63 @@ mod tests {
                     .iter()
                     .zip(dh.ghosts())
                     .all(|(&got, &g)| got == g * 10 + 1)
+            });
+            assert!(results.into_iter().all(|ok| ok), "size={size}");
+        }
+    }
+
+    /// The incremental dirty-push path must leave every ghost cache
+    /// exactly where a fresh full pull would, while a quiet round
+    /// moves (close to) zero bytes.
+    #[test]
+    fn dirty_push_matches_full_pull() {
+        let h = sample(41);
+        for size in [1usize, 2, 3, 4] {
+            let results = run_spmd(size, |comm| {
+                let dh = DistHypergraph::from_replicated(&h, comm.rank(), comm.size());
+                let exch = GhostExchange::build(comm, &dh);
+                let mut halo = GhostHalo::new(GhostExchange::build(comm, &dh), dh.my_range().len());
+                let mut owned: Vec<u64> = dh.my_range().map(|v| v as u64).collect();
+                halo.sync(comm, &owned);
+                let quiet_before = comm.stats().bytes_sent;
+                // Quiet round: nothing dirty, nothing moves.
+                halo.sync(comm, &owned);
+                let quiet_bytes = comm.stats().bytes_sent - quiet_before;
+                // Mutate a subset of owned values and mark them dirty.
+                for (off, val) in owned.iter_mut().enumerate() {
+                    if off % 3 == 0 {
+                        *val += 1000;
+                        halo.mark_dirty(off);
+                    }
+                }
+                let incr = halo.sync(comm, &owned).to_vec();
+                let full = exch.pull(comm, &owned);
+                (incr == full, quiet_bytes)
+            });
+            for (rank, (matches, quiet_bytes)) in results.into_iter().enumerate() {
+                assert!(matches, "size={size} rank={rank}");
+                // A quiet alltoallv of empty batches carries no item bytes.
+                assert_eq!(quiet_bytes, 0, "size={size} rank={rank}");
+            }
+        }
+    }
+
+    /// `build_for_ids` serves arbitrary remote-id halos (used for
+    /// projecting contraction maps across ranks).
+    #[test]
+    fn ad_hoc_exchange_serves_arbitrary_ids() {
+        for size in [1usize, 2, 4] {
+            let n = 50usize;
+            let results = run_spmd(size, |comm| {
+                let dist = BlockDist::new(n, comm.size());
+                let range = dist.range(comm.rank());
+                // Ask for a scattered set of remote ids.
+                let ids: Vec<usize> =
+                    (0..n).filter(|v| v % 7 == comm.rank() % 7 && !range.contains(v)).collect();
+                let exch = GhostExchange::build_for_ids(comm, &dist, &ids);
+                let owned: Vec<usize> = range.map(|v| v * 3).collect();
+                let vals = exch.pull(comm, &owned);
+                ids.iter().zip(&vals).all(|(&g, &x)| x == g * 3)
             });
             assert!(results.into_iter().all(|ok| ok), "size={size}");
         }
@@ -585,6 +918,39 @@ mod tests {
                 }
                 assert_eq!(g.loads().scalar(), h.loads().scalar());
             }
+        }
+    }
+
+    /// Worlds with more ranks than vertices: ranks past the vertex
+    /// count own nothing and must still build, exchange, measure, and
+    /// gather without panicking.
+    #[test]
+    fn empty_ranks_survive_every_collective() {
+        let h = sample(5);
+        let k = 2;
+        let part: Vec<usize> = (0..h.num_vertices()).map(|v| v % k).collect();
+        let expect_cut = metrics::cutsize_connectivity(&h, &part, k);
+        for size in [7usize, 9] {
+            let results = run_spmd(size, |comm| {
+                let dh = DistHypergraph::from_replicated(&h, comm.rank(), comm.size());
+                let exch = GhostExchange::build(comm, &dh);
+                let owned: Vec<usize> = part[dh.my_range()].to_vec();
+                let mut halo = GhostHalo::new(GhostExchange::build(comm, &dh), owned.len());
+                halo.sync(comm, &owned);
+                // Dirty-push round on a world with empty ranks.
+                halo.sync(comm, &owned);
+                let cut = dh.cut_k1(comm, &exch, &owned, k);
+                let g = dh.gather_replicated(comm);
+                (dh.my_range().len(), cut, g.num_nets(), g.num_pins())
+            });
+            let mut owned_total = 0usize;
+            for (owned, cut, nets, pins) in results {
+                owned_total += owned;
+                assert!((cut - expect_cut).abs() < 1e-9, "size={size}");
+                assert_eq!(nets, h.num_nets());
+                assert_eq!(pins, h.num_pins());
+            }
+            assert_eq!(owned_total, h.num_vertices(), "size={size}");
         }
     }
 }

@@ -479,6 +479,84 @@ impl Comm {
         incoming.into_iter().map(Option::unwrap).collect()
     }
 
+    /// Ordered pipeline fold over block-distributed items (collective).
+    ///
+    /// Reproduces, bit for bit, the serial accumulator loop
+    /// `for i in 0..n { add(i, &mut acc) }` when the items `0..n` are
+    /// block-distributed so that rank order equals ascending global item
+    /// order (the [`crate::BlockDist`] layout): a token travels rank
+    /// `0 → 1 → … → size-1`, each rank applies `add` for its
+    /// `my_start..my_start + my_len` items in ascending order, and the
+    /// final accumulator is broadcast from the last rank. Ranks that own
+    /// zero items just forward the token.
+    ///
+    /// With `chunk = Some(c)`, the fold instead reproduces a *chunked*
+    /// serial reference: per-chunk partials on the global `c`-grid
+    /// (chunk `j` covers items `j*c..(j+1)*c`), each closed chunk folded
+    /// into the accumulator element-wise in chunk order. This matches
+    /// the partial-then-fold shape that threaded reductions use, so the
+    /// distributed result is bitwise identical to theirs even though
+    /// floating-point addition is not associative. Chunk boundaries need
+    /// not align with ownership boundaries: an open partial rides on the
+    /// token. With `chunk = None` the items accumulate directly.
+    ///
+    /// The cost is one `O(accum)` point-to-point hop per rank plus a
+    /// broadcast — the latency of a linear chain, bought for exact
+    /// reproducibility of the fold order.
+    pub fn fold_blocked<F>(
+        &mut self,
+        accum_len: usize,
+        my_start: usize,
+        my_len: usize,
+        chunk: Option<usize>,
+        mut add: F,
+    ) -> Vec<f64>
+    where
+        F: FnMut(usize, &mut [f64]),
+    {
+        const NO_CHUNK: u64 = u64::MAX;
+        let tag = self.next_coll_tag();
+        let (mut acc, mut open, mut open_chunk) = if self.rank == 0 {
+            (vec![0.0f64; accum_len], vec![0.0f64; accum_len], NO_CHUNK)
+        } else {
+            self.recv_raw::<(Vec<f64>, Vec<f64>, u64)>(self.rank - 1, tag)
+        };
+        match chunk {
+            Some(c) => {
+                assert!(c > 0, "chunk size must be positive");
+                for v in my_start..my_start + my_len {
+                    let j = (v / c) as u64;
+                    if j != open_chunk {
+                        if open_chunk != NO_CHUNK {
+                            for p in 0..accum_len {
+                                acc[p] += open[p];
+                                open[p] = 0.0;
+                            }
+                        }
+                        open_chunk = j;
+                    }
+                    add(v, &mut open);
+                }
+            }
+            None => {
+                for v in my_start..my_start + my_len {
+                    add(v, &mut acc);
+                }
+            }
+        }
+        if self.rank + 1 < self.size {
+            self.send_raw(self.rank + 1, tag, (acc, open, open_chunk));
+            self.broadcast(self.size - 1, Vec::new())
+        } else {
+            if open_chunk != NO_CHUNK {
+                for p in 0..accum_len {
+                    acc[p] += open[p];
+                }
+            }
+            self.broadcast(self.size - 1, acc)
+        }
+    }
+
     /// Variable-count personalized all-to-all (MPI `Alltoallv`):
     /// `outgoing[r]` is a batch of `T` items delivered to rank `r`.
     ///
@@ -756,6 +834,87 @@ mod tests {
         let received: u64 = results.iter().map(|(_, s)| s.messages_received).sum();
         assert_eq!(received, 4);
         assert!(sent > received, "sent {sent} <= received {received}");
+    }
+
+    /// `fold_blocked` with a chunk grid must reproduce the serial
+    /// partial-then-fold reference bitwise, at every rank count —
+    /// including worlds with more ranks than items.
+    #[test]
+    fn fold_blocked_matches_chunked_serial_reference() {
+        let n = 103usize;
+        let k = 4usize;
+        let chunk = 16usize;
+        // Values chosen so addition order matters in f64.
+        let val = |v: usize| 0.1 + (v as f64) * 1e-3 + ((v * v % 7) as f64) * 1e9;
+        let bucket = |v: usize| (v * 2654435761) % 4;
+        // Serial reference: per-chunk partials folded in chunk order.
+        let mut expected = vec![0.0f64; k];
+        let mut c = 0;
+        while c * chunk < n {
+            let mut partial = vec![0.0f64; k];
+            for v in c * chunk..((c + 1) * chunk).min(n) {
+                partial[bucket(v)] += val(v);
+            }
+            for p in 0..k {
+                expected[p] += partial[p];
+            }
+            c += 1;
+        }
+        for ranks in [1usize, 2, 3, 8, 128] {
+            let results = run_spmd(ranks, move |comm| {
+                let dist = crate::BlockDist::new(n, comm.size());
+                let range = dist.range(comm.rank());
+                comm.fold_blocked(k, range.start, range.len(), Some(chunk), |v, acc| {
+                    acc[bucket(v)] += val(v);
+                })
+            });
+            for got in results {
+                assert_eq!(
+                    got.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    expected.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    "ranks={ranks}"
+                );
+            }
+        }
+    }
+
+    /// `fold_blocked` without a chunk grid reproduces the direct serial
+    /// accumulator loop bitwise.
+    #[test]
+    fn fold_blocked_direct_matches_serial_loop() {
+        let n = 57usize;
+        let k = 3usize;
+        let val = |v: usize| (v as f64).sqrt() * 1e6 + 0.3;
+        let bucket = |v: usize| v % 3;
+        let mut expected = vec![0.0f64; k];
+        for v in 0..n {
+            expected[bucket(v)] += val(v);
+        }
+        for ranks in [1usize, 2, 5, 64] {
+            let results = run_spmd(ranks, move |comm| {
+                let dist = crate::BlockDist::new(n, comm.size());
+                let range = dist.range(comm.rank());
+                comm.fold_blocked(k, range.start, range.len(), None, |v, acc| {
+                    acc[bucket(v)] += val(v);
+                })
+            });
+            for got in results {
+                assert_eq!(
+                    got.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    expected.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    "ranks={ranks}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fold_blocked_empty_world_items() {
+        // Zero items: every rank forwards an untouched token.
+        let results = run_spmd(3, |comm| comm.fold_blocked(2, 0, 0, Some(8), |_, _| panic!()));
+        for got in results {
+            assert_eq!(got, vec![0.0, 0.0]);
+        }
     }
 
     #[test]

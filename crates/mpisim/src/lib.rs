@@ -16,6 +16,12 @@
 //! runtime comparisons between the hypergraph and graph partitioners
 //! remain meaningful.
 //!
+//! Repeated sparse exchanges reuse a prebuilt [`plan::CommPlan`]; its
+//! `send_counts`/`send_positions` accessors additionally support the
+//! *incremental* idiom (ship only a dirty subset of the planned items
+//! per round) that the distributed hypergraph's ghost halos are built
+//! on — see `dlb-disthg` and DESIGN.md §17.
+//!
 //! # Example
 //!
 //! ```

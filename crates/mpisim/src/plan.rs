@@ -57,6 +57,23 @@ impl CommPlan {
         self.send_order.len()
     }
 
+    /// Items sent to each destination rank (`send_counts()[r]` items go
+    /// to rank `r`). Together with [`CommPlan::send_positions`] this
+    /// exposes the per-destination grouping, letting callers address a
+    /// *subset* of the planned items (a dirty-bitmap push) through a raw
+    /// [`Comm::alltoallv`](crate::Comm::alltoallv) instead of
+    /// re-executing the full plan.
+    pub fn send_counts(&self) -> &[usize] {
+        &self.send_counts
+    }
+
+    /// Items received from each source rank (`recv_counts()[r]` items
+    /// arrive from rank `r`), in the same grouping that
+    /// [`CommPlan::execute`] returns.
+    pub fn recv_counts(&self) -> &[usize] {
+        &self.recv_counts
+    }
+
     /// Total items this rank will receive.
     pub fn num_receives(&self) -> usize {
         self.recv_counts.iter().sum()
@@ -235,6 +252,82 @@ mod tests {
                 let expected: Vec<u64> = queries.iter().map(|q| q * 10).collect();
                 assert_eq!(answers, expected, "ranks={ranks}");
             }
+        }
+    }
+
+    /// The incremental-halo idiom: the plan is built once for the full
+    /// pattern, then a round pushes only a *dirty subset* of the planned
+    /// items as `(within-group index, value)` pairs addressed through
+    /// `send_counts`/`send_positions`, and receivers patch their
+    /// full-exchange buffer in place using `recv_counts` offsets. The
+    /// patched buffer must equal a full re-execution of the plan.
+    #[test]
+    fn dirty_subset_push_matches_full_reexecution() {
+        for ranks in [1usize, 2, 4] {
+            let results = run_spmd(ranks, |comm| {
+                let n_items = 2 * comm.size() + 3;
+                let destinations: Vec<usize> =
+                    (0..n_items).map(|i| (comm.rank() + i) % comm.size()).collect();
+                let mut items: Vec<u64> =
+                    (0..n_items).map(|i| (comm.rank() * 100 + i) as u64).collect();
+                let plan = CommPlan::build(comm, &destinations);
+                let mut mirror = plan.execute(comm, &items); // initial full exchange
+
+                // Mutate a sparse subset of the outgoing items.
+                let mut dirty = vec![false; n_items];
+                for i in (0..n_items).step_by(3) {
+                    items[i] += 1000;
+                    dirty[i] = true;
+                }
+
+                // Push only the dirty items, tagged with their index
+                // within the destination group.
+                let mut outgoing: Vec<Vec<(u32, u64)>> =
+                    (0..comm.size()).map(|_| Vec::new()).collect();
+                let mut pos = 0usize;
+                for (r, &count) in plan.send_counts().iter().enumerate() {
+                    for j in 0..count {
+                        let item = plan.send_positions()[pos];
+                        if dirty[item] {
+                            outgoing[r].push((j as u32, items[item]));
+                        }
+                        pos += 1;
+                    }
+                }
+                let mut offsets = vec![0usize; comm.size() + 1];
+                for r in 0..comm.size() {
+                    offsets[r + 1] = offsets[r] + plan.recv_counts()[r];
+                }
+                for (r, batch) in comm.alltoallv(outgoing).into_iter().enumerate() {
+                    for (j, v) in batch {
+                        mirror[offsets[r] + j as usize] = v;
+                    }
+                }
+                let full = plan.execute(comm, &items);
+                (mirror, full)
+            });
+            for (mirror, full) in results {
+                assert_eq!(mirror, full, "ranks={ranks}");
+            }
+        }
+    }
+
+    /// A dirty push with nothing dirty is still collective-safe and
+    /// leaves the mirror untouched.
+    #[test]
+    fn empty_dirty_subset_push_is_a_safe_noop() {
+        let results = run_spmd(3, |comm| {
+            let destinations: Vec<usize> = (0..comm.size()).collect();
+            let items: Vec<u64> = vec![comm.rank() as u64; comm.size()];
+            let plan = CommPlan::build(comm, &destinations);
+            let mirror = plan.execute(comm, &items);
+            let outgoing: Vec<Vec<(u32, u64)>> = (0..comm.size()).map(|_| Vec::new()).collect();
+            let received: usize = comm.alltoallv(outgoing).into_iter().map(|b| b.len()).sum();
+            (mirror.clone(), received, mirror)
+        });
+        for (before, received, after) in results {
+            assert_eq!(received, 0);
+            assert_eq!(before, after);
         }
     }
 

@@ -2,34 +2,48 @@
 //!
 //! The replicated SPMD driver ([`super::driver::par_multilevel`]) keeps
 //! the whole hypergraph on every rank; this module runs the same
-//! V-cycle with the *pin storage* — the asymptotically dominant term —
-//! block-distributed: each rank stores only the nets touching its owned
-//! vertex block (full pin lists, remote pins as ghosts; see DESIGN.md
-//! §9). O(n) per-vertex arrays (partition, matching, weights, the
-//! fine→coarse maps) stay replicated, which is what makes bit-identity
-//! with the replicated driver provable:
+//! V-cycle with **owner-computes** storage: each net's full pin list
+//! lives only on its owner rank, other pin-owning ranks hold compact
+//! stubs, and every per-vertex array — partition vector, primary and
+//! auxiliary loads, vertex sizes, fixed assignments, and the
+//! fine→coarse projection maps — is block-distributed alongside the
+//! vertex blocks (see DESIGN.md §9). Remote state crosses the wire only
+//! through explicit ghost halos ([`dlb_disthg::GhostExchange`]), and
+//! after the first full pull each FM round pushes only the vertices
+//! that actually moved (the dirty-bitmap incremental exchange of
+//! DESIGN.md §17). Per-rank residency is `O((n + |pins|)/p + halo)`
+//! with no term proportional to the global instance.
 //!
-//! * **Matching** — a net not stored on rank `r` contains no `r`-owned
-//!   pins, so skipping it preserves the replicated scoring loop's float
-//!   accumulation order and first-touch order exactly.
-//! * **Contraction** — the coarse hypergraph is built distributed: net
-//!   owners remap and submit their nets, identical pin-sets are
-//!   collapsed on a deterministic shard rank (costs summed in ascending
-//!   fine-net order, exactly the replicated fold), and coarse net ids
-//!   are assigned by the replicated first-occurrence order.
-//! * **Refinement** — move proposals come from owned boundary vertices
-//!   (local sigma rows are exact for them); the shared-state
-//!   revalidation is decided by each move's owner rank and the boolean
-//!   verdicts broadcast, so every rank applies the identical move
-//!   sequence.
+//! Bit-identity with the replicated driver is preserved:
+//!
+//! * **Matching** — a stub stores this rank's own pins *in net order*,
+//!   so per-candidate scoring sweeps exactly the elements the
+//!   replicated loop restricted to the owned range would visit, in the
+//!   same order (same float accumulation, same first-touch order).
+//!   Global candidates travel with their complete ascending net-id
+//!   lists, attached by their owner rank.
+//! * **Contraction** — coarse vertex ids follow the replicated
+//!   ascending-representative numbering (rank blocks prefix-summed);
+//!   per-coarse-vertex attributes are accumulated at the coarse owner
+//!   in ascending fine order (at most two contributions each, the
+//!   replicated add order); identical coarse pin-sets collapse on a
+//!   deterministic shard rank in ascending fine-net order; and the
+//!   coarse net shares are routed owner-computes again.
+//! * **Refinement** — sigma rows cover every locally visible net (an
+//!   owned net's row is exact via the ghost-part cache; a stub's row is
+//!   kept exact by per-move delta events from the net's owner), so an
+//!   owner rank's gains are exact. Verdicts are decided by each move's
+//!   owner against the evolving state and broadcast; replicated part
+//!   *weights* (an O(k) vector, not O(n)) update in lockstep on every
+//!   rank through the proposal payloads.
 //!
 //! Once the current level has at most `cfg.dist.gather_threshold`
 //! vertices it is gathered onto every rank and the remaining levels run
 //! the replicated code paths verbatim (coarse hypergraphs are tiny).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
-use dlb_disthg::DistHypergraph;
+use dlb_disthg::{DistHypergraph, GhostExchange, GhostHalo, NetShare};
 use dlb_hypergraph::{parallel, Hypergraph, PartId};
 use dlb_mpisim::{BlockDist, Comm};
 use rand::rngs::StdRng;
@@ -40,11 +54,8 @@ use crate::coarsen::{contract_threads, CoarseLevel};
 use crate::config::{CoarseningConfig, Config, PartTargets, RefinementConfig};
 use crate::fixed::FixedAssignment;
 use crate::initial::{initial_partition, score};
-use crate::matching::Matching;
-use crate::par::matching::{
-    par_ipm_matching_threads, Proposal, CANDIDATE_FRACTION, MAX_ROUNDS,
-};
-use crate::par::refine::par_refine;
+use crate::par::matching::{draw_candidates, par_ipm_matching_threads, Proposal, MAX_ROUNDS};
+use crate::par::refine::{accepts_proposal, accepts_revalidated, par_refine};
 use crate::refine::{refine_threads, RefineScratch};
 
 /// Per-rank memory/communication figures of one distributed V-cycle.
@@ -56,18 +67,24 @@ pub struct DistStats {
     pub peak_local_pins: usize,
     /// Sum of local pin counts over all simultaneously-alive
     /// distributed levels — the rank's peak pin storage for the cycle,
-    /// including ghost copies of remote pins.
+    /// including stub copies of its own pins under remote nets.
     pub total_local_pins: usize,
     /// Sum over levels of the *owned* (canonical) pin storage — each
     /// net counted once, at its owner, so the per-level sum across
-    /// ranks equals the hypergraph's pin count. This is the share of
-    /// storage that scales as `|pins|/p` regardless of net locality;
-    /// `total_local_pins - total_owned_pins` is the ghost-copy
-    /// overhead, which shrinks with rank count only when the vertex
-    /// order localizes nets (meshes, banded matrices).
+    /// ranks equals the hypergraph's pin count.
     pub total_owned_pins: usize,
     /// Largest ghost count of any distributed level.
     pub peak_ghosts: usize,
+    /// Sum over levels of the rank's **total** resident bytes: pin
+    /// storage (owned lists + stubs + transpose), per-net metadata, and
+    /// every per-vertex array the driver holds (owned weight/size/fixed
+    /// blocks, auxiliary load columns, the partition slice, the
+    /// fine→coarse map, and the ghost-part cache). This is the
+    /// end-to-end memory-scaling figure of merit: it must shrink with
+    /// the rank count on any input, localized or not.
+    pub total_resident_bytes: usize,
+    /// Largest per-level resident byte count (same accounting).
+    pub peak_resident_bytes: usize,
     /// Vertex count at which the hypergraph was gathered (0 = the input
     /// was already at or below the threshold; never distributed).
     pub gathered_vertices: usize,
@@ -80,101 +97,170 @@ impl DistStats {
         self.total_local_pins += d.dh.local_pin_count();
         self.total_owned_pins += d.dh.owned_pin_count();
         self.peak_ghosts = self.peak_ghosts.max(d.dh.ghosts().len());
+        let bytes = d.resident_bytes();
+        self.total_resident_bytes += bytes;
+        self.peak_resident_bytes = self.peak_resident_bytes.max(bytes);
     }
 }
 
-/// One level held in distributed form: block-distributed pin storage
-/// plus the replicated O(n) vertex attributes the mirrored kernels need.
+/// One level held in distributed form: owner-computes pin storage plus
+/// this rank's *owned block* of every per-vertex attribute. Nothing in
+/// a `DistLevel` is proportional to the global vertex count.
 #[derive(Clone)]
 struct DistLevel {
     dh: DistHypergraph,
-    /// Replicated primary vertex weights (`vwgt[v]` for every global `v`).
-    vwgt: Vec<f64>,
-    /// Replicated auxiliary load columns (`aux[c-1][v]` is constraint `c`
-    /// of vertex `v`); empty in the scalar pipeline.
+    /// Owned auxiliary load columns (`aux[c-1][off]` is constraint `c`
+    /// of owned vertex `start + off`); empty in the scalar pipeline.
     aux: Vec<Vec<f64>>,
-    /// Replicated vertex sizes (data-migration volumes).
+    /// Owned vertex sizes (data-migration volumes).
     vsize: Vec<f64>,
-    /// Replicated fixed-vertex constraint.
-    fixed: FixedAssignment,
+    /// Owned fixed-vertex constraints.
+    fixed: Vec<Option<PartId>>,
 }
 
 impl DistLevel {
     fn from_replicated(h: &Hypergraph, fixed: &FixedAssignment, rank: usize, size: usize) -> Self {
+        let dh = DistHypergraph::from_replicated(h, rank, size);
+        let my_range = dh.my_range();
         DistLevel {
-            dh: DistHypergraph::from_replicated(h, rank, size),
-            vwgt: h.loads().scalar().to_vec(),
-            aux: (1..h.load_arity()).map(|c| h.loads().constraint(c).to_vec()).collect(),
-            vsize: h.vertex_sizes().to_vec(),
-            fixed: fixed.clone(),
+            aux: (1..h.load_arity())
+                .map(|c| h.loads().constraint(c)[my_range.clone()].to_vec())
+                .collect(),
+            vsize: h.vertex_sizes()[my_range.clone()].to_vec(),
+            fixed: my_range.clone().map(|v| fixed.get(v)).collect(),
+            dh,
         }
+    }
+
+    /// Fixed constraint of owned offset `off` as the wire encoding
+    /// (-1 = free) used by matching candidate records.
+    #[inline]
+    fn fixed_i64(&self, off: usize) -> i64 {
+        self.fixed[off].map_or(-1, |p| p as i64)
+    }
+
+    /// Total bytes this rank keeps resident for the level: the
+    /// hypergraph share plus the owned per-vertex blocks the driver
+    /// carries (vertex size, fixed flag, partition slice, fine→coarse
+    /// map entry, auxiliary columns) and the ghost-part cache.
+    fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let owned = self.dh.my_range().len();
+        self.dh.resident_bytes()
+            + owned * (size_of::<f64>() + size_of::<Option<PartId>>() + 2 * size_of::<usize>())
+            + self.aux.len() * owned * size_of::<f64>()
+            + std::mem::size_of_val(self.dh.ghosts())
     }
 
     /// Gathers the full hypergraph onto every rank (collective).
     fn gather(&self, comm: &mut Comm) -> (Hypergraph, FixedAssignment) {
         let mut gh = self.dh.gather_replicated(comm);
-        gh.set_vertex_sizes(self.vsize.clone());
+        let vsizes: Vec<f64> = comm.allgather(self.vsize.clone()).into_iter().flatten().collect();
+        gh.set_vertex_sizes(vsizes);
         if !self.aux.is_empty() {
-            // The gathered replica only carries the scalar column; restore
-            // the full load vectors so the replicated coarse solve sees
-            // every constraint.
+            // The gathered replica only carries the scalar column;
+            // restore the full load vectors so the replicated coarse
+            // solve sees every constraint.
             let mut columns = Vec::with_capacity(1 + self.aux.len());
-            columns.push(self.vwgt.clone());
-            columns.extend(self.aux.iter().cloned());
+            columns.push(gh.loads().scalar().to_vec());
+            for col in &self.aux {
+                columns.push(comm.allgather(col.clone()).into_iter().flatten().collect());
+            }
             gh.set_loads(dlb_hypergraph::VertexLoads::from_columns(columns));
         }
-        (gh, self.fixed.clone())
+        let fixed_opts: Vec<Option<PartId>> =
+            comm.allgather(self.fixed.clone()).into_iter().flatten().collect();
+        (gh, FixedAssignment::from_options(&fixed_opts))
     }
 }
 
+/// A matching over block-distributed vertices: `mate[off]` is the
+/// global mate of owned vertex `start + off` (itself if unmatched).
+struct DistMatching {
+    mate: Vec<usize>,
+    /// Global pair count (identical on every rank).
+    num_pairs: usize,
+}
+
+impl DistMatching {
+    fn coarse_count(&self, n: usize) -> usize {
+        n - self.num_pairs
+    }
+}
+
+/// A matching candidate on the wire: the vertex, its fixed constraint
+/// (-1 = free), and its complete incidence list as ascending global net
+/// ids — attached by the owner rank, whose transpose is complete for
+/// owned vertices.
+type CandRecord = (usize, i64, Vec<usize>);
+
 /// One level of distributed matching — the exact mirror of the serial
 /// selection path of [`par_ipm_matching_threads`], reading net structure
-/// through the distributed storage. Nets a rank cannot see contain none
-/// of its owned vertices, so its proposals are unchanged.
+/// through the owner-computes storage. A net this rank cannot see
+/// contains none of its owned vertices, so its proposals are unchanged.
 fn dist_ipm_matching(
     comm: &mut Comm,
     d: &DistLevel,
     cfg: &CoarseningConfig,
     rng: &mut StdRng,
-) -> Matching {
+) -> DistMatching {
     if cfg.local_ipm {
         return dist_local_ipm_matching(comm, d, cfg, rng);
     }
-    let n = d.dh.num_vertices();
     let my_range = d.dh.my_range();
+    let start = my_range.start;
+    let owned = my_range.len();
     let shared_draw: u64 = rng.gen();
     let mut my_rng = StdRng::seed_from_u64(
         shared_draw ^ (comm.rank() as u64).wrapping_mul(0xA5A5_5A5A_DEAD_BEEF),
     );
 
-    let mut mate: Vec<usize> = (0..n).collect();
+    let mut mate: Vec<usize> = my_range.clone().collect();
     let mut num_pairs = 0usize;
-    let mut scores = vec![0.0f64; n];
+    let mut scores = vec![0.0f64; owned];
     let mut touched: Vec<usize> = Vec::new();
 
     for _round in 0..MAX_ROUNDS {
-        let mut my_unmatched: Vec<usize> = my_range.clone().filter(|&v| mate[v] == v).collect();
-        my_unmatched.shuffle(&mut my_rng);
-        let ncand = ((my_unmatched.len() as f64 * CANDIDATE_FRACTION).ceil() as usize)
-            .min(my_unmatched.len());
-        let mut my_cands = my_unmatched[..ncand].to_vec();
-        my_cands.sort_unstable();
-
-        let all_cands: Vec<usize> = comm.allgather(my_cands).into_iter().flatten().collect();
-        if all_cands.is_empty() {
-            break;
-        }
-
-        let mut taken = vec![false; n];
-        let proposals: Vec<(f64, usize, usize)> = all_cands
+        let my_unmatched: Vec<usize> =
+            my_range.clone().filter(|&v| mate[v - start] == v).collect();
+        let my_cands = draw_candidates(my_unmatched, &mut my_rng);
+        let my_records: Vec<CandRecord> = my_cands
             .iter()
             .map(|&u| {
+                let gids: Vec<usize> = d
+                    .dh
+                    .vertex_local_nets(u)
+                    .iter()
+                    .map(|&lj| d.dh.net_global_id(lj))
+                    .collect();
+                (u, d.fixed_i64(u - start), gids)
+            })
+            .collect();
+        let records: Vec<CandRecord> =
+            comm.allgather(my_records).into_iter().flatten().collect();
+        if records.is_empty() {
+            break;
+        }
+        let cand_ids: Vec<usize> = records.iter().map(|r| r.0).collect();
+
+        let mut taken = vec![false; owned];
+        let proposals: Vec<(f64, usize, usize)> = records
+            .iter()
+            .map(|(u, u_fixed, gids)| {
                 let best = dist_best_owned_partner(
-                    &d.dh, u, &mate, &taken, &d.fixed, cfg, &my_range, &mut scores, &mut touched,
+                    d,
+                    *u,
+                    *u_fixed,
+                    gids.iter().filter_map(|&g| d.dh.local_net_index(g)),
+                    &mate,
+                    &taken,
+                    cfg,
+                    &mut scores,
+                    &mut touched,
                 );
                 match best {
-                    Some((w, s)) if !all_cands.contains(&w) || w > u => {
-                        taken[w] = true;
+                    Some((w, s)) if !cand_ids.contains(&w) || w > *u => {
+                        taken[w - start] = true;
                         (s, comm.rank(), w)
                     }
                     _ => (Proposal::NONE.score, Proposal::NONE.rank, Proposal::NONE.partner),
@@ -189,17 +275,27 @@ fn dist_ipm_matching(
             (w.score, w.rank, w.partner)
         });
 
+        // Candidates and their scored partners are all unmatched at
+        // round start, so "mate[x] != x by now" (the replicated apply
+        // guard) is exactly "x was matched earlier in this loop".
+        let mut newly: HashSet<usize> = HashSet::new();
         let mut matched_this_round = 0usize;
-        for (&u, &(score, rank, partner)) in all_cands.iter().zip(&winners) {
-            if rank == usize::MAX || score <= 0.0 {
+        for (rec, &(win_score, win_rank, partner)) in records.iter().zip(&winners) {
+            let u = rec.0;
+            if win_rank == usize::MAX || win_score <= 0.0 {
                 continue;
             }
-            if mate[u] != u || mate[partner] != partner || u == partner {
+            if newly.contains(&u) || newly.contains(&partner) || u == partner {
                 continue;
             }
-            debug_assert!(d.fixed.compatible(u, partner));
-            mate[u] = partner;
-            mate[partner] = u;
+            newly.insert(u);
+            newly.insert(partner);
+            if my_range.contains(&u) {
+                mate[u - start] = partner;
+            }
+            if my_range.contains(&partner) {
+                mate[partner - start] = u;
+            }
             num_pairs += 1;
             matched_this_round += 1;
         }
@@ -208,104 +304,119 @@ fn dist_ipm_matching(
         }
     }
 
-    Matching { mate, num_pairs }
+    DistMatching { mate, num_pairs }
 }
 
-/// Mirror of `best_owned_partner` over distributed storage. For any
-/// candidate `u`, the nets absent from this rank contain no pins in
-/// `range`, so accumulation and first-touch order match the replicated
-/// loop exactly. A candidate unknown to this rank simply scores nobody.
+/// Mirror of `best_owned_partner` over owner-computes storage. The
+/// caller supplies `u`'s incidence as an iterator of *local* net
+/// indices (for a global candidate: its net-id list filtered through
+/// [`DistHypergraph::local_net_index`] — absent nets contain none of
+/// this rank's vertices and contribute nothing). Stub pin lists hold
+/// this rank's pins in net order, so accumulation and first-touch
+/// order match the replicated loop restricted to the owned range
+/// exactly. `mate`, `taken` and `scores` are indexed by owned offset.
 #[allow(clippy::too_many_arguments)]
 fn dist_best_owned_partner(
-    dh: &DistHypergraph,
+    d: &DistLevel,
     u: usize,
+    u_fixed: i64,
+    net_iter: impl Iterator<Item = usize>,
     mate: &[usize],
     taken: &[bool],
-    fixed: &FixedAssignment,
     cfg: &CoarseningConfig,
-    range: &std::ops::Range<usize>,
     scores: &mut [f64],
     touched: &mut Vec<usize>,
 ) -> Option<(usize, f64)> {
+    let my_range = d.dh.my_range();
+    let start = my_range.start;
     touched.clear();
-    for &lj in dh.vertex_local_nets(u) {
-        let size = dh.net_size(lj);
+    for lj in net_iter {
+        let size = d.dh.net_size(lj);
         if size < 2 || size > cfg.max_net_size_for_matching {
             continue;
         }
         let contrib = if cfg.scaled_ipm {
-            dh.net_cost(lj) / (size - 1) as f64
+            d.dh.net_cost(lj) / (size - 1) as f64
         } else {
-            dh.net_cost(lj)
+            d.dh.net_cost(lj)
         };
         if contrib <= 0.0 {
             continue;
         }
-        for &w in dh.net_pins(lj) {
-            if w == u || !range.contains(&w) || mate[w] != w || taken[w] {
+        for &w in d.dh.net_pins(lj) {
+            if w == u || !my_range.contains(&w) {
                 continue;
             }
-            if scores[w] == 0.0 {
-                touched.push(w);
+            let off = w - start;
+            if mate[off] != w || taken[off] {
+                continue;
             }
-            scores[w] += contrib;
+            if scores[off] == 0.0 {
+                touched.push(off);
+            }
+            scores[off] += contrib;
         }
     }
     let mut best: Option<(usize, f64)> = None;
-    for &w in touched.iter() {
-        let s = scores[w];
-        scores[w] = 0.0;
-        if fixed.compatible(u, w) && best.is_none_or(|(_, bs)| s > bs) {
-            best = Some((w, s));
+    for &off in touched.iter() {
+        let s = scores[off];
+        scores[off] = 0.0;
+        let w_fixed = d.fixed_i64(off);
+        let compatible = u_fixed < 0 || w_fixed < 0 || u_fixed == w_fixed;
+        if compatible && best.is_none_or(|(_, bs)| s > bs) {
+            best = Some((start + off, s));
         }
     }
     best
 }
 
-/// Mirror of `par_local_ipm_matching` over distributed storage: greedy
-/// rank-local matching merged with one all-gather.
+/// Mirror of `par_local_ipm_matching` over owner-computes storage:
+/// greedy rank-local matching. Both endpoints of every pair are owned,
+/// so the only communication is the global pair count.
 fn dist_local_ipm_matching(
     comm: &mut Comm,
     d: &DistLevel,
     cfg: &CoarseningConfig,
     rng: &mut StdRng,
-) -> Matching {
-    let n = d.dh.num_vertices();
+) -> DistMatching {
     let my_range = d.dh.my_range();
+    let start = my_range.start;
+    let owned = my_range.len();
     let shared_draw: u64 = rng.gen();
     let mut my_rng = StdRng::seed_from_u64(
         shared_draw ^ (comm.rank() as u64).wrapping_mul(0x0BAD_CAFE_F00D_BEEF),
     );
 
-    let mut mate: Vec<usize> = (0..n).collect();
-    let mut scores = vec![0.0f64; n];
+    let mut mate: Vec<usize> = my_range.clone().collect();
+    let mut scores = vec![0.0f64; owned];
     let mut touched: Vec<usize> = Vec::new();
-    let taken = vec![false; n];
+    let taken = vec![false; owned];
 
     let mut order: Vec<usize> = my_range.clone().collect();
     order.shuffle(&mut my_rng);
-    let mut my_pairs: Vec<(usize, usize)> = Vec::new();
+    let mut local_pairs = 0usize;
     for &u in &order {
-        if mate[u] != u {
+        if mate[u - start] != u {
             continue;
         }
         if let Some((w, _)) = dist_best_owned_partner(
-            &d.dh, u, &mate, &taken, &d.fixed, cfg, &my_range, &mut scores, &mut touched,
+            d,
+            u,
+            d.fixed_i64(u - start),
+            d.dh.vertex_local_nets(u).iter().copied(),
+            &mate,
+            &taken,
+            cfg,
+            &mut scores,
+            &mut touched,
         ) {
-            mate[u] = w;
-            mate[w] = u;
-            my_pairs.push((u.min(w), u.max(w)));
+            mate[u - start] = w;
+            mate[w - start] = u;
+            local_pairs += 1;
         }
     }
-
-    let all_pairs: Vec<(usize, usize)> = comm.allgather(my_pairs).into_iter().flatten().collect();
-    let mut mate: Vec<usize> = (0..n).collect();
-    for &(u, w) in &all_pairs {
-        debug_assert!(mate[u] == u && mate[w] == w, "ranks produced overlapping pairs");
-        mate[u] = w;
-        mate[w] = u;
-    }
-    Matching { mate, num_pairs: all_pairs.len() }
+    let num_pairs = comm.allreduce(local_pairs, |a, b| a + b);
+    DistMatching { mate, num_pairs }
 }
 
 /// Deterministic shard rank for a coarse pin-set: every copy of an
@@ -320,80 +431,165 @@ fn pinset_shard(pins: &[usize], nranks: usize) -> usize {
     (hash % nranks as u64) as usize
 }
 
-/// Distributed contraction: builds the coarse level without any rank
-/// materializing the full coarse pin set. The coarse hypergraph equals
-/// the replicated [`contract_threads`] output net-for-net:
-///
-/// 1. Vertex-level data (fine→coarse map, coarse weights/sizes/fixed)
-///    is O(n) and computed replicated, exactly as the serial code does.
-/// 2. Each fine net's owner remaps, sorts and dedups its pins (dropping
-///    sub-2-pin nets) and submits `(fine_id, cost, pins)` to the
-///    pin-set's shard rank.
-/// 3. The shard processes its submissions in ascending fine-net order —
-///    the replicated collapse order — so per-group cost sums are
-///    bitwise identical, keyed by the group's first fine net.
-/// 4. Coarse net ids are the positions of those first-occurrence keys
-///    in globally sorted order, which reproduces the replicated
-///    first-occurrence numbering; each coarse net is then routed to
-///    every rank owning one of its pins.
-fn dist_contract(comm: &mut Comm, d: &DistLevel, matching: &Matching) -> (DistLevel, Vec<usize>) {
-    let n = d.dh.num_vertices();
-    debug_assert!(matching.validate(&d.fixed).is_ok());
+/// Values pulled once for a sorted, deduplicated id list; resolved by
+/// binary search.
+struct RemoteLookup {
+    ids: Vec<usize>,
+    vals: Vec<usize>,
+}
 
-    // Replicated vertex-level contraction (same as the serial code).
-    let mut fine_to_coarse = vec![usize::MAX; n];
-    let mut next = 0usize;
-    for v in 0..n {
-        let m = matching.mate[v];
-        if m >= v {
-            fine_to_coarse[v] = next;
-            if m != v {
-                fine_to_coarse[m] = next;
-            }
+impl RemoteLookup {
+    fn get(&self, id: usize) -> usize {
+        self.vals[self.ids.binary_search(&id).expect("id was pulled")]
+    }
+}
+
+/// Fetches `owned_vals[offset]` from the owner of each remote id in
+/// `ids` (collective — every rank must call, even with no ids). `ids`
+/// must be sorted, deduplicated, and contain no locally owned vertex.
+fn pull_remote(
+    comm: &mut Comm,
+    dist: &BlockDist,
+    ids: Vec<usize>,
+    owned_vals: &[usize],
+) -> RemoteLookup {
+    debug_assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    let exch = GhostExchange::build_for_ids(comm, dist, &ids);
+    let vals = exch.pull(comm, owned_vals);
+    RemoteLookup { ids, vals }
+}
+
+/// Distinct owner ranks of local net `lj`'s pins, ascending. Only
+/// meaningful on the net's owner (which stores the full pin list).
+fn pin_owner_ranks(dh: &DistHypergraph, lj: usize, owners: &mut Vec<usize>) {
+    debug_assert!(dh.owns_net(lj));
+    let vdist = dh.vertex_dist();
+    owners.clear();
+    owners.extend(dh.net_pins(lj).iter().map(|&w| vdist.owner(w)));
+    owners.sort_unstable();
+    owners.dedup();
+}
+
+/// Distributed contraction: builds the coarse level without any rank
+/// materializing a replicated coarse hypergraph **or** a replicated
+/// fine→coarse map. The coarse hypergraph equals the replicated
+/// [`contract_threads`] output net-for-net:
+///
+/// 1. Representatives (`mate >= self`) take coarse ids in ascending
+///    fine order; per-rank representative counts are prefix-summed so
+///    the global numbering matches the replicated scan. Non-reps copy
+///    their mate's id, pulling it from the mate's owner if remote.
+/// 2. Per-coarse-vertex attributes (weight, size, fixed flag,
+///    auxiliary loads) are routed to the coarse owner and accumulated
+///    in ascending fine order — at most two contributions per coarse
+///    vertex, the replicated add order.
+/// 3. Each fine net's owner remaps, sorts and dedups its pins (ghost
+///    pins through a one-shot f2c halo pull), drops sub-2-pin nets and
+///    submits `(fine_id, cost, pins)` to the pin-set's shard rank.
+/// 4. The shard collapses duplicates in ascending fine-net order — the
+///    replicated fold — keyed by the group's first fine net; coarse net
+///    ids are the positions of those keys in globally sorted order.
+/// 5. Each surviving coarse net is routed owner-computes: the full pin
+///    list to its owner rank, a stub (that rank's own pins, which form
+///    one contiguous run of the sorted list) to every other pin-owning
+///    rank.
+fn dist_contract(
+    comm: &mut Comm,
+    d: &DistLevel,
+    matching: &DistMatching,
+) -> (DistLevel, Vec<usize>) {
+    let dh = &d.dh;
+    let my_range = dh.my_range();
+    let start = my_range.start;
+    let owned = my_range.len();
+    let nranks = comm.size();
+    let vdist = dh.vertex_dist();
+
+    // --- Global coarse numbering. ---
+    let my_reps = (0..owned).filter(|&i| matching.mate[i] >= start + i).count();
+    let rep_counts = comm.allgather(my_reps);
+    let nc: usize = rep_counts.iter().sum();
+    let my_base: usize = rep_counts[..comm.rank()].iter().sum();
+    let mut f2c = vec![usize::MAX; owned];
+    let mut next = my_base;
+    for i in 0..owned {
+        if matching.mate[i] >= start + i {
+            f2c[i] = next;
             next += 1;
         }
     }
-    let nc = next;
-    let mut cw = vec![0.0f64; nc];
-    let mut cs = vec![0.0f64; nc];
-    let mut cfixed_opts: Vec<Option<usize>> = vec![None; nc];
-    for v in 0..n {
-        let c = fine_to_coarse[v];
-        cw[c] += d.vwgt[v];
-        cs[c] += d.vsize[v];
-        if let Some(p) = d.fixed.get(v) {
-            debug_assert!(cfixed_opts[c].is_none_or(|q| q == p));
-            cfixed_opts[c] = Some(p);
+    let mut remote_mates: Vec<usize> = (0..owned)
+        .filter(|&i| matching.mate[i] < start + i && !my_range.contains(&matching.mate[i]))
+        .map(|i| matching.mate[i])
+        .collect();
+    remote_mates.sort_unstable();
+    remote_mates.dedup();
+    // A non-rep's mate is a representative at its owner, so its coarse
+    // id is already assigned there.
+    let mate_lookup = pull_remote(comm, &vdist, remote_mates, &f2c);
+    for i in 0..owned {
+        let m = matching.mate[i];
+        if m < start + i {
+            f2c[i] = if my_range.contains(&m) { f2c[m - start] } else { mate_lookup.get(m) };
         }
-    }
-    // Auxiliary constraints sum per coarse vertex in the same fine order
-    // (separate gated loop: the scalar pipeline adds no float ops).
-    let mut caux: Vec<Vec<f64>> = Vec::with_capacity(d.aux.len());
-    for col in &d.aux {
-        let mut cc = vec![0.0f64; nc];
-        for v in 0..n {
-            cc[fine_to_coarse[v]] += col[v];
-        }
-        caux.push(cc);
     }
 
-    // Owners submit remapped nets to their pin-set's shard rank.
-    let nranks = comm.size();
-    let mut outgoing: Vec<Vec<(usize, f64, Vec<usize>)>> = (0..nranks).map(|_| Vec::new()).collect();
+    // --- Coarse per-vertex attributes, accumulated at the coarse
+    // owner in ascending fine order. ---
+    let cdist = BlockDist::new(nc, nranks);
+    let crange = cdist.range(comm.rank());
+    let vwgt = dh.owned_weights();
+    // (coarse id, fine id, weight, size, fixed-as-i64, aux values).
+    type CoarseContribution = (usize, usize, f64, f64, i64, Vec<f64>);
+    let mut contrib: Vec<Vec<CoarseContribution>> = (0..nranks).map(|_| Vec::new()).collect();
+    for i in 0..owned {
+        let c = f2c[i];
+        let aux_vals: Vec<f64> = d.aux.iter().map(|col| col[i]).collect();
+        contrib[cdist.owner(c)].push((c, start + i, vwgt[i], d.vsize[i], d.fixed_i64(i), aux_vals));
+    }
+    let mut incoming: Vec<CoarseContribution> =
+        comm.alltoallv(contrib).into_iter().flatten().collect();
+    incoming.sort_unstable_by_key(|r| r.1);
+    let cown = crange.len();
+    let mut cw = vec![0.0f64; cown];
+    let mut cs = vec![0.0f64; cown];
+    let mut cfixed: Vec<Option<PartId>> = vec![None; cown];
+    let mut caux: Vec<Vec<f64>> = (0..d.aux.len()).map(|_| vec![0.0f64; cown]).collect();
+    for (c, _v, w, s, fx, aux_vals) in incoming {
+        let off = c - crange.start;
+        cw[off] += w;
+        cs[off] += s;
+        if fx >= 0 {
+            debug_assert!(cfixed[off].is_none_or(|q| q == fx as usize));
+            cfixed[off] = Some(fx as PartId);
+        }
+        for (col, &a) in aux_vals.iter().enumerate() {
+            caux[col][off] += a;
+        }
+    }
+
+    // --- Net remap and shard submission. ---
+    let exch = GhostExchange::build(comm, dh);
+    let ghost_f2c = exch.pull(comm, &f2c);
+    let mut outgoing: Vec<Vec<(usize, f64, Vec<usize>)>> =
+        (0..nranks).map(|_| Vec::new()).collect();
     let mut pins: Vec<usize> = Vec::new();
-    for lj in 0..d.dh.num_local_nets() {
-        if !d.dh.owns_net(lj) {
+    for lj in 0..dh.num_local_nets() {
+        if !dh.owns_net(lj) {
             continue;
         }
         pins.clear();
-        pins.extend(d.dh.net_pins(lj).iter().map(|&v| fine_to_coarse[v]));
+        for &v in dh.net_pins(lj) {
+            let s = dh.slot(v).expect("pin has a slot");
+            pins.push(if s < owned { f2c[s] } else { ghost_f2c[s - owned] });
+        }
         pins.sort_unstable();
         pins.dedup();
         if pins.len() < 2 {
             continue;
         }
         let shard = pinset_shard(&pins, nranks);
-        outgoing[shard].push((d.dh.net_global_id(lj), d.dh.net_cost(lj), pins.clone()));
+        outgoing[shard].push((dh.net_global_id(lj), dh.net_cost(lj), pins.clone()));
     }
     let mut submitted: Vec<(usize, f64, Vec<usize>)> =
         comm.alltoallv(outgoing).into_iter().flatten().collect();
@@ -413,60 +609,49 @@ fn dist_contract(comm: &mut Comm, d: &DistLevel, matching: &Matching) -> (DistLe
         }
     }
 
-    // Global coarse ids: the replicated construction appends a group
-    // the first time its pin-set occurs while scanning fine nets in
-    // order, so sorting the first-occurrence keys reproduces its ids.
+    // Global coarse net ids: the replicated construction appends a
+    // group the first time its pin-set occurs while scanning fine nets
+    // in order, so sorting the first-occurrence keys reproduces its ids.
     let my_keys: Vec<usize> = groups.iter().map(|g| g.0).collect();
     let mut all_keys: Vec<usize> = comm.allgather(my_keys).into_iter().flatten().collect();
     all_keys.sort_unstable();
     let num_coarse_nets = all_keys.len();
 
-    // Route each coarse net to every rank owning one of its pins.
-    let cdist = BlockDist::new(nc, nranks);
-    let mut routed: Vec<Vec<(usize, f64, Vec<usize>)>> = (0..nranks).map(|_| Vec::new()).collect();
+    // --- Owner-computes share routing. The pin list is sorted, so
+    // each rank's pins form one contiguous run. ---
+    let mut routed: Vec<Vec<NetShare>> = (0..nranks).map(|_| Vec::new()).collect();
+    let mut runs: Vec<(usize, usize, usize)> = Vec::new();
     for (min_j, cost, net) in groups {
         let cid = all_keys.binary_search(&min_j).expect("group key is present");
-        let mut prev = usize::MAX;
-        for &cv in &net {
-            let owner = cdist.owner(cv);
-            // Pins are sorted, so owner ranks arrive grouped.
-            if owner != prev {
-                routed[owner].push((cid, cost, net.clone()));
-                prev = owner;
+        runs.clear();
+        let mut s = 0usize;
+        while s < net.len() {
+            let r = cdist.owner(net[s]);
+            let mut e = s + 1;
+            while e < net.len() && cdist.owner(net[e]) == r {
+                e += 1;
             }
+            runs.push((r, s, e));
+            s = e;
+        }
+        // Rotate ownership over the distinct pin-holding ranks rather
+        // than pin positions: coarsening concentrates pins on a few
+        // high-degree coarse vertices, and a position-based rotation
+        // would hand those ranks most full pin-list copies on top of
+        // their already-large stub shares.
+        let owner = runs[cid % runs.len()].0;
+        let global_size = net.len();
+        for &(r, s, e) in &runs {
+            let share_pins = if r == owner { net.clone() } else { net[s..e].to_vec() };
+            routed[r].push(NetShare { gid: cid, cost, global_size, owner, pins: share_pins });
         }
     }
-    let mut local: Vec<(usize, f64, Vec<usize>)> =
-        comm.alltoallv(routed).into_iter().flatten().collect();
-    local.sort_unstable_by_key(|&(cid, _, _)| cid);
-
-    let mut net_ids = Vec::with_capacity(local.len());
-    let mut cost = Vec::with_capacity(local.len());
-    let mut nets = Vec::with_capacity(local.len());
-    for (cid, c, net) in local {
-        net_ids.push(cid);
-        cost.push(c);
-        nets.push(net);
-    }
-    let owned_wgt = cw[cdist.range(comm.rank())].to_vec();
-    let dh = DistHypergraph::from_local_nets(
-        nc,
-        num_coarse_nets,
-        comm.rank(),
-        nranks,
-        net_ids,
-        cost,
-        nets,
-        owned_wgt,
-    );
-    let coarse = DistLevel {
-        dh,
-        vwgt: cw,
-        aux: caux,
-        vsize: cs,
-        fixed: FixedAssignment::from_options(&cfixed_opts),
-    };
-    (coarse, fine_to_coarse)
+    let mut shares: Vec<NetShare> = comm.alltoallv(routed).into_iter().flatten().collect();
+    shares.sort_unstable_by_key(|s| s.gid);
+    let dh_coarse =
+        DistHypergraph::from_local_nets(nc, num_coarse_nets, comm.rank(), nranks, shares, cw);
+    let coarse = DistLevel { dh: dh_coarse, aux: caux, vsize: cs, fixed: cfixed };
+    (coarse, f2c)
 }
 
 /// Mirror of `MoveScratch` (its fields are private to `refine`).
@@ -483,65 +668,117 @@ impl DistMoveScratch {
     }
 }
 
-/// Partition state over distributed pin storage: sigma rows exist only
-/// for locally visible nets; the partition vector and part weights stay
-/// replicated (the replicated weight fold is part of the bit-identity
-/// contract — see `PartitionState::new_threads`).
+/// Replicated part-weight vectors from distributed per-vertex data
+/// (collective). The scalar column folds on the global `DEFAULT_CHUNK`
+/// grid — bitwise identical to `PartitionState::new`'s partial-then-
+/// fold — and each auxiliary column folds serially, matching the gated
+/// serial accumulation of `PartitionState::new_threads`.
+fn fold_part_weights(
+    comm: &mut Comm,
+    level: &DistLevel,
+    k: usize,
+    part: &[PartId],
+) -> (Vec<f64>, Vec<f64>) {
+    let start = level.dh.my_range().start;
+    let vwgt = level.dh.owned_weights();
+    let weights =
+        comm.fold_blocked(k, start, part.len(), Some(parallel::DEFAULT_CHUNK), |v, acc| {
+            acc[part[v - start]] += vwgt[v - start];
+        });
+    let mut aux_weights = Vec::new();
+    for col in &level.aux {
+        let col_w = comm.fold_blocked(k, start, part.len(), None, |v, acc| {
+            acc[part[v - start]] += col[v - start];
+        });
+        aux_weights.extend(col_w);
+    }
+    (weights, aux_weights)
+}
+
+/// Partition state over owner-computes storage. Sigma rows exist for
+/// every locally visible net and always hold the net's **global** part
+/// distribution (owned nets count their ghost pins through the halo
+/// cache; stub rows are seeded by the owner and patched by per-move
+/// delta events). The O(k) part-weight vectors are replicated and kept
+/// in bitwise lockstep on every rank; the partition vector itself is
+/// owned-block only.
 struct DistState<'a> {
     level: &'a DistLevel,
     k: usize,
-    /// `sigma[lj*k + p]` = pins of local net `lj` in part `p`.
+    /// `sigma[lj*k + p]` = pins of local net `lj` in part `p`
+    /// (global count, including pins this rank does not store).
     sigma: Vec<u32>,
     weights: Vec<f64>,
     /// Per-part auxiliary loads, `aux_weights[(c-1)*k + p]`; empty when
-    /// the level carries no auxiliary columns (mirror of
-    /// `PartitionState::aux_weights`).
+    /// the level carries no auxiliary columns.
     aux_weights: Vec<f64>,
+    /// Parts of this rank's owned vertices (indexed by owned offset).
     part: Vec<PartId>,
 }
 
 impl<'a> DistState<'a> {
-    fn new(level: &'a DistLevel, k: usize, part: Vec<PartId>) -> Self {
-        assert_eq!(part.len(), level.dh.num_vertices());
-        let mut sigma = vec![0u32; level.dh.num_local_nets() * k];
-        for lj in 0..level.dh.num_local_nets() {
-            for &v in level.dh.net_pins(lj) {
-                sigma[lj * k + part[v]] += 1;
+    /// Builds the shared state (collective): first halo pull seeds the
+    /// ghost-part cache, owners compute exact rows for their nets and
+    /// send each stub holder its copy, and the part weights fold in the
+    /// replicated order.
+    fn new(
+        comm: &mut Comm,
+        halo: &mut GhostHalo<PartId>,
+        level: &'a DistLevel,
+        k: usize,
+        part: Vec<PartId>,
+    ) -> Self {
+        let dh = &level.dh;
+        let owned = dh.my_range().len();
+        assert_eq!(part.len(), owned);
+        let ghost_part: Vec<PartId> = halo.sync(comm, &part).to_vec();
+        let mut sigma = vec![0u32; dh.num_local_nets() * k];
+        let mut row_msgs: Vec<Vec<(usize, Vec<u32>)>> =
+            (0..comm.size()).map(|_| Vec::new()).collect();
+        let mut owners: Vec<usize> = Vec::new();
+        for lj in 0..dh.num_local_nets() {
+            if !dh.owns_net(lj) {
+                continue;
             }
-        }
-        // Chunk-folded exactly like `PartitionState::new` so the f64
-        // weights are bitwise identical to the replicated state's.
-        let part_ref = &part;
-        let partials = parallel::map_chunks(
-            1,
-            part.len(),
-            parallel::DEFAULT_CHUNK,
-            |_, range| {
-                let mut local = vec![0.0f64; k];
-                for v in range {
-                    local[part_ref[v]] += level.vwgt[v];
-                }
-                local
-            },
-        );
-        let mut weights = vec![0.0f64; k];
-        for local in partials {
-            for p in 0..k {
-                weights[p] += local[p];
+            for &v in dh.net_pins(lj) {
+                let s = dh.slot(v).expect("pin has a slot");
+                let p = if s < owned { part[s] } else { ghost_part[s - owned] };
+                sigma[lj * k + p] += 1;
             }
-        }
-        // Serial gated accumulation, like `PartitionState::new_threads`.
-        let mut aux_weights = Vec::new();
-        if !level.aux.is_empty() {
-            aux_weights = vec![0.0f64; level.aux.len() * k];
-            for (i, col) in level.aux.iter().enumerate() {
-                let row = &mut aux_weights[i * k..(i + 1) * k];
-                for (v, &p) in part.iter().enumerate() {
-                    row[p] += col[v];
+            pin_owner_ranks(dh, lj, &mut owners);
+            let gid = dh.net_global_id(lj);
+            for &r in owners.iter() {
+                if r != dh.rank() {
+                    row_msgs[r].push((gid, sigma[lj * k..(lj + 1) * k].to_vec()));
                 }
             }
         }
+        for batch in comm.alltoallv(row_msgs) {
+            for (gid, row) in batch {
+                let lj = dh.local_net_index(gid).expect("sigma row for a non-local net");
+                debug_assert!(!dh.owns_net(lj));
+                sigma[lj * k..(lj + 1) * k].copy_from_slice(&row);
+            }
+        }
+        let (weights, aux_weights) = fold_part_weights(comm, level, k, &part);
         DistState { level, k, sigma, weights, aux_weights, part }
+    }
+
+    /// A private working copy for proposal generation (collective: the
+    /// replicated reference rebuilds its private state from the part
+    /// vector each pass, so the weights must be *fresh folds*, not
+    /// copies of the incrementally maintained shared vectors — the two
+    /// can differ in the last ulp).
+    fn private_copy(&self, comm: &mut Comm) -> DistState<'a> {
+        let (weights, aux_weights) = fold_part_weights(comm, self.level, self.k, &self.part);
+        DistState {
+            level: self.level,
+            k: self.k,
+            sigma: self.sigma.clone(),
+            weights,
+            aux_weights,
+            part: self.part.clone(),
+        }
     }
 
     #[inline]
@@ -549,36 +786,53 @@ impl<'a> DistState<'a> {
         self.sigma[lj * self.k + p]
     }
 
-    /// Applies a move. Every rank calls this for every accepted move:
-    /// the replicated part/weights update unconditionally, the sigma
-    /// rows only for nets visible here (other nets have no local row).
-    fn apply(&mut self, v: usize, q: PartId) {
-        let p = self.part[v];
-        if p == q {
-            return;
-        }
+    #[inline]
+    fn my_start(&self) -> usize {
+        self.level.dh.my_range().start
+    }
+
+    /// Applies a move of owned vertex `v` to `q`, updating every local
+    /// sigma row (an owned vertex's incidence list is complete), the
+    /// replicated weight vectors, and the owned part slice. Returns the
+    /// source part.
+    fn apply_owned(&mut self, v: usize, q: PartId) -> PartId {
+        let off = v - self.my_start();
+        let p = self.part[off];
+        debug_assert_ne!(p, q);
         for &lj in self.level.dh.vertex_local_nets(v) {
             self.sigma[lj * self.k + p] -= 1;
             self.sigma[lj * self.k + q] += 1;
         }
-        let w = self.level.vwgt[v];
+        let w = self.level.dh.owned_weights()[off];
         self.weights[p] -= w;
         self.weights[q] += w;
-        if !self.aux_weights.is_empty() {
-            for (i, col) in self.level.aux.iter().enumerate() {
-                self.aux_weights[i * self.k + p] -= col[v];
-                self.aux_weights[i * self.k + q] += col[v];
-            }
+        for (i, col) in self.level.aux.iter().enumerate() {
+            self.aux_weights[i * self.k + p] -= col[off];
+            self.aux_weights[i * self.k + q] += col[off];
         }
-        self.part[v] = q;
+        self.part[off] = q;
+        p
     }
 
-    /// Mirror of `PartitionState::aux_fits`: true when moving `v` into
-    /// `q` respects every auxiliary cap (no-op for scalar targets).
+    /// Applies the replicated (O(k)) share of a remote vertex's move:
+    /// the weight vectors shift by the payload values in the same
+    /// arithmetic order as [`DistState::apply_owned`] on the owner, so
+    /// the vectors stay bitwise identical across ranks. Sigma rows are
+    /// reconciled separately by [`sync_moves`].
+    fn apply_remote(&mut self, from: PartId, to: PartId, w: f64, aux_vals: &[f64]) {
+        self.weights[from] -= w;
+        self.weights[to] += w;
+        for (i, &a) in aux_vals.iter().enumerate() {
+            self.aux_weights[i * self.k + from] -= a;
+            self.aux_weights[i * self.k + to] += a;
+        }
+    }
+
+    /// Mirror of `PartitionState::aux_fits` for owned offset `off`.
     #[inline]
-    fn aux_fits(&self, v: usize, q: PartId, targets: &PartTargets) -> bool {
+    fn aux_fits(&self, off: usize, q: PartId, targets: &PartTargets) -> bool {
         for (i, a) in targets.aux.iter().enumerate() {
-            if self.aux_weights[i * self.k + q] + self.level.aux[i][v] > a.cap(q) {
+            if self.aux_weights[i * self.k + q] + self.level.aux[i][off] > a.cap(q) {
                 return false;
             }
         }
@@ -586,9 +840,10 @@ impl<'a> DistState<'a> {
     }
 
     /// Exact gain of moving owned vertex `v` to `q` (an owned vertex's
-    /// nets are all local, so this equals `PartitionState::gain`).
+    /// nets are all local and their rows are globally exact, so this
+    /// equals `PartitionState::gain`).
     fn gain(&self, v: usize, q: PartId) -> f64 {
-        let p = self.part[v];
+        let p = self.part[v - self.my_start()];
         if p == q {
             return 0.0;
         }
@@ -612,7 +867,8 @@ impl<'a> DistState<'a> {
         targets: &PartTargets,
         scratch: &mut DistMoveScratch,
     ) -> Option<(PartId, f64)> {
-        let p = self.part[v];
+        let off = v - self.my_start();
+        let p = self.part[off];
         scratch.stamp += 1;
         let stamp = scratch.stamp;
 
@@ -636,10 +892,10 @@ impl<'a> DistState<'a> {
             }
         }
 
-        let w = self.level.vwgt[v];
+        let w = self.level.dh.owned_weights()[off];
         let mut best: Option<(PartId, f64)> = None;
         for &q in &scratch.cands {
-            if self.weights[q] + w > targets.cap(q) || !self.aux_fits(v, q, targets) {
+            if self.weights[q] + w > targets.cap(q) || !self.aux_fits(off, q, targets) {
                 continue;
             }
             let gain = base - (total - scratch.present[q]);
@@ -658,8 +914,10 @@ impl<'a> DistState<'a> {
     }
 
     /// Owned boundary vertices, ascending — the replicated boundary
-    /// list restricted to the owned range (every net of an owned vertex
-    /// is local, so no boundary vertex is missed).
+    /// list restricted to the owned range. Every net of an owned vertex
+    /// is locally visible with a globally exact sigma row, and a stub's
+    /// pin list is exactly this rank's pins, so no boundary vertex is
+    /// missed and none is spurious.
     fn owned_boundary(&self) -> Vec<usize> {
         let range = self.level.dh.my_range();
         let mut flag = vec![false; range.len()];
@@ -677,186 +935,327 @@ impl<'a> DistState<'a> {
     }
 }
 
-/// Mirror of `crate::refine::rebalance` with the per-vertex scan
-/// distributed: each rank scans its owned block for the best candidate
-/// move (strict-max keeps the earliest vertex, as in the serial scan)
-/// and an all-reduce picks the global best, tie-broken toward the
-/// smaller vertex id — which, with ascending owned blocks, is exactly
-/// the serial scan's earliest-strict-max winner.
+/// Reconciles sigma rows after a batch of committed moves (collective).
+///
+/// Three disjoint row families update:
+///
+/// * **Owned-net rows for owned movers** — already updated inside
+///   [`DistState::apply_owned`] (an owned vertex's incidence list is
+///   complete), nothing to do here.
+/// * **Owned-net rows for ghost movers** — the incremental halo push
+///   delivers `(slot, old, new)` triples for exactly the ghosts whose
+///   part changed; each triple patches the rows of the owned nets that
+///   ghost pins.
+/// * **Stub rows** — patched by delta events `(net gid, from, to)`
+///   emitted by the net's *owner* (exactly one sender per (net, move)):
+///   for its own movers directly, for ghost movers on receipt of the
+///   halo triple. The mover's owner rank is skipped — its own rows are
+///   already exact.
+fn sync_moves(
+    comm: &mut Comm,
+    state: &mut DistState<'_>,
+    halo: &mut GhostHalo<PartId>,
+    own_moves: &[(usize, PartId, PartId)],
+) {
+    let level = state.level;
+    let dh = &level.dh;
+    let k = state.k;
+    let me = dh.rank();
+    let vdist = dh.vertex_dist();
+    let mut outgoing: Vec<Vec<(usize, u32, u32)>> = (0..comm.size()).map(|_| Vec::new()).collect();
+    let mut owners: Vec<usize> = Vec::new();
+
+    let triples = halo.sync_updates(comm, &state.part);
+    for (slot, old, new) in triples {
+        let v = dh.ghosts()[slot];
+        // A ghost's local incidence list holds exactly the owned nets
+        // that pin it, so these are all owned-net rows.
+        for &lj in dh.vertex_local_nets(v) {
+            state.sigma[lj * k + old] -= 1;
+            state.sigma[lj * k + new] += 1;
+            stub_events(dh, lj, old, new, vdist.owner(v), me, &mut outgoing, &mut owners);
+        }
+    }
+    for &(v, from, to) in own_moves {
+        for &lj in dh.vertex_local_nets(v) {
+            if dh.owns_net(lj) {
+                stub_events(dh, lj, from, to, me, me, &mut outgoing, &mut owners);
+            }
+        }
+    }
+    for batch in comm.alltoallv(outgoing) {
+        for (gid, from, to) in batch {
+            let lj = dh.local_net_index(gid).expect("stub event for a non-local net");
+            debug_assert!(!dh.owns_net(lj));
+            state.sigma[lj * k + from as usize] -= 1;
+            state.sigma[lj * k + to as usize] += 1;
+        }
+    }
+}
+
+/// Queues one stub delta event per remote pin-owning rank of owned net
+/// `lj`, skipping the mover's owner (`skip`) whose rows are already
+/// exact.
+#[allow(clippy::too_many_arguments)]
+fn stub_events(
+    dh: &DistHypergraph,
+    lj: usize,
+    from: PartId,
+    to: PartId,
+    skip: usize,
+    me: usize,
+    outgoing: &mut [Vec<(usize, u32, u32)>],
+    owners: &mut Vec<usize>,
+) {
+    pin_owner_ranks(dh, lj, owners);
+    let gid = dh.net_global_id(lj);
+    for &r in owners.iter() {
+        if r != me && r != skip {
+            outgoing[r].push((gid, from as u32, to as u32));
+        }
+    }
+}
+
+/// Applies one globally agreed move on every rank (collective): the
+/// owner updates its slice and marks the vertex dirty; everyone else
+/// applies the O(k) weight shift; sigma rows reconcile through the
+/// halo push either way.
+#[allow(clippy::too_many_arguments)]
+fn apply_global(
+    comm: &mut Comm,
+    state: &mut DistState<'_>,
+    halo: &mut GhostHalo<PartId>,
+    v: usize,
+    from: PartId,
+    to: PartId,
+    w: f64,
+    aux_vals: &[f64],
+) {
+    let range = state.level.dh.my_range();
+    if range.contains(&v) {
+        let off = v - range.start;
+        let actual = state.apply_owned(v, to);
+        debug_assert_eq!(actual, from);
+        halo.mark_dirty(off);
+        sync_moves(comm, state, halo, &[(v, from, to)]);
+    } else {
+        state.apply_remote(from, to, w, aux_vals);
+        sync_moves(comm, state, halo, &[]);
+    }
+}
+
+fn total_violation(weights: &[f64], targets: &PartTargets) -> f64 {
+    weights.iter().enumerate().map(|(p, &w)| (w - targets.cap(p)).max(0.0)).sum()
+}
+
+/// Distributed mirror of `refine::rebalance`: repeatedly move the best
+/// candidate out of the most-overweight part. Candidates are scanned
+/// owner-blocked (ascending vertex id across ranks, matching the
+/// replicated scan order) and the global winner is the allreduce
+/// maximum with the replicated tie-break (higher gain, then lower
+/// vertex id).
 fn dist_rebalance(
     comm: &mut Comm,
     state: &mut DistState<'_>,
+    halo: &mut GhostHalo<PartId>,
     targets: &PartTargets,
-    fixed: &FixedAssignment,
     scratch: &mut DistMoveScratch,
 ) {
     dlb_trace::count(dlb_trace::Counter::RebalanceInvocations, 1);
-    let n = state.part.len();
-    let max_moves = 2 * n + 16;
-    let total_violation = |weights: &[f64]| -> f64 {
-        weights.iter().enumerate().map(|(p, &w)| (w - targets.cap(p)).max(0.0)).sum()
-    };
+    let k = state.k;
     let range = state.level.dh.my_range();
+    let start = range.start;
+    let max_moves = 2 * state.level.dh.num_vertices() + 16;
     for _ in 0..max_moves {
-        let violation_before = total_violation(&state.weights);
-        let over = (0..state.k)
-            .filter(|&p| state.weights[p] > targets.cap(p) + 1e-9)
-            .max_by(|&a, &b| {
-                (state.weights[a] - targets.cap(a)).total_cmp(&(state.weights[b] - targets.cap(b)))
-            });
-        let p = match over {
-            Some(p) => p,
-            None => return,
-        };
-        let mut best: Option<(usize, PartId, f64)> = None;
-        for v in range.clone() {
-            if state.part[v] != p || fixed.is_fixed(v) {
-                continue;
-            }
-            let w = state.level.vwgt[v];
-            let candidate = match state.best_move(v, targets, scratch) {
-                Some((q, g)) => Some((q, g)),
-                None => {
-                    let q = (0..state.k)
-                        .filter(|&q| q != p)
-                        .min_by(|&a, &b| {
-                            ((state.weights[a] + w) / targets.target[a].max(1e-12)).total_cmp(
-                                &((state.weights[b] + w) / targets.target[b].max(1e-12)),
-                            )
-                        })
-                        .unwrap();
-                    Some((q, state.gain(v, q)))
-                }
-            };
-            if let Some((q, g)) = candidate {
-                if best.is_none_or(|(_, _, bg)| g > bg) {
-                    best = Some((v, q, g));
-                }
+        let violation_before = total_violation(&state.weights, targets);
+        // Most-overweight part by absolute overshoot (replicated
+        // weights: identical choice on every rank).
+        let mut over: Option<(usize, f64)> = None;
+        for p in 0..k {
+            let excess = state.weights[p] - targets.cap(p);
+            if excess > 1e-9 && over.is_none_or(|(_, e)| excess > e) {
+                over = Some((p, excess));
             }
         }
-        let entry = match best {
-            Some((v, q, g)) => (g, v, q),
-            None => (f64::NEG_INFINITY, usize::MAX, usize::MAX),
+        let Some((p, _)) = over else { return };
+
+        // Best owned candidate to evacuate from `p`.
+        let mut best: Option<(usize, PartId, f64)> = None; // (v, to, gain)
+        for off in 0..range.len() {
+            if state.part[off] != p || state.level.fixed[off].is_some() {
+                continue;
+            }
+            let v = start + off;
+            let (q, g) = match state.best_move(v, targets, scratch) {
+                Some((q, g)) => (q, g),
+                None => {
+                    // No underweight destination admits the vertex:
+                    // fall back to the minimum relative spare capacity,
+                    // like the replicated rebalance.
+                    let w = state.level.dh.owned_weights()[off];
+                    let mut fq: Option<(PartId, f64)> = None;
+                    for q in 0..k {
+                        if q == p {
+                            continue;
+                        }
+                        let rel = (state.weights[q] + w) / targets.target[q].max(1e-12);
+                        if fq.is_none_or(|(_, r)| rel < r) {
+                            fq = Some((q, rel));
+                        }
+                    }
+                    let Some((q, _)) = fq else { continue };
+                    (q, state.gain(v, q))
+                }
+            };
+            // Strict improvement keeps the earliest (lowest-id) vertex,
+            // matching the replicated ascending scan.
+            if best.is_none_or(|(_, _, bg)| g > bg) {
+                best = Some((v, q, g));
+            }
+        }
+        let entry: (f64, usize, usize, f64, Vec<f64>) = match best {
+            Some((v, q, g)) => {
+                let off = v - start;
+                let aux_vals: Vec<f64> = state.level.aux.iter().map(|col| col[off]).collect();
+                (g, v, q, state.level.dh.owned_weights()[off], aux_vals)
+            }
+            None => (f64::NEG_INFINITY, usize::MAX, usize::MAX, 0.0, Vec::new()),
         };
-        let (_, v, q) = comm.allreduce(entry, |a, b| {
+        let (_g, v, q, w, aux_vals) = comm.allreduce_vec(vec![entry], |a, b| {
             match a.0.total_cmp(&b.0) {
-                std::cmp::Ordering::Greater => a,
-                std::cmp::Ordering::Less => b,
+                std::cmp::Ordering::Greater => a.clone(),
+                std::cmp::Ordering::Less => b.clone(),
                 std::cmp::Ordering::Equal => {
                     if a.1 <= b.1 {
-                        a
+                        a.clone()
                     } else {
-                        b
+                        b.clone()
                     }
                 }
             }
-        });
+        })
+        .pop()
+        .expect("allreduce keeps the element");
         if v == usize::MAX {
             return;
         }
-        state.apply(v, q);
-        if total_violation(&state.weights) >= violation_before - 1e-12 {
-            state.apply(v, p);
+        apply_global(comm, state, halo, v, p, q, w, &aux_vals);
+        if total_violation(&state.weights, targets) >= violation_before - 1e-12 {
+            // No progress: undo and stop, like the replicated rebalance.
+            apply_global(comm, state, halo, v, q, p, w, &aux_vals);
             return;
         }
     }
 }
 
-/// One distributed refinement pass — mirror of `par_pass`. Proposals
-/// come from a private state copy per rank; revalidation against the
-/// evolving shared state needs each move's exact gain, which only the
-/// proposing (owner) rank can compute, so the owner decides its batch
-/// and broadcasts the verdicts. Every rank then applies the identical
-/// accepted sequence, keeping part vector and weights in lockstep.
+/// One proposed move: (vertex, from, to, weight, auxiliary loads). The
+/// payload lets non-owner ranks shift the replicated weight vectors
+/// without holding the mover's per-vertex data.
+type MoveProp = (usize, PartId, PartId, f64, Vec<f64>);
+
+/// One distributed FM pass (collective). Mirrors `par_pass`: each rank
+/// proposes for its owned boundary on a private copy, proposals are
+/// all-gathered, and each batch is revalidated *by its owner rank*
+/// against the exact evolving state; the verdict bitmap is broadcast
+/// and every rank applies the surviving moves' O(k) weight shifts.
+/// Sigma rows and the ghost-part cache reconcile after every batch via
+/// the incremental (dirty-subset) halo push.
 fn dist_pass(
     comm: &mut Comm,
     state: &mut DistState<'_>,
+    halo: &mut GhostHalo<PartId>,
     targets: &PartTargets,
-    fixed: &FixedAssignment,
     rng: &mut StdRng,
 ) -> usize {
+    let start = state.my_start();
     let shared_draw: u64 = rng.gen();
     let mut my_rng = StdRng::seed_from_u64(
         shared_draw ^ (comm.rank() as u64).wrapping_mul(0xC0FF_EE00_1234_5678),
     );
 
-    // Propose on a private copy so a rank's own proposals compose.
-    let my_moves = {
-        let mut private = DistState::new(state.level, state.k, state.part.clone());
+    let my_moves: Vec<MoveProp> = {
+        let mut private = state.private_copy(comm);
         let mut scratch = DistMoveScratch::new(targets.k());
-        let mut boundary: Vec<usize> =
-            private.owned_boundary().into_iter().filter(|&v| !fixed.is_fixed(v)).collect();
+        let mut boundary: Vec<usize> = private
+            .owned_boundary()
+            .into_iter()
+            .filter(|&v| state.level.fixed[v - start].is_none())
+            .collect();
         boundary.shuffle(&mut my_rng);
-        let mut moves: Vec<(usize, PartId)> = Vec::new();
+        let mut moves = Vec::new();
         for v in boundary {
             if let Some((to, gain)) = private.best_move(v, targets, &mut scratch) {
-                if gain > 0.0
-                    || (gain == 0.0
-                        && private.weights[private.part[v]] > targets.target[private.part[v]])
-                {
-                    private.apply(v, to);
-                    moves.push((v, to));
+                let p = private.part[v - start];
+                if accepts_proposal(gain, private.weights[p], targets.target[p]) {
+                    private.apply_owned(v, to);
+                    let aux_vals: Vec<f64> =
+                        state.level.aux.iter().map(|col| col[v - start]).collect();
+                    moves.push((v, p, to, state.level.dh.owned_weights()[v - start], aux_vals));
                 }
             }
         }
         moves
     };
 
-    let all_moves: Vec<Vec<(usize, PartId)>> = comm.allgather(my_moves);
+    let all_moves: Vec<Vec<MoveProp>> = comm.allgather(my_moves);
     let mut applied = 0usize;
-    for (r, rank_moves) in all_moves.iter().enumerate() {
-        // Rank r owns every vertex in its batch, so only it can
-        // revalidate gains; it decides sequentially against the shared
-        // state (applying as it goes) and broadcasts the verdicts.
-        let decisions: Vec<bool> = if comm.rank() == r {
-            let mut verdicts = Vec::with_capacity(rank_moves.len());
-            for &(v, to) in rank_moves {
-                let ok = if fixed.is_fixed(v) || state.part[v] == to {
-                    false
-                } else {
-                    let w = state.level.vwgt[v];
-                    if state.weights[to] + w > targets.cap(to) || !state.aux_fits(v, to, targets) {
-                        false
-                    } else {
+    for (r, batch) in all_moves.iter().enumerate() {
+        let mut own_applied: Vec<(usize, PartId, PartId)> = Vec::new();
+        let verdicts: Vec<bool> = if comm.rank() == r {
+            // Decide sequentially against the exact evolving state —
+            // every vertex in the batch is owned here, so gains are
+            // exact and `from == part[v]` (one proposal per vertex).
+            let mut v_out = Vec::with_capacity(batch.len());
+            for &(v, from, to, w, ref aux_vals) in batch {
+                let _ = aux_vals;
+                let off = v - start;
+                let ok = state.level.fixed[off].is_none()
+                    && state.part[off] != to
+                    && state.weights[to] + w <= targets.cap(to)
+                    && state.aux_fits(off, to, targets)
+                    && {
                         let gain = state.gain(v, to);
-                        gain > 0.0
-                            || (gain == 0.0
-                                && state.weights[state.part[v]] > state.weights[to] + w)
-                    }
-                };
+                        accepts_revalidated(gain, state.weights[state.part[off]], state.weights[to], w)
+                    };
                 if ok {
-                    state.apply(v, to);
+                    debug_assert_eq!(state.part[off], from);
+                    state.apply_owned(v, to);
+                    halo.mark_dirty(off);
+                    own_applied.push((v, from, to));
                 }
-                verdicts.push(ok);
+                v_out.push(ok);
             }
-            verdicts
+            v_out
         } else {
-            vec![false; rank_moves.len()]
+            vec![false; batch.len()]
         };
-        let decisions = comm.broadcast(r, decisions);
+        let verdicts = comm.broadcast(r, verdicts);
         if comm.rank() != r {
-            for (&(v, to), &ok) in rank_moves.iter().zip(&decisions) {
-                if ok {
-                    state.apply(v, to);
+            for (ok, &(_, from, to, w, ref aux_vals)) in verdicts.iter().zip(batch) {
+                if *ok {
+                    state.apply_remote(from, to, w, aux_vals);
                 }
             }
         }
-        applied += decisions.iter().filter(|&&ok| ok).count();
+        applied += verdicts.iter().filter(|&&ok| ok).count();
+        // Reconcile after *every* batch so batch r+1 is decided against
+        // fully synchronized sigma rows.
+        sync_moves(comm, state, halo, &own_applied);
     }
     applied
 }
 
-/// Distributed refinement at one level — mirror of [`par_refine`].
-///
-/// Multi-constraint caps are enforced on every move via `aux_fits`, but
-/// the greedy repair pass has no distributed mirror: repair quality for
-/// multi-constraint runs flows through the gathered replicated coarse
-/// solve (which calls `refine_threads`) and the replicated levels.
+/// Distributed refinement over an owner-computes level (collective).
+/// `part_owned` is this rank's owned partition slice; it is refined in
+/// place. Note: the auxiliary-feasibility `greedy_repair` step of the
+/// replicated path has no distributed mirror — multi-constraint runs
+/// must stay on the replicated driver (the CLI rejects `--constraints`
+/// together with `--distributed`).
 fn dist_refine(
     comm: &mut Comm,
     level: &DistLevel,
     targets: &PartTargets,
-    part: &mut Vec<PartId>,
+    part_owned: &mut Vec<PartId>,
     cfg: &RefinementConfig,
     rng: &mut StdRng,
 ) {
@@ -864,20 +1263,19 @@ fn dist_refine(
     if k < 2 || level.dh.num_vertices() == 0 {
         return;
     }
-    let mut state = DistState::new(level, k, std::mem::take(part));
+    let mut halo = GhostHalo::new(GhostExchange::build(comm, &level.dh), level.dh.my_range().len());
+    let mut state = DistState::new(comm, &mut halo, level, k, std::mem::take(part_owned));
     let mut scratch = DistMoveScratch::new(k);
-    dist_rebalance(comm, &mut state, targets, &level.fixed, &mut scratch);
+    dist_rebalance(comm, &mut state, &mut halo, targets, &mut scratch);
     for _ in 0..cfg.max_passes {
-        let moved = dist_pass(comm, &mut state, targets, &level.fixed, rng);
+        let moved = dist_pass(comm, &mut state, &mut halo, targets, rng);
         if moved == 0 {
             break;
         }
     }
-    *part = state.part;
+    *part_owned = state.part;
 }
 
-/// A level of the mixed hierarchy: its coarse hypergraph in whichever
-/// representation it was built, plus the fine→coarse projection map.
 enum Level {
     Repl(CoarseLevel),
     Dist(DistLevel, Vec<usize>),
@@ -916,6 +1314,62 @@ fn current_view<'a>(
             None => View::Repl(h, fixed),
         },
     }
+}
+
+/// The partition vector during uncoarsening: replicated (`Full`) above
+/// the gather point, owned-block only (`Owned`) on distributed levels.
+/// The level stack is always `[Dist.., Repl..]` bottom-up — a gather
+/// never un-happens — so uncoarsening (walked top-down) converts
+/// `Full → Owned` exactly once, at the first distributed level.
+enum PartRep {
+    Full(Vec<PartId>),
+    Owned(Vec<PartId>),
+}
+
+/// Projects an owned coarse partition slice through an owned
+/// fine→coarse map (collective): coarse parts of remotely owned coarse
+/// vertices are fetched with a one-shot pull. `PartId` rides the
+/// `usize` pull used for f2c ids.
+fn project_to_fine(
+    comm: &mut Comm,
+    cdist: &BlockDist,
+    coarse_owned: &[PartId],
+    f2c_owned: &[usize],
+) -> Vec<PartId> {
+    let crange = cdist.range(comm.rank());
+    let mut remote: Vec<usize> =
+        f2c_owned.iter().copied().filter(|c| !crange.contains(c)).collect();
+    remote.sort_unstable();
+    remote.dedup();
+    let lookup = pull_remote(comm, cdist, remote, coarse_owned);
+    f2c_owned
+        .iter()
+        .map(|&c| {
+            if crange.contains(&c) {
+                coarse_owned[c - crange.start]
+            } else {
+                lookup.get(c)
+            }
+        })
+        .collect()
+}
+
+/// Distributed mirror of `record_committed_moves`: each rank diffs only
+/// its owned slice, so the global count is an allreduce sum
+/// (collective whenever a trace session is active anywhere in the
+/// process — gated on `dlb_trace::session_active()`, not the per-thread
+/// `enabled()`, so every rank participates or none does).
+fn record_committed_moves_owned(
+    comm: &mut Comm,
+    span: &dlb_trace::SpanGuard,
+    before: Option<&[PartId]>,
+    after: &[PartId],
+) {
+    let Some(before) = before else { return };
+    let local = before.iter().zip(after).filter(|(a, b)| a != b).count() as u64;
+    let moved = comm.allreduce(local, |a, b| a + b);
+    span.attr("moves_committed", moved);
+    dlb_trace::count(dlb_trace::Counter::ParRefineMovesCommitted, moved);
 }
 
 /// One distributed multilevel V-cycle. Collective; every rank returns
@@ -996,7 +1450,7 @@ pub fn dist_multilevel_stats(
                     }
                     View::Dist(d) => {
                         let matching = dist_ipm_matching(comm, d, &cfg.coarsening, rng);
-                        let after = matching.coarse_count();
+                        let after = matching.coarse_count(before);
                         if ((before - after) as f64) < before as f64 * cfg.coarsening.min_reduction
                         {
                             Step::Stop // unsuccessful coarsening (10% rule)
@@ -1085,49 +1539,88 @@ pub fn dist_multilevel_stats(
             }
         }
     });
-    let mut part = comm.broadcast(winner, my_part);
+    let mut part = PartRep::Full(comm.broadcast(winner, my_part));
     crate::par::driver::attr_comm_delta(&init_span, init_stats, comm.stats());
     drop(init_span);
 
     // --- Uncoarsening: refine in whichever form each level is held. ---
-    // Levels are numbered with 0 = the original (finest) hypergraph.
+    // Levels are numbered with 0 = the original (finest) hypergraph. The
+    // partition stays replicated through the gathered/replicated levels
+    // and narrows to the owned slice at the first distributed level.
     for (i, level) in levels.iter().enumerate().rev() {
         let span = dlb_trace::span!("dist.refine.level", level = i + 1);
         let stats_before = comm.stats();
-        let before_part = dlb_trace::enabled().then(|| part.clone());
-        let fine_to_coarse = match level {
+        match level {
             Level::Repl(l) => {
-                par_refine(comm, &l.coarse, targets, &l.coarse_fixed, &mut part, &cfg.refinement, rng);
-                &l.fine_to_coarse
+                let PartRep::Full(ref mut full) = part else {
+                    unreachable!("replicated levels sit above the gather point")
+                };
+                let before_part = dlb_trace::enabled().then(|| full.clone());
+                par_refine(comm, &l.coarse, targets, &l.coarse_fixed, full, &cfg.refinement, rng);
+                crate::par::driver::record_committed_moves(&span, before_part.as_deref(), full);
+                crate::par::driver::attr_comm_delta(&span, stats_before, comm.stats());
+                drop(span);
+                let mut finer = vec![0usize; l.fine_to_coarse.len()];
+                for (v, &c) in l.fine_to_coarse.iter().enumerate() {
+                    finer[v] = full[c];
+                }
+                part = PartRep::Full(finer);
             }
             Level::Dist(d, fine_to_coarse) => {
-                dist_refine(comm, d, targets, &mut part, &cfg.refinement, rng);
-                fine_to_coarse
+                let mut owned_part =
+                    match std::mem::replace(&mut part, PartRep::Owned(Vec::new())) {
+                        PartRep::Full(full) => full[d.dh.my_range()].to_vec(),
+                        PartRep::Owned(p) => p,
+                    };
+                let before_part = dlb_trace::session_active().then(|| owned_part.clone());
+                dist_refine(comm, d, targets, &mut owned_part, &cfg.refinement, rng);
+                record_committed_moves_owned(comm, &span, before_part.as_deref(), &owned_part);
+                crate::par::driver::attr_comm_delta(&span, stats_before, comm.stats());
+                drop(span);
+                // `d` is the *coarse* level of this projection step:
+                // the finer level's owned f2c entries point into `d`'s
+                // vertex blocks.
+                part = PartRep::Owned(project_to_fine(
+                    comm,
+                    &d.dh.vertex_dist(),
+                    &owned_part,
+                    fine_to_coarse,
+                ));
             }
-        };
-        crate::par::driver::record_committed_moves(&span, before_part.as_deref(), &part);
-        crate::par::driver::attr_comm_delta(&span, stats_before, comm.stats());
-        drop(span);
-        let mut finer = vec![0usize; fine_to_coarse.len()];
-        for (v, &c) in fine_to_coarse.iter().enumerate() {
-            finer[v] = part[c];
         }
-        part = finer;
     }
     // Final refinement at the finest level.
-    {
+    let full_part = {
         let span = dlb_trace::span!("dist.refine.level", level = 0usize);
         let stats_before = comm.stats();
-        let before_part = dlb_trace::enabled().then(|| part.clone());
         match &finest_dist {
-            Some(d) => dist_refine(comm, d, targets, &mut part, &cfg.refinement, rng),
-            None => par_refine(comm, h, targets, fixed, &mut part, &cfg.refinement, rng),
+            Some(d) => {
+                let mut owned_part = match part {
+                    PartRep::Full(full) => full[d.dh.my_range()].to_vec(),
+                    PartRep::Owned(p) => p,
+                };
+                let before_part = dlb_trace::session_active().then(|| owned_part.clone());
+                dist_refine(comm, d, targets, &mut owned_part, &cfg.refinement, rng);
+                record_committed_moves_owned(comm, &span, before_part.as_deref(), &owned_part);
+                crate::par::driver::attr_comm_delta(&span, stats_before, comm.stats());
+                // The public contract returns the full assignment on
+                // every rank.
+                comm.allgather(owned_part).into_iter().flatten().collect()
+            }
+            None => {
+                let PartRep::Full(mut full) = part else {
+                    unreachable!("never distributed, so the partition stayed replicated")
+                };
+                let before_part = dlb_trace::enabled().then(|| full.clone());
+                par_refine(comm, h, targets, fixed, &mut full, &cfg.refinement, rng);
+                crate::par::driver::record_committed_moves(&span, before_part.as_deref(), &full);
+                crate::par::driver::attr_comm_delta(&span, stats_before, comm.stats());
+                full
+            }
         }
-        crate::par::driver::record_committed_moves(&span, before_part.as_deref(), &part);
-        crate::par::driver::attr_comm_delta(&span, stats_before, comm.stats());
-    }
+    };
     drop(ml_span);
-    (part, stats)
+    (full_part, stats)
 }
 
 #[cfg(test)]
@@ -1233,9 +1726,9 @@ mod tests {
             assert!(max_owned <= max_total);
             peak_by_ranks.push((max_total, max_owned));
         }
-        // On a mesh the block distribution localizes nets, so even the
-        // ghost-inclusive figure shrinks; the canonical (owned) share
-        // shrinks regardless of locality.
+        // Owner-computes storage: both the stub-inclusive and the
+        // canonical (owned) pin figures shrink with the rank count on
+        // any input, localized or not.
         assert!(
             peak_by_ranks[0].0 > peak_by_ranks[1].0 && peak_by_ranks[1].0 > peak_by_ranks[2].0,
             "per-rank pin storage should strictly decrease: {peak_by_ranks:?}"
@@ -1265,5 +1758,54 @@ mod tests {
                 assert_eq!(a.cut, b.cut, "ranks={ranks}");
             }
         }
+    }
+
+    /// More ranks than vertices: some ranks own nothing at every level.
+    /// The cycle must neither panic nor diverge from the replicated
+    /// driver.
+    #[test]
+    fn empty_ranks_match_replicated_driver() {
+        let h = crate::tests::grid_hypergraph(3, 4); // 12 vertices
+        let targets = PartTargets::uniform(h.total_vertex_weight(), 2, 0.05);
+        let fixed = FixedAssignment::free(h.num_vertices());
+        let mut cfg = dist_cfg(17, 4);
+        cfg.coarsening.min_coarse_vertices = 2;
+        cfg.coarsening.coarse_to_factor = 1;
+        for ranks in [13usize, 16] {
+            let repl = run_spmd(ranks, |comm| {
+                let mut rng = StdRng::seed_from_u64(6);
+                super::super::driver::par_multilevel(comm, &h, &targets, &fixed, &cfg, &mut rng)
+            });
+            let dist = run_spmd(ranks, |comm| {
+                let mut rng = StdRng::seed_from_u64(6);
+                dist_multilevel(comm, &h, &targets, &fixed, &cfg, &mut rng)
+            });
+            assert_eq!(dist, repl, "ranks={ranks}");
+        }
+    }
+
+    /// Total per-rank residency — pins, metadata, and every per-vertex
+    /// array — must strictly decrease with the rank count, on a *random*
+    /// (non-localized) hypergraph: the owner-computes representation has
+    /// no replicated term left.
+    #[test]
+    fn resident_bytes_scale_down_with_ranks() {
+        let h = crate::tests::random_hypergraph(400, 800, 5, 37);
+        let targets = PartTargets::uniform(h.total_vertex_weight(), 4, 0.05);
+        let fixed = FixedAssignment::free(h.num_vertices());
+        let cfg = dist_cfg(23, 60);
+        let mut peak = Vec::new();
+        for ranks in [1usize, 2, 4, 8] {
+            let results = run_spmd(ranks, |comm| {
+                let mut rng = StdRng::seed_from_u64(8);
+                dist_multilevel_stats(comm, &h, &targets, &fixed, &cfg, &mut rng)
+            });
+            assert!(results.iter().all(|(_, s)| s.dist_levels > 0));
+            peak.push(results.iter().map(|(_, s)| s.total_resident_bytes).max().unwrap());
+        }
+        assert!(
+            peak.windows(2).all(|w| w[1] < w[0]),
+            "per-rank resident bytes should strictly decrease: {peak:?}"
+        );
     }
 }

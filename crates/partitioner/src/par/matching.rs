@@ -54,6 +54,20 @@ impl Proposal {
     }
 }
 
+/// Draws this round's candidate subset from a rank's unmatched owned
+/// vertices: shuffle with the rank-decorrelated stream, keep the ceil
+/// fraction, and sort ascending so the all-gathered candidate order is
+/// deterministic. Shared by the replicated and distributed matchers so
+/// both draw bit-identical candidate sets from the same RNG state.
+pub(crate) fn draw_candidates(mut unmatched: Vec<usize>, rng: &mut StdRng) -> Vec<usize> {
+    unmatched.shuffle(rng);
+    let ncand =
+        ((unmatched.len() as f64 * CANDIDATE_FRACTION).ceil() as usize).min(unmatched.len());
+    let mut cands = unmatched[..ncand].to_vec();
+    cands.sort_unstable();
+    cands
+}
+
 /// Computes IPM scores of `u` against all unmatched vertices in the
 /// owned range `range`, returning the best feasible partner.
 #[allow(clippy::too_many_arguments)]
@@ -200,13 +214,8 @@ pub fn par_ipm_matching_threads(
 
     for _round in 0..MAX_ROUNDS {
         // Nominate candidates among owned unmatched vertices.
-        let mut my_unmatched: Vec<usize> =
-            my_range.clone().filter(|&v| mate[v] == v).collect();
-        my_unmatched.shuffle(&mut my_rng);
-        let ncand = ((my_unmatched.len() as f64 * CANDIDATE_FRACTION).ceil() as usize)
-            .min(my_unmatched.len());
-        let mut my_cands = my_unmatched[..ncand].to_vec();
-        my_cands.sort_unstable();
+        let my_unmatched: Vec<usize> = my_range.clone().filter(|&v| mate[v] == v).collect();
+        let my_cands = draw_candidates(my_unmatched, &mut my_rng);
 
         // Candidates travel to every rank.
         let all_cands: Vec<usize> = comm

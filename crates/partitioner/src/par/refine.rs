@@ -22,6 +22,19 @@ use crate::refine::{MoveScratch, PartitionState};
 /// One rank's proposed move.
 type Move = (usize, PartId); // (vertex, destination part)
 
+/// Proposal accept rule, shared with the distributed driver: strictly
+/// improving moves, or zero-gain moves away from an over-target part.
+pub(crate) fn accepts_proposal(gain: f64, source_weight: f64, source_target: f64) -> bool {
+    gain > 0.0 || (gain == 0.0 && source_weight > source_target)
+}
+
+/// Revalidation accept rule applied against the evolving shared state,
+/// shared with the distributed driver: strictly improving, or zero-gain
+/// moves that shift weight from the heavier to the lighter side.
+pub(crate) fn accepts_revalidated(gain: f64, from_weight: f64, to_weight: f64, w: f64) -> bool {
+    gain > 0.0 || (gain == 0.0 && from_weight > to_weight + w)
+}
+
 /// Proposes moves for owned boundary vertices on a private state copy.
 fn propose_local_moves(
     h: &Hypergraph,
@@ -42,7 +55,7 @@ fn propose_local_moves(
     let mut moves = Vec::new();
     for v in boundary {
         if let Some((to, gain)) = state.best_move(v, targets, &mut scratch) {
-            if gain > 0.0 || (gain == 0.0 && state.weights[state.part[v]] > targets.target[state.part[v]]) {
+            if accepts_proposal(gain, state.weights[state.part[v]], targets.target[state.part[v]]) {
                 state.apply(v, to);
                 moves.push((v, to));
             }
@@ -87,9 +100,7 @@ fn par_pass(
                 continue;
             }
             let gain = state.gain(v, to);
-            if gain > 0.0
-                || (gain == 0.0 && state.weights[state.part[v]] > state.weights[to] + w)
-            {
+            if accepts_revalidated(gain, state.weights[state.part[v]], state.weights[to], w) {
                 state.apply(v, to);
                 applied += 1;
             }

@@ -29,9 +29,12 @@
 //!   --threads N       shared-memory worker threads per rank (default 0 =
 //!                     auto: DLB_THREADS, then available parallelism; any
 //!                     value gives bit-identical partitions)
-//!   --distributed     with --ranks: block-distribute the pin storage
-//!                     across ranks (memory-scalable V-cycle; results
-//!                     are bit-identical to the replicated driver)
+//!   --distributed     with --ranks: owner-computes pin storage and
+//!                     block-distributed per-vertex arrays across ranks
+//!                     (memory-scalable V-cycle; results are
+//!                     bit-identical to the replicated driver). Rejected
+//!                     together with --world-plan, --fault-plan,
+//!                     --incremental, or --constraints > 1 (exit 2)
 //!   --trace FILE      record a phase-level trace of the run and write it
 //!                     as chrome://tracing JSON (open in about:tracing or
 //!                     https://ui.perfetto.dev)
@@ -558,6 +561,25 @@ fn run_simulate(cli: &Cli, hg_cfg: HgConfig) {
     if cli.incremental && (cli.ranks > 1 || cli.distributed) {
         fail("--incremental is serial-only; drop --ranks/--distributed");
     }
+    if cli.distributed {
+        // Owner-computes pin storage partitions under a fixed rank set
+        // and a scalar feasibility contract; these combinations would
+        // otherwise run but quietly fall short of what the flags promise.
+        if cli.world_plan.is_some() {
+            fail("--world-plan is incompatible with --distributed \
+                  (elastic resizes reshape the rank set; distributed pin storage \
+                  assumes a fixed world — drop --distributed)");
+        }
+        if cli.fault_plan.is_some() {
+            fail("--fault-plan is incompatible with --distributed \
+                  (fault recovery re-partitions on the replicated path — \
+                  drop --distributed)");
+        }
+        if cli.constraints > 1 {
+            fail("--constraints > 1 is incompatible with --distributed \
+                  (the distributed refiner has no auxiliary-feasibility repair pass)");
+        }
+    }
     if cli.constraints > 1 {
         match cli.workload.as_deref() {
             Some("amr") if cli.constraints == 2 => {}
@@ -665,6 +687,19 @@ fn main() {
     }
     if cli.constraints > 1 {
         fail("--constraints > 1 requires simulate --workload amr (file inputs are scalar)");
+    }
+    // Simulate-only flags are rejected rather than silently ignored.
+    if cli.world_plan.is_some() {
+        fail(format!("--world-plan applies to simulate only, not {}", cli.command));
+    }
+    if cli.fault_plan.is_some() {
+        fail(format!("--fault-plan applies to simulate only, not {}", cli.command));
+    }
+    if cli.incremental {
+        fail(format!("--incremental applies to simulate only, not {}", cli.command));
+    }
+    if cli.workload.is_some() {
+        fail(format!("--workload applies to simulate only, not {}", cli.command));
     }
     let input = cli.input.clone().unwrap_or_else(|| usage());
     let (hypergraph, graph) = load(&input);

@@ -191,6 +191,64 @@ fn rejects_invalid_multi_constraint_flags_up_front() {
 }
 
 #[test]
+fn rejects_distributed_flag_conflicts_up_front() {
+    // Elastic resizes and fault recovery run on the replicated path;
+    // combining them with owner-computes storage must exit 2 instead of
+    // quietly running without the promised behavior.
+    assert_rejected(
+        &[
+            "simulate", "-k", "2", "--workload", "structure", "--ranks", "2",
+            "--distributed", "--world-plan", "42:join4@2",
+        ],
+        "--world-plan is incompatible with --distributed",
+    );
+    assert_rejected(
+        &[
+            "simulate", "-k", "2", "--workload", "structure", "--ranks", "2",
+            "--distributed", "--fault-plan", "7:drop0.05",
+        ],
+        "--fault-plan is incompatible with --distributed",
+    );
+    // The distributed refiner has no auxiliary-feasibility repair.
+    assert_rejected(
+        &[
+            "simulate", "-k", "2", "--workload", "amr", "--constraints", "2", "--ranks",
+            "2", "--distributed",
+        ],
+        "--constraints > 1 is incompatible with --distributed",
+    );
+    // Already-covered serial-only check keeps firing with --distributed.
+    assert_rejected(
+        &[
+            "simulate", "-k", "2", "--workload", "structure", "--distributed",
+            "--incremental",
+        ],
+        "--incremental is serial-only",
+    );
+}
+
+#[test]
+fn rejects_simulate_only_flags_on_file_commands() {
+    // Previously these parsed fine and were silently ignored.
+    assert_rejected(
+        &["partition", "-k", "2", "--world-plan", "42:join4@2", "x.mtx"],
+        "--world-plan applies to simulate only",
+    );
+    assert_rejected(
+        &["partition", "-k", "2", "--fault-plan", "7:rank0@1", "x.mtx"],
+        "--fault-plan applies to simulate only",
+    );
+    assert_rejected(
+        &["repartition", "-k", "2", "--old", "p", "--incremental", "x.mtx"],
+        "--incremental applies to simulate only",
+    );
+    assert_rejected(
+        &["partition", "-k", "2", "--workload", "amr", "x.mtx"],
+        "--workload applies to simulate only",
+    );
+}
+
+#[test]
 fn simulate_two_constraint_amr_runs() {
     let output = dlb()
         .args([

@@ -87,3 +87,17 @@ fn distributed_scratch_matches_replicated() {
         assert_equivalent(&dist, &repl, &format!("scratch ranks={ranks}"));
     }
 }
+
+/// Run-to-run reproducibility: the owner-computes driver must give the
+/// same bits on a repeated invocation of the same problem — the
+/// incremental ghost exchange and delta sigma events (DESIGN.md §17)
+/// may not leak any scheduling nondeterminism into the result.
+#[test]
+fn distributed_repart_is_reproducible_run_to_run() {
+    let snap = snapshot(4, Perturbation::structure(), 23);
+    for ranks in RANK_COUNTS {
+        let first = run(&snap, 4, Algorithm::ZoltanRepart, ranks, true);
+        let second = run(&snap, 4, Algorithm::ZoltanRepart, ranks, true);
+        assert_equivalent(&first, &second, &format!("repeat ranks={ranks}"));
+    }
+}
